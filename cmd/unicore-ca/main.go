@@ -1,0 +1,166 @@
+// Command unicore-ca manages the deployment's certificate authority — the
+// stand-in for the DFN-PCA of §5.2. It initialises a CA, issues user,
+// server, and software certificates, and revokes them.
+//
+// Usage:
+//
+//	unicore-ca init   -ca ca.pem -name "DFN-PCA"
+//	unicore-ca user   -ca ca.pem -cn "Alice Ahlmann" -org FZJ -o alice.pem
+//	unicore-ca server -ca ca.pem -cn gateway.fzj -host gw.fzj.de -o gateway.pem
+//	unicore-ca software -ca ca.pem -cn "UNICORE Consortium" -o software.pem
+//	unicore-ca revoke -ca ca.pem -cert alice.pem
+//	unicore-ca show   -cert alice.pem
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unicore/internal/deploy"
+	"unicore/internal/pki"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "init":
+		err = cmdInit(args)
+	case "user", "server", "software":
+		err = cmdIssue(cmd, args)
+	case "revoke":
+		err = cmdRevoke(args)
+	case "show":
+		err = cmdShow(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unicore-ca:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: unicore-ca <init|user|server|software|revoke|show> [flags]`)
+}
+
+func cmdInit(args []string) error {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	caPath := fs.String("ca", "ca.pem", "CA file to create")
+	name := fs.String("name", "DFN-PCA", "CA common name")
+	fs.Parse(args)
+	if _, err := os.Stat(*caPath); err == nil {
+		return fmt.Errorf("%s already exists", *caPath)
+	}
+	ca, err := pki.NewAuthority(*name)
+	if err != nil {
+		return err
+	}
+	data, err := ca.EncodePEM()
+	if err != nil {
+		return err
+	}
+	if err := deploy.WriteFile(*caPath, data); err != nil {
+		return err
+	}
+	fmt.Printf("created CA %q in %s\n", *name, *caPath)
+	return nil
+}
+
+// cmdIssue issues one certificate and re-persists the CA (serial counter).
+func cmdIssue(kind string, args []string) error {
+	fs := flag.NewFlagSet(kind, flag.ExitOnError)
+	caPath := fs.String("ca", "ca.pem", "CA file")
+	cn := fs.String("cn", "", "subject common name")
+	org := fs.String("org", "UNICORE", "subject organisation (user certificates)")
+	host := fs.String("host", "localhost", "DNS name (server certificates)")
+	out := fs.String("o", "", "output credential file")
+	fs.Parse(args)
+	if *cn == "" || *out == "" {
+		return fmt.Errorf("need -cn and -o")
+	}
+	ca, err := deploy.LoadAuthority(*caPath)
+	if err != nil {
+		return err
+	}
+	var cred *pki.Credential
+	switch kind {
+	case "user":
+		cred, err = ca.IssueUser(*cn, *org)
+	case "server":
+		cred, err = ca.IssueServer(*cn, *host)
+	case "software":
+		cred, err = ca.IssueSoftware(*cn)
+	}
+	if err != nil {
+		return err
+	}
+	data, err := cred.EncodePEM()
+	if err != nil {
+		return err
+	}
+	if err := deploy.WriteFile(*out, data); err != nil {
+		return err
+	}
+	// Persist the advanced serial counter.
+	caData, err := ca.EncodePEM()
+	if err != nil {
+		return err
+	}
+	if err := deploy.WriteFile(*caPath, caData); err != nil {
+		return err
+	}
+	fmt.Printf("issued %s certificate %s (serial %s) -> %s\n", kind, cred.DN(), cred.Cert.SerialNumber, *out)
+	return nil
+}
+
+func cmdRevoke(args []string) error {
+	fs := flag.NewFlagSet("revoke", flag.ExitOnError)
+	caPath := fs.String("ca", "ca.pem", "CA file")
+	certPath := fs.String("cert", "", "credential file to revoke")
+	fs.Parse(args)
+	if *certPath == "" {
+		return fmt.Errorf("need -cert")
+	}
+	ca, err := deploy.LoadAuthority(*caPath)
+	if err != nil {
+		return err
+	}
+	cred, err := deploy.LoadCredential(*certPath)
+	if err != nil {
+		return err
+	}
+	ca.Revoke(cred.Cert)
+	data, err := ca.EncodePEM()
+	if err != nil {
+		return err
+	}
+	if err := deploy.WriteFile(*caPath, data); err != nil {
+		return err
+	}
+	fmt.Printf("revoked %s (serial %s)\n", cred.DN(), cred.Cert.SerialNumber)
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	certPath := fs.String("cert", "", "credential file to describe")
+	fs.Parse(args)
+	if *certPath == "" {
+		return fmt.Errorf("need -cert")
+	}
+	cred, err := deploy.LoadCredential(*certPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("subject: %s\nrole:    %s\nserial:  %s\nissuer:  CN=%s\n",
+		cred.DN(), cred.Role, cred.Cert.SerialNumber, cred.Cert.Issuer.CommonName)
+	return nil
+}

@@ -1,0 +1,129 @@
+// Command unicore-gateway runs one Usite's UNICORE server over mutually
+// authenticated TLS (the https of §4.1). In the default (combined) mode it
+// hosts the gateway and the NJS in one process; with -front it runs only the
+// Web-server half of the §5.2 firewall split and relays to an inner
+// unicore-njs over an IP socket.
+//
+// Usage:
+//
+//	unicore-gateway -config site.json -ca ca.pem -cred gateway.pem -listen :8443
+//	unicore-gateway -front -inner 127.0.0.1:7000 -ca ca.pem -cred front.pem -listen :8443
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"unicore/internal/deploy"
+	"unicore/internal/gateway"
+	"unicore/internal/protocol"
+	"unicore/internal/sim"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "site configuration JSON (combined mode)")
+		caPath     = flag.String("ca", "ca.pem", "CA file")
+		credPath   = flag.String("cred", "gateway.pem", "server credential file")
+		listen     = flag.String("listen", ":8443", "TLS listen address")
+		front      = flag.Bool("front", false, "run only the firewall front; relay to -inner")
+		inner      = flag.String("inner", "127.0.0.1:7000", "inner NJS socket address (front mode)")
+		peers      = flag.String("peers", "", "comma-separated USITE=https://host:port peer registry")
+		appletsDir = flag.String("applets", "", "directory of applet payload files to sign and serve")
+		softPath   = flag.String("software", "", "software credential used to sign applets")
+	)
+	flag.Parse()
+
+	ca, err := deploy.LoadAuthority(*caPath)
+	if err != nil {
+		log.Fatalf("unicore-gateway: %v", err)
+	}
+	cred, err := deploy.LoadCredential(*credPath)
+	if err != nil {
+		log.Fatalf("unicore-gateway: %v", err)
+	}
+
+	var handler http.Handler
+	if *front {
+		f, err := gateway.NewFront(cred, ca, gateway.TCPDial(*inner))
+		if err != nil {
+			log.Fatalf("unicore-gateway: %v", err)
+		}
+		defer f.Close()
+		handler = f
+		log.Printf("front mode: relaying to inner NJS at %s", *inner)
+	} else {
+		if *configPath == "" {
+			log.Fatal("unicore-gateway: combined mode needs -config")
+		}
+		cfg, err := deploy.LoadSiteConfig(*configPath)
+		if err != nil {
+			log.Fatalf("unicore-gateway: %v", err)
+		}
+		gw, n, _, err := deploy.BuildSite(cfg, cred, ca, sim.RealClock{})
+		if err != nil {
+			log.Fatalf("unicore-gateway: %v", err)
+		}
+		if *peers != "" {
+			reg, err := deploy.ParsePeers(*peers)
+			if err != nil {
+				log.Fatalf("unicore-gateway: %v", err)
+			}
+			n.SetPeers(protocol.NewClient(gateway.ClientTransport(cred, ca), cred, ca, reg))
+		}
+		if *appletsDir != "" {
+			if err := installApplets(gw, *appletsDir, *softPath); err != nil {
+				log.Fatalf("unicore-gateway: %v", err)
+			}
+		}
+		handler = gw
+		log.Printf("combined mode: serving Usite %s with Vsites %v", gw.Usite(), n.VsiteNames())
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("unicore-gateway: %v", err)
+	}
+	log.Printf("listening on %s (mutual TLS)", l.Addr())
+	if err := gateway.ServeTLS(l, handler, cred, ca); err != nil {
+		log.Fatalf("unicore-gateway: %v", err)
+	}
+}
+
+// installApplets signs and installs every file in dir as an applet.
+func installApplets(gw *gateway.Gateway, dir, softPath string) error {
+	if softPath == "" {
+		return fmt.Errorf("-applets needs -software")
+	}
+	soft, err := deploy.LoadCredential(softPath)
+	if err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		payload, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		a, err := gateway.SignApplet(soft, e.Name(), "1.0", payload)
+		if err != nil {
+			return err
+		}
+		if err := gw.InstallApplet(a); err != nil {
+			return err
+		}
+		log.Printf("installed applet %s (%d bytes)", e.Name(), len(payload))
+	}
+	return nil
+}

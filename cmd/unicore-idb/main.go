@@ -1,0 +1,181 @@
+// Command unicore-idb is the resource-page editor of §5.4: "each UNICORE
+// site provides a so called resource page ... prepared by a UNICORE site
+// administrator through a resource page editor. It is stored in ASN1 format
+// for the JPA."
+//
+// Usage:
+//
+//	unicore-idb profiles                          # list the machine profiles
+//	unicore-idb create -machine t3e -pes 512 -target FZJ/T3E -o page.der
+//	unicore-idb show -i page.der                  # decode an ASN.1 page
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"unicore/internal/core"
+	"unicore/internal/deploy"
+	"unicore/internal/machine"
+	"unicore/internal/resources"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "profiles":
+		cmdProfiles()
+	case "create":
+		err = cmdCreate(args)
+	case "show":
+		err = cmdShow(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("unicore-idb: %v", err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: unicore-idb <profiles|create|show> [flags]")
+}
+
+func cmdProfiles() {
+	fmt.Printf("%-10s %-16s %-12s %-6s %-8s %s\n", "NAME", "ARCHITECTURE", "OS", "PEs", "MF/PE", "BATCH")
+	for _, p := range machine.Profiles() {
+		fmt.Printf("%-10s %-16s %-12s %-6d %-8d %s\n",
+			key(p.Architecture), p.Architecture, p.OS, p.Processors, p.MFlopsPerPE, p.Dialect)
+	}
+}
+
+func key(arch string) string {
+	switch arch {
+	case "Cray T3E":
+		return "t3e"
+	case "Fujitsu VPP700":
+		return "vpp700"
+	case "IBM SP-2":
+		return "sp2"
+	case "NEC SX-4":
+		return "sx4"
+	default:
+		return "cluster"
+	}
+}
+
+func cmdCreate(args []string) error {
+	fs := flag.NewFlagSet("create", flag.ExitOnError)
+	machineName := fs.String("machine", "", "profile: t3e, vpp700, sp2, sx4, cluster")
+	pes := fs.Int("pes", 0, "processor count override")
+	target := fs.String("target", "", "USITE/VSITE the page describes")
+	out := fs.String("o", "page.der", "output DER file")
+	software := fs.String("software", "", "extra software entries: kind:name:version,...")
+	fs.Parse(args)
+	if *machineName == "" || *target == "" {
+		return fmt.Errorf("need -machine and -target")
+	}
+	prof, err := deploy.Machine(*machineName, *pes)
+	if err != nil {
+		return err
+	}
+	tgt, err := core.ParseTarget(*target)
+	if err != nil {
+		return err
+	}
+	page := prof.ResourcePage()
+	page.Target = tgt
+	if *software != "" {
+		extra, err := parseSoftware(*software)
+		if err != nil {
+			return err
+		}
+		page.Software = append(page.Software, extra...)
+	}
+	der, err := page.MarshalASN1()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, der, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote resource page for %s (%s) to %s (%d bytes ASN.1 DER)\n",
+		tgt, page.Architecture, *out, len(der))
+	return nil
+}
+
+// parseSoftware parses "compiler:f90:3.1,package:Gaussian94:94".
+func parseSoftware(s string) ([]resources.Software, error) {
+	var out []resources.Software
+	for _, item := range splitComma(s) {
+		var kind, name, version string
+		parts := splitColon(item)
+		switch len(parts) {
+		case 3:
+			kind, name, version = parts[0], parts[1], parts[2]
+		case 2:
+			kind, name = parts[0], parts[1]
+		default:
+			return nil, fmt.Errorf("bad software entry %q (want kind:name[:version])", item)
+		}
+		out = append(out, resources.Software{
+			Kind:    resources.SoftwareKind(kind),
+			Name:    name,
+			Version: version,
+		})
+	}
+	return out, nil
+}
+
+func splitComma(s string) []string { return splitOn(s, ',') }
+func splitColon(s string) []string { return splitOn(s, ':') }
+
+func splitOn(s string, sep rune) []string {
+	var out []string
+	cur := ""
+	for _, c := range s {
+		if c == sep {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(c)
+	}
+	return append(out, cur)
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	in := fs.String("i", "page.der", "input DER file")
+	fs.Parse(args)
+	der, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	page, err := resources.UnmarshalASN1(der)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("target:       %s\n", page.Target)
+	fmt.Printf("architecture: %s\n", page.Architecture)
+	fmt.Printf("os:           %s\n", page.OpSys)
+	fmt.Printf("performance:  %d MFlops/PE\n", page.PerfMFlops)
+	fmt.Printf("processors:   %d..%d (default %d)\n", page.Processors.Min, page.Processors.Max, page.Processors.Default)
+	fmt.Printf("run time:     %d..%d s (default %d)\n", page.RunTimeSec.Min, page.RunTimeSec.Max, page.RunTimeSec.Default)
+	fmt.Printf("memory:       %d..%d MB\n", page.MemoryMB.Min, page.MemoryMB.Max)
+	fmt.Printf("perm disk:    %d..%d MB\n", page.PermDiskMB.Min, page.PermDiskMB.Max)
+	fmt.Printf("temp disk:    %d..%d MB\n", page.TempDiskMB.Min, page.TempDiskMB.Max)
+	fmt.Println("software:")
+	for _, sw := range page.Software {
+		fmt.Printf("  %-9s %s %s (%s)\n", sw.Kind, sw.Name, sw.Version, sw.Path)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Command unicore-njs runs the inside-the-firewall half of a split UNICORE
+// server (§5.2): the NJS plus the gateway's security logic, listening on the
+// site-selectable IP socket that the unicore-gateway front relays to. The
+// front never sees job contents — it only forwards verified envelopes.
+//
+// Usage:
+//
+//	unicore-njs -config site.json -ca ca.pem -cred njs.pem -listen 127.0.0.1:7000
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"unicore/internal/deploy"
+	"unicore/internal/gateway"
+	"unicore/internal/protocol"
+	"unicore/internal/sim"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "site configuration JSON")
+		caPath     = flag.String("ca", "ca.pem", "CA file")
+		credPath   = flag.String("cred", "njs.pem", "server credential file")
+		listen     = flag.String("listen", "127.0.0.1:7000", "inner socket listen address")
+		peers      = flag.String("peers", "", "comma-separated USITE=https://host:port peer registry")
+	)
+	flag.Parse()
+	if *configPath == "" {
+		log.Fatal("unicore-njs: need -config")
+	}
+	ca, err := deploy.LoadAuthority(*caPath)
+	if err != nil {
+		log.Fatalf("unicore-njs: %v", err)
+	}
+	cred, err := deploy.LoadCredential(*credPath)
+	if err != nil {
+		log.Fatalf("unicore-njs: %v", err)
+	}
+	cfg, err := deploy.LoadSiteConfig(*configPath)
+	if err != nil {
+		log.Fatalf("unicore-njs: %v", err)
+	}
+	gw, n, _, err := deploy.BuildSite(cfg, cred, ca, sim.RealClock{})
+	if err != nil {
+		log.Fatalf("unicore-njs: %v", err)
+	}
+	if *peers != "" {
+		reg, err := deploy.ParsePeers(*peers)
+		if err != nil {
+			log.Fatalf("unicore-njs: %v", err)
+		}
+		n.SetPeers(protocol.NewClient(gateway.ClientTransport(cred, ca), cred, ca, reg))
+	}
+	inner := gateway.NewInner(gw)
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("unicore-njs: %v", err)
+	}
+	log.Printf("NJS for Usite %s (Vsites %v) behind the firewall on %s",
+		n.Usite(), n.VsiteNames(), l.Addr())
+	if err := inner.Serve(l); err != nil {
+		log.Fatalf("unicore-njs: %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+// Command unicore-status is the CLI job monitor controller (JMC, §4.1,
+// §5.7): it lists jobs, shows the coloured status display, saves task
+// output, and controls jobs.
+//
+// Usage:
+//
+//	unicore-status -gateway https://gw.fzj:8443 -usite FZJ -ca ca.pem -cred alice.pem list
+//	unicore-status ... status  FZJ-000042
+//	unicore-status ... outcome FZJ-000042
+//	unicore-status ... wait    FZJ-000042
+//	unicore-status ... abort   FZJ-000042
+//	unicore-status ... hold    FZJ-000042
+//	unicore-status ... resume  FZJ-000042
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"unicore/internal/ajo"
+	"unicore/internal/client"
+	"unicore/internal/core"
+	"unicore/internal/deploy"
+	"unicore/internal/gateway"
+	"unicore/internal/protocol"
+)
+
+func main() {
+	var (
+		gatewayURL = flag.String("gateway", "", "gateway base URL (https://host:port)")
+		usiteFlag  = flag.String("usite", "", "Usite name behind the gateway")
+		caPath     = flag.String("ca", "ca.pem", "CA file")
+		credPath   = flag.String("cred", "user.pem", "user credential file")
+		interval   = flag.Duration("interval", 2*time.Second, "poll interval for wait")
+		maxPolls   = flag.Int("max-polls", 1800, "poll limit for wait")
+	)
+	flag.Parse()
+	if *gatewayURL == "" || *usiteFlag == "" {
+		log.Fatal("unicore-status: need -gateway and -usite")
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("unicore-status: need a command (list, status, outcome, wait, abort, hold, resume)")
+	}
+	usite := core.Usite(*usiteFlag)
+
+	ca, err := deploy.LoadAuthority(*caPath)
+	if err != nil {
+		log.Fatalf("unicore-status: %v", err)
+	}
+	cred, err := deploy.LoadCredential(*credPath)
+	if err != nil {
+		log.Fatalf("unicore-status: %v", err)
+	}
+	reg := protocol.NewRegistry()
+	reg.Add(usite, *gatewayURL)
+	jmc := client.NewJMC(protocol.NewClient(gateway.ClientTransport(cred, ca), cred, ca, reg))
+
+	cmd := args[0]
+	jobArg := func() core.JobID {
+		if len(args) < 2 {
+			log.Fatalf("unicore-status: %s needs a job ID", cmd)
+		}
+		return core.JobID(args[1])
+	}
+	switch cmd {
+	case "list":
+		jobs, err := jmc.List(usite)
+		if err != nil {
+			log.Fatalf("unicore-status: %v", err)
+		}
+		if len(jobs) == 0 {
+			fmt.Println("no jobs")
+			return
+		}
+		fmt.Printf("%-14s %-10s %-20s %s\n", "JOB", "STATUS", "SUBMITTED", "NAME")
+		for _, j := range jobs {
+			fmt.Printf("%-14s %-10s %-20s %s\n", j.Job, j.Status, j.Submitted.Format(time.RFC3339), j.Name)
+		}
+	case "status":
+		sum, err := jmc.Status(usite, jobArg())
+		if err != nil {
+			log.Fatalf("unicore-status: %v", err)
+		}
+		printSummary(sum)
+	case "wait":
+		sum, err := jmc.Wait(usite, jobArg(), *interval, time.Sleep, *maxPolls)
+		if err != nil {
+			log.Fatalf("unicore-status: %v", err)
+		}
+		printSummary(sum)
+	case "outcome":
+		o, err := jmc.Outcome(usite, jobArg())
+		if err != nil {
+			log.Fatalf("unicore-status: %v", err)
+		}
+		fmt.Print(client.Display(o))
+	case "abort":
+		if err := jmc.Abort(usite, jobArg()); err != nil {
+			log.Fatalf("unicore-status: %v", err)
+		}
+		fmt.Println("aborted")
+	case "hold":
+		if err := jmc.Hold(usite, jobArg()); err != nil {
+			log.Fatalf("unicore-status: %v", err)
+		}
+		fmt.Println("held")
+	case "resume":
+		if err := jmc.Resume(usite, jobArg()); err != nil {
+			log.Fatalf("unicore-status: %v", err)
+		}
+		fmt.Println("resumed")
+	default:
+		log.Fatalf("unicore-status: unknown command %q", cmd)
+	}
+}
+
+func printSummary(sum ajo.Summary) {
+	fmt.Printf("%s: %s (%d/%d actions done, %d failed)\n",
+		sum.Job, sum.Status, sum.Done, sum.Total, sum.Failed)
+}

@@ -1,0 +1,95 @@
+// Command unicore-submit is the CLI job preparation agent (JPA, §4.1): it
+// reads a JSON job description, validates it against the destination site's
+// resource pages, and consigns it over mutually authenticated TLS.
+//
+// Usage:
+//
+//	unicore-submit -gateway https://gw.fzj:8443 -ca ca.pem -cred alice.pem job.json
+//	unicore-submit -gateway https://gw.fzj:8443 -ca ca.pem -cred alice.pem \
+//	    -target FZJ/T3E -script "echo hello" -name quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"unicore/internal/ajo"
+	"unicore/internal/client"
+	"unicore/internal/core"
+	"unicore/internal/deploy"
+	"unicore/internal/gateway"
+	"unicore/internal/protocol"
+	"unicore/internal/resources"
+)
+
+func main() {
+	var (
+		gatewayURL = flag.String("gateway", "", "gateway base URL (https://host:port)")
+		caPath     = flag.String("ca", "ca.pem", "CA file")
+		credPath   = flag.String("cred", "user.pem", "user credential file")
+		target     = flag.String("target", "", "USITE/VSITE for -script mode")
+		script     = flag.String("script", "", "inline script body (alternative to a job file)")
+		name       = flag.String("name", "cli job", "job name for -script mode")
+		procs      = flag.Int("procs", 1, "processors for -script mode")
+		skipCheck  = flag.Bool("skip-validate", false, "skip resource-page validation")
+	)
+	flag.Parse()
+	if *gatewayURL == "" {
+		log.Fatal("unicore-submit: need -gateway")
+	}
+
+	ca, err := deploy.LoadAuthority(*caPath)
+	if err != nil {
+		log.Fatalf("unicore-submit: %v", err)
+	}
+	cred, err := deploy.LoadCredential(*credPath)
+	if err != nil {
+		log.Fatalf("unicore-submit: %v", err)
+	}
+
+	job, err := buildJob(flag.Args(), *target, *script, *name, *procs)
+	if err != nil {
+		log.Fatalf("unicore-submit: %v", err)
+	}
+
+	reg := protocol.NewRegistry()
+	reg.Add(job.Target.Usite, *gatewayURL)
+	c := protocol.NewClient(gateway.ClientTransport(cred, ca), cred, ca, reg)
+	jpa := client.NewJPA(c)
+
+	if !*skipCheck {
+		if _, err := jpa.FetchResources(job.Target.Usite); err != nil {
+			log.Fatalf("unicore-submit: fetching resource pages: %v", err)
+		}
+		if err := jpa.Validate(job); err != nil {
+			log.Fatalf("unicore-submit: job does not fit the destination: %v", err)
+		}
+	}
+	id, err := jpa.Submit(job)
+	if err != nil {
+		log.Fatalf("unicore-submit: %v", err)
+	}
+	fmt.Println(id)
+}
+
+// buildJob assembles the job from a spec file or the -script flags.
+func buildJob(args []string, target, script, name string, procs int) (*ajo.AbstractJob, error) {
+	if len(args) == 1 {
+		spec, err := deploy.LoadJobSpec(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return spec.Build()
+	}
+	if script == "" || target == "" {
+		return nil, fmt.Errorf("need either a job file argument or -target and -script")
+	}
+	tgt, err := core.ParseTarget(target)
+	if err != nil {
+		return nil, err
+	}
+	b := client.NewJob(name, tgt)
+	b.Script("script", script+"\n", resources.Request{Processors: procs})
+	return b.Build()
+}

@@ -1,0 +1,102 @@
+// Broker: the §6 outlook made concrete. The user states an abstract
+// resource demand ("64 processors for two hours, f90 available") instead of
+// naming a destination system; the resource broker combines the sites'
+// resource pages (§5.4) with live load information from every gateway and
+// places the job on the best Vsite. The example saturates the Jülich T3E
+// first, then shows the broker steering new work away from it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"unicore"
+)
+
+func main() {
+	d, err := unicore.German()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	user, err := d.NewUser("Berta Broker", "GCS", "bbroker")
+	if err != nil {
+		log.Fatal(err)
+	}
+	jpa, jmc := d.JPA(user), d.JMC(user)
+	c := d.UserClient(user)
+
+	demand := unicore.ResourceRequest{Processors: 16, RunTime: 2 * time.Hour}
+
+	// Round 1: everything idle — ask the broker where to go.
+	b := unicore.NewBroker(unicore.BestTurnaround)
+	if err := b.Refresh(c, d.Usites()...); err != nil {
+		log.Fatal(err)
+	}
+	first, err := b.Choose(demand)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("idle deployment: broker places the job on", first)
+
+	// Saturate the chosen machine with background load.
+	fmt.Printf("saturating %s with background jobs...\n", first)
+	for i := 0; i < 12; i++ {
+		bg := unicore.NewJob(fmt.Sprintf("background-%02d", i), first)
+		bg.Script("burn", "cpu 4h\necho burned\n",
+			unicore.ResourceRequest{Processors: 16, RunTime: 12 * time.Hour})
+		bgJob, err := bg.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := jpa.Submit(bgJob); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Let the batch scheduler place the background load.
+	d.Clock.Advance(time.Second)
+
+	// Round 2: refresh load info — the broker now steers elsewhere.
+	if err := b.Refresh(c, d.Usites()...); err != nil {
+		log.Fatal(err)
+	}
+	second, err := b.Choose(demand)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("under load: broker places the job on", second)
+	if second == first {
+		log.Fatalf("broker did not react to load (still %s)", second)
+	}
+
+	// Submit the real job to the broker's choice and see it through.
+	job := unicore.NewJob("brokered simulation", second)
+	job.Script("simulate", "cpu 1h\nwrite result.dat 65536\necho simulated\n", demand)
+	built, err := job.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	id, err := jpa.Submit(built)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Run(10_000_000)
+	sum, err := jmc.Status(second.Usite, id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("brokered job %s at %s finished %s\n", id, second, sum.Status)
+
+	// Show the ranking the broker saw.
+	cands, err := b.Candidates(demand)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfinal ranking (lower score is better):")
+	for _, cand := range cands {
+		fmt.Printf("  %-10s score %8.0f  load %4.0f%%  pending %d\n",
+			cand.Target, cand.Score, cand.Load.Load*100, cand.Load.Pending)
+	}
+}

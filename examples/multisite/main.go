@@ -1,0 +1,84 @@
+// Multisite: the distributed-application shape of the paper's §3 — one
+// UNICORE job whose job groups run at three different German centres, with
+// sequential dependencies and Uspace-to-Uspace file transfers between them
+// (§5.6). The FZJ NJS splits the job, consigns the sub-groups to the peer
+// sites through their gateways, polls them, and pulls the produced files
+// across site boundaries over the https protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"unicore"
+)
+
+func main() {
+	// The full §5.7 German testbed: FZJ, RUS, RUKA, LRZ, ZIB, DWD.
+	d, err := unicore.German()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	user, err := d.NewUser("Gerd Grid", "GCS", "ggrid")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 1 (ZIB Cray T3E): generate the computational grid.
+	mesh := unicore.NewJob("mesh generation", unicore.Target{Usite: "ZIB", Vsite: "T3E"})
+	mesh.Script("generate mesh", "cpu 15m\nwrite mesh.dat 262144\necho mesh ready\n",
+		unicore.ResourceRequest{Processors: 16, RunTime: 2 * time.Hour})
+
+	// Stage 2 (RUKA IBM SP-2): compute boundary conditions in parallel.
+	bounds := unicore.NewJob("boundary conditions", unicore.Target{Usite: "RUKA", Vsite: "SP2"})
+	bounds.Script("compute boundaries", "cpu 10m\nwrite bounds.dat 65536\necho boundaries ready\n",
+		unicore.ResourceRequest{Processors: 8, RunTime: 2 * time.Hour})
+
+	// Main job (FZJ Cray T3E): consume both data sets.
+	b := unicore.NewJob("coupled simulation", unicore.Target{Usite: "FZJ", Vsite: "T3E"})
+	meshGroup := b.SubJob(mesh)
+	boundsGroup := b.SubJob(bounds)
+	fetchMesh := b.Transfer("fetch mesh", meshGroup, "mesh.dat")
+	fetchBounds := b.Transfer("fetch boundaries", boundsGroup, "bounds.dat")
+	solve := b.Script("solve",
+		"cat mesh.dat > m.tmp\ncat bounds.dat > b.tmp\ncpu 90m\nwrite solution.dat 524288\necho solved\n",
+		unicore.ResourceRequest{Processors: 64, RunTime: 6 * time.Hour})
+	archive := b.Export("archive solution", "solution.dat", "/results/solution.dat")
+	// The two sub-jobs run concurrently at their sites; the transfers wait
+	// for them; the solver waits for both transfers.
+	b.After(meshGroup, fetchMesh)
+	b.After(boundsGroup, fetchBounds)
+	b.After(fetchMesh, solve).After(fetchBounds, solve)
+	b.After(solve, archive)
+
+	job, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job tree: %d actions across 3 sites\n", job.CountActions())
+
+	jpa, jmc := d.JPA(user), d.JMC(user)
+	id, err := jpa.Submit(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("consigned to FZJ as", id)
+
+	d.Run(10_000_000)
+
+	outcome, err := jmc.Outcome("FZJ", id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(unicore.Display(outcome))
+
+	sum, _ := jmc.Status("FZJ", id)
+	if sum.Status != unicore.StatusSuccessful {
+		log.Fatalf("multisite job finished %s", sum.Status)
+	}
+	fmt.Println("\nall three sites cooperated: mesh (ZIB) + boundaries (RUKA) -> solve (FZJ)")
+}

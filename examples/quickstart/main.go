@@ -1,0 +1,78 @@
+// Quickstart: deploy a one-site UNICORE installation in-process, submit a
+// script job through the full stack — JPA → gateway (X.509 authentication,
+// DN→login mapping) → NJS (incarnation) → batch subsystem — and read the
+// outcome back, exactly as a 1999 user would through the applet GUI.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"unicore"
+)
+
+func main() {
+	// One Usite ("DEMO") with an 8-node cluster Vsite ("CLUSTER").
+	d, err := unicore.SingleSite("DEMO", "CLUSTER", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	// Issue an X.509 user certificate — the DN is the unique UNICORE
+	// user-id — and map it to the local login "jdoe" at every Vsite.
+	user, err := d.NewUser("Jane Doe", "Demo Organisation", "jdoe")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("user identity:", user.DN())
+
+	// Build an abstract job with the JPA: import workstation data, run a
+	// script, export the result to the site's file space.
+	target := unicore.Target{Usite: "DEMO", Vsite: "CLUSTER"}
+	b := unicore.NewJob("quickstart", target)
+	imp := b.ImportBytes("stage input", []byte("21"), "input.txt")
+	run := b.Script("double it", "cat input.txt > seen.txt\necho 42 > answer.txt\ncat answer.txt\n",
+		unicore.ResourceRequest{Processors: 1, RunTime: 5 * time.Minute})
+	exp := b.Export("archive answer", "answer.txt", "/results/answer.txt")
+	b.After(imp, run).After(run, exp)
+	job, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Submit (the JPA validates against the Vsite's resource page first).
+	jpa := d.JPA(user)
+	if _, err := jpa.FetchResources("DEMO"); err != nil {
+		log.Fatal(err)
+	}
+	if err := jpa.Validate(job); err != nil {
+		log.Fatal(err)
+	}
+	id, err := jpa.Submit(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("consigned job:", id)
+
+	// Drive the virtual clock until the deployment is idle.
+	d.Run(100000)
+
+	// Monitor with the JMC: coloured status display and task output.
+	jmc := d.JMC(user)
+	sum, err := jmc.Status("DEMO", id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final status: %s (%d/%d actions done)\n\n", sum.Status, sum.Done, sum.Total)
+
+	outcome, err := jmc.Outcome("DEMO", id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(unicore.Display(outcome))
+	if task, ok := outcome.Find(run); ok {
+		fmt.Printf("\nscript stdout: %s", task.Stdout)
+	}
+}

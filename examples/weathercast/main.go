@@ -1,0 +1,112 @@
+// Weathercast: the Deutscher Wetterdienst scenario the §5.7 deployment
+// served. A daily forecast pipeline as one UNICORE job: observation data is
+// prepared on DWD's NEC SX-4, the forecast model is compiled (F90) and run
+// on FZJ's Cray T3E — the compile-link-execute chain of §5.7 — and the
+// product is post-processed on LRZ's Fujitsu VPP700. Dependency files are
+// handed from step to step with UNICORE's §5.7 guarantee.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"unicore"
+)
+
+// forecastModel is the synthetic F90 source for the simulated toolchain:
+// !SIM: directives become the runtime behaviour of the linked binary.
+const forecastModel = `! lm.f90 — Lokal-Modell, synthetic kernel
+!SIM: cpu 2h
+!SIM: write forecast.grib 1048576
+!SIM: echo integration finished after 78 steps
+program lm
+  call integrate()
+end program lm
+`
+
+func main() {
+	d, err := unicore.German()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	user, err := d.NewUser("Doris Wetter", "DWD", "dwetter")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Job group 1 — DWD SX-4: assimilate observations.
+	assim := unicore.NewJob("assimilation", unicore.Target{Usite: "DWD", Vsite: "SX4"})
+	obs := assim.ImportBytes("stage observations", observations(), "obs.raw")
+	prep := assim.Script("assimilate",
+		"cat obs.raw > checked.tmp\ncpu 30m\nwrite analysis.dat 524288\necho analysis ready\n",
+		unicore.ResourceRequest{Processors: 4, RunTime: 3 * time.Hour})
+	assim.After(obs, prep)
+
+	// Job group 2 — FZJ T3E: compile-link-execute the forecast model.
+	model := unicore.NewJob("forecast", unicore.Target{Usite: "FZJ", Vsite: "T3E"})
+	src := model.ImportBytes("stage model source", []byte(forecastModel), "lm.f90")
+	cc := model.Compile("compile lm", "f90", []string{"lm.f90"}, "lm.o",
+		unicore.ResourceRequest{Processors: 1, RunTime: time.Hour})
+	ld := model.Link("link lm", []string{"lm.o"}, []string{"MPI"}, "lm.exe",
+		unicore.ResourceRequest{Processors: 1, RunTime: time.Hour})
+	run := model.Execute("run forecast", "lm.exe", nil,
+		unicore.ResourceRequest{Processors: 128, RunTime: 8 * time.Hour})
+	model.Chain(src, cc, ld, run)
+
+	// Job group 3 — LRZ VPP700: derive products.
+	post := unicore.NewJob("products", unicore.Target{Usite: "LRZ", Vsite: "VPP"})
+	charts := post.Script("derive charts",
+		"cat forecast.grib > decoded.tmp\ncpu 20m\nwrite charts.ps 131072\necho charts done\n",
+		unicore.ResourceRequest{Processors: 2, RunTime: 2 * time.Hour})
+	exp := post.Export("publish charts", "charts.ps", "/products/today/charts.ps")
+	post.After(charts, exp)
+
+	// The enclosing UNICORE job, consigned at DWD. Analysis data flows
+	// DWD→FZJ; the forecast flows FZJ→LRZ. UNICORE guarantees the named
+	// files are available to the successor (§5.7).
+	b := unicore.NewJob("daily forecast", unicore.Target{Usite: "DWD", Vsite: "SX4"})
+	gAssim := b.SubJob(assim)
+	gModel := b.SubJob(model)
+	gPost := b.SubJob(post)
+	b.After(gAssim, gModel, "analysis.dat")
+	b.After(gModel, gPost, "forecast.grib")
+
+	job, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	jpa, jmc := d.JPA(user), d.JMC(user)
+	id, err := jpa.Submit(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("forecast pipeline consigned as", id)
+
+	d.Run(10_000_000)
+
+	outcome, err := jmc.Outcome("DWD", id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(unicore.Display(outcome))
+
+	sum, _ := jmc.Status("DWD", id)
+	if sum.Status != unicore.StatusSuccessful {
+		log.Fatalf("pipeline finished %s", sum.Status)
+	}
+	fmt.Println("\nforecast produced: DWD assimilation -> FZJ model run -> LRZ products")
+}
+
+// observations synthesises a deterministic observation batch.
+func observations() []byte {
+	data := make([]byte, 64<<10)
+	for i := range data {
+		data[i] = byte('0' + i%10)
+	}
+	return data
+}

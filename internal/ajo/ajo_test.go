@@ -1,0 +1,258 @@
+package ajo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"unicore/internal/core"
+	"unicore/internal/resources"
+)
+
+var fzjT3E = core.Target{Usite: "FZJ", Vsite: "T3E"}
+
+// sampleJob builds a representative compile-link-execute job with staging,
+// the §5.7 workload.
+func sampleJob() *AbstractJob {
+	return &AbstractJob{
+		Header:  Header{ActionID: "job", ActionName: "cfd-run"},
+		Target:  fzjT3E,
+		UserDN:  core.MakeDN("Alice", "FZJ", "DE"),
+		Project: "zam",
+		Actions: ActionList{
+			&ImportTask{
+				Header: Header{ActionID: "imp"},
+				Source: ImportSource{Inline: []byte("!SIM: cpu 10s\n")},
+				To:     "main.f90",
+			},
+			&CompileTask{
+				TaskBase: TaskBase{Header: Header{ActionID: "cc"}, Resources: resources.Request{Processors: 1, RunTime: 5 * time.Minute}},
+				Language: "f90",
+				Sources:  []string{"main.f90"},
+				Output:   "main.o",
+			},
+			&LinkTask{
+				TaskBase: TaskBase{Header: Header{ActionID: "ld"}},
+				Objects:  []string{"main.o"},
+				Output:   "a.out",
+			},
+			&ExecuteTask{
+				TaskBase:   TaskBase{Header: Header{ActionID: "run"}, Resources: resources.Request{Processors: 64, RunTime: time.Hour}},
+				Executable: "a.out",
+			},
+			&ExportTask{
+				Header:   Header{ActionID: "exp"},
+				From:     "result.dat",
+				ToXspace: "/home/alice/result.dat",
+			},
+		},
+		Dependencies: []Dependency{
+			{Before: "imp", After: "cc"},
+			{Before: "cc", After: "ld"},
+			{Before: "ld", After: "run"},
+			{Before: "run", After: "exp", Files: []string{"result.dat"}},
+		},
+	}
+}
+
+func TestSampleJobValidates(t *testing.T) {
+	if err := sampleJob().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	cases := []struct {
+		k                         Kind
+		task, exec, file, service bool
+	}{
+		{KindJob, false, false, false, false},
+		{KindExecute, true, true, false, false},
+		{KindCompile, true, true, false, false},
+		{KindLink, true, true, false, false},
+		{KindUser, true, true, false, false},
+		{KindScript, true, true, false, false},
+		{KindImport, true, false, true, false},
+		{KindExport, true, false, true, false},
+		{KindTransfer, true, false, true, false},
+		{KindControl, false, false, false, true},
+		{KindList, false, false, false, true},
+		{KindQuery, false, false, false, true},
+	}
+	for _, c := range cases {
+		if c.k.IsTask() != c.task || c.k.IsExecutable() != c.exec ||
+			c.k.IsFileTask() != c.file || c.k.IsService() != c.service {
+			t.Errorf("%s: predicates = task=%v exec=%v file=%v svc=%v",
+				c.k, c.k.IsTask(), c.k.IsExecutable(), c.k.IsFileTask(), c.k.IsService())
+		}
+	}
+	if len(Kinds()) != 12 {
+		t.Fatalf("Kinds() lists %d classes, want 12 (Figure 3)", len(Kinds()))
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := Header{ActionID: "x"}
+	cases := []struct {
+		name string
+		a    Action
+	}{
+		{"execute without executable", &ExecuteTask{TaskBase: TaskBase{Header: base}}},
+		{"compile without sources", &CompileTask{TaskBase: TaskBase{Header: base}, Language: "f90", Output: "o"}},
+		{"compile without language", &CompileTask{TaskBase: TaskBase{Header: base}, Sources: []string{"s"}, Output: "o"}},
+		{"compile without output", &CompileTask{TaskBase: TaskBase{Header: base}, Language: "f90", Sources: []string{"s"}}},
+		{"link without objects", &LinkTask{TaskBase: TaskBase{Header: base}, Output: "a.out"}},
+		{"link without output", &LinkTask{TaskBase: TaskBase{Header: base}, Objects: []string{"o"}}},
+		{"user task without command", &UserTask{TaskBase: TaskBase{Header: base}}},
+		{"script without body", &ScriptTask{TaskBase: TaskBase{Header: base}}},
+		{"import without destination", &ImportTask{Header: base, Source: ImportSource{Inline: []byte("x")}}},
+		{"import without source", &ImportTask{Header: base, To: "f"}},
+		{"import with two sources", &ImportTask{Header: base, Source: ImportSource{Inline: []byte("x"), XspacePath: "/x"}, To: "f"}},
+		{"export without from", &ExportTask{Header: base, ToXspace: "/x"}},
+		{"transfer without files", &TransferTask{Header: base, FromAction: "a"}},
+		{"transfer without source", &TransferTask{Header: base, Files: []string{"f"}}},
+		{"control without job", &ControlService{Header: base, Op: OpAbort}},
+		{"control with bad op", &ControlService{Header: base, Job: "J1", Op: "explode"}},
+		{"query without selector", &QueryService{Header: base, Query: "nonsense"}},
+		{"status query without job", &QueryService{Header: base, Query: QueryJobStatus}},
+		{"page query without target", &QueryService{Header: base, Query: QueryResourcePage}},
+		{"missing ID", &UserTask{TaskBase: TaskBase{}, Command: "ls"}},
+	}
+	for _, c := range cases {
+		if err := c.a.Validate(); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+}
+
+func TestJobValidateStructure(t *testing.T) {
+	mk := func(mut func(*AbstractJob)) *AbstractJob {
+		j := sampleJob()
+		mut(j)
+		return j
+	}
+	cases := []struct {
+		name string
+		job  *AbstractJob
+	}{
+		{"no target", mk(func(j *AbstractJob) { j.Target = core.Target{} })},
+		{"duplicate IDs", mk(func(j *AbstractJob) {
+			j.Actions = append(j.Actions, &UserTask{TaskBase: TaskBase{Header: Header{ActionID: "imp"}}, Command: "ls"})
+		})},
+		{"dangling dependency", mk(func(j *AbstractJob) {
+			j.Dependencies = append(j.Dependencies, Dependency{Before: "ghost", After: "cc"})
+		})},
+		{"cyclic dependencies", mk(func(j *AbstractJob) {
+			j.Dependencies = append(j.Dependencies, Dependency{Before: "exp", After: "imp"})
+		})},
+		{"embedded service", mk(func(j *AbstractJob) {
+			j.Actions = append(j.Actions, &ListService{Header: Header{ActionID: "svc"}})
+		})},
+		{"invalid child", mk(func(j *AbstractJob) {
+			j.Actions = append(j.Actions, &UserTask{TaskBase: TaskBase{Header: Header{ActionID: "bad"}}})
+		})},
+		{"dangling transfer source", mk(func(j *AbstractJob) {
+			j.Actions = append(j.Actions, &TransferTask{Header: Header{ActionID: "tr"}, FromAction: "ghost", Files: []string{"f"}})
+		})},
+		{"nil action", mk(func(j *AbstractJob) { j.Actions = append(j.Actions, nil) })},
+	}
+	for _, c := range cases {
+		if err := c.job.Validate(); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+}
+
+func TestNestedJobValidates(t *testing.T) {
+	inner := sampleJob()
+	inner.ActionID = "sub"
+	inner.Target = core.Target{Usite: "LRZ", Vsite: "SP2"}
+	outer := &AbstractJob{
+		Header:  Header{ActionID: "outer"},
+		Target:  fzjT3E,
+		Actions: ActionList{inner},
+	}
+	if err := outer.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Nested job without target must fail even when the outer has one.
+	inner.Target = core.Target{}
+	if err := outer.Validate(); err == nil {
+		t.Fatal("nested job without target validated")
+	}
+}
+
+func TestGraphAndFind(t *testing.T) {
+	j := sampleJob()
+	g, err := j.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "imp" || order[len(order)-1] != "exp" {
+		t.Fatalf("topo order = %v", order)
+	}
+	if _, ok := j.Find("run"); !ok {
+		t.Fatal("Find(run) failed")
+	}
+	if _, ok := j.Find("ghost"); ok {
+		t.Fatal("Find(ghost) succeeded")
+	}
+}
+
+func TestWalkAndCount(t *testing.T) {
+	inner := sampleJob()
+	inner.ActionID = "sub"
+	outer := &AbstractJob{
+		Header:  Header{ActionID: "outer"},
+		Target:  fzjT3E,
+		Actions: ActionList{inner, &UserTask{TaskBase: TaskBase{Header: Header{ActionID: "u"}}, Command: "ls"}},
+	}
+	// outer + (sub + 5 children) + u = 8
+	if got := outer.CountActions(); got != 8 {
+		t.Fatalf("CountActions = %d, want 8", got)
+	}
+	var kinds []Kind
+	outer.Walk(func(a Action) { kinds = append(kinds, a.Kind()) })
+	if kinds[0] != KindJob || kinds[1] != KindJob {
+		t.Fatalf("walk order starts %v", kinds[:2])
+	}
+}
+
+func TestMaxResources(t *testing.T) {
+	j := sampleJob()
+	r := j.MaxResources()
+	if r.Processors != 64 || r.RunTime != time.Hour {
+		t.Fatalf("MaxResources = %+v", r)
+	}
+}
+
+func TestTaskResources(t *testing.T) {
+	j := sampleJob()
+	run, _ := j.Find("run")
+	r, ok := TaskResources(run)
+	if !ok || r.Processors != 64 {
+		t.Fatalf("TaskResources(run) = %+v, %v", r, ok)
+	}
+	imp, _ := j.Find("imp")
+	if _, ok := TaskResources(imp); ok {
+		t.Fatal("file task reported resources")
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := map[ActionID]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewID("t")
+		if seen[id] {
+			t.Fatalf("duplicate ID %s", id)
+		}
+		seen[id] = true
+		if !strings.HasPrefix(string(id), "t-") {
+			t.Fatalf("ID %s missing prefix", id)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package ajo
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+)
+
+// The AJO *is* the UNICORE protocol (§5.3): "the UNICORE protocol is
+// implemented as a Java object called the abstract job object". This file
+// provides the two wire codecs:
+//
+//   - JSON: a self-describing envelope {kind, body} per action, applied
+//     recursively. Readable, diffable, and the default for the https
+//     endpoints.
+//   - gob: a compact binary alternative registered for every concrete type,
+//     used by the firewall-split gateway↔NJS socket and benchmarked against
+//     JSON in experiment E3.
+
+// envelope wraps one action with its concrete class name.
+type envelope struct {
+	Kind Kind            `json:"kind"`
+	Body json.RawMessage `json:"body"`
+}
+
+// newByKind allocates the concrete type for a kind.
+func newByKind(k Kind) (Action, error) {
+	switch k {
+	case KindJob:
+		return &AbstractJob{}, nil
+	case KindExecute:
+		return &ExecuteTask{}, nil
+	case KindCompile:
+		return &CompileTask{}, nil
+	case KindLink:
+		return &LinkTask{}, nil
+	case KindUser:
+		return &UserTask{}, nil
+	case KindScript:
+		return &ScriptTask{}, nil
+	case KindImport:
+		return &ImportTask{}, nil
+	case KindExport:
+		return &ExportTask{}, nil
+	case KindTransfer:
+		return &TransferTask{}, nil
+	case KindControl:
+		return &ControlService{}, nil
+	case KindList:
+		return &ListService{}, nil
+	case KindQuery:
+		return &QueryService{}, nil
+	}
+	return nil, fmt.Errorf("ajo: unknown action kind %q", k)
+}
+
+// Marshal encodes any action (including a whole recursive AbstractJob) as a
+// self-describing JSON document.
+func Marshal(a Action) ([]byte, error) {
+	if a == nil {
+		return nil, fmt.Errorf("ajo: marshal nil action")
+	}
+	body, err := json.Marshal(a)
+	if err != nil {
+		return nil, fmt.Errorf("ajo: marshal %s: %w", a.Kind(), err)
+	}
+	return json.Marshal(envelope{Kind: a.Kind(), Body: body})
+}
+
+// Unmarshal decodes a self-describing JSON document into the concrete action
+// type.
+func Unmarshal(data []byte) (Action, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("ajo: decoding envelope: %w", err)
+	}
+	a, err := newByKind(env.Kind)
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(env.Body, a); err != nil {
+		return nil, fmt.Errorf("ajo: decoding %s body: %w", env.Kind, err)
+	}
+	return a, nil
+}
+
+// ActionList is []Action with polymorphic JSON encoding, used for the
+// components of an AbstractJob.
+type ActionList []Action
+
+// MarshalJSON encodes each element as an envelope.
+func (l ActionList) MarshalJSON() ([]byte, error) {
+	raw := make([]json.RawMessage, len(l))
+	for i, a := range l {
+		enc, err := Marshal(a)
+		if err != nil {
+			return nil, err
+		}
+		raw[i] = enc
+	}
+	return json.Marshal(raw)
+}
+
+// UnmarshalJSON decodes a list of envelopes.
+func (l *ActionList) UnmarshalJSON(data []byte) error {
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("ajo: decoding action list: %w", err)
+	}
+	out := make(ActionList, len(raw))
+	for i, r := range raw {
+		a, err := Unmarshal(r)
+		if err != nil {
+			return err
+		}
+		out[i] = a
+	}
+	*l = out
+	return nil
+}
+
+// --- gob codec ---
+
+func init() {
+	gob.Register(&AbstractJob{})
+	gob.Register(&ExecuteTask{})
+	gob.Register(&CompileTask{})
+	gob.Register(&LinkTask{})
+	gob.Register(&UserTask{})
+	gob.Register(&ScriptTask{})
+	gob.Register(&ImportTask{})
+	gob.Register(&ExportTask{})
+	gob.Register(&TransferTask{})
+	gob.Register(&ControlService{})
+	gob.Register(&ListService{})
+	gob.Register(&QueryService{})
+}
+
+// gobBox carries the interface value through gob.
+type gobBox struct{ A Action }
+
+// MarshalGob encodes an action with the binary gob codec.
+func MarshalGob(a Action) ([]byte, error) {
+	if a == nil {
+		return nil, fmt.Errorf("ajo: marshal nil action")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobBox{a}); err != nil {
+		return nil, fmt.Errorf("ajo: gob encoding %s: %w", a.Kind(), err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalGob decodes a gob-encoded action.
+func UnmarshalGob(data []byte) (Action, error) {
+	var box gobBox
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&box); err != nil {
+		return nil, fmt.Errorf("ajo: gob decoding: %w", err)
+	}
+	if box.A == nil {
+		return nil, fmt.Errorf("ajo: gob document held no action")
+	}
+	return box.A, nil
+}
+
+// MarshalOutcome / UnmarshalOutcome serialise outcome trees for the
+// retrieve-outcome endpoint.
+func MarshalOutcome(o *Outcome) ([]byte, error) {
+	return json.Marshal(o)
+}
+
+// UnmarshalOutcome decodes an outcome tree.
+func UnmarshalOutcome(data []byte) (*Outcome, error) {
+	var o Outcome
+	if err := json.Unmarshal(data, &o); err != nil {
+		return nil, fmt.Errorf("ajo: decoding outcome: %w", err)
+	}
+	return &o, nil
+}

@@ -1,0 +1,263 @@
+package ajo
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"unicore/internal/core"
+	"unicore/internal/resources"
+)
+
+// allConcreteActions returns one populated instance of every concrete class
+// in Figure 3.
+func allConcreteActions() []Action {
+	return []Action{
+		sampleJob(),
+		&ExecuteTask{TaskBase: TaskBase{Header: Header{ActionID: "e"}, Resources: resources.Request{Processors: 2}},
+			Executable: "a.out", Arguments: []string{"-x", "1"}, Environment: map[string]string{"OMP_NUM_THREADS": "4"}, Stdin: "in.dat"},
+		&CompileTask{TaskBase: TaskBase{Header: Header{ActionID: "c"}}, Language: "f90", Sources: []string{"m.f90"}, Options: []string{"-O3"}, Output: "m.o"},
+		&LinkTask{TaskBase: TaskBase{Header: Header{ActionID: "l"}}, Objects: []string{"m.o"}, Libraries: []string{"MPI"}, Output: "a.out"},
+		&UserTask{TaskBase: TaskBase{Header: Header{ActionID: "u"}}, Command: "echo hello"},
+		&ScriptTask{TaskBase: TaskBase{Header: Header{ActionID: "s"}}, Script: "echo hi\n"},
+		&ImportTask{Header: Header{ActionID: "i"}, Source: ImportSource{Inline: []byte{1, 2, 3}}, To: "f"},
+		&ExportTask{Header: Header{ActionID: "x"}, From: "f", ToXspace: "/home/u/f"},
+		&TransferTask{Header: Header{ActionID: "t"}, FromAction: "sub", Files: []string{"a", "b"}},
+		&ControlService{Header: Header{ActionID: "ctl"}, Job: "FZJ-000001", Op: OpAbort},
+		&ListService{Header: Header{ActionID: "ls"}},
+		&QueryService{Header: Header{ActionID: "q"}, Query: QueryJobStatus, Job: "FZJ-000001"},
+	}
+}
+
+func TestJSONRoundTripAllKinds(t *testing.T) {
+	for _, a := range allConcreteActions() {
+		data, err := Marshal(a)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", a.Kind(), err)
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", a.Kind(), err)
+		}
+		if back.Kind() != a.Kind() || back.ID() != a.ID() {
+			t.Fatalf("%s: identity lost: got %s/%s", a.Kind(), back.Kind(), back.ID())
+		}
+		if !reflect.DeepEqual(normalise(a), normalise(back)) {
+			t.Fatalf("%s: round trip mismatch:\n%#v\n%#v", a.Kind(), a, back)
+		}
+	}
+}
+
+func TestGobRoundTripAllKinds(t *testing.T) {
+	for _, a := range allConcreteActions() {
+		data, err := MarshalGob(a)
+		if err != nil {
+			t.Fatalf("%s: gob marshal: %v", a.Kind(), err)
+		}
+		back, err := UnmarshalGob(data)
+		if err != nil {
+			t.Fatalf("%s: gob unmarshal: %v", a.Kind(), err)
+		}
+		if back.Kind() != a.Kind() || back.ID() != a.ID() {
+			t.Fatalf("%s: identity lost", a.Kind())
+		}
+	}
+}
+
+// normalise re-encodes via plain JSON so nil/empty slice differences do not
+// produce false mismatches.
+func normalise(a Action) string {
+	b, _ := json.Marshal(a)
+	return string(b)
+}
+
+func TestJSONEnvelopeShape(t *testing.T) {
+	data, err := Marshal(&ListService{Header: Header{ActionID: "ls1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Kind string          `json:"kind"`
+		Body json.RawMessage `json:"body"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != "ListService" {
+		t.Fatalf("envelope kind = %q (want the Figure 3 class name)", env.Kind)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte(`{"kind":"NoSuchTask","body":{}}`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := Unmarshal([]byte(`{`)); err == nil {
+		t.Fatal("broken JSON accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"kind":"UserTask","body":[1,2]}`)); err == nil {
+		t.Fatal("mistyped body accepted")
+	}
+	if _, err := Marshal(nil); err == nil {
+		t.Fatal("nil action marshalled")
+	}
+	if _, err := UnmarshalGob([]byte("garbage")); err == nil {
+		t.Fatal("gob garbage accepted")
+	}
+}
+
+func TestDeeplyNestedJobRoundTrip(t *testing.T) {
+	// Build a job nested 6 levels deep, one task per level — the recursive
+	// structure of §3.
+	depth := 6
+	var build func(level int) *AbstractJob
+	build = func(level int) *AbstractJob {
+		j := &AbstractJob{
+			Header: Header{ActionID: ActionID(fmt.Sprintf("lvl%d", level))},
+			Target: core.Target{Usite: core.Usite(fmt.Sprintf("U%d", level)), Vsite: "V"},
+			Actions: ActionList{
+				&UserTask{TaskBase: TaskBase{Header: Header{ActionID: ActionID(fmt.Sprintf("t%d", level))}}, Command: "ls"},
+			},
+		}
+		if level < depth {
+			j.Actions = append(j.Actions, build(level+1))
+			j.Dependencies = []Dependency{{Before: j.Actions[0].ID(), After: j.Actions[1].ID()}}
+		}
+		return j
+	}
+	root := build(1)
+	if err := root.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj := back.(*AbstractJob)
+	if err := bj.Validate(); err != nil {
+		t.Fatalf("decoded job invalid: %v", err)
+	}
+	if got, want := bj.CountActions(), root.CountActions(); got != want {
+		t.Fatalf("decoded action count %d, want %d", got, want)
+	}
+	// Identity must survive to the innermost level.
+	cur := bj
+	for i := 1; i < depth; i++ {
+		var next *AbstractJob
+		for _, a := range cur.Actions {
+			if j, ok := a.(*AbstractJob); ok {
+				next = j
+			}
+		}
+		if next == nil {
+			t.Fatalf("nesting lost at level %d", i)
+		}
+		cur = next
+	}
+	if cur.ActionID != ActionID(fmt.Sprintf("lvl%d", depth)) {
+		t.Fatalf("innermost ID = %s", cur.ActionID)
+	}
+}
+
+func TestGobAndJSONAgree(t *testing.T) {
+	j := sampleJob()
+	gobData, err := MarshalGob(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalGob(gobData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normalise(j) != normalise(back) {
+		t.Fatal("gob round trip changed the job")
+	}
+}
+
+func TestOutcomeRoundTrip(t *testing.T) {
+	o := &Outcome{
+		Action: "job", Kind: KindJob, Status: StatusRunning,
+		Children: []*Outcome{
+			{Action: "cc", Kind: KindCompile, Status: StatusSuccessful, Stdout: []byte("done"), ExitCode: 0,
+				Files: []FileRecord{{Path: "m.o", Size: 100, CRC: 42}}},
+			{Action: "run", Kind: KindExecute, Status: StatusRunning, Started: time.Date(1999, 8, 3, 10, 0, 0, 0, time.UTC)},
+		},
+	}
+	data, err := MarshalOutcome(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalOutcome(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(o, back) {
+		t.Fatalf("outcome round trip mismatch:\n%+v\n%+v", o, back)
+	}
+	if _, err := UnmarshalOutcome([]byte("{{")); err == nil {
+		t.Fatal("garbage outcome accepted")
+	}
+}
+
+// Property: any UserTask round-trips byte-identically through both codecs.
+func TestQuickUserTaskRoundTrip(t *testing.T) {
+	f := func(id string, cmd string, cpus uint8) bool {
+		if id == "" || cmd == "" {
+			return true
+		}
+		u := &UserTask{
+			TaskBase: TaskBase{Header: Header{ActionID: ActionID(id)}, Resources: resources.Request{Processors: int(cpus)}},
+			Command:  cmd,
+		}
+		j1, err := Marshal(u)
+		if err != nil {
+			return false
+		}
+		b1, err := Unmarshal(j1)
+		if err != nil {
+			return false
+		}
+		g1, err := MarshalGob(u)
+		if err != nil {
+			return false
+		}
+		b2, err := UnmarshalGob(g1)
+		if err != nil {
+			return false
+		}
+		return normalise(b1) == normalise(u) && normalise(b2) == normalise(u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inline import data of any content survives the JSON round trip
+// (it is base64 inside the AJO, as workstation files are carried inside the
+// AJO in the paper).
+func TestQuickInlineImportDataPreserved(t *testing.T) {
+	f := func(data []byte) bool {
+		imp := &ImportTask{Header: Header{ActionID: "i"}, Source: ImportSource{Inline: data}, To: "f"}
+		enc, err := Marshal(imp)
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(enc)
+		if err != nil {
+			return false
+		}
+		bi, ok := back.(*ImportTask)
+		return ok && bytes.Equal(bi.Source.Inline, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package asi
+
+import (
+	"fmt"
+	"time"
+
+	"unicore/internal/resources"
+)
+
+// The built-in interfaces for the packages the paper names (§2 WebSubmit's
+// Gaussian 94; §6 "standard packages like Ansys or Pamcrash"). Each renders
+// a deterministic batch script in the simulated shell's vocabulary: the
+// input is parsed (`cat`), compute is charged (`cpu`), and the package's
+// characteristic result files are produced (`write`).
+
+// Gaussian94 builds the computational-chemistry interface. Parameters:
+//
+//	route   — the calculation route, e.g. "HF/6-31G*" (required)
+//	nproc   — shared-memory processors, 1..8 (default 1)
+//	memMB   — dynamic memory, 16..512 MB (default 64)
+func Gaussian94() *Interface {
+	i, err := New(Template{
+		Package: "Gaussian94",
+		Version: "94",
+		Fields: []Field{
+			{Name: "route", Required: true, Help: "calculation route section, e.g. HF/6-31G*"},
+			{Name: "nproc", Default: "1", Validate: intBetween(1, 8), Help: "%NProcShared"},
+			{Name: "memMB", Default: "64", Validate: intBetween(16, 512), Help: "%Mem in MB"},
+		},
+		Render: func(p map[string]string, inputLen int) (Rendered, error) {
+			nproc := atoi(p["nproc"], 1)
+			cpu := cpuFor(inputLen, 2*time.Minute, 10*time.Minute)
+			script := fmt.Sprintf(
+				"echo Entering Gaussian System\necho route: %s\ncat input.com > parsed.tmp\ncpu %s\nwrite output.log %d\nwrite checkpoint.chk %d\necho Normal termination of Gaussian 94\n",
+				p["route"], cpu, 32<<10, 128<<10)
+			return Rendered{
+				Script:    script,
+				InputName: "input.com",
+				Outputs:   []string{"output.log", "checkpoint.chk"},
+				Request: resources.Request{
+					Processors: nproc,
+					RunTime:    3*cpu + 30*time.Minute,
+					MemoryMB:   atoi(p["memMB"], 64),
+					TempDiskMB: 256,
+				},
+			}, nil
+		},
+	})
+	if err != nil {
+		panic(err) // static template: cannot fail
+	}
+	return i
+}
+
+// Ansys builds the structural-analysis interface. Parameters:
+//
+//	analysis — "static", "modal", or "transient" (default static)
+//	cpus     — processors, 1..16 (default 4)
+func Ansys() *Interface {
+	i, err := New(Template{
+		Package: "ANSYS",
+		Version: "5.5",
+		Fields: []Field{
+			{Name: "analysis", Default: "static", Validate: oneOf("static", "modal", "transient"),
+				Help: "analysis type"},
+			{Name: "cpus", Default: "4", Validate: intBetween(1, 16), Help: "processors"},
+		},
+		Render: func(p map[string]string, inputLen int) (Rendered, error) {
+			cpus := atoi(p["cpus"], 4)
+			base := cpuFor(inputLen, time.Minute, 15*time.Minute)
+			if p["analysis"] == "transient" {
+				base *= 4
+			}
+			script := fmt.Sprintf(
+				"echo ANSYS 5.5 %s analysis\ncat model.db > parsed.tmp\ncpu %s\nwrite results.rst %d\nwrite solve.out %d\necho ANSYS run completed\n",
+				p["analysis"], base, 512<<10, 16<<10)
+			return Rendered{
+				Script:    script,
+				InputName: "model.db",
+				Outputs:   []string{"results.rst", "solve.out"},
+				Request: resources.Request{
+					Processors: cpus,
+					RunTime:    3*base + time.Hour,
+					MemoryMB:   128,
+					TempDiskMB: 1024,
+				},
+			}, nil
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// PamCrash builds the crash-simulation interface. Parameters:
+//
+//	timesteps — explicit integration steps, 1000..1000000 (required)
+//	cpus      — processors, 1..64 (default 16)
+func PamCrash() *Interface {
+	i, err := New(Template{
+		Package: "PAM-CRASH",
+		Version: "1997",
+		Fields: []Field{
+			{Name: "timesteps", Required: true, Validate: intBetween(1000, 1000000),
+				Help: "explicit time steps"},
+			{Name: "cpus", Default: "16", Validate: intBetween(1, 64), Help: "processors"},
+		},
+		Render: func(p map[string]string, inputLen int) (Rendered, error) {
+			steps := atoi(p["timesteps"], 0)
+			cpus := atoi(p["cpus"], 16)
+			// Cost scales with steps; the mesh size (input) sets the floor.
+			cpu := time.Duration(steps/1000)*time.Minute + cpuFor(inputLen, 30*time.Second, 5*time.Minute)
+			script := fmt.Sprintf(
+				"echo PAM-CRASH explicit solver, %d steps\ncat crash.pc > parsed.tmp\ncpu %s\nwrite d3plot %d\nwrite crash.out %d\necho solver finished\n",
+				steps, cpu, 1<<20, 64<<10)
+			return Rendered{
+				Script:    script,
+				InputName: "crash.pc",
+				Outputs:   []string{"d3plot", "crash.out"},
+				Request: resources.Request{
+					Processors: cpus,
+					RunTime:    3*cpu + time.Hour,
+					MemoryMB:   128,
+					TempDiskMB: 4096,
+				},
+			}, nil
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// Catalog lists the built-in application interfaces.
+func Catalog() []*Interface {
+	return []*Interface{Gaussian94(), Ansys(), PamCrash()}
+}

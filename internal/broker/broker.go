@@ -1,0 +1,226 @@
+// Package broker implements the resource broker the paper lists as the key
+// future enhancement (§6): "a resource broker which supports the users in a
+// way that they can specify the needed resources on a more abstract level
+// and the broker finds the appropriate execution server for it. Together
+// with accounting functions and load information the resource broker can
+// find the best system for an application with given time constraints."
+//
+// The broker combines three inputs, all available in the reproduced system:
+// the Vsites' resource pages (capability filter, §5.4), live load queries
+// answered by each gateway, and the performance figures the pages carry.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"unicore/internal/ajo"
+	"unicore/internal/core"
+	"unicore/internal/protocol"
+	"unicore/internal/resources"
+)
+
+// ErrNoCandidate reports that no known Vsite satisfies a request.
+var ErrNoCandidate = errors.New("broker: no Vsite satisfies the request")
+
+// Policy selects the ranking strategy.
+type Policy int
+
+const (
+	// LeastLoaded picks the Vsite with the smallest occupancy and backlog.
+	LeastLoaded Policy = iota
+	// FastestMachine picks the Vsite with the highest aggregate peak
+	// performance among those that satisfy the request.
+	FastestMachine
+	// BestTurnaround estimates wait + run time per Vsite and picks the
+	// minimum — the "best system for an application with given time
+	// constraints" of §6.
+	BestTurnaround
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LeastLoaded:
+		return "least-loaded"
+	case FastestMachine:
+		return "fastest-machine"
+	case BestTurnaround:
+		return "best-turnaround"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Load is one Vsite's live occupancy as reported by its gateway.
+type Load struct {
+	Load    float64 // fraction of batch slots in use, [0,1]
+	Pending int     // jobs waiting in the queues
+}
+
+// Candidate is one ranked placement option.
+type Candidate struct {
+	Target core.Target
+	Score  float64 // lower is better
+	Load   Load
+	// EstWait and EstRun are only filled by BestTurnaround.
+	EstWait time.Duration
+	EstRun  time.Duration
+}
+
+// Broker ranks Vsites for abstract resource requests.
+type Broker struct {
+	mu      sync.Mutex
+	catalog *resources.Catalog
+	loads   map[core.Target]Load
+	policy  Policy
+}
+
+// New creates a broker with the given policy.
+func New(policy Policy) *Broker {
+	return &Broker{
+		catalog: resources.NewCatalog(),
+		loads:   make(map[core.Target]Load),
+		policy:  policy,
+	}
+}
+
+// Policy returns the ranking policy.
+func (b *Broker) Policy() Policy { return b.policy }
+
+// AddPage registers a Vsite's resource page.
+func (b *Broker) AddPage(p *resources.Page) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.catalog.Add(p)
+}
+
+// SetLoad records a Vsite's live load.
+func (b *Broker) SetLoad(t core.Target, l Load) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.loads[t] = l
+}
+
+// Refresh pulls resource pages and load figures from each Usite's gateway.
+func (b *Broker) Refresh(c *protocol.Client, usites ...core.Usite) error {
+	for _, u := range usites {
+		var pages protocol.ResourcesReply
+		if err := c.Call(u, protocol.MsgResources, protocol.ResourcesRequest{}, &pages); err != nil {
+			return fmt.Errorf("broker: resources from %s: %w", u, err)
+		}
+		for _, der := range pages.PagesDER {
+			p, err := resources.UnmarshalASN1(der)
+			if err != nil {
+				return fmt.Errorf("broker: page from %s: %w", u, err)
+			}
+			b.AddPage(p)
+		}
+		var load protocol.LoadReply
+		if err := c.Call(u, protocol.MsgLoad, protocol.LoadRequest{}, &load); err != nil {
+			return fmt.Errorf("broker: load from %s: %w", u, err)
+		}
+		for vs, vl := range load.Vsites {
+			b.SetLoad(core.Target{Usite: u, Vsite: core.Vsite(vs)}, Load{Load: vl.Load, Pending: vl.Pending})
+		}
+	}
+	return nil
+}
+
+// Candidates ranks every known Vsite that satisfies the request, best
+// first. software lists additional requirements (e.g. an f90 compiler).
+func (b *Broker) Candidates(req resources.Request, software ...resources.Software) ([]Candidate, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Candidate
+	for _, t := range b.catalog.Targets() {
+		page, _ := b.catalog.Get(t)
+		if err := page.Check(req); err != nil {
+			continue
+		}
+		ok := true
+		for _, sw := range software {
+			if !page.HasSoftware(sw.Kind, sw.Name, sw.Version) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		c := Candidate{Target: t, Load: b.loads[t]}
+		b.score(&c, page, req)
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoCandidate, req)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].Target.String() < out[j].Target.String()
+	})
+	return out, nil
+}
+
+// Choose returns the best placement for the request.
+func (b *Broker) Choose(req resources.Request, software ...resources.Software) (core.Target, error) {
+	cands, err := b.Candidates(req, software...)
+	if err != nil {
+		return core.Target{}, err
+	}
+	return cands[0].Target, nil
+}
+
+// referenceMFlops normalises machine speed: the T3E's 600 MFlops/PE is the
+// deployment's reference point.
+const referenceMFlops = 600.0
+
+// score fills Candidate.Score under the broker's policy. Lower is better.
+func (b *Broker) score(c *Candidate, page *resources.Page, req resources.Request) {
+	slots := page.Processors.Max
+	if slots < 1 {
+		slots = 1
+	}
+	switch b.policy {
+	case LeastLoaded:
+		// Occupancy plus backlog pressure, normalised by machine size.
+		c.Score = c.Load.Load + float64(c.Load.Pending)/float64(slots)
+	case FastestMachine:
+		// Negative aggregate peak: the biggest machine wins regardless of
+		// load (the user-visible behaviour of "give me the fast one").
+		c.Score = -float64(page.PerfMFlops) * float64(slots)
+	case BestTurnaround:
+		// A deliberately simple queueing estimate: each pending job holds
+		// the requested share of the machine for about the requested run
+		// time, and the run itself scales inversely with per-PE speed.
+		run := req.RunTime
+		if run == 0 {
+			run = time.Duration(page.RunTimeSec.Default) * time.Second
+		}
+		procs := req.Processors
+		if procs == 0 {
+			procs = page.Processors.Default
+		}
+		occupancy := c.Load.Load + float64(c.Load.Pending*procs)/float64(slots)
+		wait := time.Duration(occupancy * float64(run))
+		perf := float64(page.PerfMFlops)
+		if perf <= 0 {
+			perf = referenceMFlops
+		}
+		est := time.Duration(float64(run) * referenceMFlops / perf)
+		c.EstWait = wait
+		c.EstRun = est
+		c.Score = (wait + est).Seconds()
+	}
+}
+
+// Retarget rewrites a job's destination to the chosen target. Nested job
+// groups keep their own explicit destinations — the broker only places the
+// top-level job, matching the §6 sketch.
+func Retarget(job *ajo.AbstractJob, t core.Target) {
+	job.Target = t
+}

@@ -1,0 +1,190 @@
+package broker
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"unicore/internal/ajo"
+	"unicore/internal/core"
+	"unicore/internal/machine"
+	"unicore/internal/resources"
+)
+
+var (
+	fzjT3E = core.Target{Usite: "FZJ", Vsite: "T3E"}
+	lrzVPP = core.Target{Usite: "LRZ", Vsite: "VPP"}
+	dwdSX4 = core.Target{Usite: "DWD", Vsite: "SX4"}
+)
+
+// inventory builds a broker stocked with the three-machine test inventory.
+func inventory(p Policy) *Broker {
+	b := New(p)
+	t3e := machine.CrayT3E(512).ResourcePage()
+	t3e.Target = fzjT3E
+	vpp := machine.FujitsuVPP700(52).ResourcePage()
+	vpp.Target = lrzVPP
+	sx4 := machine.NECSX4(16).ResourcePage()
+	sx4.Target = dwdSX4
+	b.AddPage(&t3e)
+	b.AddPage(&vpp)
+	b.AddPage(&sx4)
+	return b
+}
+
+func TestCapabilityFilter(t *testing.T) {
+	b := inventory(LeastLoaded)
+	// 100 processors only fit the T3E (512); VPP has 52, SX4 has 16.
+	got, err := b.Choose(resources.Request{Processors: 100, RunTime: time.Hour})
+	if err != nil {
+		t.Fatalf("Choose: %v", err)
+	}
+	if got != fzjT3E {
+		t.Fatalf("choice = %s, want %s", got, fzjT3E)
+	}
+	// 4096 processors fit nowhere.
+	_, err = b.Choose(resources.Request{Processors: 4096, RunTime: time.Hour})
+	if !errors.Is(err, ErrNoCandidate) {
+		t.Fatalf("err = %v, want ErrNoCandidate", err)
+	}
+}
+
+func TestSoftwareFilter(t *testing.T) {
+	b := inventory(LeastLoaded)
+	// Every profile lists f90; none lists Gaussian.
+	if _, err := b.Choose(resources.Request{Processors: 1, RunTime: time.Hour},
+		resources.Software{Kind: resources.KindCompiler, Name: "f90"}); err != nil {
+		t.Fatalf("f90 filter: %v", err)
+	}
+	_, err := b.Choose(resources.Request{Processors: 1, RunTime: time.Hour},
+		resources.Software{Kind: resources.KindPackage, Name: "Gaussian94"})
+	if !errors.Is(err, ErrNoCandidate) {
+		t.Fatalf("err = %v, want ErrNoCandidate", err)
+	}
+}
+
+func TestLeastLoadedPrefersIdleSite(t *testing.T) {
+	b := inventory(LeastLoaded)
+	b.SetLoad(fzjT3E, Load{Load: 0.9, Pending: 40})
+	b.SetLoad(lrzVPP, Load{Load: 0.1})
+	b.SetLoad(dwdSX4, Load{Load: 0.5})
+	got, err := b.Choose(resources.Request{Processors: 8, RunTime: time.Hour})
+	if err != nil {
+		t.Fatalf("Choose: %v", err)
+	}
+	if got != lrzVPP {
+		t.Fatalf("choice = %s, want the idle VPP", got)
+	}
+}
+
+func TestFastestMachineIgnoresLoad(t *testing.T) {
+	b := inventory(FastestMachine)
+	b.SetLoad(fzjT3E, Load{Load: 1, Pending: 100})
+	b.SetLoad(lrzVPP, Load{Load: 0})
+	got, err := b.Choose(resources.Request{Processors: 8, RunTime: time.Hour})
+	if err != nil {
+		t.Fatalf("Choose: %v", err)
+	}
+	// Aggregate peak: T3E 512*600, VPP 52*2200, SX4 16*2000 — T3E wins.
+	if got != fzjT3E {
+		t.Fatalf("choice = %s, want the T3E", got)
+	}
+}
+
+func TestBestTurnaroundBalancesWaitAndSpeed(t *testing.T) {
+	b := inventory(BestTurnaround)
+	// The T3E is saturated with a deep backlog; the slower SX4 is empty.
+	b.SetLoad(fzjT3E, Load{Load: 1, Pending: 64})
+	b.SetLoad(lrzVPP, Load{Load: 1, Pending: 64})
+	b.SetLoad(dwdSX4, Load{})
+	got, err := b.Choose(resources.Request{Processors: 8, RunTime: time.Hour})
+	if err != nil {
+		t.Fatalf("Choose: %v", err)
+	}
+	if got != dwdSX4 {
+		t.Fatalf("choice = %s, want the idle SX4", got)
+	}
+
+	cands, err := b.Candidates(resources.Request{Processors: 8, RunTime: time.Hour})
+	if err != nil {
+		t.Fatalf("Candidates: %v", err)
+	}
+	if cands[0].Target != dwdSX4 {
+		t.Fatalf("best candidate = %s", cands[0].Target)
+	}
+	if cands[0].EstWait != 0 {
+		t.Fatalf("idle site estimated wait = %s, want 0", cands[0].EstWait)
+	}
+	for _, c := range cands[1:] {
+		if c.EstWait == 0 {
+			t.Fatalf("saturated site %s has zero estimated wait", c.Target)
+		}
+	}
+}
+
+func TestCandidatesSortedAndDeterministic(t *testing.T) {
+	b := inventory(LeastLoaded)
+	cands, err := b.Candidates(resources.Request{Processors: 1, RunTime: time.Hour})
+	if err != nil {
+		t.Fatalf("Candidates: %v", err)
+	}
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %d, want 3", len(cands))
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].Score > cands[i].Score {
+			t.Fatalf("candidates not sorted: %v", cands)
+		}
+	}
+	// Equal loads: ties break lexicographically by target, so repeated
+	// calls give the same order.
+	again, _ := b.Candidates(resources.Request{Processors: 1, RunTime: time.Hour})
+	for i := range cands {
+		if cands[i].Target != again[i].Target {
+			t.Fatal("candidate order is not deterministic")
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{
+		LeastLoaded:    "least-loaded",
+		FastestMachine: "fastest-machine",
+		BestTurnaround: "best-turnaround",
+		Policy(42):     "Policy(42)",
+	} {
+		if got := p.String(); got != want {
+			t.Fatalf("Policy(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestRetarget(t *testing.T) {
+	b := inventory(LeastLoaded)
+	tgt, err := b.Choose(resources.Request{Processors: 1, RunTime: time.Hour})
+	if err != nil {
+		t.Fatalf("Choose: %v", err)
+	}
+	job := &ajo.AbstractJob{
+		Header: ajo.Header{ActionID: "j", ActionName: "retargeted"},
+		Target: core.Target{Usite: "X", Vsite: "Y"},
+	}
+	Retarget(job, tgt)
+	if job.Target != tgt {
+		t.Fatalf("target = %s, want %s", job.Target, tgt)
+	}
+}
+
+func TestZeroRequestUsesPageDefaults(t *testing.T) {
+	b := inventory(BestTurnaround)
+	b.SetLoad(fzjT3E, Load{Load: 0.5, Pending: 4})
+	cands, err := b.Candidates(resources.Request{})
+	if err != nil {
+		t.Fatalf("Candidates: %v", err)
+	}
+	for _, c := range cands {
+		if c.EstRun <= 0 {
+			t.Fatalf("candidate %s has no estimated run time", c.Target)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"sort"
+	"strings"
+	"time"
+
+	"unicore/internal/ajo"
+	"unicore/internal/core"
+	"unicore/internal/protocol"
+)
+
+// JMC is the job monitor controller: it "shows the job status of the user's
+// UNICORE jobs ... the icons are colored to reflect the job status in a
+// seamless way" and lets the user list/save task output and control jobs
+// (§5.7).
+type JMC struct {
+	c *protocol.Client
+}
+
+// NewJMC wraps a protocol client.
+func NewJMC(c *protocol.Client) *JMC {
+	return &JMC{c: c}
+}
+
+// List returns the caller's jobs at a Usite, newest first.
+func (m *JMC) List(usite core.Usite) ([]protocol.JobInfo, error) {
+	var reply protocol.ListReply
+	if err := m.c.Call(usite, protocol.MsgList, protocol.ListRequest{}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Jobs, nil
+}
+
+// Status polls the compact summary of one job.
+func (m *JMC) Status(usite core.Usite, job core.JobID) (ajo.Summary, error) {
+	var reply protocol.PollReply
+	if err := m.c.Call(usite, protocol.MsgPoll, protocol.PollRequest{Job: job}, &reply); err != nil {
+		return ajo.Summary{}, err
+	}
+	if !reply.Found {
+		return ajo.Summary{}, fmt.Errorf("client: no job %s at %s", job, usite)
+	}
+	return reply.Summary, nil
+}
+
+// Outcome retrieves the full outcome tree of one job.
+func (m *JMC) Outcome(usite core.Usite, job core.JobID) (*ajo.Outcome, error) {
+	var reply protocol.OutcomeReply
+	if err := m.c.Call(usite, protocol.MsgOutcome, protocol.OutcomeRequest{Job: job}, &reply); err != nil {
+		return nil, err
+	}
+	if !reply.Found {
+		return nil, fmt.Errorf("client: no job %s at %s", job, usite)
+	}
+	return ajo.UnmarshalOutcome(reply.Outcome)
+}
+
+// control sends one job-control operation.
+func (m *JMC) control(usite core.Usite, job core.JobID, op ajo.ControlOp) error {
+	var reply protocol.ControlReply
+	if err := m.c.Call(usite, protocol.MsgControl, protocol.ControlRequest{Job: job, Op: op}, &reply); err != nil {
+		return err
+	}
+	if !reply.OK {
+		return fmt.Errorf("client: %s %s: %s", op, job, reply.Reason)
+	}
+	return nil
+}
+
+// Abort cancels a job and everything in flight for it.
+func (m *JMC) Abort(usite core.Usite, job core.JobID) error {
+	return m.control(usite, job, ajo.OpAbort)
+}
+
+// Hold pauses dispatching of a job's not-yet-started actions.
+func (m *JMC) Hold(usite core.Usite, job core.JobID) error {
+	return m.control(usite, job, ajo.OpHold)
+}
+
+// Resume releases a held job.
+func (m *JMC) Resume(usite core.Usite, job core.JobID) error {
+	return m.control(usite, job, ajo.OpResume)
+}
+
+// ErrWaitTimeout reports that Wait gave up before the job became terminal.
+var ErrWaitTimeout = errors.New("client: job did not reach a terminal status in time")
+
+// Wait polls until the job is terminal, sleeping between polls with the
+// given function (time.Sleep in the CLIs; a virtual-clock advance in
+// simulations). maxPolls bounds the wait.
+func (m *JMC) Wait(usite core.Usite, job core.JobID, interval time.Duration, sleep func(time.Duration), maxPolls int) (ajo.Summary, error) {
+	var last ajo.Summary
+	for i := 0; i < maxPolls; i++ {
+		s, err := m.Status(usite, job)
+		if err != nil {
+			return last, err
+		}
+		last = s
+		if s.Status.Terminal() {
+			return s, nil
+		}
+		sleep(interval)
+	}
+	return last, fmt.Errorf("%w: %s after %d polls", ErrWaitTimeout, job, maxPolls)
+}
+
+// fetchChunk bounds one workstation download chunk.
+const fetchChunk = 256 << 10
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// FetchFile downloads a file from the job's Uspace back to the user's
+// workstation — the §5.6 on-request result transfer ("the current
+// implementation sends data back to the workstation only on user request
+// while the user is working with the JMC"). Large files arrive in chunks
+// and the whole-file checksum is verified.
+func (m *JMC) FetchFile(usite core.Usite, job core.JobID, file string) ([]byte, error) {
+	var buf []byte
+	offset := int64(0)
+	for {
+		var reply protocol.TransferReply
+		err := m.c.Call(usite, protocol.MsgFetch, protocol.FetchRequest{
+			Job: job, File: file, Offset: offset, Limit: fetchChunk,
+		}, &reply)
+		if err != nil {
+			return nil, err
+		}
+		if !reply.Found {
+			return nil, fmt.Errorf("client: job %s at %s has no file %q", job, usite, file)
+		}
+		buf = append(buf, reply.Data...)
+		offset += int64(len(reply.Data))
+		if offset >= reply.Size || len(reply.Data) == 0 {
+			if crc64.Checksum(buf, crcTable) != reply.CRC {
+				return nil, fmt.Errorf("client: checksum mismatch fetching %q from %s", file, usite)
+			}
+			return buf, nil
+		}
+	}
+}
+
+// TaskOutput extracts a task's standard output and error from an outcome
+// tree ("the standard output and error files can be listed and/or saved for
+// tasks", §5.7).
+func TaskOutput(root *ajo.Outcome, id ajo.ActionID) (stdout, stderr []byte, err error) {
+	o, ok := root.Find(id)
+	if !ok {
+		return nil, nil, fmt.Errorf("client: no outcome for action %s", id)
+	}
+	return o.Stdout, o.Stderr, nil
+}
+
+// Display renders the JMC's job display: one line per action with the
+// status icon colour, indented by job-group depth — the text equivalent of
+// the coloured-icon tree of §5.7.
+func Display(root *ajo.Outcome) string {
+	var b strings.Builder
+	renderOutcome(&b, root, 0)
+	return b.String()
+}
+
+func renderOutcome(b *strings.Builder, o *ajo.Outcome, depth int) {
+	icon := statusIcon(o.Status)
+	fmt.Fprintf(b, "%s%s [%s/%s] %s", strings.Repeat("  ", depth), icon, o.Status, o.Status.Colour(), o.Name)
+	if o.Reason != "" {
+		fmt.Fprintf(b, " (%s)", o.Reason)
+	}
+	b.WriteByte('\n')
+	children := append([]*ajo.Outcome(nil), o.Children...)
+	sort.SliceStable(children, func(i, j int) bool { return children[i].Action < children[j].Action })
+	for _, c := range children {
+		renderOutcome(b, c, depth+1)
+	}
+}
+
+func statusIcon(s ajo.Status) string {
+	switch s {
+	case ajo.StatusSuccessful:
+		return "●"
+	case ajo.StatusFailed, ajo.StatusNotDone, ajo.StatusAborted:
+		return "✖"
+	case ajo.StatusRunning, ajo.StatusQueued:
+		return "◐"
+	default:
+		return "○"
+	}
+}

@@ -1,0 +1,149 @@
+package client
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+
+	"unicore/internal/ajo"
+	"unicore/internal/core"
+	"unicore/internal/pki"
+	"unicore/internal/protocol"
+	"unicore/internal/resources"
+)
+
+// JPA is the job preparation agent: it fetches resource pages from the
+// sites, validates jobs against them before submission (the "seamless"
+// support of §5.4 — the GUI knows what the destination system can do), and
+// consigns AJOs.
+type JPA struct {
+	c       *protocol.Client
+	catalog *resources.Catalog
+}
+
+// NewJPA wraps a protocol client.
+func NewJPA(c *protocol.Client) *JPA {
+	return &JPA{c: c, catalog: resources.NewCatalog()}
+}
+
+// DN returns the user identity behind this JPA.
+func (j *JPA) DN() core.DN { return j.c.DN() }
+
+// Catalog exposes the resource pages fetched so far.
+func (j *JPA) Catalog() *resources.Catalog { return j.catalog }
+
+// FetchResources retrieves the Usite's resource pages (ASN.1, §5.4), adds
+// them to the catalog, and returns them.
+func (j *JPA) FetchResources(usite core.Usite) ([]*resources.Page, error) {
+	var reply protocol.ResourcesReply
+	if err := j.c.Call(usite, protocol.MsgResources, protocol.ResourcesRequest{}, &reply); err != nil {
+		return nil, err
+	}
+	pages := make([]*resources.Page, 0, len(reply.PagesDER))
+	for _, der := range reply.PagesDER {
+		p, err := resources.UnmarshalASN1(der)
+		if err != nil {
+			return nil, fmt.Errorf("client: decoding resource page from %s: %w", usite, err)
+		}
+		pages = append(pages, p)
+		j.catalog.Add(p)
+	}
+	return pages, nil
+}
+
+// Validate checks a job (recursively) against the fetched resource pages:
+// every target must be known, every task's resources must fit the page, and
+// compile tasks need the language's compiler on the destination system.
+func (j *JPA) Validate(job *ajo.AbstractJob) error {
+	page, ok := j.catalog.Get(job.Target)
+	if !ok {
+		return fmt.Errorf("client: no resource page for %s (fetch it first)", job.Target)
+	}
+	for _, a := range job.Actions {
+		if sub, isSub := a.(*ajo.AbstractJob); isSub {
+			if err := j.Validate(sub); err != nil {
+				return fmt.Errorf("client: job group %s: %w", sub.ID(), err)
+			}
+			continue
+		}
+		if req, isTask := ajo.TaskResources(a); isTask {
+			if err := page.Check(req); err != nil {
+				return fmt.Errorf("client: task %s at %s: %w", a.ID(), job.Target, err)
+			}
+		}
+		if c, isCompile := a.(*ajo.CompileTask); isCompile {
+			if !page.HasSoftware(resources.KindCompiler, c.Language, "") {
+				return fmt.Errorf("client: task %s: no %s compiler at %s", c.ID(), c.Language, job.Target)
+			}
+		}
+	}
+	return nil
+}
+
+// Submit validates and consigns a job, returning the UNICORE job ID assigned
+// by the destination NJS. The AJO's user DN is stamped with the caller's
+// certificate identity before sealing.
+func (j *JPA) Submit(job *ajo.AbstractJob) (core.JobID, error) {
+	if err := job.Validate(); err != nil {
+		return "", err
+	}
+	job.UserDN = j.c.DN()
+	raw, err := ajo.Marshal(job)
+	if err != nil {
+		return "", err
+	}
+	var reply protocol.ConsignReply
+	err = j.c.Call(job.Target.Usite, protocol.MsgConsign, protocol.ConsignRequest{
+		ConsignID: newConsignID(),
+		AJO:       raw,
+	}, &reply)
+	if err != nil {
+		return "", err
+	}
+	if !reply.Accepted {
+		return "", fmt.Errorf("client: %s refused the job: %s", job.Target.Usite, reply.Reason)
+	}
+	return reply.Job, nil
+}
+
+// newConsignID mints a random idempotency token for one submission attempt;
+// retries of the same submission reuse it inside protocol.Client.
+func newConsignID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for key material but here the
+		// token only deduplicates retries; fall back to a counter-free best
+		// effort rather than aborting a submission.
+		return "consign-fallback"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// VerifiedApplet is a gateway-served applet whose publisher signature has
+// been checked against the CA — the user-side half of Netscape object
+// signing (§5.2): only then is the software trusted.
+type VerifiedApplet struct {
+	Name    string
+	Version string
+	Payload []byte
+	Signer  core.DN
+}
+
+// FetchApplet downloads an applet from a Usite and verifies its signature
+// before returning it. Tampered or unsigned payloads are rejected.
+func FetchApplet(c *protocol.Client, ca *pki.Authority, usite core.Usite, name string) (VerifiedApplet, error) {
+	var reply protocol.AppletReply
+	if err := c.Call(usite, protocol.MsgApplet, protocol.AppletRequest{Name: name}, &reply); err != nil {
+		return VerifiedApplet{}, err
+	}
+	signer, err := ca.VerifySignature(reply.Payload, reply.Signature, pki.RoleSoftware)
+	if err != nil {
+		return VerifiedApplet{}, fmt.Errorf("client: applet %q from %s failed verification: %w", name, usite, err)
+	}
+	return VerifiedApplet{
+		Name:    reply.Name,
+		Version: reply.Version,
+		Payload: reply.Payload,
+		Signer:  signer,
+	}, nil
+}

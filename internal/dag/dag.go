@@ -1,0 +1,286 @@
+// Package dag implements the directed acyclic graphs that structure UNICORE
+// jobs: an AJO contains job groups and tasks "together with their
+// dependencies" (paper §4), and the NJS "makes sure that the dependent parts
+// of the UNICORE job are scheduled in the predefined sequence" (§4.2).
+//
+// The graph is keyed by string IDs. Edges point from a predecessor to the
+// successor that must wait for it.
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Common graph errors.
+var (
+	ErrDuplicateNode = errors.New("dag: duplicate node")
+	ErrUnknownNode   = errors.New("dag: unknown node")
+	ErrCycle         = errors.New("dag: dependency cycle")
+	ErrSelfEdge      = errors.New("dag: self dependency")
+)
+
+// Graph is a mutable directed graph. Acyclicity is enforced on AddEdge, so a
+// Graph is a DAG at every point in its life. The zero value is not usable;
+// call New.
+type Graph struct {
+	succ map[string]map[string]bool
+	pred map[string]map[string]bool
+	// order remembers insertion order so traversals are deterministic.
+	order []string
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		succ: make(map[string]map[string]bool),
+		pred: make(map[string]map[string]bool),
+	}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.order) }
+
+// Has reports whether id is a node of the graph.
+func (g *Graph) Has(id string) bool { _, ok := g.succ[id]; return ok }
+
+// AddNode inserts a node. Adding an existing node returns ErrDuplicateNode.
+func (g *Graph) AddNode(id string) error {
+	if g.Has(id) {
+		return fmt.Errorf("%w: %q", ErrDuplicateNode, id)
+	}
+	g.succ[id] = make(map[string]bool)
+	g.pred[id] = make(map[string]bool)
+	g.order = append(g.order, id)
+	return nil
+}
+
+// AddEdge records that `to` depends on (runs after) `from`. It rejects edges
+// between unknown nodes, self edges, and edges that would close a cycle.
+// Duplicate edges are a silent no-op.
+func (g *Graph) AddEdge(from, to string) error {
+	if !g.Has(from) {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, from)
+	}
+	if !g.Has(to) {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	if from == to {
+		return fmt.Errorf("%w: %q", ErrSelfEdge, from)
+	}
+	if g.succ[from][to] {
+		return nil
+	}
+	if g.reaches(to, from) {
+		return fmt.Errorf("%w: %q -> %q closes a cycle", ErrCycle, from, to)
+	}
+	g.succ[from][to] = true
+	g.pred[to][from] = true
+	return nil
+}
+
+// reaches reports whether dst is reachable from src.
+func (g *Graph) reaches(src, dst string) bool {
+	if src == dst {
+		return true
+	}
+	seen := map[string]bool{src: true}
+	stack := []string{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for m := range g.succ[n] {
+			if m == dst {
+				return true
+			}
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
+}
+
+// Nodes returns all node IDs in insertion order.
+func (g *Graph) Nodes() []string {
+	out := make([]string, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+// Successors returns the direct successors of id, sorted.
+func (g *Graph) Successors(id string) []string { return sortedKeys(g.succ[id]) }
+
+// Predecessors returns the direct predecessors of id, sorted.
+func (g *Graph) Predecessors(id string) []string { return sortedKeys(g.pred[id]) }
+
+// Roots returns the nodes with no predecessors, in insertion order.
+func (g *Graph) Roots() []string {
+	var out []string
+	for _, id := range g.order {
+		if len(g.pred[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Leaves returns the nodes with no successors, in insertion order.
+func (g *Graph) Leaves() []string {
+	var out []string
+	for _, id := range g.order {
+		if len(g.succ[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TopoSort returns a deterministic topological order (insertion order among
+// simultaneously-ready nodes). Because AddEdge preserves acyclicity the sort
+// cannot fail on a Graph built through the public API, but the error is kept
+// for defence in depth.
+func (g *Graph) TopoSort() ([]string, error) {
+	indeg := make(map[string]int, len(g.order))
+	for _, id := range g.order {
+		indeg[id] = len(g.pred[id])
+	}
+	var frontier []string
+	for _, id := range g.order {
+		if indeg[id] == 0 {
+			frontier = append(frontier, id)
+		}
+	}
+	out := make([]string, 0, len(g.order))
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		out = append(out, n)
+		// Visit successors in insertion order for determinism.
+		for _, m := range g.order {
+			if !g.succ[n][m] {
+				continue
+			}
+			indeg[m]--
+			if indeg[m] == 0 {
+				frontier = append(frontier, m)
+			}
+		}
+	}
+	if len(out) != len(g.order) {
+		return nil, ErrCycle
+	}
+	return out, nil
+}
+
+// Ready returns the nodes whose predecessors are all in done and which are
+// not themselves in done, in insertion order. This is the NJS dispatch rule:
+// a task becomes eligible exactly when every predecessor has completed.
+func (g *Graph) Ready(done map[string]bool) []string {
+	var out []string
+	for _, id := range g.order {
+		if done[id] {
+			continue
+		}
+		ok := true
+		for p := range g.pred[id] {
+			if !done[p] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Descendants returns every node reachable from id (excluding id), sorted.
+func (g *Graph) Descendants(id string) ([]string, error) {
+	if !g.Has(id) {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	seen := make(map[string]bool)
+	stack := []string{id}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for m := range g.succ[n] {
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return sortedKeys(seen), nil
+}
+
+// CriticalPath returns the heaviest root-to-leaf path under the given node
+// weights, together with its total weight. Missing weights count as zero.
+// An empty graph yields a nil path and zero weight.
+func (g *Graph) CriticalPath(weight func(id string) float64) ([]string, float64) {
+	order, err := g.TopoSort()
+	if err != nil || len(order) == 0 {
+		return nil, 0
+	}
+	dist := make(map[string]float64, len(order))
+	prev := make(map[string]string, len(order))
+	for _, id := range order {
+		w := 0.0
+		if weight != nil {
+			w = weight(id)
+		}
+		best, bestFrom := 0.0, ""
+		for _, p := range sortedKeys(g.pred[id]) {
+			if bestFrom == "" || dist[p] > best {
+				best, bestFrom = dist[p], p
+			}
+		}
+		dist[id] = best + w
+		if bestFrom != "" {
+			prev[id] = bestFrom
+		}
+	}
+	endID, endW := "", -1.0
+	for _, id := range order {
+		if dist[id] > endW {
+			endID, endW = id, dist[id]
+		}
+	}
+	var path []string
+	for id := endID; id != ""; id = prev[id] {
+		path = append(path, id)
+	}
+	// Reverse in place.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, endW
+}
+
+// Clone returns an independent copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for _, id := range g.order {
+		_ = c.AddNode(id)
+	}
+	for _, id := range g.order {
+		for m := range g.succ[id] {
+			c.succ[id][m] = true
+			c.pred[m][id] = true
+		}
+	}
+	return c
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,275 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustBuild(t *testing.T, nodes []string, edges [][2]string) *Graph {
+	t.Helper()
+	g := New()
+	for _, n := range nodes {
+		if err := g.AddNode(n); err != nil {
+			t.Fatalf("AddNode(%q): %v", n, err)
+		}
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge(%q,%q): %v", e[0], e[1], err)
+		}
+	}
+	return g
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	g := New()
+	if err := g.AddNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode("a"); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("err = %v, want ErrDuplicateNode", err)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := mustBuild(t, []string{"a", "b"}, nil)
+	if err := g.AddEdge("a", "x"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown to: %v", err)
+	}
+	if err := g.AddEdge("x", "a"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown from: %v", err)
+	}
+	if err := g.AddEdge("a", "a"); !errors.Is(err, ErrSelfEdge) {
+		t.Fatalf("self edge: %v", err)
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	g := mustBuild(t, []string{"a", "b", "c"}, [][2]string{{"a", "b"}, {"b", "c"}})
+	if err := g.AddEdge("c", "a"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("closing edge: err = %v, want ErrCycle", err)
+	}
+	// Graph must be unchanged by the failed insert.
+	if got := g.Successors("c"); len(got) != 0 {
+		t.Fatalf("failed AddEdge mutated graph: succ(c) = %v", got)
+	}
+}
+
+func TestDuplicateEdgeIsNoop(t *testing.T) {
+	g := mustBuild(t, []string{"a", "b"}, [][2]string{{"a", "b"}})
+	if err := g.AddEdge("a", "b"); err != nil {
+		t.Fatalf("duplicate edge: %v", err)
+	}
+	if got := g.Successors("a"); len(got) != 1 {
+		t.Fatalf("succ(a) = %v, want exactly [b]", got)
+	}
+}
+
+func TestTopoSortDiamond(t *testing.T) {
+	g := mustBuild(t, []string{"pre", "left", "right", "post"},
+		[][2]string{{"pre", "left"}, {"pre", "right"}, {"left", "post"}, {"right", "post"}})
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range [][2]string{{"pre", "left"}, {"pre", "right"}, {"left", "post"}, {"right", "post"}} {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Fatalf("order %v violates %v", order, e)
+		}
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g := New()
+		for i := 0; i < 20; i++ {
+			_ = g.AddNode(fmt.Sprintf("n%02d", i))
+		}
+		for i := 0; i < 19; i += 2 {
+			_ = g.AddEdge(fmt.Sprintf("n%02d", i), fmt.Sprintf("n%02d", i+1))
+		}
+		return g
+	}
+	a, _ := build().TopoSort()
+	b, _ := build().TopoSort()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("nondeterministic topo sort:\n%v\n%v", a, b)
+	}
+}
+
+func TestRootsLeaves(t *testing.T) {
+	g := mustBuild(t, []string{"a", "b", "c", "d"},
+		[][2]string{{"a", "b"}, {"b", "c"}})
+	if got := g.Roots(); fmt.Sprint(got) != "[a d]" {
+		t.Fatalf("Roots = %v", got)
+	}
+	if got := g.Leaves(); fmt.Sprint(got) != "[c d]" {
+		t.Fatalf("Leaves = %v", got)
+	}
+}
+
+func TestReadyFrontier(t *testing.T) {
+	g := mustBuild(t, []string{"imp", "run", "exp"},
+		[][2]string{{"imp", "run"}, {"run", "exp"}})
+	done := map[string]bool{}
+	if got := g.Ready(done); fmt.Sprint(got) != "[imp]" {
+		t.Fatalf("Ready(∅) = %v", got)
+	}
+	done["imp"] = true
+	if got := g.Ready(done); fmt.Sprint(got) != "[run]" {
+		t.Fatalf("Ready(imp) = %v", got)
+	}
+	done["run"] = true
+	done["exp"] = true
+	if got := g.Ready(done); len(got) != 0 {
+		t.Fatalf("Ready(all) = %v, want empty", got)
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	g := mustBuild(t, []string{"a", "b", "c", "d"},
+		[][2]string{{"a", "b"}, {"b", "c"}})
+	got, err := g.Descendants("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[b c]" {
+		t.Fatalf("Descendants(a) = %v", got)
+	}
+	if _, err := g.Descendants("zz"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Descendants(zz) err = %v", err)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := mustBuild(t, []string{"a", "b", "c", "d"},
+		[][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}})
+	w := map[string]float64{"a": 1, "b": 10, "c": 2, "d": 1}
+	path, total := g.CriticalPath(func(id string) float64 { return w[id] })
+	if fmt.Sprint(path) != "[a b d]" {
+		t.Fatalf("path = %v, want [a b d]", path)
+	}
+	if total != 12 {
+		t.Fatalf("total = %v, want 12", total)
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	path, total := New().CriticalPath(nil)
+	if path != nil || total != 0 {
+		t.Fatalf("empty graph: path=%v total=%v", path, total)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := mustBuild(t, []string{"a", "b"}, [][2]string{{"a", "b"}})
+	c := g.Clone()
+	_ = c.AddNode("z")
+	_ = c.AddEdge("b", "z")
+	if g.Has("z") {
+		t.Fatal("mutation of clone leaked into original")
+	}
+	if got := c.Successors("b"); fmt.Sprint(got) != "[z]" {
+		t.Fatalf("clone succ(b) = %v", got)
+	}
+}
+
+// randomDAG builds a random graph where edges only point from lower to
+// higher indices, so it is a DAG by construction.
+func randomDAG(r *rand.Rand, n int, p float64) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		_ = g.AddNode(fmt.Sprintf("n%03d", i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				if err := g.AddEdge(fmt.Sprintf("n%03d", i), fmt.Sprintf("n%03d", j)); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Property: TopoSort on random DAGs yields a permutation respecting all
+// edges.
+func TestQuickTopoSortRespectsEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 2+r.Intn(40), 0.15)
+		order, err := g.TopoSort()
+		if err != nil || len(order) != g.Len() {
+			return false
+		}
+		pos := map[string]int{}
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, id := range g.Nodes() {
+			for _, s := range g.Successors(id) {
+				if pos[id] >= pos[s] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: repeatedly consuming Ready() drains any DAG completely, i.e. the
+// dispatch loop of the NJS cannot deadlock on a valid job graph.
+func TestQuickReadyDrainsDAG(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 1+r.Intn(30), 0.2)
+		done := map[string]bool{}
+		for steps := 0; steps <= g.Len(); steps++ {
+			ready := g.Ready(done)
+			if len(ready) == 0 {
+				break
+			}
+			for _, id := range ready {
+				done[id] = true
+			}
+		}
+		return len(done) == g.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an edge that would close a cycle is always rejected. Build a
+// random chain and try to add a random back edge.
+func TestQuickBackEdgeRejected(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		g := New()
+		for i := 0; i < n; i++ {
+			_ = g.AddNode(fmt.Sprintf("n%03d", i))
+		}
+		for i := 0; i+1 < n; i++ {
+			_ = g.AddEdge(fmt.Sprintf("n%03d", i), fmt.Sprintf("n%03d", i+1))
+		}
+		i := r.Intn(n - 1)
+		j := i + 1 + r.Intn(n-i-1)
+		err := g.AddEdge(fmt.Sprintf("n%03d", j), fmt.Sprintf("n%03d", i))
+		return errors.Is(err, ErrCycle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

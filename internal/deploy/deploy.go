@@ -1,0 +1,223 @@
+// Package deploy holds the file formats and assembly helpers behind the
+// cmd/ tools: JSON site configurations (which Vsites a Usite runs, who maps
+// to which login), JSON job descriptions for the CLI JPA, and PEM keyring
+// loading. It is the glue that turns the in-process library into real
+// multi-process deployments over TLS.
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"unicore/internal/codine"
+	"unicore/internal/core"
+	"unicore/internal/gateway"
+	"unicore/internal/machine"
+	"unicore/internal/njs"
+	"unicore/internal/pki"
+	"unicore/internal/protocol"
+	"unicore/internal/sim"
+	"unicore/internal/uudb"
+)
+
+// SiteConfig is the JSON description of one Usite.
+type SiteConfig struct {
+	Usite  core.Usite    `json:"usite"`
+	Vsites []VsiteConfig `json:"vsites"`
+	// Users maps certificate DNs to per-Vsite logins.
+	Users []UserMapping `json:"users,omitempty"`
+}
+
+// VsiteConfig is the JSON description of one execution system.
+type VsiteConfig struct {
+	Name core.Vsite `json:"name"`
+	// Machine selects a profile: "t3e", "vpp700", "sp2", "sx4", "cluster".
+	Machine string `json:"machine"`
+	// Processors overrides the profile's default PE count (0 keeps it).
+	Processors int `json:"processors,omitempty"`
+	// Backfill enables EASY backfill in the batch scheduler.
+	Backfill bool `json:"backfill,omitempty"`
+	// Queues optionally declares batch queues (default: one "batch" queue).
+	Queues []QueueConfig `json:"queues,omitempty"`
+}
+
+// QueueConfig is the JSON description of one batch queue.
+type QueueConfig struct {
+	Name       string `json:"name"`
+	Slots      int    `json:"slots"`
+	MaxTimeSec int    `json:"maxTimeSec,omitempty"`
+}
+
+// UserMapping is one UUDB entry.
+type UserMapping struct {
+	DN     core.DN                   `json:"dn"`
+	Email  string                    `json:"email,omitempty"`
+	Logins map[core.Vsite]uudb.Login `json:"logins"`
+	Extra  map[string]string         `json:"extra,omitempty"`
+}
+
+// LoadSiteConfig reads and validates a site configuration file.
+func LoadSiteConfig(path string) (*SiteConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: %w", err)
+	}
+	var cfg SiteConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("deploy: parsing %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("deploy: %s: %w", path, err)
+	}
+	return &cfg, nil
+}
+
+// Validate checks the configuration for completeness.
+func (c *SiteConfig) Validate() error {
+	if c.Usite == "" {
+		return fmt.Errorf("empty usite name")
+	}
+	if len(c.Vsites) == 0 {
+		return fmt.Errorf("usite %s has no vsites", c.Usite)
+	}
+	seen := map[core.Vsite]bool{}
+	for _, v := range c.Vsites {
+		if v.Name == "" {
+			return fmt.Errorf("usite %s: vsite without name", c.Usite)
+		}
+		if seen[v.Name] {
+			return fmt.Errorf("usite %s: duplicate vsite %q", c.Usite, v.Name)
+		}
+		seen[v.Name] = true
+		if _, err := Machine(v.Machine, v.Processors); err != nil {
+			return fmt.Errorf("vsite %s: %w", v.Name, err)
+		}
+	}
+	for _, u := range c.Users {
+		if u.DN == "" {
+			return fmt.Errorf("user mapping without DN")
+		}
+		for vs := range u.Logins {
+			if !seen[vs] {
+				return fmt.Errorf("user %s mapped at unknown vsite %q", u.DN, vs)
+			}
+		}
+	}
+	return nil
+}
+
+// Machine resolves a profile name (processors = 0 keeps the default size).
+func Machine(name string, processors int) (machine.Profile, error) {
+	var p machine.Profile
+	switch name {
+	case "t3e":
+		p = machine.CrayT3E(512)
+	case "vpp700":
+		p = machine.FujitsuVPP700(52)
+	case "sp2":
+		p = machine.IBMSP2(76)
+	case "sx4":
+		p = machine.NECSX4(16)
+	case "cluster":
+		p = machine.GenericCluster(32)
+	default:
+		return machine.Profile{}, fmt.Errorf("unknown machine %q (want t3e, vpp700, sp2, sx4, or cluster)", name)
+	}
+	if processors > 0 {
+		p.Processors = processors
+	}
+	return p, nil
+}
+
+// BuildSite assembles the running pieces of a site: its UUDB, NJS, and
+// gateway, under the given clock (sim.RealClock{} in the daemons).
+func BuildSite(cfg *SiteConfig, cred *pki.Credential, ca *pki.Authority, clock sim.Scheduler) (*gateway.Gateway, *njs.NJS, *uudb.DB, error) {
+	users := uudb.New(cfg.Usite, clock)
+	for _, u := range cfg.Users {
+		users.AddUser(u.DN, u.Email)
+		for vs, login := range u.Logins {
+			if err := users.AddMapping(u.DN, vs, login); err != nil {
+				return nil, nil, nil, fmt.Errorf("deploy: mapping %s at %s: %w", u.DN, vs, err)
+			}
+		}
+	}
+	var vcs []njs.VsiteConfig
+	for _, v := range cfg.Vsites {
+		prof, err := Machine(v.Machine, v.Processors)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		var queues []codine.Queue
+		for _, q := range v.Queues {
+			mt := time.Duration(q.MaxTimeSec) * time.Second
+			if mt == 0 {
+				mt = 24 * time.Hour
+			}
+			queues = append(queues, codine.Queue{Name: q.Name, Slots: q.Slots, MaxTime: mt})
+		}
+		vcs = append(vcs, njs.VsiteConfig{
+			Name:     v.Name,
+			Profile:  prof,
+			Backfill: v.Backfill,
+			Queues:   queues,
+		})
+	}
+	n, err := njs.New(njs.Config{Usite: cfg.Usite, Clock: clock, Vsites: vcs})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	gw, err := gateway.New(gateway.Config{
+		Usite: cfg.Usite,
+		Cred:  cred,
+		CA:    ca,
+		Users: users,
+		NJS:   n,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return gw, n, users, nil
+}
+
+// LoadAuthority reads a CA PEM file.
+func LoadAuthority(path string) (*pki.Authority, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: %w", err)
+	}
+	return pki.DecodeAuthorityPEM(data)
+}
+
+// LoadCredential reads a credential PEM file.
+func LoadCredential(path string) (*pki.Credential, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: %w", err)
+	}
+	return pki.DecodeCredentialPEM(data)
+}
+
+// WriteFile persists data with private-key-appropriate permissions.
+func WriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600)
+}
+
+// ParsePeers builds a site registry from "FZJ=https://gw.fzj:8443,ZIB=...".
+func ParsePeers(s string) (*protocol.Registry, error) {
+	reg := protocol.NewRegistry()
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		usite, url, ok := strings.Cut(pair, "=")
+		if !ok || usite == "" || url == "" {
+			return nil, fmt.Errorf("deploy: bad peer %q (want USITE=URL)", pair)
+		}
+		reg.Add(core.Usite(usite), url)
+	}
+	return reg, nil
+}

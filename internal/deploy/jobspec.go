@@ -1,0 +1,207 @@
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"unicore/internal/ajo"
+	"unicore/internal/core"
+	"unicore/internal/resources"
+)
+
+// JobSpec is the JSON job description the CLI JPA consumes — the file-based
+// equivalent of filling in the JPA's GUI forms.
+type JobSpec struct {
+	Name    string     `json:"name"`
+	Target  string     `json:"target"` // "USITE/VSITE"
+	Project string     `json:"project,omitempty"`
+	Tasks   []TaskSpec `json:"tasks"`
+	Deps    []DepSpec  `json:"deps,omitempty"`
+	// Jobs nests job groups for other destinations.
+	Jobs []JobSpec `json:"jobs,omitempty"`
+}
+
+// TaskSpec is one task of a JobSpec.
+type TaskSpec struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	// Type is one of: script, command, execute, compile, link, import,
+	// export, transfer.
+	Type string `json:"type"`
+
+	// script
+	Script string `json:"script,omitempty"`
+	// command
+	Command string `json:"command,omitempty"`
+	// execute
+	Executable string   `json:"executable,omitempty"`
+	Args       []string `json:"args,omitempty"`
+	// compile / link
+	Language  string   `json:"language,omitempty"`
+	Sources   []string `json:"sources,omitempty"`
+	Objects   []string `json:"objects,omitempty"`
+	Libraries []string `json:"libraries,omitempty"`
+	Output    string   `json:"output,omitempty"`
+	// import: File is a path on the submitting workstation (read at build
+	// time and carried inline in the AJO, §5.6); Xspace names a file already
+	// at the Vsite.
+	File   string `json:"file,omitempty"`
+	Data   string `json:"data,omitempty"` // literal inline data
+	Xspace string `json:"xspace,omitempty"`
+	To     string `json:"to,omitempty"`
+	// export
+	From     string `json:"from,omitempty"`
+	ToXspace string `json:"toXspace,omitempty"`
+	// transfer
+	FromTask string   `json:"fromTask,omitempty"`
+	Files    []string `json:"files,omitempty"`
+
+	// resources
+	Processors int `json:"processors,omitempty"`
+	RunTimeSec int `json:"runTimeSec,omitempty"`
+	MemoryMB   int `json:"memoryMB,omitempty"`
+	PermDiskMB int `json:"permDiskMB,omitempty"`
+	TempDiskMB int `json:"tempDiskMB,omitempty"`
+}
+
+// DepSpec wires two tasks, optionally naming handed-over files.
+type DepSpec struct {
+	Before string   `json:"before"`
+	After  string   `json:"after"`
+	Files  []string `json:"files,omitempty"`
+}
+
+// LoadJobSpec reads a job description file.
+func LoadJobSpec(path string) (*JobSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: %w", err)
+	}
+	var spec JobSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("deploy: parsing %s: %w", path, err)
+	}
+	return &spec, nil
+}
+
+// Build converts the spec into a validated AbstractJob.
+func (s *JobSpec) Build() (*ajo.AbstractJob, error) {
+	target, err := core.ParseTarget(s.Target)
+	if err != nil {
+		return nil, err
+	}
+	job := &ajo.AbstractJob{
+		Header:  ajo.Header{ActionID: ajo.NewID("job"), ActionName: s.Name},
+		Target:  target,
+		Project: s.Project,
+	}
+	ids := map[string]ajo.ActionID{}
+	for _, t := range s.Tasks {
+		a, err := t.build()
+		if err != nil {
+			return nil, fmt.Errorf("deploy: task %q: %w", t.ID, err)
+		}
+		if _, dup := ids[t.ID]; dup {
+			return nil, fmt.Errorf("deploy: duplicate task id %q", t.ID)
+		}
+		ids[t.ID] = a.ID()
+		job.Actions = append(job.Actions, a)
+	}
+	for _, sub := range s.Jobs {
+		subJob, err := sub.Build()
+		if err != nil {
+			return nil, fmt.Errorf("deploy: job group %q: %w", sub.Name, err)
+		}
+		if _, dup := ids[sub.Name]; dup {
+			return nil, fmt.Errorf("deploy: job group name %q collides with a task id", sub.Name)
+		}
+		ids[sub.Name] = subJob.ID()
+		job.Actions = append(job.Actions, subJob)
+	}
+	for _, d := range s.Deps {
+		before, ok := ids[d.Before]
+		if !ok {
+			return nil, fmt.Errorf("deploy: dependency names unknown task %q", d.Before)
+		}
+		after, ok := ids[d.After]
+		if !ok {
+			return nil, fmt.Errorf("deploy: dependency names unknown task %q", d.After)
+		}
+		job.Dependencies = append(job.Dependencies, ajo.Dependency{Before: before, After: after, Files: d.Files})
+	}
+	// Transfer tasks referenced sibling specs by ID; rewrite them.
+	for _, a := range job.Actions {
+		if tr, ok := a.(*ajo.TransferTask); ok {
+			src, ok := ids[string(tr.FromAction)]
+			if !ok {
+				return nil, fmt.Errorf("deploy: transfer %s names unknown task %q", tr.ActionID, tr.FromAction)
+			}
+			tr.FromAction = src
+		}
+	}
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	return job, nil
+}
+
+// request assembles the task's resource demand.
+func (t *TaskSpec) request() resources.Request {
+	return resources.Request{
+		Processors: t.Processors,
+		RunTime:    time.Duration(t.RunTimeSec) * time.Second,
+		MemoryMB:   t.MemoryMB,
+		PermDiskMB: t.PermDiskMB,
+		TempDiskMB: t.TempDiskMB,
+	}
+}
+
+// build converts one task spec.
+func (t *TaskSpec) build() (ajo.Action, error) {
+	if t.ID == "" {
+		return nil, fmt.Errorf("task without id")
+	}
+	name := t.Name
+	if name == "" {
+		name = t.ID
+	}
+	base := ajo.TaskBase{
+		Header:    ajo.Header{ActionID: ajo.ActionID(t.ID), ActionName: name},
+		Resources: t.request(),
+	}
+	hdr := ajo.Header{ActionID: ajo.ActionID(t.ID), ActionName: name}
+	switch t.Type {
+	case "script":
+		return &ajo.ScriptTask{TaskBase: base, Script: t.Script}, nil
+	case "command":
+		return &ajo.UserTask{TaskBase: base, Command: t.Command}, nil
+	case "execute":
+		return &ajo.ExecuteTask{TaskBase: base, Executable: t.Executable, Arguments: t.Args}, nil
+	case "compile":
+		return &ajo.CompileTask{TaskBase: base, Language: t.Language, Sources: t.Sources, Output: t.Output}, nil
+	case "link":
+		return &ajo.LinkTask{TaskBase: base, Objects: t.Objects, Libraries: t.Libraries, Output: t.Output}, nil
+	case "import":
+		src := ajo.ImportSource{XspacePath: t.Xspace}
+		switch {
+		case t.File != "":
+			data, err := os.ReadFile(t.File)
+			if err != nil {
+				return nil, fmt.Errorf("reading workstation file: %w", err)
+			}
+			src = ajo.ImportSource{Inline: data}
+		case t.Data != "":
+			src = ajo.ImportSource{Inline: []byte(t.Data)}
+		}
+		return &ajo.ImportTask{Header: hdr, Source: src, To: t.To}, nil
+	case "export":
+		return &ajo.ExportTask{Header: hdr, From: t.From, ToXspace: t.ToXspace}, nil
+	case "transfer":
+		// FromTask is resolved to the real ActionID by JobSpec.Build.
+		return &ajo.TransferTask{Header: hdr, FromAction: ajo.ActionID(t.FromTask), Files: t.Files}, nil
+	default:
+		return nil, fmt.Errorf("unknown task type %q", t.Type)
+	}
+}

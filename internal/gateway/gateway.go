@@ -1,0 +1,456 @@
+// Package gateway implements the UNICORE server's public face (paper §4.2,
+// §5.2): the https Web server plus the Java security servlet. The gateway
+//
+//   - authenticates every request by verifying the envelope signature chain
+//     against the site CA (the reproduction of the https/X.509 mutual
+//     authentication of §4.1),
+//   - maps the user's certificate distinguished name to the local user-id at
+//     the target system through the site's UUDB ("the Java security servlet
+//     (gateway) which maps the user's certificate to the user's id at the
+//     target system"),
+//   - offers a hook for "additional site specific authentication" (smart
+//     cards, DCE) exactly where the paper places it,
+//   - serves the signed applets (JPA/JMC payloads) and the Vsites' resource
+//     pages in ASN.1, and
+//   - forwards authenticated requests to the NJS — either in-process (the
+//     combined server) or across the firewall split of §5.2 (see split.go).
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"unicore/internal/ajo"
+	"unicore/internal/core"
+	"unicore/internal/njs"
+	"unicore/internal/pki"
+	"unicore/internal/protocol"
+	"unicore/internal/uudb"
+)
+
+// maxRequest bounds one request envelope. AJOs carry workstation files
+// inline (§5.6), so the bound is generous.
+const maxRequest = 64 << 20
+
+// Errors reported by the gateway.
+var (
+	ErrNotPermitted = errors.New("gateway: role not permitted for this request")
+	ErrSiteAuth     = errors.New("gateway: site-specific authentication failed")
+	ErrBadApplet    = errors.New("gateway: applet signature invalid")
+)
+
+// SiteAuth is the hook for site-specific authentication beyond the X.509
+// check: "for sites that require the use of smart cards or run DCE ... it
+// also offers an interface for additional site specific authentication"
+// (§4.2). It runs for user-role callers after signature verification.
+type SiteAuth func(dn core.DN) error
+
+// Applet is a signed software payload — the stand-in for the signed Java
+// applets (JPA/JMC) of §4.1/§5.2. The signature is a detached signature by a
+// software-publisher credential over Payload; clients verify it before
+// trusting the code ("the applet certificate is checked to assure the user
+// that the software has not been tampered with").
+type Applet struct {
+	Name      string
+	Version   string
+	Payload   []byte
+	Signature pki.Signature
+}
+
+// SignApplet produces an applet signed by a software-publisher credential.
+func SignApplet(publisher *pki.Credential, name, version string, payload []byte) (Applet, error) {
+	if publisher.Role != pki.RoleSoftware {
+		return Applet{}, fmt.Errorf("gateway: applet signer has role %s, want %s", publisher.Role, pki.RoleSoftware)
+	}
+	sig, err := publisher.Sign(payload)
+	if err != nil {
+		return Applet{}, err
+	}
+	return Applet{Name: name, Version: version, Payload: payload, Signature: sig}, nil
+}
+
+// Stats counts gateway traffic, by message type and by rejection cause.
+type Stats struct {
+	Requests  int64
+	Rejected  int64
+	ByType    map[protocol.MsgType]int64
+	ByFailure map[string]int64
+}
+
+// Config assembles a gateway.
+type Config struct {
+	Usite core.Usite
+	// Cred is the gateway's server certificate (presented in every reply
+	// envelope, mirroring the server side of the SSL handshake).
+	Cred *pki.Credential
+	// CA is the trust root for verifying callers.
+	CA *pki.Authority
+	// Users is the site's UNICORE user database for DN→login mapping.
+	Users *uudb.DB
+	// NJS is the site's network job supervisor. The gateway installs itself
+	// as the NJS's login mapper.
+	NJS *njs.NJS
+	// SiteAuth, when set, is consulted for every user-role request.
+	SiteAuth SiteAuth
+}
+
+// Gateway is one Usite's UNICORE server front end.
+type Gateway struct {
+	usite    core.Usite
+	cred     *pki.Credential
+	ca       *pki.Authority
+	users    *uudb.DB
+	njs      *njs.NJS
+	siteAuth SiteAuth
+
+	mu      sync.Mutex
+	applets map[string]Applet
+	stats   Stats
+}
+
+// New assembles a gateway and wires it into the NJS as its login mapper.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Usite == "" {
+		return nil, errors.New("gateway: empty usite")
+	}
+	if cfg.Cred == nil || cfg.Cred.Role != pki.RoleServer {
+		return nil, errors.New("gateway: need a server-role credential")
+	}
+	if cfg.CA == nil {
+		return nil, errors.New("gateway: nil CA")
+	}
+	if cfg.Users == nil {
+		return nil, errors.New("gateway: nil user database")
+	}
+	if cfg.NJS == nil {
+		return nil, errors.New("gateway: nil NJS")
+	}
+	g := &Gateway{
+		usite:    cfg.Usite,
+		cred:     cfg.Cred,
+		ca:       cfg.CA,
+		users:    cfg.Users,
+		njs:      cfg.NJS,
+		siteAuth: cfg.SiteAuth,
+		applets:  make(map[string]Applet),
+	}
+	g.stats.ByType = make(map[protocol.MsgType]int64)
+	g.stats.ByFailure = make(map[string]int64)
+	cfg.NJS.SetLoginMapper(g.MapLogin)
+	return g, nil
+}
+
+// Usite returns the site this gateway fronts.
+func (g *Gateway) Usite() core.Usite { return g.usite }
+
+// DN returns the gateway's server identity.
+func (g *Gateway) DN() core.DN { return g.cred.DN() }
+
+// MapLogin resolves a user DN to the local login at a Vsite — the security
+// servlet's defining function. It is installed into the NJS so that the
+// mapping stays at the security tier.
+func (g *Gateway) MapLogin(dn core.DN, vsite core.Vsite) (uudb.Login, error) {
+	return g.users.Map(dn, vsite)
+}
+
+// InstallApplet registers a signed applet after verifying its signature
+// chains to the CA with the software role — a site never serves tampered
+// code.
+func (g *Gateway) InstallApplet(a Applet) error {
+	if _, err := g.ca.VerifySignature(a.Payload, a.Signature, pki.RoleSoftware); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadApplet, err)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.applets[a.Name] = a
+	return nil
+}
+
+// AppletNames lists the installed applets, sorted.
+func (g *Gateway) AppletNames() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	names := make([]string, 0, len(g.applets))
+	for n := range g.applets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (g *Gateway) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := Stats{
+		Requests:  g.stats.Requests,
+		Rejected:  g.stats.Rejected,
+		ByType:    make(map[protocol.MsgType]int64, len(g.stats.ByType)),
+		ByFailure: make(map[string]int64, len(g.stats.ByFailure)),
+	}
+	for k, v := range g.stats.ByType {
+		s.ByType[k] = v
+	}
+	for k, v := range g.stats.ByFailure {
+		s.ByFailure[k] = v
+	}
+	return s
+}
+
+func (g *Gateway) count(t protocol.MsgType) {
+	g.mu.Lock()
+	g.stats.Requests++
+	g.stats.ByType[t]++
+	g.mu.Unlock()
+}
+
+func (g *Gateway) countFailure(cause string) {
+	g.mu.Lock()
+	g.stats.Rejected++
+	g.stats.ByFailure[cause]++
+	g.mu.Unlock()
+}
+
+// ServeHTTP implements the site's https endpoint: POST /unicore carries
+// envelopes; GET / serves the UNICORE Web page ("the https Web server which
+// provides the UNICORE Web page", §4.2).
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == protocol.Endpoint:
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxRequest+1))
+		if err != nil {
+			http.Error(w, "reading request", http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxRequest {
+			http.Error(w, "request too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write(g.Handle(body)); err != nil {
+			return
+		}
+	case r.Method == http.MethodGet && r.URL.Path == "/":
+		g.serveIndex(w)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// serveIndex renders the site's Web page.
+func (g *Gateway) serveIndex(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<html><head><title>UNICORE site %s</title></head><body>\n", g.usite)
+	fmt.Fprintf(w, "<h1>UNICORE site %s</h1>\n<h2>Vsites</h2>\n<ul>\n", g.usite)
+	for _, p := range g.njs.Pages() {
+		fmt.Fprintf(w, "<li>%s &mdash; %s, %d PEs</li>\n", p.Target, p.Architecture, p.Processors.Max)
+	}
+	fmt.Fprintf(w, "</ul>\n<h2>Signed applets</h2>\n<ul>\n")
+	for _, name := range g.AppletNames() {
+		fmt.Fprintf(w, "<li>%s</li>\n", name)
+	}
+	fmt.Fprintf(w, "</ul>\n</body></html>\n")
+}
+
+// Handle authenticates one request envelope and dispatches it, returning the
+// sealed reply envelope. It is the shared core of the combined server, the
+// TLS server, and the firewall-split inner half.
+func (g *Gateway) Handle(data []byte) []byte {
+	t, raw, dn, role, err := protocol.Open(g.ca, data)
+	if err != nil {
+		g.countFailure("authentication")
+		return g.sealError("authentication", err)
+	}
+	g.count(t)
+	switch role {
+	case pki.RoleUser, pki.RoleServer:
+		// Users and peer UNICORE servers may talk to a gateway.
+	default:
+		g.countFailure("role")
+		return g.sealError("role", fmt.Errorf("%w: %q", ErrNotPermitted, role))
+	}
+	if role == pki.RoleUser && g.siteAuth != nil {
+		if err := g.siteAuth(dn); err != nil {
+			g.countFailure("site-auth")
+			return g.sealError("site-auth", fmt.Errorf("%w: %v", ErrSiteAuth, err))
+		}
+	}
+	asServer := role == pki.RoleServer
+
+	reply, rt, err := g.dispatch(t, raw, dn, asServer)
+	if err != nil {
+		g.countFailure(string(t))
+		return g.sealError(string(t), err)
+	}
+	out, err := protocol.Seal(g.cred, rt, reply)
+	if err != nil {
+		return g.sealError("internal", err)
+	}
+	return out
+}
+
+// dispatch routes one authenticated request to the NJS.
+func (g *Gateway) dispatch(t protocol.MsgType, raw json.RawMessage, dn core.DN, asServer bool) (any, protocol.MsgType, error) {
+	switch t {
+	case protocol.MsgConsign:
+		return g.handleConsign(raw, dn, asServer)
+	case protocol.MsgPoll:
+		var req protocol.PollRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, "", fmt.Errorf("gateway: bad poll request: %w", err)
+		}
+		reply, err := g.njs.Poll(dn, asServer, req.Job)
+		return reply, protocol.MsgPollReply, err
+	case protocol.MsgOutcome:
+		var req protocol.OutcomeRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, "", fmt.Errorf("gateway: bad outcome request: %w", err)
+		}
+		o, found, err := g.njs.Outcome(dn, asServer, req.Job)
+		if err != nil {
+			return nil, "", err
+		}
+		reply := protocol.OutcomeReply{Found: found}
+		if found {
+			enc, err := ajo.MarshalOutcome(o)
+			if err != nil {
+				return nil, "", err
+			}
+			reply.Outcome = enc
+		}
+		return reply, protocol.MsgOutcomeReply, nil
+	case protocol.MsgList:
+		jobs, err := g.njs.List(dn)
+		return protocol.ListReply{Jobs: jobs}, protocol.MsgListReply, err
+	case protocol.MsgControl:
+		var req protocol.ControlRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, "", fmt.Errorf("gateway: bad control request: %w", err)
+		}
+		err := g.njs.Control(dn, asServer, req.Job, req.Op)
+		reply := protocol.ControlReply{OK: err == nil}
+		if err != nil {
+			reply.Reason = err.Error()
+		}
+		return reply, protocol.MsgControlReply, nil
+	case protocol.MsgResources:
+		var req protocol.ResourcesRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, "", fmt.Errorf("gateway: bad resources request: %w", err)
+		}
+		return g.handleResources(req)
+	case protocol.MsgTransfer:
+		if !asServer {
+			return nil, "", fmt.Errorf("%w: Uspace transfers are NJS-to-NJS traffic", ErrNotPermitted)
+		}
+		var req protocol.TransferRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, "", fmt.Errorf("gateway: bad transfer request: %w", err)
+		}
+		reply, err := g.njs.FetchFile(req.Job, req.File, req.Offset, req.Limit)
+		return reply, protocol.MsgTransferReply, err
+	case protocol.MsgApplet:
+		var req protocol.AppletRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, "", fmt.Errorf("gateway: bad applet request: %w", err)
+		}
+		g.mu.Lock()
+		a, ok := g.applets[req.Name]
+		g.mu.Unlock()
+		if !ok {
+			return nil, "", fmt.Errorf("gateway: no applet %q at %s", req.Name, g.usite)
+		}
+		return protocol.AppletReply{
+			Name: a.Name, Version: a.Version, Payload: a.Payload, Signature: a.Signature,
+		}, protocol.MsgAppletReply, nil
+	case protocol.MsgFetch:
+		var req protocol.FetchRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, "", fmt.Errorf("gateway: bad fetch request: %w", err)
+		}
+		reply, err := g.njs.FetchFileOwned(dn, asServer, req.Job, req.File, req.Offset, req.Limit)
+		return reply, protocol.MsgFetchReply, err
+	case protocol.MsgLoad:
+		loads := g.njs.VsiteLoads()
+		reply := protocol.LoadReply{Overall: g.njs.Load(), Vsites: make(map[string]protocol.VsiteLoad, len(loads))}
+		for v, l := range loads {
+			reply.Vsites[string(v)] = protocol.VsiteLoad{Load: l.Load, Pending: l.Pending}
+		}
+		return reply, protocol.MsgLoadReply, nil
+	default:
+		return nil, "", fmt.Errorf("gateway: unsupported request type %q", t)
+	}
+}
+
+// handleConsign admits an AJO. A user-signed consignment is owned by the
+// signer; a server-signed consignment (a peer NJS distributing a job group,
+// §5.5) is owned by the user recorded in the AJO.
+func (g *Gateway) handleConsign(raw json.RawMessage, dn core.DN, asServer bool) (any, protocol.MsgType, error) {
+	var req protocol.ConsignRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return nil, "", fmt.Errorf("gateway: bad consign request: %w", err)
+	}
+	action, err := ajo.Unmarshal(req.AJO)
+	if err != nil {
+		return nil, "", fmt.Errorf("gateway: decoding AJO: %w", err)
+	}
+	job, ok := action.(*ajo.AbstractJob)
+	if !ok {
+		return nil, "", fmt.Errorf("gateway: consigned action is %s, want a job", action.Kind())
+	}
+	owner := dn
+	if asServer {
+		if job.UserDN == "" {
+			return nil, "", errors.New("gateway: server consignment without a user DN")
+		}
+		owner = job.UserDN
+	} else if job.UserDN != "" && job.UserDN != dn {
+		return nil, "", fmt.Errorf("gateway: AJO user %s does not match signer %s", job.UserDN, dn)
+	}
+	id, err := g.njs.Consign(owner, req.ConsignID, job)
+	reply := protocol.ConsignReply{Accepted: err == nil, Job: id}
+	if err != nil {
+		reply.Reason = err.Error()
+		reply.Accepted = false
+		return reply, protocol.MsgConsignReply, nil
+	}
+	return reply, protocol.MsgConsignReply, nil
+}
+
+// handleResources serves the ASN.1 resource pages of §5.4.
+func (g *Gateway) handleResources(req protocol.ResourcesRequest) (any, protocol.MsgType, error) {
+	var pages [][]byte
+	for _, p := range g.njs.Pages() {
+		if req.Vsite != "" && p.Target.Vsite != req.Vsite {
+			continue
+		}
+		der, err := p.MarshalASN1()
+		if err != nil {
+			return nil, "", fmt.Errorf("gateway: encoding resource page %s: %w", p.Target, err)
+		}
+		pages = append(pages, der)
+	}
+	if req.Vsite != "" && len(pages) == 0 {
+		return nil, "", fmt.Errorf("gateway: no Vsite %q at %s", req.Vsite, g.usite)
+	}
+	return protocol.ResourcesReply{PagesDER: pages}, protocol.MsgResourcesReply, nil
+}
+
+// sealError wraps a failure as a signed error reply. If even sealing fails
+// the gateway returns an unsigned error document as a last resort.
+func (g *Gateway) sealError(code string, cause error) []byte {
+	out, err := protocol.Seal(g.cred, protocol.MsgError, protocol.ErrorReply{
+		Code:    code,
+		Message: cause.Error(),
+	})
+	if err != nil {
+		fallback, _ := json.Marshal(map[string]string{"fatal": err.Error()})
+		return fallback
+	}
+	return out
+}

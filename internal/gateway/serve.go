@@ -1,0 +1,33 @@
+package gateway
+
+import (
+	"crypto/tls"
+	"net"
+	"net/http"
+
+	"unicore/internal/pki"
+)
+
+// ServeTLS serves a gateway (or split Front) handler on a mutually
+// authenticated TLS listener — the https of §4.1: the server presents its
+// X.509 certificate, and the client must present one chaining to the CA
+// before any request is processed.
+//
+// ServeTLS blocks until the listener closes. The returned server can be shut
+// down by closing the listener.
+func ServeTLS(l net.Listener, handler http.Handler, cred *pki.Credential, ca *pki.Authority) error {
+	srv := &http.Server{Handler: handler}
+	tl := tls.NewListener(l, pki.ServerTLS(cred, ca))
+	err := srv.Serve(tl)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// ClientTransport builds an http.RoundTripper that presents the client
+// credential and validates gateway certificates against the CA — the user
+// side of the mutual TLS handshake.
+func ClientTransport(cred *pki.Credential, ca *pki.Authority) *http.Transport {
+	return &http.Transport{TLSClientConfig: pki.ClientTLS(cred, ca)}
+}

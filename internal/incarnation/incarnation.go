@@ -1,0 +1,221 @@
+// Package incarnation translates abstract tasks into real batch jobs — the
+// NJS's "java translation server" role: "translate the abstract
+// specifications into the local system specific nomenclature using
+// translation tables" (paper §5.5). A Table is the per-Vsite translation
+// table "the UNICORE site administrator together with the Vsite system
+// administrator" sets up; Incarnate produces the batch script (with the
+// dialect's directives) and the codine job specification.
+package incarnation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"unicore/internal/ajo"
+	"unicore/internal/codine"
+	"unicore/internal/core"
+	"unicore/internal/machine"
+	"unicore/internal/resources"
+	"unicore/internal/uudb"
+)
+
+// Errors reported by incarnation.
+var (
+	ErrNotExecutable = errors.New("incarnation: action does not incarnate to a batch job")
+	ErrNoTranslation = errors.New("incarnation: no translation for abstract name")
+)
+
+// Table is one Vsite's translation table.
+type Table struct {
+	Target  core.Target
+	Profile machine.Profile
+	Queue   string // destination batch queue
+	// Compilers maps abstract language names to compiler commands; seeded
+	// from the profile ("f90" → cf90 on the T3E).
+	Compilers map[string]string
+	// Linker is the link command.
+	Linker string
+	// Defaults fills unspecified resource fields before incarnation.
+	Defaults resources.Request
+}
+
+// NewTable derives the standard table for a profile, as the site
+// administrator would.
+func NewTable(target core.Target, p machine.Profile, queue string) Table {
+	return Table{
+		Target:  target,
+		Profile: p,
+		Queue:   queue,
+		Compilers: map[string]string{
+			"f90":     p.FortranCompiler,
+			"fortran": p.FortranCompiler,
+		},
+		Linker: p.Linker,
+		Defaults: resources.Request{
+			Processors: 1,
+			RunTime:    time.Hour,
+			MemoryMB:   64,
+		},
+	}
+}
+
+// Incarnated is the result of translating one task.
+type Incarnated struct {
+	Script string
+	Spec   codine.JobSpec // FS and Done are filled in by the NJS
+}
+
+// Incarnate translates an executable task into a batch job for the table's
+// destination system, under the mapped local login.
+func Incarnate(a ajo.Action, login uudb.Login, tbl Table) (Incarnated, error) {
+	if !a.Kind().IsExecutable() {
+		return Incarnated{}, fmt.Errorf("%w: %s", ErrNotExecutable, a.Kind())
+	}
+	req, _ := ajo.TaskResources(a)
+	req = req.WithDefaults(tbl.Defaults)
+
+	body, env, err := taskBody(a, tbl)
+	if err != nil {
+		return Incarnated{}, err
+	}
+
+	var sb strings.Builder
+	writeDirectives(&sb, tbl, a, req, login)
+	sb.WriteString("# --- incarnated by UNICORE NJS ---\n")
+	for _, k := range sortedKeys(env) {
+		fmt.Fprintf(&sb, "%s=%s\n", k, env[k])
+	}
+	sb.WriteString(body)
+	if !strings.HasSuffix(body, "\n") {
+		sb.WriteByte('\n')
+	}
+
+	name := a.Name()
+	if name == "" {
+		name = string(a.ID())
+	}
+	return Incarnated{
+		Script: sb.String(),
+		Spec: codine.JobSpec{
+			Name:      name,
+			Owner:     login.UID,
+			Project:   login.Project,
+			Queue:     tbl.Queue,
+			Slots:     req.Processors,
+			TimeLimit: req.RunTime,
+			Env:       env,
+		},
+	}, nil
+}
+
+// taskBody renders the command section for each executable task class.
+func taskBody(a ajo.Action, tbl Table) (string, map[string]string, error) {
+	switch t := a.(type) {
+	case *ajo.CompileTask:
+		cc, ok := tbl.Compilers[strings.ToLower(t.Language)]
+		if !ok {
+			return "", nil, fmt.Errorf("%w: compiler for %q at %s", ErrNoTranslation, t.Language, tbl.Target)
+		}
+		parts := []string{cc, "-c", "-o", t.Output}
+		parts = append(parts, t.Options...)
+		parts = append(parts, t.Sources...)
+		return strings.Join(parts, " "), nil, nil
+
+	case *ajo.LinkTask:
+		if tbl.Linker == "" {
+			return "", nil, fmt.Errorf("%w: linker at %s", ErrNoTranslation, tbl.Target)
+		}
+		parts := []string{tbl.Linker, "-o", t.Output}
+		parts = append(parts, t.Objects...)
+		for _, lib := range t.Libraries {
+			parts = append(parts, "-l", lib)
+		}
+		return strings.Join(parts, " "), nil, nil
+
+	case *ajo.ExecuteTask:
+		exe := t.Executable
+		if !strings.HasPrefix(exe, "/") && !strings.HasPrefix(exe, "./") {
+			exe = "./" + exe
+		}
+		parts := []string{exe}
+		parts = append(parts, t.Arguments...)
+		if t.Stdin != "" {
+			parts = append(parts, "<", t.Stdin)
+		}
+		return strings.Join(parts, " "), t.Environment, nil
+
+	case *ajo.UserTask:
+		return t.Command, nil, nil
+
+	case *ajo.ScriptTask:
+		return t.Script, nil, nil
+	}
+	return "", nil, fmt.Errorf("%w: %T", ErrNotExecutable, a)
+}
+
+// writeDirectives emits the batch directive header in the destination
+// dialect. The shell treats them as comments; they exist so the incarnated
+// script is what the destination system would really have received.
+func writeDirectives(sb *strings.Builder, tbl Table, a ajo.Action, req resources.Request, login uudb.Login) {
+	name := a.Name()
+	if name == "" {
+		name = string(a.ID())
+	}
+	secs := int(req.RunTime / time.Second)
+	switch tbl.Profile.Dialect {
+	case machine.DialectNQE:
+		fmt.Fprintf(sb, "#QSUB -r %s\n", name)
+		fmt.Fprintf(sb, "#QSUB -q %s\n", tbl.Queue)
+		fmt.Fprintf(sb, "#QSUB -l mpp_p=%d\n", req.Processors)
+		fmt.Fprintf(sb, "#QSUB -l mpp_t=%d\n", secs)
+		fmt.Fprintf(sb, "#QSUB -lM %dMw\n", req.MemoryMB/8)
+		if login.Project != "" {
+			fmt.Fprintf(sb, "#QSUB -A %s\n", login.Project)
+		}
+	case machine.DialectNQS:
+		fmt.Fprintf(sb, "#@$-r %s\n", name)
+		fmt.Fprintf(sb, "#@$-q %s\n", tbl.Queue)
+		fmt.Fprintf(sb, "#@$-lP %d\n", req.Processors)
+		fmt.Fprintf(sb, "#@$-lT %d\n", secs)
+		fmt.Fprintf(sb, "#@$-lM %dmb\n", req.MemoryMB)
+		if login.Project != "" {
+			fmt.Fprintf(sb, "#@$-A %s\n", login.Project)
+		}
+	case machine.DialectLoadLeveler:
+		fmt.Fprintf(sb, "# @ job_name = %s\n", name)
+		fmt.Fprintf(sb, "# @ class = %s\n", tbl.Queue)
+		fmt.Fprintf(sb, "# @ job_type = parallel\n")
+		fmt.Fprintf(sb, "# @ min_processors = %d\n", req.Processors)
+		fmt.Fprintf(sb, "# @ wall_clock_limit = %s\n", hhmmss(secs))
+		if login.Project != "" {
+			fmt.Fprintf(sb, "# @ account_no = %s\n", login.Project)
+		}
+		fmt.Fprintf(sb, "# @ queue\n")
+	case machine.DialectCodine:
+		fmt.Fprintf(sb, "#$ -N %s\n", name)
+		fmt.Fprintf(sb, "#$ -q %s\n", tbl.Queue)
+		fmt.Fprintf(sb, "#$ -pe mpi %d\n", req.Processors)
+		fmt.Fprintf(sb, "#$ -l h_rt=%d\n", secs)
+		if login.Project != "" {
+			fmt.Fprintf(sb, "#$ -P %s\n", login.Project)
+		}
+	default:
+		fmt.Fprintf(sb, "# unknown dialect %s\n", tbl.Profile.Dialect)
+	}
+}
+
+func hhmmss(secs int) string {
+	return fmt.Sprintf("%02d:%02d:%02d", secs/3600, secs/60%60, secs%60)
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

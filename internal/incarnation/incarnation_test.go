@@ -1,0 +1,218 @@
+package incarnation
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"unicore/internal/ajo"
+	"unicore/internal/core"
+	"unicore/internal/machine"
+	"unicore/internal/resources"
+	"unicore/internal/uudb"
+)
+
+var (
+	t3eTarget = core.Target{Usite: "FZJ", Vsite: "T3E"}
+	login     = uudb.Login{UID: "alice", Project: "zam"}
+)
+
+func t3eTable() Table { return NewTable(t3eTarget, machine.CrayT3E(512), "batch") }
+
+func TestIncarnateCompileTask(t *testing.T) {
+	task := &ajo.CompileTask{
+		TaskBase: ajo.TaskBase{
+			Header:    ajo.Header{ActionID: "cc", ActionName: "compile-main"},
+			Resources: resources.Request{Processors: 1, RunTime: 10 * time.Minute, MemoryMB: 64},
+		},
+		Language: "f90",
+		Sources:  []string{"main.f90", "util.f90"},
+		Options:  []string{"-O3"},
+		Output:   "main.o",
+	}
+	inc, err := Incarnate(task, login, t3eTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inc.Script, "cf90 -c -o main.o -O3 main.f90 util.f90") {
+		t.Fatalf("script missing translated compile line:\n%s", inc.Script)
+	}
+	// NQE directives for the T3E.
+	for _, want := range []string{"#QSUB -q batch", "#QSUB -l mpp_p=1", "#QSUB -l mpp_t=600", "#QSUB -A zam", "#QSUB -r compile-main"} {
+		if !strings.Contains(inc.Script, want) {
+			t.Errorf("script missing directive %q:\n%s", want, inc.Script)
+		}
+	}
+	if inc.Spec.Owner != "alice" || inc.Spec.Project != "zam" || inc.Spec.Queue != "batch" {
+		t.Fatalf("spec = %+v", inc.Spec)
+	}
+	if inc.Spec.Slots != 1 || inc.Spec.TimeLimit != 10*time.Minute {
+		t.Fatalf("spec resources = %+v", inc.Spec)
+	}
+}
+
+func TestIncarnateLinkTask(t *testing.T) {
+	task := &ajo.LinkTask{
+		TaskBase:  ajo.TaskBase{Header: ajo.Header{ActionID: "ld"}},
+		Objects:   []string{"main.o", "util.o"},
+		Libraries: []string{"MPI", "BLAS"},
+		Output:    "prog",
+	}
+	inc, err := Incarnate(task, login, t3eTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inc.Script, "segldr -o prog main.o util.o -l MPI -l BLAS") {
+		t.Fatalf("link line wrong:\n%s", inc.Script)
+	}
+}
+
+func TestIncarnateExecuteTask(t *testing.T) {
+	task := &ajo.ExecuteTask{
+		TaskBase: ajo.TaskBase{
+			Header:    ajo.Header{ActionID: "run"},
+			Resources: resources.Request{Processors: 128, RunTime: 2 * time.Hour},
+		},
+		Executable:  "prog",
+		Arguments:   []string{"-n", "100"},
+		Environment: map[string]string{"OMP_NUM_THREADS": "4"},
+		Stdin:       "input.nml",
+	}
+	inc, err := Incarnate(task, login, t3eTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inc.Script, "./prog -n 100 < input.nml") {
+		t.Fatalf("execute line wrong:\n%s", inc.Script)
+	}
+	if !strings.Contains(inc.Script, "OMP_NUM_THREADS=4") {
+		t.Fatalf("environment missing:\n%s", inc.Script)
+	}
+	if !strings.Contains(inc.Script, "#QSUB -l mpp_p=128") {
+		t.Fatalf("slots directive missing:\n%s", inc.Script)
+	}
+	if inc.Spec.Slots != 128 {
+		t.Fatalf("slots = %d", inc.Spec.Slots)
+	}
+}
+
+func TestIncarnateUserAndScriptTasks(t *testing.T) {
+	u := &ajo.UserTask{TaskBase: ajo.TaskBase{Header: ajo.Header{ActionID: "u"}}, Command: "echo hello > msg.txt"}
+	inc, err := Incarnate(u, login, t3eTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inc.Script, "echo hello > msg.txt") {
+		t.Fatalf("user command lost:\n%s", inc.Script)
+	}
+	s := &ajo.ScriptTask{TaskBase: ajo.TaskBase{Header: ajo.Header{ActionID: "s"}}, Script: "echo line1\necho line2\n"}
+	inc, err = Incarnate(s, login, t3eTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inc.Script, "echo line1\necho line2\n") {
+		t.Fatalf("script body lost:\n%s", inc.Script)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	u := &ajo.UserTask{TaskBase: ajo.TaskBase{Header: ajo.Header{ActionID: "u"}}, Command: "true"}
+	inc, err := Incarnate(u, login, t3eTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Spec.Slots != 1 || inc.Spec.TimeLimit != time.Hour {
+		t.Fatalf("defaults not applied: %+v", inc.Spec)
+	}
+}
+
+func TestDialectDirectives(t *testing.T) {
+	u := &ajo.UserTask{
+		TaskBase: ajo.TaskBase{
+			Header:    ajo.Header{ActionID: "u", ActionName: "task"},
+			Resources: resources.Request{Processors: 4, RunTime: 90 * time.Minute, MemoryMB: 256},
+		},
+		Command: "true",
+	}
+	cases := []struct {
+		profile machine.Profile
+		wants   []string
+	}{
+		{machine.CrayT3E(64), []string{"#QSUB -l mpp_p=4", "#QSUB -l mpp_t=5400"}},
+		{machine.FujitsuVPP700(8), []string{"#@$-lP 4", "#@$-lT 5400", "#@$-lM 256mb"}},
+		{machine.NECSX4(8), []string{"#@$-lP 4"}},
+		{machine.IBMSP2(32), []string{"# @ min_processors = 4", "# @ wall_clock_limit = 01:30:00", "# @ queue"}},
+		{machine.GenericCluster(16), []string{"#$ -pe mpi 4", "#$ -l h_rt=5400"}},
+	}
+	for _, c := range cases {
+		tbl := NewTable(t3eTarget, c.profile, "batch")
+		inc, err := Incarnate(u, login, tbl)
+		if err != nil {
+			t.Fatalf("%s: %v", c.profile.Name, err)
+		}
+		for _, w := range c.wants {
+			if !strings.Contains(inc.Script, w) {
+				t.Errorf("%s: missing %q in:\n%s", c.profile.Name, w, inc.Script)
+			}
+		}
+	}
+}
+
+func TestUnknownLanguage(t *testing.T) {
+	task := &ajo.CompileTask{
+		TaskBase: ajo.TaskBase{Header: ajo.Header{ActionID: "cc"}},
+		Language: "cobol", Sources: []string{"x.cob"}, Output: "x.o",
+	}
+	if _, err := Incarnate(task, login, t3eTable()); !errors.Is(err, ErrNoTranslation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNonExecutableRejected(t *testing.T) {
+	imp := &ajo.ImportTask{Header: ajo.Header{ActionID: "i"}, Source: ajo.ImportSource{Inline: []byte("x")}, To: "f"}
+	if _, err := Incarnate(imp, login, t3eTable()); !errors.Is(err, ErrNotExecutable) {
+		t.Fatalf("err = %v", err)
+	}
+	job := &ajo.AbstractJob{Header: ajo.Header{ActionID: "j"}, Target: t3eTarget}
+	if _, err := Incarnate(job, login, t3eTable()); !errors.Is(err, ErrNotExecutable) {
+		t.Fatalf("job err = %v", err)
+	}
+}
+
+func TestAbsoluteExecutableNotPrefixed(t *testing.T) {
+	task := &ajo.ExecuteTask{
+		TaskBase:   ajo.TaskBase{Header: ajo.Header{ActionID: "run"}},
+		Executable: "/usr/bin/tool",
+	}
+	inc, err := Incarnate(task, login, t3eTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(inc.Script, ".//usr/bin/tool") {
+		t.Fatalf("absolute path mangled:\n%s", inc.Script)
+	}
+}
+
+func TestCaseInsensitiveLanguage(t *testing.T) {
+	task := &ajo.CompileTask{
+		TaskBase: ajo.TaskBase{Header: ajo.Header{ActionID: "cc"}},
+		Language: "F90", Sources: []string{"m.f90"}, Output: "m.o",
+	}
+	inc, err := Incarnate(task, login, t3eTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inc.Script, "cf90") {
+		t.Fatalf("upper-case language not translated:\n%s", inc.Script)
+	}
+}
+
+func TestHHMMSS(t *testing.T) {
+	if got := hhmmss(3661); got != "01:01:01" {
+		t.Fatalf("hhmmss = %q", got)
+	}
+	if got := hhmmss(0); got != "00:00:00" {
+		t.Fatalf("hhmmss(0) = %q", got)
+	}
+}

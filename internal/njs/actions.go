@@ -1,0 +1,254 @@
+package njs
+
+import (
+	"fmt"
+	"time"
+
+	"unicore/internal/ajo"
+	"unicore/internal/codine"
+	"unicore/internal/core"
+	"unicore/internal/incarnation"
+)
+
+// startActionLocked dispatches one ready action by class.
+func (n *NJS) startActionLocked(uj *unicoreJob, a ajo.Action) {
+	o := uj.outcomes[a.ID()]
+	o.Started = n.clock.Now()
+	switch t := a.(type) {
+	case *ajo.ImportTask:
+		n.startImportLocked(uj, t)
+	case *ajo.ExportTask:
+		n.startExportLocked(uj, t)
+	case *ajo.TransferTask:
+		n.startTransferLocked(uj, t)
+	case *ajo.AbstractJob:
+		n.startSubJobLocked(uj, t)
+	default:
+		if a.Kind().IsExecutable() {
+			n.startBatchLocked(uj, a)
+			return
+		}
+		n.completeActionLocked(uj, a.ID(), ajo.StatusFailed,
+			fmt.Sprintf("unsupported action class %s", a.Kind()))
+	}
+}
+
+// deferComplete finishes an action after a virtual delay, modelling the
+// staging time of file operations.
+func (n *NJS) deferComplete(uj *unicoreJob, aid ajo.ActionID, d time.Duration, status ajo.Status, reason string) {
+	jobID := uj.id
+	n.clock.AfterFunc(d, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if j, ok := n.jobs[jobID]; ok {
+			n.completeActionLocked(j, aid, status, reason)
+			n.finalizeIfDoneLocked(j)
+		}
+	})
+}
+
+// startImportLocked stages data into the job's Uspace (§5.6: from the
+// user's workstation — carried inside the AJO — or from the Vsite Xspace).
+func (n *NJS) startImportLocked(uj *unicoreJob, t *ajo.ImportTask) {
+	o := uj.outcomes[t.ID()]
+	o.Status = ajo.StatusRunning
+	var size int64
+	var err error
+	if t.Source.XspacePath != "" {
+		err = uj.vsite.Space.ImportXspace(uj.id, t.To, t.Source.XspacePath)
+		if err == nil {
+			if fi, statErr := uj.vsite.Space.StatJobFile(uj.id, t.To); statErr == nil {
+				size = fi.Size
+			}
+		}
+	} else {
+		size = int64(len(t.Source.Inline))
+		err = uj.vsite.Space.ImportInline(uj.id, t.To, t.Source.Inline)
+	}
+	if err != nil {
+		n.deferComplete(uj, t.ID(), fileOpLatency, ajo.StatusFailed, fmt.Sprintf("import: %v", err))
+		return
+	}
+	n.deferComplete(uj, t.ID(), localCopyDelay(size), ajo.StatusSuccessful, "")
+}
+
+// startExportLocked copies a result to permanent Xspace storage (§5.6).
+func (n *NJS) startExportLocked(uj *unicoreJob, t *ajo.ExportTask) {
+	o := uj.outcomes[t.ID()]
+	o.Status = ajo.StatusRunning
+	fi, err := uj.vsite.Space.Export(uj.id, t.From, t.ToXspace)
+	if err != nil {
+		n.deferComplete(uj, t.ID(), fileOpLatency, ajo.StatusFailed, fmt.Sprintf("export: %v", err))
+		return
+	}
+	o.Files = append(o.Files, ajo.FileRecord{Path: fi.Path, Size: fi.Size, CRC: fi.CRC})
+	n.deferComplete(uj, t.ID(), localCopyDelay(fi.Size), ajo.StatusSuccessful, "")
+}
+
+// startTransferLocked pulls files from a sibling action's Uspace into this
+// job's Uspace — the §5.6 Uspace-to-Uspace transfer. Local sources are a
+// copy; remote sources go through the peer gateway over https.
+func (n *NJS) startTransferLocked(uj *unicoreJob, t *ajo.TransferTask) {
+	o := uj.outcomes[t.ID()]
+	o.Status = ajo.StatusRunning
+
+	var total int64
+	copyOne := func(file string) (int64, error) {
+		data, err := n.readActionFileLocked(uj, t.FromAction, file)
+		if err != nil {
+			return 0, err
+		}
+		if err := uj.vsite.Space.WriteJobFile(uj.id, file, data); err != nil {
+			return 0, err
+		}
+		return int64(len(data)), nil
+	}
+	for _, f := range t.Files {
+		nbytes, err := copyOne(f)
+		if err != nil {
+			n.deferComplete(uj, t.ID(), fileOpLatency, ajo.StatusFailed,
+				fmt.Sprintf("transfer %s from %s: %v", f, t.FromAction, err))
+			return
+		}
+		o.Files = append(o.Files, ajo.FileRecord{Path: f, Size: nbytes})
+		total += nbytes
+	}
+	delay := localCopyDelay(total)
+	if _, remote := uj.remote[t.FromAction]; remote {
+		delay = httpsTransferDelay(total)
+	}
+	n.deferComplete(uj, t.ID(), delay, ajo.StatusSuccessful, "")
+}
+
+// readActionFileLocked reads a file from the Uspace that backs an action:
+// the enclosing job's own Uspace for plain tasks, a child job's Uspace for
+// locally expanded sub-jobs, or a remote fetch for sub-jobs at peer Usites.
+func (n *NJS) readActionFileLocked(uj *unicoreJob, aid ajo.ActionID, file string) ([]byte, error) {
+	if ref, ok := uj.remote[aid]; ok {
+		return n.fetchRemoteFile(ref.usite, ref.job, file)
+	}
+	if childID, ok := uj.children[aid]; ok {
+		child, ok := n.jobs[childID]
+		if !ok {
+			return nil, fmt.Errorf("%w: child %s", ErrUnknownJob, childID)
+		}
+		return child.vsite.Space.ReadJobFile(childID, file)
+	}
+	return uj.vsite.Space.ReadJobFile(uj.id, file)
+}
+
+// startBatchLocked incarnates an executable task and submits it to the
+// Vsite's batch subsystem.
+func (n *NJS) startBatchLocked(uj *unicoreJob, a ajo.Action) {
+	o := uj.outcomes[a.ID()]
+	inc, err := incarnation.Incarnate(a, uj.login, uj.vsite.Table)
+	if err != nil {
+		n.completeActionLocked(uj, a.ID(), ajo.StatusFailed, fmt.Sprintf("incarnation: %v", err))
+		return
+	}
+	spec := inc.Spec
+	spec.Script = inc.Script
+	spec.FS = uj.vsite.Space.FS()
+	spec.WorkDir = uj.jobDir
+	jobID, aid := uj.id, a.ID()
+	// Completion is delivered through the clock: Cancel (and, on saturated
+	// machines, Submit) can reach a terminal state synchronously while this
+	// NJS still holds its lock, so a direct callback would self-deadlock.
+	spec.Done = func(_ codine.JobID, res codine.Result) {
+		n.clock.AfterFunc(0, func() { n.onBatchDone(jobID, aid, res) })
+	}
+	bid, err := uj.vsite.RMS.Submit(spec)
+	if err != nil {
+		n.completeActionLocked(uj, a.ID(), ajo.StatusFailed, fmt.Sprintf("batch submit: %v", err))
+		return
+	}
+	o.Status = ajo.StatusQueued
+	uj.batch[a.ID()] = bid
+	n.batchIndex[batchKey{uj.vsite.Name, bid}] = actionRef{uj.id, a.ID()}
+}
+
+// onBatchStarted flips an outcome to RUNNING when the batch system
+// dispatches it (drives the JMC's yellow icons).
+func (n *NJS) onBatchStarted(vsite core.Vsite, bid codine.JobID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ref, ok := n.batchIndex[batchKey{vsite, bid}]
+	if !ok {
+		return
+	}
+	if uj, ok := n.jobs[ref.job]; ok {
+		if o := uj.outcomes[ref.action]; o != nil && !o.Status.Terminal() {
+			o.Status = ajo.StatusRunning
+		}
+	}
+}
+
+// onBatchDone collects a finished batch job: "collect the standard output
+// and error files from the batch jobs belonging to one UNICORE job and make
+// them available to the user" (§5.5).
+func (n *NJS) onBatchDone(jobID core.JobID, aid ajo.ActionID, res codine.Result) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	uj, ok := n.jobs[jobID]
+	if !ok {
+		return
+	}
+	o := uj.outcomes[aid]
+	if o == nil || o.Status.Terminal() {
+		return
+	}
+	o.Stdout = []byte(res.Stdout)
+	o.Stderr = []byte(res.Stderr)
+	o.ExitCode = res.ExitCode
+	delete(uj.batch, aid)
+	var status ajo.Status
+	reason := res.Reason
+	switch res.State {
+	case codine.StateDone:
+		status = ajo.StatusSuccessful
+	case codine.StateCancelled:
+		status = ajo.StatusAborted
+	default:
+		status = ajo.StatusFailed
+	}
+	n.completeActionLocked(uj, aid, status, reason)
+	n.finalizeIfDoneLocked(uj)
+}
+
+// propagateFilesLocked implements the §5.7 dependency guarantee: "each
+// dependency can be augmented by the names of the files to be transferred
+// from one to the other. UNICORE then guarantees that the specified data
+// sets created by the predecessor are available to the successor."
+func (n *NJS) propagateFilesLocked(uj *unicoreJob, before ajo.ActionID) error {
+	for _, dep := range uj.job.Dependencies {
+		if dep.Before != before || len(dep.Files) == 0 {
+			continue
+		}
+		after, ok := uj.job.Find(dep.After)
+		if !ok {
+			continue
+		}
+		for _, file := range dep.Files {
+			data, err := n.readActionFileLocked(uj, before, file)
+			if err != nil {
+				return fmt.Errorf("file %q from %s: %w", file, before, err)
+			}
+			if _, isSub := after.(*ajo.AbstractJob); isSub {
+				// The successor is a job group: stage the file into it as
+				// an injected import when it is consigned.
+				uj.injections[dep.After] = append(uj.injections[dep.After], injection{name: file, data: data})
+				continue
+			}
+			// The successor is a plain task sharing this job's Uspace:
+			// materialise the file there (no-op when already present with
+			// identical content).
+			if existing, err := uj.vsite.Space.ReadJobFile(uj.id, file); err == nil && string(existing) == string(data) {
+				continue
+			}
+			if err := uj.vsite.Space.WriteJobFile(uj.id, file, data); err != nil {
+				return fmt.Errorf("staging %q for %s: %w", file, dep.After, err)
+			}
+		}
+	}
+	return nil
+}

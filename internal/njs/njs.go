@@ -1,0 +1,534 @@
+// Package njs implements the Network Job Supervisor — the job-management
+// core of the UNICORE server tier (paper §4.2, §5.5). The NJS:
+//
+//   - accepts consigned AJOs and creates the per-job Uspace directory,
+//   - translates abstract tasks into real batch jobs via the translation
+//     tables (package incarnation) and submits them to the Vsite's batch
+//     subsystem (package codine),
+//   - schedules the dependent parts of a job in the predefined sequence
+//     (its only scheduling power — §5.5: delivery order, never the
+//     destination system's queue),
+//   - performs imports, exports, and Uspace-to-Uspace transfers,
+//   - distributes job groups destined for other Usites to the peer NJS
+//     through the target site's gateway, and collects their outcomes, and
+//   - answers status, outcome, list, and control requests.
+package njs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"unicore/internal/ajo"
+	"unicore/internal/codine"
+	"unicore/internal/core"
+	"unicore/internal/dag"
+	"unicore/internal/incarnation"
+	"unicore/internal/machine"
+	"unicore/internal/protocol"
+	"unicore/internal/resources"
+	"unicore/internal/sim"
+	"unicore/internal/uspace"
+	"unicore/internal/uudb"
+	"unicore/internal/vfs"
+)
+
+// Errors reported by NJS operations.
+var (
+	ErrUnknownJob    = errors.New("njs: unknown job")
+	ErrUnknownVsite  = errors.New("njs: unknown vsite")
+	ErrWrongUsite    = errors.New("njs: job addressed to another usite")
+	ErrNotAuthorized = errors.New("njs: not authorized for this job")
+	ErrNoMapper      = errors.New("njs: no login mapper configured")
+)
+
+// Timing model for staged data (virtual time): local copies stream at
+// localCopyRate after fileOpLatency; Uspace-to-Uspace transfers over https
+// pay httpsLatency and stream at httpsRate — the §5.6 disadvantage.
+const (
+	fileOpLatency = 5 * time.Millisecond
+	httpsLatency  = 50 * time.Millisecond
+	localCopyRate = 200 << 20 // bytes/second
+	httpsRate     = 10 << 20  // bytes/second
+
+	remotePollInterval = 2 * time.Second
+	remoteMaxFailures  = 30
+	transferChunk      = 256 << 10
+)
+
+func localCopyDelay(size int64) time.Duration {
+	return fileOpLatency + time.Duration(float64(size)/localCopyRate*float64(time.Second))
+}
+
+func httpsTransferDelay(size int64) time.Duration {
+	return httpsLatency + time.Duration(float64(size)/httpsRate*float64(time.Second))
+}
+
+// LoginMapper resolves a user DN to the local login at a Vsite. The gateway
+// injects the site's uudb here, keeping the mapping at the security tier
+// where the paper puts it.
+type LoginMapper func(core.DN, core.Vsite) (uudb.Login, error)
+
+// VsiteConfig declares one execution system behind this NJS.
+type VsiteConfig struct {
+	Name    core.Vsite
+	Profile machine.Profile
+	// Queues defaults to a single "batch" queue spanning all processors.
+	Queues []codine.Queue
+	// Backfill enables EASY backfill in the batch scheduler.
+	Backfill bool
+	// Quota bounds the Vsite's data space (0 = unlimited).
+	Quota int64
+}
+
+// Vsite is one configured execution system.
+type Vsite struct {
+	Name  core.Vsite
+	RMS   *codine.RMS
+	Table incarnation.Table
+	Space *uspace.Space
+	Page  resources.Page
+}
+
+// Config assembles an NJS.
+type Config struct {
+	Usite  core.Usite
+	Clock  sim.Scheduler
+	Vsites []VsiteConfig
+}
+
+// NJS is one site's network job supervisor.
+type NJS struct {
+	mu     sync.Mutex
+	usite  core.Usite
+	clock  sim.Scheduler
+	vsites map[core.Vsite]*Vsite
+
+	mapLogin LoginMapper
+	peers    *protocol.Client // for sub-job consignment and transfers
+
+	jobs         map[core.JobID]*unicoreJob
+	consignIndex map[string]core.JobID
+	batchIndex   map[batchKey]actionRef
+	seq          int64
+}
+
+type batchKey struct {
+	vsite core.Vsite
+	job   codine.JobID
+}
+
+type actionRef struct {
+	job    core.JobID
+	action ajo.ActionID
+}
+
+// unicoreJob is the NJS-side state of one consigned job group.
+type unicoreJob struct {
+	id        core.JobID
+	owner     core.DN
+	login     uudb.Login
+	job       *ajo.AbstractJob
+	vsite     *Vsite
+	jobDir    string
+	graph     *dag.Graph
+	outcomes  map[ajo.ActionID]*ajo.Outcome
+	root      *ajo.Outcome
+	done      map[string]bool
+	inflight  map[ajo.ActionID]bool
+	held      bool
+	aborted   bool
+	submitted time.Time
+	// injections are files to stage into a sub-job before consigning it
+	// (dependency-files arriving from predecessors).
+	injections map[ajo.ActionID][]injection
+	// batch maps in-flight actions to their batch job IDs for control.
+	batch map[ajo.ActionID]codine.JobID
+	// remote tracks sub-jobs consigned to peer Usites.
+	remote map[ajo.ActionID]*remoteRef
+	// children tracks sub-jobs expanded locally (same Usite).
+	children map[ajo.ActionID]core.JobID
+	// parent links a locally expanded child back to its parent action.
+	parent *parentLink
+}
+
+type injection struct {
+	name string
+	data []byte
+}
+
+type parentLink struct {
+	job    core.JobID
+	action ajo.ActionID
+}
+
+type remoteRef struct {
+	usite    core.Usite
+	job      core.JobID
+	failures int
+	timer    sim.Timer
+}
+
+// New assembles an NJS from its configuration.
+func New(cfg Config) (*NJS, error) {
+	if cfg.Usite == "" {
+		return nil, errors.New("njs: empty usite name")
+	}
+	if cfg.Clock == nil {
+		return nil, errors.New("njs: nil clock")
+	}
+	if len(cfg.Vsites) == 0 {
+		return nil, errors.New("njs: no vsites configured")
+	}
+	n := &NJS{
+		usite:        cfg.Usite,
+		clock:        cfg.Clock,
+		vsites:       make(map[core.Vsite]*Vsite, len(cfg.Vsites)),
+		jobs:         make(map[core.JobID]*unicoreJob),
+		consignIndex: make(map[string]core.JobID),
+		batchIndex:   make(map[batchKey]actionRef),
+	}
+	for _, vc := range cfg.Vsites {
+		if vc.Name == "" {
+			return nil, errors.New("njs: vsite without name")
+		}
+		if _, dup := n.vsites[vc.Name]; dup {
+			return nil, fmt.Errorf("njs: duplicate vsite %q", vc.Name)
+		}
+		queues := vc.Queues
+		if len(queues) == 0 {
+			queues = []codine.Queue{{Name: "batch", Slots: vc.Profile.Processors, MaxTime: 24 * time.Hour}}
+		}
+		fs := vfs.New(cfg.Clock)
+		if vc.Quota > 0 {
+			fs.SetQuota(vc.Quota)
+		}
+		space, err := uspace.New(fs)
+		if err != nil {
+			return nil, err
+		}
+		rms, err := codine.New(cfg.Clock, codine.Config{
+			Machine:  vc.Profile,
+			Queues:   queues,
+			Backfill: vc.Backfill,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("njs: vsite %s: %w", vc.Name, err)
+		}
+		target := core.Target{Usite: cfg.Usite, Vsite: vc.Name}
+		page := vc.Profile.ResourcePage()
+		page.Target = target
+		vs := &Vsite{
+			Name:  vc.Name,
+			RMS:   rms,
+			Table: incarnation.NewTable(target, vc.Profile, queues[0].Name),
+			Space: space,
+			Page:  page,
+		}
+		n.vsites[vc.Name] = vs
+		name := vc.Name
+		// Deliver start events through the clock rather than synchronously:
+		// the RMS may dispatch inside Submit, which runs while the NJS holds
+		// its own lock, and the deferral also guarantees the batch index is
+		// registered before the event is handled.
+		rms.Observe(func(ev codine.Event) {
+			if ev.Type != codine.EventStarted {
+				return
+			}
+			bid := ev.Job
+			cfg.Clock.AfterFunc(0, func() { n.onBatchStarted(name, bid) })
+		})
+	}
+	return n, nil
+}
+
+// Usite returns the site this NJS serves.
+func (n *NJS) Usite() core.Usite { return n.usite }
+
+// SetLoginMapper installs the DN→login resolver (normally the gateway's
+// uudb).
+func (n *NJS) SetLoginMapper(fn LoginMapper) { n.mapLogin = fn }
+
+// SetPeers installs the client used to reach other Usites' gateways.
+func (n *NJS) SetPeers(c *protocol.Client) { n.peers = c }
+
+// VsiteNames lists the configured Vsites, sorted.
+func (n *NJS) VsiteNames() []core.Vsite {
+	out := make([]core.Vsite, 0, len(n.vsites))
+	for v := range n.vsites {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Vsite returns a configured Vsite.
+func (n *NJS) Vsite(name core.Vsite) (*Vsite, bool) {
+	v, ok := n.vsites[name]
+	return v, ok
+}
+
+// Pages returns the resource pages of all Vsites, sorted by target.
+func (n *NJS) Pages() []resources.Page {
+	var out []resources.Page
+	for _, name := range n.VsiteNames() {
+		out = append(out, n.vsites[name].Page)
+	}
+	return out
+}
+
+// Load reports the mean batch occupancy across Vsites in [0,1] (input to
+// the resource broker).
+func (n *NJS) Load() float64 {
+	if len(n.vsites) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range n.vsites {
+		total += v.RMS.Load()
+	}
+	return total / float64(len(n.vsites))
+}
+
+// nextJobID mints "USITE-000001"-style IDs.
+func (n *NJS) nextJobIDLocked() core.JobID {
+	n.seq++
+	return core.JobID(fmt.Sprintf("%s-%06d", n.usite, n.seq))
+}
+
+// Consign accepts an AJO for execution — the asynchronous submit of §5.3.
+// It validates the job, maps the user at the destination Vsite, checks the
+// resource requests against the Vsite's resource page, creates the job
+// directory, and begins dispatching. consignID makes retries idempotent.
+func (n *NJS) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error) {
+	if err := job.Validate(); err != nil {
+		return "", err
+	}
+	if job.Target.Usite != n.usite {
+		return "", fmt.Errorf("%w: %s (this NJS serves %s)", ErrWrongUsite, job.Target, n.usite)
+	}
+	vs, ok := n.vsites[job.Target.Vsite]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownVsite, job.Target.Vsite)
+	}
+	if n.mapLogin == nil {
+		return "", ErrNoMapper
+	}
+	login, err := n.mapLogin(user, job.Target.Vsite)
+	if err != nil {
+		return "", fmt.Errorf("njs: mapping %s at %s: %w", user, job.Target.Vsite, err)
+	}
+	// Resource admission: every executable task must fit the Vsite.
+	for _, a := range job.Actions {
+		if req, ok := ajo.TaskResources(a); ok {
+			if err := vs.Page.Check(req); err != nil {
+				return "", fmt.Errorf("njs: task %s: %w", a.ID(), err)
+			}
+		}
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if consignID != "" {
+		if id, dup := n.consignIndex[consignID]; dup {
+			return id, nil // idempotent retry
+		}
+	}
+	id, err := n.admitLocked(user, login, job, vs, nil)
+	if err != nil {
+		return "", err
+	}
+	if consignID != "" {
+		n.consignIndex[consignID] = id
+	}
+	return id, nil
+}
+
+// admitLocked creates the job record and starts dispatching. parent is set
+// for locally expanded sub-jobs.
+func (n *NJS) admitLocked(user core.DN, login uudb.Login, job *ajo.AbstractJob, vs *Vsite, parent *parentLink) (core.JobID, error) {
+	id := n.nextJobIDLocked()
+	jobDir, err := vs.Space.CreateJobDir(id)
+	if err != nil {
+		return "", fmt.Errorf("njs: creating job directory: %w", err)
+	}
+	graph, err := job.Graph()
+	if err != nil {
+		return "", err
+	}
+	uj := &unicoreJob{
+		id:         id,
+		owner:      user,
+		login:      login,
+		job:        job,
+		vsite:      vs,
+		jobDir:     jobDir,
+		graph:      graph,
+		outcomes:   make(map[ajo.ActionID]*ajo.Outcome, len(job.Actions)),
+		done:       make(map[string]bool),
+		inflight:   make(map[ajo.ActionID]bool),
+		injections: make(map[ajo.ActionID][]injection),
+		batch:      make(map[ajo.ActionID]codine.JobID),
+		remote:     make(map[ajo.ActionID]*remoteRef),
+		children:   make(map[ajo.ActionID]core.JobID),
+		parent:     parent,
+		submitted:  n.clock.Now(),
+	}
+	uj.root = ajo.NewOutcome(job)
+	uj.root.Status = ajo.StatusRunning
+	uj.root.Started = n.clock.Now()
+	for _, a := range job.Actions {
+		o := ajo.NewOutcome(a)
+		uj.outcomes[a.ID()] = o
+		uj.root.Children = append(uj.root.Children, o)
+	}
+	n.jobs[id] = uj
+	n.dispatchLocked(uj)
+	return id, nil
+}
+
+// dispatchLocked launches every ready action of a job.
+func (n *NJS) dispatchLocked(uj *unicoreJob) {
+	if uj.held || uj.aborted || uj.root.Status.Terminal() {
+		return
+	}
+	for _, idStr := range uj.graph.Ready(uj.done) {
+		aid := ajo.ActionID(idStr)
+		if uj.inflight[aid] {
+			continue
+		}
+		a, ok := uj.job.Find(aid)
+		if !ok { // cannot happen on a validated job
+			continue
+		}
+		uj.inflight[aid] = true
+		n.startActionLocked(uj, a)
+	}
+	n.finalizeIfDoneLocked(uj)
+}
+
+// completeActionLocked records a terminal status for an action, cascades
+// NotDone to dependents of failures, and continues dispatching.
+func (n *NJS) completeActionLocked(uj *unicoreJob, aid ajo.ActionID, status ajo.Status, reason string) {
+	o := uj.outcomes[aid]
+	if o == nil || o.Status.Terminal() {
+		return
+	}
+	o.Status = status
+	if reason != "" {
+		o.Reason = reason
+	}
+	if o.Finished.IsZero() {
+		o.Finished = n.clock.Now()
+	}
+	uj.done[string(aid)] = true
+	delete(uj.inflight, aid)
+
+	if status == ajo.StatusSuccessful {
+		if err := n.propagateFilesLocked(uj, aid); err != nil {
+			// A guaranteed dependency file is missing or unreachable: the
+			// successors that needed it cannot run.
+			n.failSuccessorsNeedingFilesLocked(uj, aid, err)
+		}
+	} else {
+		n.cascadeNotDoneLocked(uj, aid)
+	}
+	n.dispatchLocked(uj)
+}
+
+// cascadeNotDoneLocked marks every descendant of aid as NOT_DONE.
+func (n *NJS) cascadeNotDoneLocked(uj *unicoreJob, aid ajo.ActionID) {
+	desc, err := uj.graph.Descendants(string(aid))
+	if err != nil {
+		return
+	}
+	for _, d := range desc {
+		did := ajo.ActionID(d)
+		o := uj.outcomes[did]
+		if o == nil || o.Status.Terminal() {
+			continue
+		}
+		o.Status = ajo.StatusNotDone
+		o.Reason = fmt.Sprintf("predecessor %s did not succeed", aid)
+		o.Finished = n.clock.Now()
+		uj.done[d] = true
+		delete(uj.inflight, did)
+	}
+}
+
+// failSuccessorsNeedingFilesLocked handles a broken file-dependency edge.
+func (n *NJS) failSuccessorsNeedingFilesLocked(uj *unicoreJob, before ajo.ActionID, cause error) {
+	for _, dep := range uj.job.Dependencies {
+		if dep.Before != before || len(dep.Files) == 0 {
+			continue
+		}
+		o := uj.outcomes[dep.After]
+		if o == nil || o.Status.Terminal() {
+			continue
+		}
+		o.Status = ajo.StatusNotDone
+		o.Reason = fmt.Sprintf("dependency files unavailable: %v", cause)
+		o.Finished = n.clock.Now()
+		uj.done[string(dep.After)] = true
+		n.cascadeNotDoneLocked(uj, dep.After)
+	}
+}
+
+// finalizeIfDoneLocked closes the job once every action is terminal.
+func (n *NJS) finalizeIfDoneLocked(uj *unicoreJob) {
+	if uj.root.Status.Terminal() {
+		return
+	}
+	if len(uj.done) < uj.graph.Len() {
+		return
+	}
+	status := ajo.Aggregate(uj.root.Children)
+	if uj.aborted && status != ajo.StatusFailed {
+		status = ajo.StatusAborted
+	}
+	uj.root.Status = status
+	uj.root.Finished = n.clock.Now()
+	if uj.parent != nil {
+		parent := n.jobs[uj.parent.job]
+		if parent != nil {
+			n.completeChildLocked(parent, uj.parent.action, uj)
+		}
+	}
+}
+
+// completeChildLocked folds a finished local sub-job into its parent.
+func (n *NJS) completeChildLocked(parent *unicoreJob, aid ajo.ActionID, child *unicoreJob) {
+	o := parent.outcomes[aid]
+	if o == nil || o.Status.Terminal() {
+		return
+	}
+	// Ensure the link exists even when the child finished synchronously
+	// during admission (readActionFileLocked depends on it).
+	parent.children[aid] = child.id
+	o.Children = child.root.Children
+	o.Started = child.root.Started
+	status := child.root.Status
+	reason := ""
+	if status != ajo.StatusSuccessful {
+		reason = fmt.Sprintf("sub-job %s finished %s", child.id, status)
+	}
+	n.completeActionLocked(parent, aid, status, reason)
+}
+
+// VsiteLoad reports one Vsite's batch occupancy and backlog.
+type VsiteLoad struct {
+	Load    float64 // fraction of slots in use, [0,1]
+	Pending int     // jobs waiting in the queues
+}
+
+// VsiteLoads reports the occupancy of every configured Vsite — the load
+// information a resource broker (paper §6) combines with resource pages.
+func (n *NJS) VsiteLoads() map[core.Vsite]VsiteLoad {
+	out := make(map[core.Vsite]VsiteLoad, len(n.vsites))
+	for name, v := range n.vsites {
+		out[name] = VsiteLoad{Load: v.RMS.Load(), Pending: v.RMS.Backlog()}
+	}
+	return out
+}

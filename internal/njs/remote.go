@@ -1,0 +1,263 @@
+package njs
+
+import (
+	"fmt"
+	"hash/crc64"
+
+	"unicore/internal/ajo"
+	"unicore/internal/core"
+	"unicore/internal/protocol"
+)
+
+// This file implements the distributed side of the NJS: "split [the job]
+// into the job groups destined for different sites, distribute and control
+// the job groups" (§5.5), and the NJS–NJS file transfer of §5.6. Sub-jobs
+// for the local Usite are expanded in place; sub-jobs for other Usites are
+// consigned to the peer NJS through that site's gateway and polled until
+// terminal.
+
+// startSubJobLocked dispatches a nested AbstractJob.
+func (n *NJS) startSubJobLocked(uj *unicoreJob, sub *ajo.AbstractJob) {
+	o := uj.outcomes[sub.ID()]
+	o.Status = ajo.StatusRunning
+
+	// Stage dependency files produced by predecessors into the sub-job as
+	// injected inline imports.
+	subCopy, err := injectImports(sub, uj.injections[sub.ID()])
+	if err != nil {
+		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed, fmt.Sprintf("staging sub-job: %v", err))
+		return
+	}
+	subCopy.UserDN = uj.owner
+	if subCopy.Project == "" {
+		subCopy.Project = uj.job.Project
+	}
+
+	if subCopy.Target.Usite == n.usite {
+		n.startLocalSubJobLocked(uj, subCopy)
+		return
+	}
+	n.startRemoteSubJobLocked(uj, subCopy)
+}
+
+// startLocalSubJobLocked expands a sub-job at this Usite (same or different
+// Vsite) as a child unicoreJob.
+func (n *NJS) startLocalSubJobLocked(uj *unicoreJob, sub *ajo.AbstractJob) {
+	vs, ok := n.vsites[sub.Target.Vsite]
+	if !ok {
+		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed,
+			fmt.Sprintf("sub-job: %v: %q", ErrUnknownVsite, sub.Target.Vsite))
+		return
+	}
+	if n.mapLogin == nil {
+		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed, ErrNoMapper.Error())
+		return
+	}
+	login, err := n.mapLogin(uj.owner, sub.Target.Vsite)
+	if err != nil {
+		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed, fmt.Sprintf("sub-job mapping: %v", err))
+		return
+	}
+	childID, err := n.admitLocked(uj.owner, login, sub, vs, &parentLink{job: uj.id, action: sub.ID()})
+	if err != nil {
+		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed, fmt.Sprintf("sub-job admit: %v", err))
+		return
+	}
+	uj.children[sub.ID()] = childID
+	// The child may already be terminal (e.g. empty job); fold it in.
+	if child := n.jobs[childID]; child != nil && child.root.Status.Terminal() {
+		n.completeChildLocked(uj, sub.ID(), child)
+	}
+}
+
+// startRemoteSubJobLocked consigns a sub-job to a peer Usite and starts the
+// poll loop.
+func (n *NJS) startRemoteSubJobLocked(uj *unicoreJob, sub *ajo.AbstractJob) {
+	if n.peers == nil {
+		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed,
+			fmt.Sprintf("no peer client configured for %s", sub.Target.Usite))
+		return
+	}
+	raw, err := ajo.Marshal(sub)
+	if err != nil {
+		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed, fmt.Sprintf("encoding sub-job: %v", err))
+		return
+	}
+	consignID := fmt.Sprintf("%s/%s", uj.id, sub.ID())
+	var reply protocol.ConsignReply
+	err = n.peers.Call(sub.Target.Usite, protocol.MsgConsign,
+		protocol.ConsignRequest{ConsignID: consignID, AJO: raw}, &reply)
+	if err != nil {
+		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed,
+			fmt.Sprintf("consigning to %s: %v", sub.Target.Usite, err))
+		return
+	}
+	if !reply.Accepted {
+		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed,
+			fmt.Sprintf("peer %s refused: %s", sub.Target.Usite, reply.Reason))
+		return
+	}
+	ref := &remoteRef{usite: sub.Target.Usite, job: reply.Job}
+	uj.remote[sub.ID()] = ref
+	n.scheduleRemotePollLocked(uj.id, sub.ID(), ref)
+}
+
+// scheduleRemotePollLocked arms the next status poll for a remote sub-job.
+func (n *NJS) scheduleRemotePollLocked(jobID core.JobID, aid ajo.ActionID, ref *remoteRef) {
+	ref.timer = n.clock.AfterFunc(remotePollInterval, func() {
+		n.pollRemote(jobID, aid)
+	})
+}
+
+// pollRemote checks a remote sub-job; on terminal status it retrieves the
+// outcome and completes the action.
+func (n *NJS) pollRemote(jobID core.JobID, aid ajo.ActionID) {
+	n.mu.Lock()
+	uj, ok := n.jobs[jobID]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	ref, ok := uj.remote[aid]
+	if !ok || uj.outcomes[aid].Status.Terminal() {
+		n.mu.Unlock()
+		return
+	}
+	usite, remoteJob := ref.usite, ref.job
+	n.mu.Unlock()
+
+	var poll protocol.PollReply
+	err := n.peers.Call(usite, protocol.MsgPoll, protocol.PollRequest{Job: remoteJob}, &poll)
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	uj, ok = n.jobs[jobID]
+	if !ok {
+		return
+	}
+	ref, ok = uj.remote[aid]
+	if !ok {
+		return
+	}
+	if err != nil || !poll.Found {
+		ref.failures++
+		if ref.failures > remoteMaxFailures {
+			n.completeActionLocked(uj, aid, ajo.StatusFailed,
+				fmt.Sprintf("lost contact with %s after %d attempts: %v", usite, ref.failures, err))
+			n.finalizeIfDoneLocked(uj)
+			return
+		}
+		n.scheduleRemotePollLocked(jobID, aid, ref)
+		return
+	}
+	ref.failures = 0
+	if !poll.Summary.Status.Terminal() {
+		n.scheduleRemotePollLocked(jobID, aid, ref)
+		return
+	}
+	// Terminal: fetch the full outcome (best effort — the summary already
+	// tells us the status).
+	status := poll.Summary.Status
+	n.mu.Unlock()
+	var oreply protocol.OutcomeReply
+	oerr := n.peers.Call(usite, protocol.MsgOutcome, protocol.OutcomeRequest{Job: remoteJob}, &oreply)
+	n.mu.Lock()
+	uj, ok = n.jobs[jobID]
+	if !ok {
+		return
+	}
+	o := uj.outcomes[aid]
+	if o == nil || o.Status.Terminal() {
+		return
+	}
+	if oerr == nil && oreply.Found {
+		if remote, err := ajo.UnmarshalOutcome(oreply.Outcome); err == nil {
+			o.Children = remote.Children
+			o.Started = remote.Started
+		}
+	}
+	reason := ""
+	if status != ajo.StatusSuccessful {
+		reason = fmt.Sprintf("remote sub-job %s at %s finished %s", remoteJob, usite, status)
+	}
+	n.completeActionLocked(uj, aid, status, reason)
+	n.finalizeIfDoneLocked(uj)
+}
+
+// fetchRemoteFile pulls one file from a remote job's Uspace in chunks via
+// the peer gateway (the NJS–NJS transfer path of §5.6).
+func (n *NJS) fetchRemoteFile(usite core.Usite, job core.JobID, file string) ([]byte, error) {
+	if n.peers == nil {
+		return nil, fmt.Errorf("njs: no peer client configured for %s", usite)
+	}
+	var buf []byte
+	offset := int64(0)
+	for {
+		var reply protocol.TransferReply
+		err := n.peers.Call(usite, protocol.MsgTransfer, protocol.TransferRequest{
+			Job: job, File: file, Offset: offset, Limit: transferChunk,
+		}, &reply)
+		if err != nil {
+			return nil, err
+		}
+		if !reply.Found {
+			return nil, fmt.Errorf("njs: %s has no file %q in job %s", usite, file, job)
+		}
+		buf = append(buf, reply.Data...)
+		offset += int64(len(reply.Data))
+		if offset >= reply.Size || len(reply.Data) == 0 {
+			if crc64.Checksum(buf, crcTable) != reply.CRC {
+				return nil, fmt.Errorf("njs: checksum mismatch transferring %q from %s", file, usite)
+			}
+			return buf, nil
+		}
+	}
+}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// injectImports deep-copies a sub-job and prepends inline ImportTasks for
+// the staged dependency files, wiring them before every original root.
+func injectImports(sub *ajo.AbstractJob, injections []injection) (*ajo.AbstractJob, error) {
+	raw, err := ajo.Marshal(sub)
+	if err != nil {
+		return nil, err
+	}
+	back, err := ajo.Unmarshal(raw)
+	if err != nil {
+		return nil, err
+	}
+	cp, ok := back.(*ajo.AbstractJob)
+	if !ok {
+		return nil, fmt.Errorf("njs: sub-job decoded as %T", back)
+	}
+	if len(injections) == 0 {
+		return cp, nil
+	}
+	g, err := cp.Graph()
+	if err != nil {
+		return nil, err
+	}
+	roots := g.Roots()
+	for i, inj := range injections {
+		imp := &ajo.ImportTask{
+			Header: ajo.Header{
+				ActionID:   ajo.ActionID(fmt.Sprintf("staged-%02d", i)),
+				ActionName: fmt.Sprintf("staged dependency file %s", inj.name),
+			},
+			Source: ajo.ImportSource{Inline: inj.data},
+			To:     inj.name,
+		}
+		cp.Actions = append(cp.Actions, imp)
+		for _, r := range roots {
+			cp.Dependencies = append(cp.Dependencies, ajo.Dependency{
+				Before: imp.ActionID,
+				After:  ajo.ActionID(r),
+			})
+		}
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, fmt.Errorf("njs: injected sub-job invalid: %w", err)
+	}
+	return cp, nil
+}

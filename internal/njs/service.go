@@ -1,0 +1,217 @@
+package njs
+
+import (
+	"fmt"
+	"hash/crc64"
+	"sort"
+
+	"unicore/internal/ajo"
+	"unicore/internal/core"
+	"unicore/internal/protocol"
+)
+
+// This file is the NJS's service surface: the operations behind the JMC's
+// status/outcome/control requests and the peer-NJS transfer endpoint. The
+// gateway authenticates callers and invokes these methods; asServer marks
+// requests signed by a peer UNICORE server rather than by the owning user.
+
+// authLocked checks that caller may operate on the job.
+func (n *NJS) authLocked(uj *unicoreJob, caller core.DN, asServer bool) error {
+	if asServer {
+		return nil // peer servers act on behalf of the consigning site
+	}
+	if uj.owner != caller {
+		return fmt.Errorf("%w: job %s belongs to %s", ErrNotAuthorized, uj.id, uj.owner)
+	}
+	return nil
+}
+
+// Poll returns the compact status summary of a job (JMC traffic lights).
+func (n *NJS) Poll(caller core.DN, asServer bool, id core.JobID) (protocol.PollReply, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	uj, ok := n.jobs[id]
+	if !ok {
+		return protocol.PollReply{Found: false}, nil
+	}
+	if err := n.authLocked(uj, caller, asServer); err != nil {
+		return protocol.PollReply{}, err
+	}
+	s := ajo.Summarise(uj.root)
+	s.Job = string(id)
+	s.Updated = n.clock.Now()
+	return protocol.PollReply{Found: true, Summary: s}, nil
+}
+
+// Outcome returns a deep copy of the job's outcome tree.
+func (n *NJS) Outcome(caller core.DN, asServer bool, id core.JobID) (*ajo.Outcome, bool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	uj, ok := n.jobs[id]
+	if !ok {
+		return nil, false, nil
+	}
+	if err := n.authLocked(uj, caller, asServer); err != nil {
+		return nil, false, err
+	}
+	raw, err := ajo.MarshalOutcome(uj.root)
+	if err != nil {
+		return nil, false, err
+	}
+	cp, err := ajo.UnmarshalOutcome(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return cp, true, nil
+}
+
+// List returns the caller's jobs at this Usite, newest first.
+func (n *NJS) List(caller core.DN) ([]protocol.JobInfo, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []protocol.JobInfo
+	for id, uj := range n.jobs {
+		if uj.owner != caller || uj.parent != nil {
+			continue // children are reported inside their parents
+		}
+		out = append(out, protocol.JobInfo{
+			Job:       id,
+			Name:      uj.job.Name(),
+			Status:    uj.root.Status,
+			Submitted: uj.submitted,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Submitted.Equal(out[j].Submitted) {
+			return out[i].Submitted.After(out[j].Submitted)
+		}
+		return out[i].Job > out[j].Job
+	})
+	return out, nil
+}
+
+// Control aborts, holds, or resumes a job (the ControlService semantics).
+func (n *NJS) Control(caller core.DN, asServer bool, id core.JobID, op ajo.ControlOp) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	uj, ok := n.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if err := n.authLocked(uj, caller, asServer); err != nil {
+		return err
+	}
+	switch op {
+	case ajo.OpAbort:
+		return n.abortLocked(uj)
+	case ajo.OpHold:
+		if uj.root.Status.Terminal() {
+			return fmt.Errorf("njs: job %s already %s", id, uj.root.Status)
+		}
+		uj.held = true
+		return nil
+	case ajo.OpResume:
+		if !uj.held {
+			return fmt.Errorf("njs: job %s is not held", id)
+		}
+		uj.held = false
+		n.dispatchLocked(uj)
+		return nil
+	}
+	return fmt.Errorf("njs: unknown control op %q", op)
+}
+
+// abortLocked cancels everything in flight and closes the job.
+func (n *NJS) abortLocked(uj *unicoreJob) error {
+	if uj.root.Status.Terminal() {
+		return fmt.Errorf("njs: job %s already %s", uj.id, uj.root.Status)
+	}
+	uj.aborted = true
+	// Cancel batch jobs in flight.
+	for aid, bid := range uj.batch {
+		_ = uj.vsite.RMS.Cancel(bid)
+		delete(uj.batch, aid)
+	}
+	// Abort local children.
+	for _, childID := range uj.children {
+		if child, ok := n.jobs[childID]; ok && !child.root.Status.Terminal() {
+			_ = n.abortLocked(child)
+		}
+	}
+	// Abort remote sub-jobs (best effort) and stop their poll loops.
+	for aid, ref := range uj.remote {
+		if ref.timer != nil {
+			ref.timer.Stop()
+		}
+		if n.peers != nil {
+			remote := *ref
+			n.mu.Unlock()
+			_ = n.peers.Call(remote.usite, protocol.MsgControl,
+				protocol.ControlRequest{Job: remote.job, Op: ajo.OpAbort}, nil)
+			n.mu.Lock()
+		}
+		delete(uj.remote, aid)
+	}
+	// Every non-terminal action becomes ABORTED.
+	for aid, o := range uj.outcomes {
+		if o.Status.Terminal() {
+			continue
+		}
+		o.Status = ajo.StatusAborted
+		o.Reason = "aborted by user"
+		o.Finished = n.clock.Now()
+		uj.done[string(aid)] = true
+		delete(uj.inflight, aid)
+	}
+	n.finalizeIfDoneLocked(uj)
+	return nil
+}
+
+// FetchFile serves a chunk of a job's Uspace file to a peer NJS (§5.6
+// transfer). The gateway restricts it to server-role callers.
+func (n *NJS) FetchFile(id core.JobID, file string, offset, limit int64) (protocol.TransferReply, error) {
+	n.mu.Lock()
+	uj, ok := n.jobs[id]
+	n.mu.Unlock()
+	if !ok {
+		return protocol.TransferReply{Found: false}, nil
+	}
+	data, err := uj.vsite.Space.ReadJobFile(id, file)
+	if err != nil {
+		return protocol.TransferReply{Found: false}, nil
+	}
+	size := int64(len(data))
+	crc := crc64.Checksum(data, crcTable)
+	if offset < 0 || offset > size {
+		return protocol.TransferReply{Found: true, Size: size, CRC: crc}, nil
+	}
+	end := size
+	if limit > 0 && offset+limit < size {
+		end = offset + limit
+	}
+	return protocol.TransferReply{
+		Found: true,
+		Data:  data[offset:end],
+		Size:  size,
+		CRC:   crc,
+	}, nil
+}
+
+// FetchFileOwned serves a chunk of a job's Uspace file to the job's owner —
+// §5.6: "the current implementation sends data back to the workstation only
+// on user request while the user is working with the JMC". Peer servers may
+// also call it on the owner's behalf.
+func (n *NJS) FetchFileOwned(caller core.DN, asServer bool, id core.JobID, file string, offset, limit int64) (protocol.TransferReply, error) {
+	n.mu.Lock()
+	uj, ok := n.jobs[id]
+	if !ok {
+		n.mu.Unlock()
+		return protocol.TransferReply{Found: false}, nil
+	}
+	if err := n.authLocked(uj, caller, asServer); err != nil {
+		n.mu.Unlock()
+		return protocol.TransferReply{}, err
+	}
+	n.mu.Unlock()
+	return n.FetchFile(id, file, offset, limit)
+}

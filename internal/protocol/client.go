@@ -1,0 +1,121 @@
+package protocol
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"unicore/internal/core"
+	"unicore/internal/pki"
+)
+
+// Registry maps Usites to their gateway base URLs — "the different servers
+// are connected so that (parts of) UNICORE jobs, data, and control
+// information can be exchanged" (paper §4.3). It is safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	sites map[core.Usite]string
+}
+
+// NewRegistry builds a registry from site→URL pairs.
+func NewRegistry() *Registry {
+	return &Registry{sites: make(map[core.Usite]string)}
+}
+
+// Add registers (or replaces) a site's gateway URL.
+func (r *Registry) Add(usite core.Usite, baseURL string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sites[usite] = baseURL
+}
+
+// Lookup returns a site's gateway URL.
+func (r *Registry) Lookup(usite core.Usite) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	url, ok := r.sites[usite]
+	return url, ok
+}
+
+// Sites returns all registered Usites.
+func (r *Registry) Sites() []core.Usite {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]core.Usite, 0, len(r.sites))
+	for u := range r.sites {
+		out = append(out, u)
+	}
+	return out
+}
+
+// Client is the signed-envelope RPC client used by the user tier (JPA/JMC)
+// and by NJS→peer-gateway communication.
+type Client struct {
+	rt       http.RoundTripper
+	cred     *pki.Credential
+	ca       *pki.Authority
+	registry *Registry
+	// Retries is the number of additional attempts after a transport
+	// failure (the asynchronous protocol makes retries safe: consignment is
+	// idempotent via ConsignID, everything else is read-only or
+	// idempotent).
+	Retries int
+}
+
+// NewClient builds a client. rt is typically an *InProc for tests or an
+// http.Transport with pki.ClientTLS config for real deployments.
+func NewClient(rt http.RoundTripper, cred *pki.Credential, ca *pki.Authority, reg *Registry) *Client {
+	return &Client{rt: rt, cred: cred, ca: ca, registry: reg, Retries: 2}
+}
+
+// DN returns the client identity.
+func (c *Client) DN() core.DN { return c.cred.DN() }
+
+// Registry returns the client's site registry.
+func (c *Client) Registry() *Registry { return c.registry }
+
+// Call sends one request to a Usite's gateway and decodes the reply payload
+// into replyOut (a pointer). Server errors arrive as *ErrorReply errors.
+func (c *Client) Call(usite core.Usite, t MsgType, payload any, replyOut any) error {
+	base, ok := c.registry.Lookup(usite)
+	if !ok {
+		return fmt.Errorf("protocol: unknown Usite %q", usite)
+	}
+	body, err := Seal(c.cred, t, payload)
+	if err != nil {
+		return err
+	}
+	var respBody []byte
+	attempts := c.Retries + 1
+	for i := 0; i < attempts; i++ {
+		respBody, err = post(c.rt, base, body)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("protocol: %s to %s failed after %d attempts: %w", t, usite, attempts, err)
+	}
+	rt, raw, _, role, err := Open(c.ca, respBody)
+	if err != nil {
+		return fmt.Errorf("protocol: verifying reply from %s: %w", usite, err)
+	}
+	if role != pki.RoleServer {
+		return fmt.Errorf("protocol: reply from %s signed by a %s certificate, want server", usite, role)
+	}
+	if rt == MsgError {
+		var er ErrorReply
+		if err := json.Unmarshal(raw, &er); err != nil {
+			return fmt.Errorf("protocol: undecodable error reply: %w", err)
+		}
+		return &er
+	}
+	if replyOut == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, replyOut); err != nil {
+		return fmt.Errorf("protocol: decoding %s reply: %w", rt, err)
+	}
+	return nil
+}

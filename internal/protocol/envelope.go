@@ -1,0 +1,263 @@
+// Package protocol implements the UNICORE protocols (paper §5.3): the
+// high-level asynchronous client–server protocol whose requests are AJOs and
+// whose replies are acks, summaries, and outcomes; and the low-level
+// security protocol, here a signed envelope carried over https.
+//
+// "JPA/JMC act as client while NJS (resp. the gateway) acts as both client
+// and server depending on the partner" — the same envelope format is used by
+// users talking to a gateway and by an NJS consigning a sub-job to a peer
+// site. "It is an asynchronous protocol ... by minimizing the length of time
+// that an interaction takes the asynchronous protocol protects against any
+// unreliability of the underlying communication mechanism"; robustness.go
+// quantifies that claim (experiment E6).
+package protocol
+
+import (
+	"crypto/x509"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"unicore/internal/ajo"
+	"unicore/internal/core"
+	"unicore/internal/pki"
+)
+
+// parseCert decodes the signer certificate embedded in a signature.
+func parseCert(der []byte) (*x509.Certificate, error) {
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad signer certificate: %v", ErrBadEnvelope, err)
+	}
+	return cert, nil
+}
+
+// Version is the wire protocol version.
+const Version = 1
+
+// Errors reported when opening envelopes.
+var (
+	ErrBadEnvelope = errors.New("protocol: malformed envelope")
+	ErrBadVersion  = errors.New("protocol: unsupported protocol version")
+)
+
+// MsgType discriminates envelope payloads.
+type MsgType string
+
+// Request and reply message types.
+const (
+	MsgConsign        MsgType = "consign"
+	MsgConsignReply   MsgType = "consign-reply"
+	MsgPoll           MsgType = "poll"
+	MsgPollReply      MsgType = "poll-reply"
+	MsgOutcome        MsgType = "outcome"
+	MsgOutcomeReply   MsgType = "outcome-reply"
+	MsgList           MsgType = "list"
+	MsgListReply      MsgType = "list-reply"
+	MsgControl        MsgType = "control"
+	MsgControlReply   MsgType = "control-reply"
+	MsgResources      MsgType = "resources"
+	MsgResourcesReply MsgType = "resources-reply"
+	MsgTransfer       MsgType = "transfer"
+	MsgTransferReply  MsgType = "transfer-reply"
+	MsgApplet         MsgType = "applet"
+	MsgAppletReply    MsgType = "applet-reply"
+	MsgLoad           MsgType = "load"
+	MsgLoadReply      MsgType = "load-reply"
+	MsgFetch          MsgType = "fetch"
+	MsgFetchReply     MsgType = "fetch-reply"
+	MsgError          MsgType = "error"
+)
+
+// Envelope is the signed wire unit. The signature covers the payload bytes;
+// the embedded certificate identifies the sender (user or server) to the
+// receiver, which verifies it against the CA.
+type Envelope struct {
+	Version   int             `json:"version"`
+	Type      MsgType         `json:"type"`
+	Payload   json.RawMessage `json:"payload"`
+	Signature pki.Signature   `json:"signature"`
+}
+
+// Seal marshals payload, signs it with cred, and returns the encoded
+// envelope.
+func Seal(cred *pki.Credential, t MsgType, payload any) ([]byte, error) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: marshal %s payload: %w", t, err)
+	}
+	sig, err := cred.Sign(body)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(Envelope{Version: Version, Type: t, Payload: body, Signature: sig})
+}
+
+// Open decodes an envelope, verifies the payload signature against the CA,
+// and returns the message type, raw payload, and signer identity. Any signer
+// role chains through the same CA; callers enforce role expectations
+// (gateways accept users and servers, clients expect servers).
+func Open(ca *pki.Authority, data []byte) (MsgType, json.RawMessage, core.DN, pki.Role, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return "", nil, "", "", fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+	}
+	if env.Version != Version {
+		return "", nil, "", "", fmt.Errorf("%w: %d", ErrBadVersion, env.Version)
+	}
+	dn, err := ca.VerifySignature(env.Payload, env.Signature, "")
+	if err != nil {
+		return "", nil, "", "", err
+	}
+	cert, err := parseCert(env.Signature.CertDER)
+	if err != nil {
+		return "", nil, "", "", err
+	}
+	return env.Type, env.Payload, dn, pki.CertRole(cert), nil
+}
+
+// --- high-level protocol messages ---
+
+// ConsignRequest submits an AJO. ConsignID is chosen by the client and makes
+// consignment idempotent under retries.
+type ConsignRequest struct {
+	ConsignID string          `json:"consignID"`
+	AJO       json.RawMessage `json:"ajo"` // output of ajo.Marshal
+}
+
+// ConsignReply acknowledges (or refuses) a consignment. The protocol is
+// asynchronous: acceptance only means the NJS took responsibility.
+type ConsignReply struct {
+	Job      core.JobID `json:"job,omitempty"`
+	Accepted bool       `json:"accepted"`
+	Reason   string     `json:"reason,omitempty"`
+}
+
+// PollRequest asks for the compact status of a job.
+type PollRequest struct {
+	Job core.JobID `json:"job"`
+}
+
+// PollReply returns the job summary.
+type PollReply struct {
+	Found   bool        `json:"found"`
+	Summary ajo.Summary `json:"summary"`
+}
+
+// OutcomeRequest fetches the full outcome tree of a job.
+type OutcomeRequest struct {
+	Job core.JobID `json:"job"`
+}
+
+// OutcomeReply carries the encoded outcome.
+type OutcomeReply struct {
+	Found   bool            `json:"found"`
+	Outcome json.RawMessage `json:"outcome,omitempty"`
+}
+
+// ListRequest asks for the caller's jobs at this Usite.
+type ListRequest struct{}
+
+// JobInfo is one row of a ListReply.
+type JobInfo struct {
+	Job       core.JobID `json:"job"`
+	Name      string     `json:"name"`
+	Status    ajo.Status `json:"status"`
+	Submitted time.Time  `json:"submitted"`
+}
+
+// ListReply lists the caller's jobs.
+type ListReply struct {
+	Jobs []JobInfo `json:"jobs"`
+}
+
+// ControlRequest aborts, holds, or resumes a job.
+type ControlRequest struct {
+	Job core.JobID    `json:"job"`
+	Op  ajo.ControlOp `json:"op"`
+}
+
+// ControlReply reports the control outcome.
+type ControlReply struct {
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// ResourcesRequest fetches resource pages ("" selects every Vsite).
+type ResourcesRequest struct {
+	Vsite core.Vsite `json:"vsite,omitempty"`
+}
+
+// ResourcesReply returns DER-encoded resource pages (§5.4: ASN.1).
+type ResourcesReply struct {
+	PagesDER [][]byte `json:"pagesDER"`
+}
+
+// TransferRequest fetches a file from a job's Uspace — the NJS–NJS side of
+// §5.6 Uspace-to-Uspace transfers. Only servers may issue it.
+type TransferRequest struct {
+	Job  core.JobID `json:"job"`
+	File string     `json:"file"`
+	// Offset/Limit support chunked transfers of huge files.
+	Offset int64 `json:"offset,omitempty"`
+	Limit  int64 `json:"limit,omitempty"`
+}
+
+// TransferReply carries file bytes.
+type TransferReply struct {
+	Found bool   `json:"found"`
+	Data  []byte `json:"data,omitempty"`
+	Size  int64  `json:"size"` // total file size
+	CRC   uint64 `json:"crc"`  // whole-file checksum
+}
+
+// FetchRequest retrieves a file from the caller's own job Uspace back to
+// the workstation — §5.6: "the current implementation sends data back to
+// the workstation only on user request while the user is working with the
+// JMC". Unlike TransferRequest it is owner-authorised, not server-only.
+type FetchRequest struct {
+	Job    core.JobID `json:"job"`
+	File   string     `json:"file"`
+	Offset int64      `json:"offset,omitempty"`
+	Limit  int64      `json:"limit,omitempty"`
+}
+
+// AppletRequest fetches a signed applet (JPA or JMC payload stand-in).
+type AppletRequest struct {
+	Name string `json:"name"`
+}
+
+// AppletReply carries the applet payload and its software-publisher
+// signature — the reproduction of Netscape object signing (§5.2).
+type AppletReply struct {
+	Name      string        `json:"name"`
+	Version   string        `json:"version"`
+	Payload   []byte        `json:"payload"`
+	Signature pki.Signature `json:"signature"`
+}
+
+// LoadRequest asks a Usite for its current batch occupancy — the "load
+// information" the §6 resource broker needs to pick an execution server.
+type LoadRequest struct{}
+
+// VsiteLoad is the occupancy of one Vsite.
+type VsiteLoad struct {
+	Load    float64 `json:"load"`    // fraction of batch slots in use, [0,1]
+	Pending int     `json:"pending"` // jobs waiting in the queues
+}
+
+// LoadReply reports per-Vsite and overall load at a Usite.
+type LoadReply struct {
+	Overall float64              `json:"overall"`
+	Vsites  map[string]VsiteLoad `json:"vsites"`
+}
+
+// ErrorReply is the failure payload for any request.
+type ErrorReply struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error renders the reply as an error.
+func (e ErrorReply) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }

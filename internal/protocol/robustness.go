@@ -1,0 +1,190 @@
+package protocol
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// This file quantifies the §5.3 design claim — experiment E6:
+//
+//	"It is an asynchronous protocol. This design is suitable for batch
+//	processing ... and it is more robust than a synchronous protocol. By
+//	minimizing the length of time that an interaction takes the
+//	asynchronous protocol protects against any unreliability of the
+//	underlying communication mechanism."
+//
+// The model: the link fails independently at rate λ (failures per second of
+// held connection); an interaction of duration d survives with probability
+// exp(-λ·d).
+//
+//   - The asynchronous protocol performs short interactions: one consign,
+//     then a poll every pollInterval until the job (duration T) finishes,
+//     then one outcome fetch. Each interaction takes msgTime. A failed
+//     interaction is simply retried; the job keeps running regardless.
+//   - The synchronous baseline holds one connection for the whole job
+//     (T + msgTime). If the connection breaks, the client must resubmit and
+//     the work runs again from the start.
+
+// LinkModel describes an unreliable communication channel.
+type LinkModel struct {
+	// FailureRate λ is the expected connection failures per second held.
+	FailureRate float64
+	// MsgTime is the duration of one short protocol interaction.
+	MsgTime time.Duration
+}
+
+// survives samples whether a connection held for d survives.
+func (l LinkModel) survives(rng *rand.Rand, d time.Duration) bool {
+	p := math.Exp(-l.FailureRate * d.Seconds())
+	return rng.Float64() < p
+}
+
+// RobustnessStats summarises one protocol variant's behaviour over trials.
+type RobustnessStats struct {
+	Trials        int
+	Completed     int           // trials finished within the retry budget
+	JobExecutions int           // total job runs consumed (re-runs included)
+	Messages      int           // protocol interactions attempted
+	MessagesLost  int           // interactions that failed
+	TotalWall     time.Duration // cumulative completion time over trials
+}
+
+// CompletionRate returns the fraction of trials that completed.
+func (s RobustnessStats) CompletionRate() float64 {
+	if s.Trials == 0 {
+		return 0
+	}
+	return float64(s.Completed) / float64(s.Trials)
+}
+
+// MeanWall returns the mean wall time per completed trial.
+func (s RobustnessStats) MeanWall() time.Duration {
+	if s.Completed == 0 {
+		return 0
+	}
+	return s.TotalWall / time.Duration(s.Completed)
+}
+
+// RobustnessConfig parameterises the experiment.
+type RobustnessConfig struct {
+	Link         LinkModel
+	JobDuration  time.Duration // T: how long the batch job runs
+	PollInterval time.Duration // async status poll cadence
+	Trials       int
+	MaxRetries   int // per-trial budget of failed interactions / resubmissions
+	Seed         int64
+}
+
+// RobustnessResult pairs the two protocol variants for one configuration.
+type RobustnessResult struct {
+	Async RobustnessStats
+	Sync  RobustnessStats
+}
+
+// SimulateRobustness Monte-Carlo-runs both protocol variants under the same
+// link model and returns their statistics.
+func SimulateRobustness(cfg RobustnessConfig) RobustnessResult {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 100
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 50
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = cfg.JobDuration / 10
+		if cfg.PollInterval <= 0 {
+			cfg.PollInterval = time.Second
+		}
+	}
+	rngA := rand.New(rand.NewSource(cfg.Seed))
+	rngS := rand.New(rand.NewSource(cfg.Seed + 1))
+	return RobustnessResult{
+		Async: simulateAsync(cfg, rngA),
+		Sync:  simulateSync(cfg, rngS),
+	}
+}
+
+func simulateAsync(cfg RobustnessConfig, rng *rand.Rand) RobustnessStats {
+	var s RobustnessStats
+	s.Trials = cfg.Trials
+	for trial := 0; trial < cfg.Trials; trial++ {
+		retries := 0
+		wall := time.Duration(0)
+		ok := true
+
+		// One job execution, always: the job is unaffected by link trouble
+		// once consigned.
+		send := func() bool {
+			for {
+				s.Messages++
+				if cfg.Link.survives(rng, cfg.Link.MsgTime) {
+					wall += cfg.Link.MsgTime
+					return true
+				}
+				s.MessagesLost++
+				retries++
+				wall += cfg.Link.MsgTime
+				if retries > cfg.MaxRetries {
+					return false
+				}
+			}
+		}
+		if !send() { // consign
+			ok = false
+		} else {
+			s.JobExecutions++
+			// Poll until the job completes.
+			elapsed := time.Duration(0)
+			for elapsed < cfg.JobDuration {
+				step := cfg.PollInterval
+				if rem := cfg.JobDuration - elapsed; step > rem {
+					step = rem
+				}
+				elapsed += step
+				wall += step
+				if !send() { // poll
+					ok = false
+					break
+				}
+			}
+			if ok && !send() { // outcome fetch
+				ok = false
+			}
+		}
+		if ok {
+			s.Completed++
+			s.TotalWall += wall
+		}
+	}
+	return s
+}
+
+func simulateSync(cfg RobustnessConfig, rng *rand.Rand) RobustnessStats {
+	var s RobustnessStats
+	s.Trials = cfg.Trials
+	for trial := 0; trial < cfg.Trials; trial++ {
+		retries := 0
+		wall := time.Duration(0)
+		for {
+			s.Messages++
+			s.JobExecutions++
+			held := cfg.JobDuration + cfg.Link.MsgTime
+			if cfg.Link.survives(rng, held) {
+				wall += held
+				s.Completed++
+				s.TotalWall += wall
+				break
+			}
+			// Connection broke somewhere inside the window: the client
+			// learns nothing and must resubmit; the spent time is lost.
+			s.MessagesLost++
+			retries++
+			wall += held / 2 // on average the break happens mid-window
+			if retries > cfg.MaxRetries {
+				break
+			}
+		}
+	}
+	return s
+}

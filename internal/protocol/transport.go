@@ -1,0 +1,141 @@
+package protocol
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// Endpoint is the single https endpoint of a UNICORE site; envelopes go in
+// and come out of POST bodies.
+const Endpoint = "/unicore"
+
+// InProc is an http.RoundTripper that dispatches requests directly to
+// registered handlers, keyed by host name. It lets a whole multi-Usite
+// deployment run inside one process and one virtual clock, with the same
+// handler code that serves real TLS sockets.
+type InProc struct {
+	mu    sync.RWMutex
+	hosts map[string]http.Handler
+}
+
+// NewInProc returns an empty in-process network.
+func NewInProc() *InProc {
+	return &InProc{hosts: make(map[string]http.Handler)}
+}
+
+// Register binds a host name (e.g. "gw.fzj.unicore") to a handler.
+func (p *InProc) Register(host string, h http.Handler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hosts[host] = h
+}
+
+// RoundTrip implements http.RoundTripper.
+func (p *InProc) RoundTrip(req *http.Request) (*http.Response, error) {
+	p.mu.RLock()
+	h, ok := p.hosts[req.URL.Host]
+	p.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("inproc: no route to host %q", req.URL.Host)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// Flaky wraps a transport and injects failures: each request is dropped
+// with probability Drop (before reaching the server with probability 0.5,
+// after — losing the response — otherwise), modelling the "unreliability of
+// the underlying communication mechanism" of §5.3.
+type Flaky struct {
+	Base http.RoundTripper
+	Drop float64
+	// Latency is added per successful round trip (0 = none). It burns real
+	// time, so keep it tiny in tests.
+	Latency time.Duration
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	reqs int
+	lost int
+}
+
+// NewFlaky builds a fault-injecting transport with a deterministic seed.
+func NewFlaky(base http.RoundTripper, drop float64, seed int64) *Flaky {
+	return &Flaky{Base: base, Drop: drop, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Stats reports attempted and lost round trips.
+func (f *Flaky) Stats() (reqs, lost int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reqs, f.lost
+}
+
+// RoundTrip implements http.RoundTripper.
+func (f *Flaky) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	f.reqs++
+	r := f.rng.Float64()
+	beforeServer := f.rng.Float64() < 0.5
+	drop := r < f.Drop
+	if drop {
+		f.lost++
+	}
+	f.mu.Unlock()
+
+	if drop && beforeServer {
+		return nil, fmt.Errorf("flaky: request lost in transit")
+	}
+	if f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+	resp, err := f.Base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if drop {
+		// The server processed the request but the reply was lost.
+		resp.Body.Close()
+		return nil, fmt.Errorf("flaky: response lost in transit")
+	}
+	return resp, nil
+}
+
+// post sends an envelope to a site URL over the given transport and returns
+// the reply envelope bytes.
+func post(rt http.RoundTripper, baseURL string, body []byte) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodPost, baseURL+Endpoint, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("protocol: HTTP %d: %s", resp.StatusCode, truncate(data, 200))
+	}
+	return data, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}

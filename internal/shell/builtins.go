@@ -1,0 +1,297 @@
+package shell
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// builtin signature: args are already expanded; rd is available for stdin.
+type builtin func(ctx *Ctx, args []string, rd redirect, out *strings.Builder) int
+
+// builtins is the fixed command set the incarnation and simulated programs
+// rely on.
+var builtins map[string]builtin
+
+func init() {
+	builtins = map[string]builtin{
+		"echo":  biEcho,
+		"cat":   biCat,
+		"cp":    biCp,
+		"mv":    biMv,
+		"rm":    biRm,
+		"mkdir": biMkdir,
+		"touch": biTouch,
+		"ls":    biLs,
+		"pwd":   biPwd,
+		"cd":    biCd,
+		"test":  biTest,
+		"true":  func(*Ctx, []string, redirect, *strings.Builder) int { return 0 },
+		"false": func(*Ctx, []string, redirect, *strings.Builder) int { return 1 },
+		"exit":  biExit,
+		"cpu":   biCPU,
+		"write": biWrite,
+		"read":  biRead,
+		"fail":  biFail,
+	}
+}
+
+func biEcho(ctx *Ctx, args []string, _ redirect, out *strings.Builder) int {
+	fmt.Fprintln(out, strings.Join(args, " "))
+	return 0
+}
+
+func biCat(ctx *Ctx, args []string, rd redirect, out *strings.Builder) int {
+	if len(args) == 0 && rd.stdin != "" {
+		args = []string{rd.stdin}
+	}
+	if len(args) == 0 {
+		return 0
+	}
+	for _, a := range args {
+		data, err := ctx.FS.ReadFile(ctx.Abs(a))
+		if err != nil {
+			fmt.Fprintf(&ctx.Stderr, "cat: %s: %v\n", a, err)
+			return 1
+		}
+		out.Write(data)
+	}
+	return 0
+}
+
+func biCp(ctx *Ctx, args []string, _ redirect, _ *strings.Builder) int {
+	if len(args) != 2 {
+		fmt.Fprintf(&ctx.Stderr, "cp: want 2 arguments\n")
+		return 2
+	}
+	if err := ctx.FS.Copy(ctx.Abs(args[1]), ctx.Abs(args[0])); err != nil {
+		fmt.Fprintf(&ctx.Stderr, "cp: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func biMv(ctx *Ctx, args []string, _ redirect, _ *strings.Builder) int {
+	if len(args) != 2 {
+		fmt.Fprintf(&ctx.Stderr, "mv: want 2 arguments\n")
+		return 2
+	}
+	if err := ctx.FS.Rename(ctx.Abs(args[0]), ctx.Abs(args[1])); err != nil {
+		fmt.Fprintf(&ctx.Stderr, "mv: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func biRm(ctx *Ctx, args []string, _ redirect, _ *strings.Builder) int {
+	recursive := false
+	var files []string
+	for _, a := range args {
+		if a == "-r" || a == "-rf" {
+			recursive = true
+		} else {
+			files = append(files, a)
+		}
+	}
+	if len(files) == 0 {
+		fmt.Fprintf(&ctx.Stderr, "rm: missing operand\n")
+		return 2
+	}
+	for _, f := range files {
+		var err error
+		if recursive {
+			err = ctx.FS.RemoveAll(ctx.Abs(f))
+		} else {
+			err = ctx.FS.Remove(ctx.Abs(f))
+		}
+		if err != nil {
+			fmt.Fprintf(&ctx.Stderr, "rm: %s: %v\n", f, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func biMkdir(ctx *Ctx, args []string, _ redirect, _ *strings.Builder) int {
+	parents := false
+	var dirs []string
+	for _, a := range args {
+		if a == "-p" {
+			parents = true
+		} else {
+			dirs = append(dirs, a)
+		}
+	}
+	for _, d := range dirs {
+		var err error
+		if parents {
+			err = ctx.FS.MkdirAll(ctx.Abs(d))
+		} else {
+			err = ctx.FS.Mkdir(ctx.Abs(d))
+		}
+		if err != nil {
+			fmt.Fprintf(&ctx.Stderr, "mkdir: %s: %v\n", d, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func biTouch(ctx *Ctx, args []string, _ redirect, _ *strings.Builder) int {
+	for _, a := range args {
+		p := ctx.Abs(a)
+		if ctx.FS.Exists(p) {
+			continue
+		}
+		if err := ctx.FS.WriteFile(p, nil); err != nil {
+			fmt.Fprintf(&ctx.Stderr, "touch: %s: %v\n", a, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func biLs(ctx *Ctx, args []string, _ redirect, out *strings.Builder) int {
+	dir := ctx.Cwd
+	if len(args) > 0 {
+		dir = ctx.Abs(args[0])
+	}
+	entries, err := ctx.FS.List(dir)
+	if err != nil {
+		fmt.Fprintf(&ctx.Stderr, "ls: %v\n", err)
+		return 1
+	}
+	for _, e := range entries {
+		fmt.Fprintln(out, e.Name)
+	}
+	return 0
+}
+
+func biPwd(ctx *Ctx, _ []string, _ redirect, out *strings.Builder) int {
+	fmt.Fprintln(out, ctx.Cwd)
+	return 0
+}
+
+func biCd(ctx *Ctx, args []string, _ redirect, _ *strings.Builder) int {
+	if len(args) != 1 {
+		fmt.Fprintf(&ctx.Stderr, "cd: want 1 argument\n")
+		return 2
+	}
+	p := ctx.Abs(args[0])
+	info, err := ctx.FS.Stat(p)
+	if err != nil || !info.IsDir {
+		fmt.Fprintf(&ctx.Stderr, "cd: %s: not a directory\n", args[0])
+		return 1
+	}
+	ctx.Cwd = p
+	return 0
+}
+
+// biTest implements test -f/-d/-s FILE and test STR1 = STR2.
+func biTest(ctx *Ctx, args []string, _ redirect, _ *strings.Builder) int {
+	fail := func() int { return 1 }
+	switch {
+	case len(args) == 2 && args[0] == "-f":
+		info, err := ctx.FS.Stat(ctx.Abs(args[1]))
+		if err == nil && !info.IsDir {
+			return 0
+		}
+		return fail()
+	case len(args) == 2 && args[0] == "-d":
+		info, err := ctx.FS.Stat(ctx.Abs(args[1]))
+		if err == nil && info.IsDir {
+			return 0
+		}
+		return fail()
+	case len(args) == 2 && args[0] == "-s":
+		info, err := ctx.FS.Stat(ctx.Abs(args[1]))
+		if err == nil && info.Size > 0 {
+			return 0
+		}
+		return fail()
+	case len(args) == 3 && args[1] == "=":
+		if args[0] == args[2] {
+			return 0
+		}
+		return fail()
+	case len(args) == 3 && args[1] == "!=":
+		if args[0] != args[2] {
+			return 0
+		}
+		return fail()
+	}
+	fmt.Fprintf(&ctx.Stderr, "test: unsupported expression\n")
+	return 2
+}
+
+func biExit(ctx *Ctx, args []string, _ redirect, _ *strings.Builder) int {
+	code := 0
+	if len(args) > 0 {
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			fmt.Fprintf(&ctx.Stderr, "exit: bad code %q\n", args[0])
+			panic(exitSignal{2})
+		}
+		code = n
+	}
+	panic(exitSignal{code})
+}
+
+// biCPU charges simulated processor time: `cpu 30s`, `cpu 2h`.
+func biCPU(ctx *Ctx, args []string, _ redirect, _ *strings.Builder) int {
+	if len(args) != 1 {
+		fmt.Fprintf(&ctx.Stderr, "cpu: want a duration\n")
+		return 2
+	}
+	d, err := time.ParseDuration(args[0])
+	if err != nil || d < 0 {
+		fmt.Fprintf(&ctx.Stderr, "cpu: bad duration %q\n", args[0])
+		return 2
+	}
+	ctx.CPUTime += d
+	return 0
+}
+
+// biWrite synthesises output data: `write result.dat 4096` writes 4096
+// deterministic bytes.
+func biWrite(ctx *Ctx, args []string, _ redirect, _ *strings.Builder) int {
+	if len(args) != 2 {
+		fmt.Fprintf(&ctx.Stderr, "write: want FILE NBYTES\n")
+		return 2
+	}
+	n, err := strconv.Atoi(args[1])
+	if err != nil || n < 0 {
+		fmt.Fprintf(&ctx.Stderr, "write: bad size %q\n", args[1])
+		return 2
+	}
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte('A' + i%26)
+	}
+	if err := ctx.FS.WriteFile(ctx.Abs(args[0]), data); err != nil {
+		fmt.Fprintf(&ctx.Stderr, "write: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// biRead asserts an input exists and charges a token of read time:
+// `read in.dat`.
+func biRead(ctx *Ctx, args []string, _ redirect, _ *strings.Builder) int {
+	if len(args) != 1 {
+		fmt.Fprintf(&ctx.Stderr, "read: want FILE\n")
+		return 2
+	}
+	info, err := ctx.FS.Stat(ctx.Abs(args[0]))
+	if err != nil || info.IsDir {
+		fmt.Fprintf(&ctx.Stderr, "read: %s: no such file\n", args[0])
+		return 1
+	}
+	return 0
+}
+
+func biFail(ctx *Ctx, args []string, _ redirect, _ *strings.Builder) int {
+	fmt.Fprintf(&ctx.Stderr, "fail: %s\n", strings.Join(args, " "))
+	return 1
+}

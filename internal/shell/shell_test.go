@@ -1,0 +1,346 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"unicore/internal/sim"
+	"unicore/internal/vfs"
+)
+
+func newCtx(t *testing.T) *Ctx {
+	t.Helper()
+	fs := vfs.New(sim.NewVirtualClock())
+	if err := fs.MkdirAll("/job"); err != nil {
+		t.Fatal(err)
+	}
+	return &Ctx{FS: fs, Cwd: "/job"}
+}
+
+func run(t *testing.T, ctx *Ctx, script string) Result {
+	t.Helper()
+	return Run(ctx, script)
+}
+
+func TestEchoAndExit(t *testing.T) {
+	ctx := newCtx(t)
+	res := run(t, ctx, "echo hello world\nexit 0\necho unreachable")
+	if res.ExitCode != 0 {
+		t.Fatalf("exit = %d, stderr=%s", res.ExitCode, res.Stderr)
+	}
+	if res.Stdout != "hello world\n" {
+		t.Fatalf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestExitCodePropagates(t *testing.T) {
+	ctx := newCtx(t)
+	res := run(t, ctx, "exit 3")
+	if res.ExitCode != 3 {
+		t.Fatalf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestShErrorStopsScript(t *testing.T) {
+	ctx := newCtx(t)
+	res := run(t, ctx, "fail broken\necho after")
+	if res.ExitCode != 1 {
+		t.Fatalf("exit = %d", res.ExitCode)
+	}
+	if strings.Contains(res.Stdout, "after") {
+		t.Fatal("script continued after failure (want sh -e semantics)")
+	}
+	if !strings.Contains(res.Stderr, "broken") {
+		t.Fatalf("stderr = %q", res.Stderr)
+	}
+}
+
+func TestVariablesAndExpansion(t *testing.T) {
+	ctx := newCtx(t)
+	res := run(t, ctx, "NAME=world\necho hello $NAME and ${NAME}!\necho $UNSET-")
+	if res.Stdout != "hello world and world!\n-\n" {
+		t.Fatalf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestQuoting(t *testing.T) {
+	ctx := newCtx(t)
+	res := run(t, ctx, `echo 'single $X quoted' plain`)
+	// Note: the interpreter does not expand inside quotes removal — quotes
+	// only group words; $ expansion happens after tokenisation.
+	if !strings.Contains(res.Stdout, "single") || !strings.Contains(res.Stdout, "quoted") {
+		t.Fatalf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestRedirections(t *testing.T) {
+	ctx := newCtx(t)
+	res := run(t, ctx, "echo first > out.txt\necho second >> out.txt\ncat out.txt")
+	if res.ExitCode != 0 {
+		t.Fatalf("exit=%d stderr=%s", res.ExitCode, res.Stderr)
+	}
+	if res.Stdout != "first\nsecond\n" {
+		t.Fatalf("stdout = %q", res.Stdout)
+	}
+	data, err := ctx.FS.ReadFile("/job/out.txt")
+	if err != nil || string(data) != "first\nsecond\n" {
+		t.Fatalf("file = %q, %v", data, err)
+	}
+}
+
+func TestStdinRedirect(t *testing.T) {
+	ctx := newCtx(t)
+	_ = ctx.FS.WriteFile("/job/in.txt", []byte("input data"))
+	res := run(t, ctx, "cat < in.txt")
+	if res.Stdout != "input data" {
+		t.Fatalf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestAndOrChains(t *testing.T) {
+	ctx := newCtx(t)
+	res := run(t, ctx, "true && echo yes\nfalse || echo fallback\nfalse && echo skipped || echo both")
+	want := "yes\nfallback\nboth\n"
+	if res.Stdout != want {
+		t.Fatalf("stdout = %q, want %q", res.Stdout, want)
+	}
+}
+
+func TestSemicolonSequence(t *testing.T) {
+	ctx := newCtx(t)
+	res := run(t, ctx, "echo a; echo b")
+	if res.Stdout != "a\nb\n" {
+		t.Fatalf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestCommentsAndDirectivesIgnored(t *testing.T) {
+	ctx := newCtx(t)
+	res := run(t, ctx, "# comment\n#QSUB -l mpp_p=64\n!SIM directive\necho ran")
+	if res.Stdout != "ran\n" || res.ExitCode != 0 {
+		t.Fatalf("stdout=%q exit=%d", res.Stdout, res.ExitCode)
+	}
+}
+
+func TestFileUtilities(t *testing.T) {
+	ctx := newCtx(t)
+	script := `
+mkdir -p sub/deep
+echo data > sub/f.txt
+cp sub/f.txt sub/deep/g.txt
+mv sub/deep/g.txt sub/deep/h.txt
+test -f sub/deep/h.txt
+test -d sub/deep
+touch empty.txt
+test -f empty.txt
+test -s sub/f.txt
+rm sub/f.txt
+rm -r sub
+ls
+`
+	res := run(t, ctx, script)
+	if res.ExitCode != 0 {
+		t.Fatalf("exit=%d stderr=%s", res.ExitCode, res.Stderr)
+	}
+	if res.Stdout != "empty.txt\n" {
+		t.Fatalf("ls output = %q", res.Stdout)
+	}
+}
+
+func TestTestFailuresStopScript(t *testing.T) {
+	ctx := newCtx(t)
+	res := run(t, ctx, "test -f missing.txt\necho unreachable")
+	if res.ExitCode != 1 || strings.Contains(res.Stdout, "unreachable") {
+		t.Fatalf("exit=%d stdout=%q", res.ExitCode, res.Stdout)
+	}
+}
+
+func TestStringTest(t *testing.T) {
+	ctx := newCtx(t)
+	if res := run(t, ctx, "X=a\ntest $X = a"); res.ExitCode != 0 {
+		t.Fatalf("eq test failed: %d", res.ExitCode)
+	}
+	ctx2 := newCtx(t)
+	if res := run(t, ctx2, "test a != a"); res.ExitCode != 1 {
+		t.Fatalf("neq test = %d", res.ExitCode)
+	}
+}
+
+func TestCdAndPwd(t *testing.T) {
+	ctx := newCtx(t)
+	_ = ctx.FS.MkdirAll("/job/work")
+	res := run(t, ctx, "cd work\npwd\necho x > f\ncat /job/work/f")
+	if res.ExitCode != 0 {
+		t.Fatalf("exit=%d stderr=%s", res.ExitCode, res.Stderr)
+	}
+	if !strings.HasPrefix(res.Stdout, "/job/work\n") {
+		t.Fatalf("pwd = %q", res.Stdout)
+	}
+}
+
+func TestCPUAccounting(t *testing.T) {
+	ctx := newCtx(t)
+	res := run(t, ctx, "cpu 30s\ncpu 90s")
+	if res.CPUTime != 2*time.Minute {
+		t.Fatalf("CPUTime = %v", res.CPUTime)
+	}
+}
+
+func TestWriteAndRead(t *testing.T) {
+	ctx := newCtx(t)
+	res := run(t, ctx, "write result.dat 100\nread result.dat")
+	if res.ExitCode != 0 {
+		t.Fatalf("exit=%d stderr=%s", res.ExitCode, res.Stderr)
+	}
+	info, err := ctx.FS.Stat("/job/result.dat")
+	if err != nil || info.Size != 100 {
+		t.Fatalf("result.dat = %+v, %v", info, err)
+	}
+	res = run(t, ctx, "read missing.dat")
+	if res.ExitCode != 1 {
+		t.Fatalf("read missing = %d", res.ExitCode)
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	a, b := newCtx(t), newCtx(t)
+	run(t, a, "write f 64")
+	run(t, b, "write f 64")
+	da, _ := a.FS.ReadFile("/job/f")
+	db, _ := b.FS.ReadFile("/job/f")
+	if string(da) != string(db) {
+		t.Fatal("write output not deterministic")
+	}
+}
+
+func TestCommandNotFound(t *testing.T) {
+	ctx := newCtx(t)
+	res := run(t, ctx, "nosuchcmd -x")
+	if res.ExitCode != 127 {
+		t.Fatalf("exit = %d, want 127", res.ExitCode)
+	}
+}
+
+func TestRegisteredTool(t *testing.T) {
+	ctx := newCtx(t)
+	ctx.Tools = map[string]Tool{
+		"f90": func(c *Ctx, args []string) int {
+			c.Stdout.WriteString("compiling " + strings.Join(args, " ") + "\n")
+			return 0
+		},
+	}
+	res := run(t, ctx, "f90 -c main.f90")
+	if res.Stdout != "compiling -c main.f90\n" {
+		t.Fatalf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestToolStdoutRedirect(t *testing.T) {
+	ctx := newCtx(t)
+	ctx.Tools = map[string]Tool{
+		"gen": func(c *Ctx, _ []string) int {
+			c.Stdout.WriteString("generated")
+			return 0
+		},
+	}
+	res := run(t, ctx, "gen > g.txt")
+	if res.ExitCode != 0 || res.Stdout != "" {
+		t.Fatalf("exit=%d stdout=%q", res.ExitCode, res.Stdout)
+	}
+	data, _ := ctx.FS.ReadFile("/job/g.txt")
+	if string(data) != "generated" {
+		t.Fatalf("file = %q", data)
+	}
+}
+
+func TestSimulatedBinary(t *testing.T) {
+	ctx := newCtx(t)
+	bin := SimBinaryHeader + "\necho running $1 with $# args\ncpu 10s\nwrite out.dat 32\nexit 0\n"
+	_ = ctx.FS.WriteFile("/job/a.out", []byte(bin))
+	res := run(t, ctx, "./a.out alpha beta")
+	if res.ExitCode != 0 {
+		t.Fatalf("exit=%d stderr=%s", res.ExitCode, res.Stderr)
+	}
+	if res.Stdout != "running alpha with 2 args\n" {
+		t.Fatalf("stdout = %q", res.Stdout)
+	}
+	if res.CPUTime != 10*time.Second {
+		t.Fatalf("CPUTime = %v", res.CPUTime)
+	}
+	if !ctx.FS.Exists("/job/out.dat") {
+		t.Fatal("binary output missing")
+	}
+}
+
+func TestBinaryExitDoesNotKillParent(t *testing.T) {
+	ctx := newCtx(t)
+	bin := SimBinaryHeader + "\nexit 0\n"
+	_ = ctx.FS.WriteFile("/job/ok.bin", []byte(bin))
+	res := run(t, ctx, "./ok.bin\necho parent continues")
+	if res.ExitCode != 0 || !strings.Contains(res.Stdout, "parent continues") {
+		t.Fatalf("exit=%d stdout=%q", res.ExitCode, res.Stdout)
+	}
+}
+
+func TestBinaryFailurePropagates(t *testing.T) {
+	ctx := newCtx(t)
+	bin := SimBinaryHeader + "\nexit 9\n"
+	_ = ctx.FS.WriteFile("/job/bad.bin", []byte(bin))
+	res := run(t, ctx, "./bad.bin\necho unreachable")
+	if res.ExitCode != 9 || strings.Contains(res.Stdout, "unreachable") {
+		t.Fatalf("exit=%d stdout=%q", res.ExitCode, res.Stdout)
+	}
+}
+
+func TestNonBinaryExecRejected(t *testing.T) {
+	ctx := newCtx(t)
+	_ = ctx.FS.WriteFile("/job/data.txt", []byte("just text"))
+	res := run(t, ctx, "./data.txt")
+	if res.ExitCode != 126 {
+		t.Fatalf("exit = %d, want 126", res.ExitCode)
+	}
+}
+
+func TestBinaryNestingLimited(t *testing.T) {
+	ctx := newCtx(t)
+	// self-recursive binary
+	bin := SimBinaryHeader + "\n./self.bin\n"
+	_ = ctx.FS.WriteFile("/job/self.bin", []byte(bin))
+	res := run(t, ctx, "./self.bin")
+	if res.ExitCode == 0 {
+		t.Fatal("infinite recursion terminated with success")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	ctx := newCtx(t)
+	ctx.MaxSteps = 10
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		sb.WriteString("echo line\n")
+	}
+	res := run(t, ctx, sb.String())
+	if res.ExitCode != 124 {
+		t.Fatalf("exit = %d, want 124 (step limit)", res.ExitCode)
+	}
+}
+
+func TestUnterminatedQuote(t *testing.T) {
+	ctx := newCtx(t)
+	res := run(t, ctx, `echo "oops`)
+	if res.ExitCode == 0 {
+		t.Fatal("unterminated quote accepted")
+	}
+}
+
+func TestPipeUnsupported(t *testing.T) {
+	ctx := newCtx(t)
+	res := run(t, ctx, "echo a | cat")
+	if res.ExitCode == 0 {
+		t.Fatal("single pipe should be rejected")
+	}
+	if !strings.Contains(res.Stderr, "unsupported operator") {
+		t.Fatalf("stderr = %q", res.Stderr)
+	}
+}

@@ -1,0 +1,299 @@
+// Package testbed assembles complete in-process UNICORE deployments: a
+// shared certificate authority, per-site user databases, gateways (combined
+// or firewall-split), NJSs with their Vsites, an in-process network, and
+// user credentials — everything Figure 2 shows, in one process under one
+// virtual clock.
+//
+// The German() constructor reproduces the §5.7 production deployment: the
+// six centres (FZJ, RUS, RUKA, LRZ, ZIB, DWD) with the four system types the
+// paper names (Cray T3E, Fujitsu VPP/700, IBM SP-2, NEC SX-4).
+package testbed
+
+import (
+	"fmt"
+	"net"
+	"strings"
+
+	"unicore/internal/accounting"
+	"unicore/internal/client"
+	"unicore/internal/codine"
+	"unicore/internal/core"
+	"unicore/internal/gateway"
+	"unicore/internal/machine"
+	"unicore/internal/njs"
+	"unicore/internal/pki"
+	"unicore/internal/protocol"
+	"unicore/internal/sim"
+	"unicore/internal/uudb"
+)
+
+// SiteSpec declares one Usite of a deployment.
+type SiteSpec struct {
+	Usite  core.Usite
+	Vsites []njs.VsiteConfig
+	// Split deploys the site in the §5.2 firewall configuration: the Web
+	// server half outside, the NJS half inside, talking over a loopback TCP
+	// socket.
+	Split bool
+	// SiteAuth is the optional site-specific authentication hook.
+	SiteAuth gateway.SiteAuth
+}
+
+// Site is one deployed Usite.
+type Site struct {
+	Spec    SiteSpec
+	NJS     *njs.NJS
+	Gateway *gateway.Gateway
+	Users   *uudb.DB
+	// Front and inner are set in split deployments.
+	Front *gateway.Front
+	inner *gateway.Inner
+}
+
+// Deployment is a whole multi-Usite UNICORE installation.
+type Deployment struct {
+	Clock    *sim.VirtualClock
+	CA       *pki.Authority
+	Net      *protocol.InProc
+	Registry *protocol.Registry
+	Software *pki.Credential
+	Sites    map[core.Usite]*Site
+
+	order []core.Usite
+}
+
+// hostOf derives the in-process host name of a site's gateway.
+func hostOf(u core.Usite) string {
+	return "gw." + strings.ToLower(string(u)) + ".unicore"
+}
+
+// New deploys the given sites. Every gateway gets signed JPA and JMC applet
+// payloads, and every NJS gets a server-credentialled peer client so job
+// groups can be distributed between the sites (Figure 2).
+func New(specs ...SiteSpec) (*Deployment, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("testbed: no sites")
+	}
+	clock := sim.NewVirtualClock()
+	ca, err := pki.NewAuthority("DFN-PCA")
+	if err != nil {
+		return nil, err
+	}
+	software, err := ca.IssueSoftware("UNICORE Consortium")
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{
+		Clock:    clock,
+		CA:       ca,
+		Net:      protocol.NewInProc(),
+		Registry: protocol.NewRegistry(),
+		Software: software,
+		Sites:    make(map[core.Usite]*Site, len(specs)),
+	}
+	for _, spec := range specs {
+		if _, dup := d.Sites[spec.Usite]; dup {
+			return nil, fmt.Errorf("testbed: duplicate Usite %q", spec.Usite)
+		}
+		site, err := d.deploySite(spec)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: deploying %s: %w", spec.Usite, err)
+		}
+		d.Sites[spec.Usite] = site
+		d.order = append(d.order, spec.Usite)
+	}
+	return d, nil
+}
+
+// deploySite stands up one Usite.
+func (d *Deployment) deploySite(spec SiteSpec) (*Site, error) {
+	host := hostOf(spec.Usite)
+	srvCred, err := d.CA.IssueServer("gateway."+strings.ToLower(string(spec.Usite)), host)
+	if err != nil {
+		return nil, err
+	}
+	users := uudb.New(spec.Usite, d.Clock)
+	n, err := njs.New(njs.Config{Usite: spec.Usite, Clock: d.Clock, Vsites: spec.Vsites})
+	if err != nil {
+		return nil, err
+	}
+	gw, err := gateway.New(gateway.Config{
+		Usite:    spec.Usite,
+		Cred:     srvCred,
+		CA:       d.CA,
+		Users:    users,
+		NJS:      n,
+		SiteAuth: spec.SiteAuth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The NJS talks to peer sites as this site's server identity.
+	n.SetPeers(protocol.NewClient(d.Net, srvCred, d.CA, d.Registry))
+
+	// Serve the signed applets the user tier loads (§4.1).
+	for _, name := range []string{"jpa", "jmc"} {
+		payload := []byte(fmt.Sprintf("signed %s applet for %s", name, spec.Usite))
+		applet, err := gateway.SignApplet(d.Software, name, "1.0", payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := gw.InstallApplet(applet); err != nil {
+			return nil, err
+		}
+	}
+
+	site := &Site{Spec: spec, NJS: n, Gateway: gw, Users: users}
+	if spec.Split {
+		inner := gateway.NewInner(gw)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("split listener: %w", err)
+		}
+		go inner.Serve(l)
+		frontCred, err := d.CA.IssueServer("front."+strings.ToLower(string(spec.Usite)), host)
+		if err != nil {
+			return nil, err
+		}
+		front, err := gateway.NewFront(frontCred, d.CA, gateway.TCPDial(l.Addr().String()))
+		if err != nil {
+			return nil, err
+		}
+		site.Front = front
+		site.inner = inner
+		d.Net.Register(host, front)
+	} else {
+		d.Net.Register(host, gw)
+	}
+	d.Registry.Add(spec.Usite, "https://"+host)
+	return site, nil
+}
+
+// Close tears down split-site sockets.
+func (d *Deployment) Close() {
+	for _, s := range d.Sites {
+		if s.Front != nil {
+			s.Front.Close()
+		}
+		if s.inner != nil {
+			s.inner.Close()
+		}
+	}
+}
+
+// Usites lists the deployed sites in declaration order.
+func (d *Deployment) Usites() []core.Usite {
+	return append([]core.Usite(nil), d.order...)
+}
+
+// Targets lists every Vsite of every site, in declaration order.
+func (d *Deployment) Targets() []core.Target {
+	var out []core.Target
+	for _, u := range d.order {
+		for _, vc := range d.Sites[u].Spec.Vsites {
+			out = append(out, core.Target{Usite: u, Vsite: vc.Name})
+		}
+	}
+	return out
+}
+
+// NewUser issues a user certificate and maps the DN to the login uid at
+// every Vsite of every site — the paper's uniform UNICORE user-id backed by
+// per-site mappings.
+func (d *Deployment) NewUser(commonName, organisation, uid string) (*pki.Credential, error) {
+	cred, err := d.CA.IssueUser(commonName, organisation)
+	if err != nil {
+		return nil, err
+	}
+	dn := cred.DN()
+	for _, u := range d.order {
+		site := d.Sites[u]
+		site.Users.AddUser(dn, "")
+		for _, vc := range site.Spec.Vsites {
+			if err := site.Users.AddMapping(dn, vc.Name, uudb.Login{UID: uid, Groups: []string{"unicore"}}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cred, nil
+}
+
+// UserClient builds a protocol client for a user credential.
+func (d *Deployment) UserClient(cred *pki.Credential) *protocol.Client {
+	return protocol.NewClient(d.Net, cred, d.CA, d.Registry)
+}
+
+// JPA builds a job preparation agent for a user.
+func (d *Deployment) JPA(cred *pki.Credential) *client.JPA {
+	return client.NewJPA(d.UserClient(cred))
+}
+
+// JMC builds a job monitor controller for a user.
+func (d *Deployment) JMC(cred *pki.Credential) *client.JMC {
+	return client.NewJMC(d.UserClient(cred))
+}
+
+// Run drives the virtual clock until no events remain (or the safety cap is
+// hit) and returns the number of fired events.
+func (d *Deployment) Run(maxEvents int) int {
+	return d.Clock.RunUntilIdle(maxEvents)
+}
+
+// Accounting collects every Vsite's batch accounting, tagged with target and
+// machine performance, for package accounting.
+func (d *Deployment) Accounting() []accounting.Record {
+	var out []accounting.Record
+	for _, u := range d.order {
+		site := d.Sites[u]
+		for _, vc := range site.Spec.Vsites {
+			vs, ok := site.NJS.Vsite(vc.Name)
+			if !ok {
+				continue
+			}
+			for _, rec := range vs.RMS.Accounting() {
+				out = append(out, accounting.Record{
+					Target:      core.Target{Usite: u, Vsite: vc.Name},
+					MFlopsPerPE: vc.Profile.MFlopsPerPE,
+					Record:      rec,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// German reproduces the §5.7 deployment: "UNICORE is running at different
+// German sites including the Forschungszentrum Jülich (FZ Jülich), the
+// Computing Centers of the universities of Stuttgart (RUS) and Karlsruhe
+// (RUKA), the Leibniz Computing Center ... in Munich (LRZ), the Konrad-Zuse
+// Zentrum für Informationstechnik in Berlin (ZIB), and the Deutscher
+// Wetterdienst in Offenbach (DWD). The systems covered are Cray T3E,
+// Fujitsu VPP/700, IBM SP-2, and NEC SX-4."
+func German() (*Deployment, error) {
+	return New(GermanSpecs()...)
+}
+
+// GermanSpecs returns the six §5.7 site specifications (exported so callers
+// can toggle Split or scheduler options before deploying).
+func GermanSpecs() []SiteSpec {
+	return []SiteSpec{
+		{Usite: "FZJ", Vsites: []njs.VsiteConfig{{Name: "T3E", Profile: machine.CrayT3E(512), Backfill: true}}},
+		{Usite: "RUS", Vsites: []njs.VsiteConfig{{Name: "SX4", Profile: machine.NECSX4(32)}}},
+		{Usite: "RUKA", Vsites: []njs.VsiteConfig{{Name: "SP2", Profile: machine.IBMSP2(256), Backfill: true}}},
+		{Usite: "LRZ", Vsites: []njs.VsiteConfig{{Name: "VPP", Profile: machine.FujitsuVPP700(52)}}},
+		{Usite: "ZIB", Vsites: []njs.VsiteConfig{{Name: "T3E", Profile: machine.CrayT3E(408), Backfill: true}}},
+		{Usite: "DWD", Vsites: []njs.VsiteConfig{{Name: "SX4", Profile: machine.NECSX4(16)}}},
+	}
+}
+
+// SingleSite builds a minimal one-site deployment (the quickstart topology):
+// one Usite with one generic-cluster Vsite.
+func SingleSite(usite core.Usite, vsite core.Vsite, nodes int) (*Deployment, error) {
+	return New(SiteSpec{
+		Usite:  usite,
+		Vsites: []njs.VsiteConfig{{Name: vsite, Profile: machine.GenericCluster(nodes)}},
+	})
+}
+
+// QueueConfig is re-exported for site specs that want custom queues.
+type QueueConfig = codine.Queue

@@ -1,0 +1,196 @@
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"unicore/internal/ajo"
+	"unicore/internal/client"
+	"unicore/internal/core"
+	"unicore/internal/resources"
+)
+
+// WorkloadConfig parameterises the synthetic job mix. The mix mirrors what
+// the paper says the 1999 deployment ran: script tasks ("to include existing
+// batch applications"), compile-link-execute jobs ("for new applications",
+// F90), and hierarchically structured jobs with parts at several sites.
+type WorkloadConfig struct {
+	Seed    int64
+	Jobs    int
+	Targets []core.Target
+
+	// CompileFraction of jobs are compile-link-execute chains; of the rest,
+	// MultiSiteFraction carry a sub-job group at another Usite. Whatever
+	// remains are plain script jobs with import/export staging.
+	CompileFraction   float64
+	MultiSiteFraction float64
+
+	// MeanCPU is the mean simulated processor time per task; actual values
+	// are uniform in [0.5, 1.5) of the mean.
+	MeanCPU time.Duration
+	// MaxProcs bounds the per-task processor request (must fit the smallest
+	// target machine). Requests are powers of two in [1, MaxProcs].
+	MaxProcs int
+	// DataKB is the mean size of staged input data in KiB.
+	DataKB int
+}
+
+// DefaultWorkload is a mixed load sized for the German testbed.
+func DefaultWorkload(seed int64, jobs int, targets []core.Target) WorkloadConfig {
+	return WorkloadConfig{
+		Seed:              seed,
+		Jobs:              jobs,
+		Targets:           targets,
+		CompileFraction:   0.3,
+		MultiSiteFraction: 0.25,
+		MeanCPU:           20 * time.Minute,
+		MaxProcs:          16,
+		DataKB:            64,
+	}
+}
+
+// GenerateWorkload builds a deterministic list of jobs from the config.
+func GenerateWorkload(cfg WorkloadConfig) ([]*ajo.AbstractJob, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("testbed: workload needs at least one target")
+	}
+	if cfg.MaxProcs < 1 {
+		cfg.MaxProcs = 1
+	}
+	if cfg.MeanCPU <= 0 {
+		cfg.MeanCPU = 10 * time.Minute
+	}
+	if cfg.DataKB <= 0 {
+		cfg.DataKB = 16
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jobs := make([]*ajo.AbstractJob, 0, cfg.Jobs)
+	for i := 0; i < cfg.Jobs; i++ {
+		name := fmt.Sprintf("wl-%04d", i)
+		target := cfg.Targets[rng.Intn(len(cfg.Targets))]
+		var (
+			job *ajo.AbstractJob
+			err error
+		)
+		switch p := rng.Float64(); {
+		case p < cfg.CompileFraction:
+			job, err = compileJob(rng, cfg, name, target)
+		case p < cfg.CompileFraction+cfg.MultiSiteFraction && len(cfg.Targets) > 1:
+			other := cfg.Targets[rng.Intn(len(cfg.Targets))]
+			for other.Usite == target.Usite {
+				other = cfg.Targets[rng.Intn(len(cfg.Targets))]
+			}
+			job, err = multiSiteJob(rng, cfg, name, target, other)
+		default:
+			job, err = scriptJob(rng, cfg, name, target)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("testbed: generating %s: %w", name, err)
+		}
+		jobs = append(jobs, job)
+	}
+	return jobs, nil
+}
+
+// request draws a task resource demand.
+func request(rng *rand.Rand, cfg WorkloadConfig, cpu time.Duration) resources.Request {
+	procs := 1 << rng.Intn(log2(cfg.MaxProcs)+1)
+	if procs > cfg.MaxProcs {
+		procs = cfg.MaxProcs
+	}
+	// Generous wall limit: the slowest machine (speed 0.4) stretches cpu by
+	// 2.5x, plus queue-manager overhead.
+	limit := 3*cpu + 10*time.Minute
+	if limit > 24*time.Hour {
+		limit = 24 * time.Hour
+	}
+	return resources.Request{Processors: procs, RunTime: limit, MemoryMB: 16 << rng.Intn(3)}
+}
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// drawCPU draws a task's simulated processor time.
+func drawCPU(rng *rand.Rand, cfg WorkloadConfig) time.Duration {
+	return time.Duration((0.5 + rng.Float64()) * float64(cfg.MeanCPU))
+}
+
+// drawData draws a staged-data size in bytes.
+func drawData(rng *rand.Rand, cfg WorkloadConfig) int {
+	return (cfg.DataKB/2 + rng.Intn(cfg.DataKB)) << 10
+}
+
+// scriptJob is the bread-and-butter §5.7 shape: import workstation data,
+// run an existing batch application, export the result to Xspace.
+func scriptJob(rng *rand.Rand, cfg WorkloadConfig, name string, target core.Target) (*ajo.AbstractJob, error) {
+	cpu := drawCPU(rng, cfg)
+	bytes := drawData(rng, cfg)
+	b := client.NewJob(name, target).Project("hpc")
+	imp := b.ImportBytes("stage input", input(rng, bytes), "input.dat")
+	run := b.Script("application", fmt.Sprintf(
+		"cat input.dat > consumed.tmp\ncpu %s\nwrite result.dat %d\necho %s done\n",
+		cpu, bytes, name), request(rng, cfg, cpu))
+	exp := b.Export("archive result", "result.dat", fmt.Sprintf("/results/%s.dat", name))
+	b.After(imp, run).After(run, exp)
+	return b.Build()
+}
+
+// compileJob is the compile-link-execute chain for new applications (§5.7,
+// "the compile is implemented for F90").
+func compileJob(rng *rand.Rand, cfg WorkloadConfig, name string, target core.Target) (*ajo.AbstractJob, error) {
+	cpu := drawCPU(rng, cfg)
+	src := fmt.Sprintf(`! %s — synthetic F90 kernel
+!SIM: cpu %s
+!SIM: write field.dat %d
+!SIM: echo %s kernel complete
+program main
+  call solve()
+end program main
+`, name, cpu, drawData(rng, cfg), name)
+	b := client.NewJob(name, target).Project("dev")
+	imp := b.ImportBytes("stage source", []byte(src), "main.f90")
+	cc := b.Compile("compile f90", "f90", []string{"main.f90"}, "main.o", request(rng, cfg, time.Minute))
+	ld := b.Link("link", []string{"main.o"}, []string{"MPI"}, "a.out", request(rng, cfg, time.Minute))
+	run := b.Execute("execute", "a.out", nil, request(rng, cfg, cpu))
+	exp := b.Export("archive field", "field.dat", fmt.Sprintf("/results/%s-field.dat", name))
+	b.Chain(imp, cc, ld, run, exp)
+	return b.Build()
+}
+
+// multiSiteJob reproduces the distributed shape of §3: a pre-processing
+// sub-job at another Usite produces data that is transferred between the
+// Uspaces and consumed by the main task.
+func multiSiteJob(rng *rand.Rand, cfg WorkloadConfig, name string, target, other core.Target) (*ajo.AbstractJob, error) {
+	preCPU := drawCPU(rng, cfg) / 4
+	mainCPU := drawCPU(rng, cfg)
+	bytes := drawData(rng, cfg)
+
+	pre := client.NewJob(name+"/pre", other).Project("hpc")
+	pre.Script("preprocess", fmt.Sprintf(
+		"cpu %s\nwrite prepped.dat %d\necho %s preprocessing done\n", preCPU, bytes, name),
+		request(rng, cfg, preCPU))
+
+	b := client.NewJob(name, target).Project("hpc")
+	sub := b.SubJob(pre)
+	tr := b.Transfer("fetch preprocessed data", sub, "prepped.dat")
+	run := b.Script("main computation", fmt.Sprintf(
+		"cat prepped.dat > staged.tmp\ncpu %s\nwrite result.dat %d\necho %s done\n",
+		mainCPU, bytes, name), request(rng, cfg, mainCPU))
+	exp := b.Export("archive result", "result.dat", fmt.Sprintf("/results/%s.dat", name))
+	b.Chain(sub, tr, run, exp)
+	return b.Build()
+}
+
+// input synthesises deterministic staged data.
+func input(rng *rand.Rand, n int) []byte {
+	data := make([]byte, n)
+	rng.Read(data)
+	return data
+}

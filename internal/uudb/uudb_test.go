@@ -1,0 +1,215 @@
+package uudb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"unicore/internal/core"
+	"unicore/internal/sim"
+)
+
+var (
+	alice = core.MakeDN("Alice", "FZJ", "DE")
+	bob   = core.MakeDN("Bob", "RUS", "DE")
+)
+
+func newDB() *DB { return New("FZJ", sim.NewVirtualClock()) }
+
+func TestMapHappyPath(t *testing.T) {
+	db := newDB()
+	if err := db.AddMapping(alice, "T3E", Login{UID: "alice", Groups: []string{"hpc"}, Project: "zam"}); err != nil {
+		t.Fatal(err)
+	}
+	login, err := db.Map(alice, "T3E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if login.UID != "alice" || login.Project != "zam" {
+		t.Fatalf("login = %+v", login)
+	}
+}
+
+func TestMapUnknownDN(t *testing.T) {
+	db := newDB()
+	if _, err := db.Map(alice, "T3E"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMapNoVsiteMapping(t *testing.T) {
+	db := newDB()
+	_ = db.AddMapping(alice, "T3E", Login{UID: "alice"})
+	if _, err := db.Map(alice, "SX4"); !errors.Is(err, ErrNoMapping) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDifferentUIDsPerVsite(t *testing.T) {
+	// The point of the mapping: no uniform uid/gid pairs needed (paper §4).
+	db := newDB()
+	_ = db.AddMapping(alice, "T3E", Login{UID: "alice"})
+	_ = db.AddMapping(alice, "VPP", Login{UID: "a_ex23"})
+	l1, _ := db.Map(alice, "T3E")
+	l2, _ := db.Map(alice, "VPP")
+	if l1.UID == l2.UID {
+		t.Fatal("expected distinct local uids per vsite")
+	}
+}
+
+func TestDuplicateMappingRejected(t *testing.T) {
+	db := newDB()
+	_ = db.AddMapping(alice, "T3E", Login{UID: "alice"})
+	if err := db.AddMapping(alice, "T3E", Login{UID: "other"}); !errors.Is(err, ErrDuplicateMap) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := db.ReplaceMapping(alice, "T3E", Login{UID: "other"}); err != nil {
+		t.Fatalf("ReplaceMapping: %v", err)
+	}
+	l, _ := db.Map(alice, "T3E")
+	if l.UID != "other" {
+		t.Fatalf("uid after replace = %q", l.UID)
+	}
+}
+
+func TestEmptyUIDRejected(t *testing.T) {
+	db := newDB()
+	if err := db.AddMapping(alice, "T3E", Login{}); err == nil {
+		t.Fatal("empty uid accepted")
+	}
+}
+
+func TestBlockUnblock(t *testing.T) {
+	db := newDB()
+	_ = db.AddMapping(alice, "T3E", Login{UID: "alice"})
+	db.Block(alice)
+	if _, err := db.Map(alice, "T3E"); !errors.Is(err, ErrUserBlocked) {
+		t.Fatalf("blocked map err = %v", err)
+	}
+	db.Unblock(alice)
+	if _, err := db.Map(alice, "T3E"); err != nil {
+		t.Fatalf("unblocked map err = %v", err)
+	}
+}
+
+func TestRemoveMapping(t *testing.T) {
+	db := newDB()
+	_ = db.AddMapping(alice, "T3E", Login{UID: "alice"})
+	db.RemoveMapping(alice, "T3E")
+	if _, err := db.Map(alice, "T3E"); !errors.Is(err, ErrNoMapping) {
+		t.Fatalf("err after remove = %v", err)
+	}
+}
+
+func TestUsersAndVsitesSorted(t *testing.T) {
+	db := newDB()
+	_ = db.AddMapping(bob, "VPP", Login{UID: "bob"})
+	_ = db.AddMapping(alice, "T3E", Login{UID: "alice"})
+	_ = db.AddMapping(alice, "SX4", Login{UID: "alice2"})
+	users := db.Users()
+	if len(users) != 2 || users[0] != alice {
+		t.Fatalf("Users = %v", users)
+	}
+	vsites := db.Vsites(alice)
+	if fmt.Sprint(vsites) != "[SX4 T3E]" {
+		t.Fatalf("Vsites = %v", vsites)
+	}
+	if got := db.Vsites(core.DN("CN=nobody")); got != nil {
+		t.Fatalf("Vsites(unknown) = %v", got)
+	}
+}
+
+func TestAuditTrail(t *testing.T) {
+	db := newDB()
+	_ = db.AddMapping(alice, "T3E", Login{UID: "alice"})
+	_, _ = db.Map(alice, "T3E") // allowed
+	_, _ = db.Map(bob, "T3E")   // unknown
+	db.Block(alice)
+	_, _ = db.Map(alice, "T3E") // blocked
+	recs := db.Audit()
+	if len(recs) != 3 {
+		t.Fatalf("audit entries = %d, want 3", len(recs))
+	}
+	if !recs[0].Allowed || recs[0].UID != "alice" {
+		t.Fatalf("first record = %+v", recs[0])
+	}
+	if recs[1].Allowed || recs[1].Reason != "unknown DN" {
+		t.Fatalf("second record = %+v", recs[1])
+	}
+	if recs[2].Allowed || recs[2].Reason != "blocked" {
+		t.Fatalf("third record = %+v", recs[2])
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	db := newDB()
+	_ = db.AddMapping(alice, "T3E", Login{UID: "alice", Groups: []string{"hpc"}, Project: "zam"})
+	_ = db.AddMapping(bob, "VPP", Login{UID: "bob"})
+	db.Block(bob)
+	data, err := db.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := New("", sim.NewVirtualClock())
+	if err := db2.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Usite() != "FZJ" {
+		t.Fatalf("usite after load = %q", db2.Usite())
+	}
+	l, err := db2.Map(alice, "T3E")
+	if err != nil || l.UID != "alice" || l.Project != "zam" {
+		t.Fatalf("mapping after load = %+v, %v", l, err)
+	}
+	if _, err := db2.Map(bob, "VPP"); !errors.Is(err, ErrUserBlocked) {
+		t.Fatalf("blocked flag lost: %v", err)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	db := newDB()
+	if err := db.Load([]byte("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// Property: Map succeeds exactly for the (dn, vsite) pairs added and not
+// removed, for any interleaving of adds and removes.
+func TestQuickMapReflectsMutations(t *testing.T) {
+	type op struct {
+		Add   bool
+		User  uint8
+		Vsite uint8
+	}
+	f := func(ops []op) bool {
+		db := newDB()
+		want := map[string]bool{}
+		for _, o := range ops {
+			dn := core.MakeDN(fmt.Sprintf("u%d", o.User%5), "O", "DE")
+			vs := core.Vsite(fmt.Sprintf("v%d", o.Vsite%4))
+			key := string(dn) + "|" + string(vs)
+			if o.Add {
+				_ = db.ReplaceMapping(dn, vs, Login{UID: "x"})
+				want[key] = true
+			} else {
+				db.RemoveMapping(dn, vs)
+				delete(want, key)
+			}
+		}
+		for u := 0; u < 5; u++ {
+			for v := 0; v < 4; v++ {
+				dn := core.MakeDN(fmt.Sprintf("u%d", u), "O", "DE")
+				vs := core.Vsite(fmt.Sprintf("v%d", v))
+				_, err := db.Map(dn, vs)
+				if want[string(dn)+"|"+string(vs)] != (err == nil) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

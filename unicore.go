@@ -1,0 +1,182 @@
+// Package unicore is a Go reproduction of the UNICORE architecture —
+// "seamless access to distributed resources" (M. Romberg, HPDC-8, 1999).
+//
+// UNICORE is a three-tier grid middleware. At the user tier, the Job
+// Preparation Agent builds abstract, system-independent jobs and the Job
+// Monitor Controller tracks them. At the server tier, each computer centre
+// (Usite) runs a gateway — an https endpoint doing X.509 authentication and
+// certificate-to-login mapping — and a Network Job Supervisor (NJS) that
+// translates ("incarnates") abstract jobs into real batch jobs, schedules
+// their dependency graph, stages data, and exchanges job groups with peer
+// sites. At the batch tier, each execution system (Vsite) runs its native
+// resource-management system, reproduced here by a deterministic
+// discrete-event batch simulator with the 1999 machine inventory (Cray T3E,
+// Fujitsu VPP/700, IBM SP-2, NEC SX-4).
+//
+// This package is the public facade: it re-exports the user-level API so a
+// downstream program can build jobs, deploy in-process testbeds, submit,
+// monitor, and broker without reaching into the internal packages.
+//
+//	d, _ := unicore.SingleSite("DEMO", "CLUSTER", 8)
+//	user, _ := d.NewUser("Jane Doe", "Demo Org", "jdoe")
+//	b := unicore.NewJob("hello", unicore.Target{Usite: "DEMO", Vsite: "CLUSTER"})
+//	b.Script("greet", "echo hello\n", unicore.ResourceRequest{Processors: 1})
+//	job, _ := b.Build()
+//	id, _ := d.JPA(user).Submit(job)
+//	d.Run(100000) // drive the virtual clock
+//	sum, _ := d.JMC(user).Status("DEMO", id)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced figures and claims.
+package unicore
+
+import (
+	"unicore/internal/ajo"
+	"unicore/internal/asi"
+	"unicore/internal/broker"
+	"unicore/internal/client"
+	"unicore/internal/core"
+	"unicore/internal/pki"
+	"unicore/internal/protocol"
+	"unicore/internal/resources"
+	"unicore/internal/testbed"
+)
+
+// Identity and addressing vocabulary (paper §4).
+type (
+	// Usite names a UNICORE site — a computer centre with a gateway and NJS.
+	Usite = core.Usite
+	// Vsite names an execution system within a Usite.
+	Vsite = core.Vsite
+	// Target addresses a Vsite globally as Usite/Vsite.
+	Target = core.Target
+	// JobID identifies a consigned UNICORE job.
+	JobID = core.JobID
+	// DN is a certificate distinguished name — the unique UNICORE user-id.
+	DN = core.DN
+)
+
+// Job model (paper §5.3, Figure 3).
+type (
+	// AbstractJob is the recursive AJO job group.
+	AbstractJob = ajo.AbstractJob
+	// Outcome carries the status and results of an abstract action.
+	Outcome = ajo.Outcome
+	// Status is the state of an action (the JMC icon colours).
+	Status = ajo.Status
+	// Summary is the compact job status the JMC polls.
+	Summary = ajo.Summary
+	// ActionID identifies one action within a job.
+	ActionID = ajo.ActionID
+)
+
+// Status values.
+const (
+	StatusPending    = ajo.StatusPending
+	StatusQueued     = ajo.StatusQueued
+	StatusRunning    = ajo.StatusRunning
+	StatusSuccessful = ajo.StatusSuccessful
+	StatusFailed     = ajo.StatusFailed
+	StatusNotDone    = ajo.StatusNotDone
+	StatusAborted    = ajo.StatusAborted
+)
+
+// Resource model (paper §5.4).
+type (
+	// ResourceRequest is a task's resource demand.
+	ResourceRequest = resources.Request
+	// ResourcePage describes a Vsite's capabilities and software.
+	ResourcePage = resources.Page
+)
+
+// User tier (paper §4.1).
+type (
+	// Builder assembles abstract jobs the way the JPA GUI does.
+	Builder = client.Builder
+	// JPA is the job preparation agent.
+	JPA = client.JPA
+	// JMC is the job monitor controller.
+	JMC = client.JMC
+	// Credential couples an X.509 certificate with its key.
+	Credential = pki.Credential
+	// Client is the signed-envelope protocol client underneath JPA and JMC;
+	// the broker refreshes its load information through one.
+	Client = protocol.Client
+)
+
+// NewJob starts building a job destined for target.
+func NewJob(name string, target Target) *Builder { return client.NewJob(name, target) }
+
+// Display renders an outcome tree as the JMC's coloured status display.
+func Display(o *Outcome) string { return client.Display(o) }
+
+// Deployments (paper §5.7 and Figure 2).
+type (
+	// Deployment is an in-process multi-Usite UNICORE installation.
+	Deployment = testbed.Deployment
+	// SiteSpec declares one Usite of a deployment.
+	SiteSpec = testbed.SiteSpec
+	// WorkloadConfig parameterises the synthetic job mix.
+	WorkloadConfig = testbed.WorkloadConfig
+)
+
+// NewDeployment deploys the given sites in-process under a virtual clock.
+func NewDeployment(specs ...SiteSpec) (*Deployment, error) { return testbed.New(specs...) }
+
+// German deploys the six-site 1999 German production testbed of §5.7.
+func German() (*Deployment, error) { return testbed.German() }
+
+// SingleSite deploys a minimal one-site installation.
+func SingleSite(usite Usite, vsite Vsite, nodes int) (*Deployment, error) {
+	return testbed.SingleSite(usite, vsite, nodes)
+}
+
+// GenerateWorkload builds a deterministic synthetic job mix.
+func GenerateWorkload(cfg WorkloadConfig) ([]*AbstractJob, error) {
+	return testbed.GenerateWorkload(cfg)
+}
+
+// DefaultWorkload returns the standard mixed workload configuration.
+func DefaultWorkload(seed int64, jobs int, targets []Target) WorkloadConfig {
+	return testbed.DefaultWorkload(seed, jobs, targets)
+}
+
+// Resource broker (paper §6 outlook).
+type (
+	// Broker ranks Vsites for abstract resource requests.
+	Broker = broker.Broker
+	// BrokerPolicy selects the broker's ranking strategy.
+	BrokerPolicy = broker.Policy
+)
+
+// Broker policies.
+const (
+	LeastLoaded    = broker.LeastLoaded
+	FastestMachine = broker.FastestMachine
+	BestTurnaround = broker.BestTurnaround
+)
+
+// NewBroker creates a resource broker with the given policy.
+func NewBroker(policy BrokerPolicy) *Broker { return broker.New(policy) }
+
+// Application-specific interfaces (paper §6: "application specific
+// interfaces for standard packages like Ansys or Pamcrash").
+type (
+	// ApplicationInterface builds jobs in application terms for one
+	// standard package.
+	ApplicationInterface = asi.Interface
+	// ApplicationTemplate declares a package's parameters and renderer.
+	ApplicationTemplate = asi.Template
+)
+
+// Gaussian94 returns the computational-chemistry interface.
+func Gaussian94() *ApplicationInterface { return asi.Gaussian94() }
+
+// Ansys returns the structural-analysis interface.
+func Ansys() *ApplicationInterface { return asi.Ansys() }
+
+// PamCrash returns the crash-simulation interface.
+func PamCrash() *ApplicationInterface { return asi.PamCrash() }
+
+// ApplicationCatalog lists the built-in application interfaces.
+func ApplicationCatalog() []*ApplicationInterface { return asi.Catalog() }
