@@ -20,6 +20,7 @@ package unicore_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -586,6 +587,78 @@ func BenchmarkAblation_Backfill(b *testing.B) {
 			b.ReportMetric(wait.Minutes()/float64(b.N), "narrow-wait-vmin")
 		})
 	}
+}
+
+// --- Concurrency: multi-client throughput through gateway → NJS ------------
+
+// BenchmarkConcurrentClients measures the NJS/gateway service hot path under
+// concurrent load: parallel clients issue a poll/list/fetch mix against a
+// pool of completed jobs through the full authenticated gateway → NJS path.
+// With the sharded job registry (per-job locks, atomic gateway counters,
+// ranged Uspace reads), requests for different jobs share no lock, so
+// throughput scales with GOMAXPROCS instead of flatlining on a global mutex:
+//
+//	go test -bench ConcurrentClients -cpu 1,2,4,8
+func BenchmarkConcurrentClients(b *testing.B) {
+	const (
+		jobPool  = 16
+		fileSize = 300 << 10 // two fetch chunks
+	)
+	d := mustDeploy(b, singleSiteSpec("FZJ"))
+	user := mustUser(b, d, "conc")
+	jpa := d.JPA(user)
+	ids := make([]unicore.JobID, jobPool)
+	for i := range ids {
+		jb := unicore.NewJob(fmt.Sprintf("conc-%03d", i), unicore.Target{Usite: "FZJ", Vsite: "T3E"})
+		jb.Script("produce", fmt.Sprintf("cpu 1m\nwrite out.dat %d\n", fileSize),
+			unicore.ResourceRequest{Processors: 2, RunTime: time.Hour})
+		job, err := jb.Build()
+		if err != nil {
+			b.Fatalf("build: %v", err)
+		}
+		id, err := jpa.Submit(job)
+		if err != nil {
+			b.Fatalf("submit: %v", err)
+		}
+		ids[i] = id
+	}
+	d.Run(50_000_000)
+	jmc := d.JMC(user)
+	for _, id := range ids {
+		s, err := jmc.Status("FZJ", id)
+		if err != nil || s.Status != unicore.StatusSuccessful {
+			b.Fatalf("job %s not ready: %v %s", id, err, s.Status)
+		}
+	}
+
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// One JMC (and protocol client) per worker, as real clients would.
+		jmc := d.JMC(user)
+		for pb.Next() {
+			i := next.Add(1)
+			id := ids[int(i)%jobPool]
+			switch i % 8 {
+			case 0:
+				if _, err := jmc.List("FZJ"); err != nil {
+					b.Errorf("list: %v", err)
+					return
+				}
+			case 1:
+				data, err := jmc.FetchFile("FZJ", id, "out.dat")
+				if err != nil || len(data) != fileSize {
+					b.Errorf("fetch: %d bytes, err %v", len(data), err)
+					return
+				}
+			default:
+				if _, err := jmc.Status("FZJ", id); err != nil {
+					b.Errorf("status: %v", err)
+					return
+				}
+			}
+		}
+	})
 }
 
 // --- Ablation: §5.2 firewall split vs combined gateway ---------------------

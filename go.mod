@@ -1,0 +1,3 @@
+module unicore
+
+go 1.24

@@ -14,6 +14,15 @@
 //     pages in ASN.1, and
 //   - forwards authenticated requests to the NJS — either in-process (the
 //     combined server) or across the firewall split of §5.2 (see split.go).
+//
+// # Concurrency model
+//
+// Handle is safe for any number of concurrent callers and takes no gateway
+// lock on the request path: traffic counters are lock-free atomics (with a
+// small mutex only around the dynamic failure-cause map), and the applet
+// store sits behind its own RWMutex so applet serving never contends with
+// anything else. Per-request state flows through the NJS, which shards its
+// locking per job.
 package gateway
 
 import (
@@ -24,6 +33,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"unicore/internal/ajo"
 	"unicore/internal/core"
@@ -108,9 +118,21 @@ type Gateway struct {
 	njs      *njs.NJS
 	siteAuth SiteAuth
 
-	mu      sync.Mutex
-	applets map[string]Applet
-	stats   Stats
+	// appletMu guards only the applet store; serving an applet never
+	// contends with traffic accounting or other requests.
+	appletMu sync.RWMutex
+	applets  map[string]Applet
+
+	// Traffic counters are atomics so the request hot path takes no lock.
+	// byType is pre-populated with every defined message type at New and
+	// never mutated afterwards, making the per-type increment lock-free;
+	// extraMu covers the two small maps with dynamic keys.
+	requests   atomic.Int64
+	rejected   atomic.Int64
+	byType     map[protocol.MsgType]*atomic.Int64
+	extraMu    sync.Mutex
+	extraTypes map[protocol.MsgType]int64
+	byFailure  map[string]int64
 }
 
 // New assembles a gateway and wires it into the NJS as its login mapper.
@@ -131,16 +153,20 @@ func New(cfg Config) (*Gateway, error) {
 		return nil, errors.New("gateway: nil NJS")
 	}
 	g := &Gateway{
-		usite:    cfg.Usite,
-		cred:     cfg.Cred,
-		ca:       cfg.CA,
-		users:    cfg.Users,
-		njs:      cfg.NJS,
-		siteAuth: cfg.SiteAuth,
-		applets:  make(map[string]Applet),
+		usite:      cfg.Usite,
+		cred:       cfg.Cred,
+		ca:         cfg.CA,
+		users:      cfg.Users,
+		njs:        cfg.NJS,
+		siteAuth:   cfg.SiteAuth,
+		applets:    make(map[string]Applet),
+		byType:     make(map[protocol.MsgType]*atomic.Int64),
+		extraTypes: make(map[protocol.MsgType]int64),
+		byFailure:  make(map[string]int64),
 	}
-	g.stats.ByType = make(map[protocol.MsgType]int64)
-	g.stats.ByFailure = make(map[string]int64)
+	for _, t := range protocol.MsgTypes() {
+		g.byType[t] = new(atomic.Int64)
+	}
 	cfg.NJS.SetLoginMapper(g.MapLogin)
 	return g, nil
 }
@@ -165,55 +191,67 @@ func (g *Gateway) InstallApplet(a Applet) error {
 	if _, err := g.ca.VerifySignature(a.Payload, a.Signature, pki.RoleSoftware); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadApplet, err)
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.appletMu.Lock()
+	defer g.appletMu.Unlock()
 	g.applets[a.Name] = a
 	return nil
 }
 
 // AppletNames lists the installed applets, sorted.
 func (g *Gateway) AppletNames() []string {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.appletMu.RLock()
 	names := make([]string, 0, len(g.applets))
 	for n := range g.applets {
 		names = append(names, n)
 	}
+	g.appletMu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
-// Stats returns a snapshot of the traffic counters.
+// Stats returns a snapshot of the traffic counters. Only message types that
+// have been seen appear in the maps.
 func (g *Gateway) Stats() Stats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	s := Stats{
-		Requests:  g.stats.Requests,
-		Rejected:  g.stats.Rejected,
-		ByType:    make(map[protocol.MsgType]int64, len(g.stats.ByType)),
-		ByFailure: make(map[string]int64, len(g.stats.ByFailure)),
+		Requests:  g.requests.Load(),
+		Rejected:  g.rejected.Load(),
+		ByType:    make(map[protocol.MsgType]int64, len(g.byType)),
+		ByFailure: make(map[string]int64),
 	}
-	for k, v := range g.stats.ByType {
-		s.ByType[k] = v
+	for t, c := range g.byType {
+		if v := c.Load(); v != 0 {
+			s.ByType[t] = v
+		}
 	}
-	for k, v := range g.stats.ByFailure {
+	g.extraMu.Lock()
+	for t, v := range g.extraTypes {
+		s.ByType[t] += v
+	}
+	for k, v := range g.byFailure {
 		s.ByFailure[k] = v
 	}
+	g.extraMu.Unlock()
 	return s
 }
 
 func (g *Gateway) count(t protocol.MsgType) {
-	g.mu.Lock()
-	g.stats.Requests++
-	g.stats.ByType[t]++
-	g.mu.Unlock()
+	g.requests.Add(1)
+	if c, ok := g.byType[t]; ok {
+		c.Add(1)
+		return
+	}
+	// A type outside the protocol's defined set (possible on forged or
+	// future-version envelopes) falls back to the guarded overflow map.
+	g.extraMu.Lock()
+	g.extraTypes[t]++
+	g.extraMu.Unlock()
 }
 
 func (g *Gateway) countFailure(cause string) {
-	g.mu.Lock()
-	g.stats.Rejected++
-	g.stats.ByFailure[cause]++
-	g.mu.Unlock()
+	g.rejected.Add(1)
+	g.extraMu.Lock()
+	g.byFailure[cause]++
+	g.extraMu.Unlock()
 }
 
 // ServeHTTP implements the site's https endpoint: POST /unicore carries
@@ -359,9 +397,9 @@ func (g *Gateway) dispatch(t protocol.MsgType, raw json.RawMessage, dn core.DN, 
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad applet request: %w", err)
 		}
-		g.mu.Lock()
+		g.appletMu.RLock()
 		a, ok := g.applets[req.Name]
-		g.mu.Unlock()
+		g.appletMu.RUnlock()
 		if !ok {
 			return nil, "", fmt.Errorf("gateway: no applet %q at %s", req.Name, g.usite)
 		}

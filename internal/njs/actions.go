@@ -34,16 +34,19 @@ func (n *NJS) startActionLocked(uj *unicoreJob, a ajo.Action) {
 }
 
 // deferComplete finishes an action after a virtual delay, modelling the
-// staging time of file operations.
+// staging time of file operations. The callback locks only the job it
+// advances.
 func (n *NJS) deferComplete(uj *unicoreJob, aid ajo.ActionID, d time.Duration, status ajo.Status, reason string) {
 	jobID := uj.id
 	n.clock.AfterFunc(d, func() {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		if j, ok := n.jobs[jobID]; ok {
-			n.completeActionLocked(j, aid, status, reason)
-			n.finalizeIfDoneLocked(j)
+		j, ok := n.job(jobID)
+		if !ok {
+			return
 		}
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		n.completeActionLocked(j, aid, status, reason)
+		n.finalizeIfDoneLocked(j)
 	})
 }
 
@@ -123,12 +126,14 @@ func (n *NJS) startTransferLocked(uj *unicoreJob, t *ajo.TransferTask) {
 // readActionFileLocked reads a file from the Uspace that backs an action:
 // the enclosing job's own Uspace for plain tasks, a child job's Uspace for
 // locally expanded sub-jobs, or a remote fetch for sub-jobs at peer Usites.
+// A child's vsite is immutable and its Space is thread-safe, so the child's
+// lock is not needed.
 func (n *NJS) readActionFileLocked(uj *unicoreJob, aid ajo.ActionID, file string) ([]byte, error) {
 	if ref, ok := uj.remote[aid]; ok {
 		return n.fetchRemoteFile(ref.usite, ref.job, file)
 	}
 	if childID, ok := uj.children[aid]; ok {
-		child, ok := n.jobs[childID]
+		child, ok := n.job(childID)
 		if !ok {
 			return nil, fmt.Errorf("%w: child %s", ErrUnknownJob, childID)
 		}
@@ -164,22 +169,28 @@ func (n *NJS) startBatchLocked(uj *unicoreJob, a ajo.Action) {
 	}
 	o.Status = ajo.StatusQueued
 	uj.batch[a.ID()] = bid
+	n.regMu.Lock()
 	n.batchIndex[batchKey{uj.vsite.Name, bid}] = actionRef{uj.id, a.ID()}
+	n.regMu.Unlock()
 }
 
 // onBatchStarted flips an outcome to RUNNING when the batch system
 // dispatches it (drives the JMC's yellow icons).
 func (n *NJS) onBatchStarted(vsite core.Vsite, bid codine.JobID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.regMu.RLock()
 	ref, ok := n.batchIndex[batchKey{vsite, bid}]
+	n.regMu.RUnlock()
 	if !ok {
 		return
 	}
-	if uj, ok := n.jobs[ref.job]; ok {
-		if o := uj.outcomes[ref.action]; o != nil && !o.Status.Terminal() {
-			o.Status = ajo.StatusRunning
-		}
+	uj, ok := n.job(ref.job)
+	if !ok {
+		return
+	}
+	uj.mu.Lock()
+	defer uj.mu.Unlock()
+	if o := uj.outcomes[ref.action]; o != nil && !o.Status.Terminal() {
+		o.Status = ajo.StatusRunning
 	}
 }
 
@@ -187,11 +198,17 @@ func (n *NJS) onBatchStarted(vsite core.Vsite, bid codine.JobID) {
 // and error files from the batch jobs belonging to one UNICORE job and make
 // them available to the user" (§5.5).
 func (n *NJS) onBatchDone(jobID core.JobID, aid ajo.ActionID, res codine.Result) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	uj, ok := n.jobs[jobID]
+	uj, ok := n.job(jobID)
 	if !ok {
 		return
+	}
+	uj.mu.Lock()
+	defer uj.mu.Unlock()
+	if bid, inFlight := uj.batch[aid]; inFlight {
+		n.regMu.Lock()
+		delete(n.batchIndex, batchKey{uj.vsite.Name, bid})
+		n.regMu.Unlock()
+		delete(uj.batch, aid)
 	}
 	o := uj.outcomes[aid]
 	if o == nil || o.Status.Terminal() {
@@ -200,7 +217,6 @@ func (n *NJS) onBatchDone(jobID core.JobID, aid ajo.ActionID, res codine.Result)
 	o.Stdout = []byte(res.Stdout)
 	o.Stderr = []byte(res.Stderr)
 	o.ExitCode = res.ExitCode
-	delete(uj.batch, aid)
 	var status ajo.Status
 	reason := res.Reason
 	switch res.State {

@@ -12,6 +12,22 @@
 //   - distributes job groups destined for other Usites to the peer NJS
 //     through the target site's gateway, and collects their outcomes, and
 //   - answers status, outcome, list, and control requests.
+//
+// # Concurrency model
+//
+// The NJS is designed for many concurrent clients. Job state is sharded:
+// every consigned job carries its own lock, and a lightweight registry
+// RWMutex guards only the job map and its indexes. Poll, Outcome, List,
+// Control, and FetchFile on different jobs never contend; clock callbacks
+// (deferred completions, batch events, remote polls) lock only the job they
+// advance. Methods with a "Locked" suffix require the receiver job's lock.
+//
+// Lock ordering: job locks nest strictly ancestor→descendant down the
+// sub-job tree (a parent may lock its child, never the reverse — a child
+// notifies its parent through a clock callback), and the registry lock is
+// acquired only below job locks. Fields of a job that are set at admission
+// (id, owner, login, job, vsite, jobDir, graph, submitted, parent) are
+// immutable and may be read without any lock.
 package njs
 
 import (
@@ -101,18 +117,39 @@ type Config struct {
 
 // NJS is one site's network job supervisor.
 type NJS struct {
-	mu     sync.Mutex
 	usite  core.Usite
 	clock  sim.Scheduler
-	vsites map[core.Vsite]*Vsite
+	vsites map[core.Vsite]*Vsite // immutable after New
 
-	mapLogin LoginMapper
+	mapLogin LoginMapper      // set once during wiring, before traffic
 	peers    *protocol.Client // for sub-job consignment and transfers
 
-	jobs         map[core.JobID]*unicoreJob
-	consignIndex map[string]core.JobID
-	batchIndex   map[batchKey]actionRef
-	seq          int64
+	// regMu guards the job registry and the batch index. It is held only
+	// for map lookups and inserts — never across job work — so that
+	// operations on different jobs proceed in parallel. See the package
+	// comment for the lock ordering.
+	regMu      sync.RWMutex
+	jobs       map[core.JobID]*unicoreJob
+	batchIndex map[batchKey]actionRef
+	seq        int64
+
+	// consignMu guards consignIndex. Idempotent consignment uses a
+	// reservation scheme: the first caller for a consign ID inserts an
+	// entry and admits with no lock held (admission may consign sub-jobs
+	// to peer sites — holding a site-wide lock across that network call
+	// could deadlock two sites consigning to each other); concurrent
+	// retries wait on the entry instead of admitting a duplicate.
+	consignMu    sync.Mutex
+	consignIndex map[string]*consignEntry
+}
+
+// consignEntry is one idempotent-consignment reservation. done is closed
+// once id/err are set; failed attempts are removed from the index so a
+// later retry can re-attempt admission.
+type consignEntry struct {
+	done chan struct{}
+	id   core.JobID
+	err  error
 }
 
 type batchKey struct {
@@ -127,6 +164,7 @@ type actionRef struct {
 
 // unicoreJob is the NJS-side state of one consigned job group.
 type unicoreJob struct {
+	// Immutable after admission — readable without holding mu.
 	id        core.JobID
 	owner     core.DN
 	login     uudb.Login
@@ -134,13 +172,19 @@ type unicoreJob struct {
 	vsite     *Vsite
 	jobDir    string
 	graph     *dag.Graph
-	outcomes  map[ajo.ActionID]*ajo.Outcome
-	root      *ajo.Outcome
-	done      map[string]bool
-	inflight  map[ajo.ActionID]bool
-	held      bool
-	aborted   bool
 	submitted time.Time
+	// parent links a locally expanded child back to its parent action.
+	parent *parentLink
+
+	// mu guards everything below. It is this job's shard of the NJS:
+	// operations on other jobs never take it.
+	mu       sync.Mutex
+	outcomes map[ajo.ActionID]*ajo.Outcome
+	root     *ajo.Outcome
+	done     map[string]bool
+	inflight map[ajo.ActionID]bool
+	held     bool
+	aborted  bool
 	// injections are files to stage into a sub-job before consigning it
 	// (dependency-files arriving from predecessors).
 	injections map[ajo.ActionID][]injection
@@ -150,8 +194,6 @@ type unicoreJob struct {
 	remote map[ajo.ActionID]*remoteRef
 	// children tracks sub-jobs expanded locally (same Usite).
 	children map[ajo.ActionID]core.JobID
-	// parent links a locally expanded child back to its parent action.
-	parent *parentLink
 }
 
 type injection struct {
@@ -187,8 +229,8 @@ func New(cfg Config) (*NJS, error) {
 		clock:        cfg.Clock,
 		vsites:       make(map[core.Vsite]*Vsite, len(cfg.Vsites)),
 		jobs:         make(map[core.JobID]*unicoreJob),
-		consignIndex: make(map[string]core.JobID),
 		batchIndex:   make(map[batchKey]actionRef),
+		consignIndex: make(map[string]*consignEntry),
 	}
 	for _, vc := range cfg.Vsites {
 		if vc.Name == "" {
@@ -293,9 +335,21 @@ func (n *NJS) Load() float64 {
 }
 
 // nextJobID mints "USITE-000001"-style IDs.
-func (n *NJS) nextJobIDLocked() core.JobID {
+func (n *NJS) nextJobID() core.JobID {
+	n.regMu.Lock()
 	n.seq++
-	return core.JobID(fmt.Sprintf("%s-%06d", n.usite, n.seq))
+	seq := n.seq
+	n.regMu.Unlock()
+	return core.JobID(fmt.Sprintf("%s-%06d", n.usite, seq))
+}
+
+// job resolves a job ID under the registry read lock. Jobs are never removed
+// from the registry, so the returned pointer stays valid.
+func (n *NJS) job(id core.JobID) (*unicoreJob, bool) {
+	n.regMu.RLock()
+	uj, ok := n.jobs[id]
+	n.regMu.RUnlock()
+	return uj, ok
 }
 
 // Consign accepts an AJO for execution — the asynchronous submit of §5.3.
@@ -329,27 +383,42 @@ func (n *NJS) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (cor
 		}
 	}
 
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if consignID != "" {
-		if id, dup := n.consignIndex[consignID]; dup {
-			return id, nil // idempotent retry
+	if consignID == "" {
+		return n.admit(user, login, job, vs, nil)
+	}
+	for {
+		n.consignMu.Lock()
+		e, dup := n.consignIndex[consignID]
+		if !dup {
+			e = &consignEntry{done: make(chan struct{})}
+			n.consignIndex[consignID] = e
+			n.consignMu.Unlock()
+			id, err := n.admit(user, login, job, vs, nil)
+			n.consignMu.Lock()
+			if err != nil {
+				delete(n.consignIndex, consignID) // let a retry re-attempt
+			} else {
+				e.id = id
+			}
+			e.err = err
+			n.consignMu.Unlock()
+			close(e.done)
+			return id, err
 		}
+		n.consignMu.Unlock()
+		<-e.done // idempotent retry: wait for the admitting caller
+		if e.err == nil {
+			return e.id, nil
+		}
+		// The attempt we waited on failed and was cleared; try again.
 	}
-	id, err := n.admitLocked(user, login, job, vs, nil)
-	if err != nil {
-		return "", err
-	}
-	if consignID != "" {
-		n.consignIndex[consignID] = id
-	}
-	return id, nil
 }
 
-// admitLocked creates the job record and starts dispatching. parent is set
-// for locally expanded sub-jobs.
-func (n *NJS) admitLocked(user core.DN, login uudb.Login, job *ajo.AbstractJob, vs *Vsite, parent *parentLink) (core.JobID, error) {
-	id := n.nextJobIDLocked()
+// admit creates the job record, registers it, and starts dispatching under
+// the new job's own lock. parent is set for locally expanded sub-jobs, in
+// which case the caller holds the parent's lock (ancestor→descendant order).
+func (n *NJS) admit(user core.DN, login uudb.Login, job *ajo.AbstractJob, vs *Vsite, parent *parentLink) (core.JobID, error) {
+	id := n.nextJobID()
 	jobDir, err := vs.Space.CreateJobDir(id)
 	if err != nil {
 		return "", fmt.Errorf("njs: creating job directory: %w", err)
@@ -384,8 +453,12 @@ func (n *NJS) admitLocked(user core.DN, login uudb.Login, job *ajo.AbstractJob, 
 		uj.outcomes[a.ID()] = o
 		uj.root.Children = append(uj.root.Children, o)
 	}
+	n.regMu.Lock()
 	n.jobs[id] = uj
+	n.regMu.Unlock()
+	uj.mu.Lock()
 	n.dispatchLocked(uj)
+	uj.mu.Unlock()
 	return id, nil
 }
 
@@ -491,30 +564,50 @@ func (n *NJS) finalizeIfDoneLocked(uj *unicoreJob) {
 	uj.root.Status = status
 	uj.root.Finished = n.clock.Now()
 	if uj.parent != nil {
-		parent := n.jobs[uj.parent.job]
-		if parent != nil {
-			n.completeChildLocked(parent, uj.parent.action, uj)
-		}
+		// Notify the parent through the clock: the lock order is
+		// ancestor→descendant, so a child must never reach up into its
+		// parent while holding its own lock.
+		link, childID := *uj.parent, uj.id
+		n.clock.AfterFunc(0, func() { n.completeChild(link.job, link.action, childID) })
 	}
 }
 
-// completeChildLocked folds a finished local sub-job into its parent.
-func (n *NJS) completeChildLocked(parent *unicoreJob, aid ajo.ActionID, child *unicoreJob) {
+// completeChild folds a finished local sub-job into its parent. It runs as a
+// clock callback, locking the parent before the child.
+func (n *NJS) completeChild(parentID core.JobID, aid ajo.ActionID, childID core.JobID) {
+	parent, ok := n.job(parentID)
+	if !ok {
+		return
+	}
+	child, ok := n.job(childID)
+	if !ok {
+		return
+	}
+	parent.mu.Lock()
+	defer parent.mu.Unlock()
 	o := parent.outcomes[aid]
 	if o == nil || o.Status.Terminal() {
 		return
 	}
-	// Ensure the link exists even when the child finished synchronously
-	// during admission (readActionFileLocked depends on it).
-	parent.children[aid] = child.id
-	o.Children = child.root.Children
-	o.Started = child.root.Started
+	child.mu.Lock()
 	status := child.root.Status
+	started := child.root.Started
+	children := child.root.Children
+	child.mu.Unlock()
+	if !status.Terminal() {
+		return
+	}
+	parent.children[aid] = childID
+	// The child is terminal, so its outcome nodes are frozen and safe to
+	// share with the parent's tree.
+	o.Children = children
+	o.Started = started
 	reason := ""
 	if status != ajo.StatusSuccessful {
-		reason = fmt.Sprintf("sub-job %s finished %s", child.id, status)
+		reason = fmt.Sprintf("sub-job %s finished %s", childID, status)
 	}
 	n.completeActionLocked(parent, aid, status, reason)
+	n.finalizeIfDoneLocked(parent)
 }
 
 // VsiteLoad reports one Vsite's batch occupancy and backlog.

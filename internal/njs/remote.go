@@ -58,20 +58,22 @@ func (n *NJS) startLocalSubJobLocked(uj *unicoreJob, sub *ajo.AbstractJob) {
 		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed, fmt.Sprintf("sub-job mapping: %v", err))
 		return
 	}
-	childID, err := n.admitLocked(uj.owner, login, sub, vs, &parentLink{job: uj.id, action: sub.ID()})
+	// admit locks the fresh child while this job's lock is held —
+	// ancestor→descendant, the allowed direction. If the child finishes
+	// synchronously during admission, its finalizer schedules the
+	// parent-side completion through the clock.
+	childID, err := n.admit(uj.owner, login, sub, vs, &parentLink{job: uj.id, action: sub.ID()})
 	if err != nil {
 		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed, fmt.Sprintf("sub-job admit: %v", err))
 		return
 	}
 	uj.children[sub.ID()] = childID
-	// The child may already be terminal (e.g. empty job); fold it in.
-	if child := n.jobs[childID]; child != nil && child.root.Status.Terminal() {
-		n.completeChildLocked(uj, sub.ID(), child)
-	}
 }
 
 // startRemoteSubJobLocked consigns a sub-job to a peer Usite and starts the
-// poll loop.
+// poll loop. The network call is deferred through the clock so it runs with
+// no job lock held — a consign to a peer must never block Poll/Control on
+// this job behind a network round trip.
 func (n *NJS) startRemoteSubJobLocked(uj *unicoreJob, sub *ajo.AbstractJob) {
 	if n.peers == nil {
 		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed,
@@ -83,23 +85,51 @@ func (n *NJS) startRemoteSubJobLocked(uj *unicoreJob, sub *ajo.AbstractJob) {
 		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed, fmt.Sprintf("encoding sub-job: %v", err))
 		return
 	}
-	consignID := fmt.Sprintf("%s/%s", uj.id, sub.ID())
+	jobID, aid, usite := uj.id, sub.ID(), sub.Target.Usite
+	consignID := fmt.Sprintf("%s/%s", jobID, aid)
+	n.clock.AfterFunc(0, func() { n.consignRemote(jobID, aid, usite, consignID, raw) })
+}
+
+// consignRemote performs the lock-free half of a remote sub-job dispatch:
+// the peer consignment call, then (re-locking the job) recording the remote
+// reference and arming the poll loop.
+func (n *NJS) consignRemote(jobID core.JobID, aid ajo.ActionID, usite core.Usite, consignID string, raw []byte) {
 	var reply protocol.ConsignReply
-	err = n.peers.Call(sub.Target.Usite, protocol.MsgConsign,
+	err := n.peers.Call(usite, protocol.MsgConsign,
 		protocol.ConsignRequest{ConsignID: consignID, AJO: raw}, &reply)
+
+	uj, ok := n.job(jobID)
+	if !ok {
+		return
+	}
+	uj.mu.Lock()
+	o := uj.outcomes[aid]
+	if o == nil || o.Status.Terminal() {
+		// Aborted while the consign was in flight. If the peer accepted,
+		// that job is now orphaned — abort it best-effort, outside the lock.
+		uj.mu.Unlock()
+		if err == nil && reply.Accepted {
+			_ = n.peers.Call(usite, protocol.MsgControl,
+				protocol.ControlRequest{Job: reply.Job, Op: ajo.OpAbort}, nil)
+		}
+		return
+	}
+	defer uj.mu.Unlock()
 	if err != nil {
-		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed,
-			fmt.Sprintf("consigning to %s: %v", sub.Target.Usite, err))
+		n.completeActionLocked(uj, aid, ajo.StatusFailed,
+			fmt.Sprintf("consigning to %s: %v", usite, err))
+		n.finalizeIfDoneLocked(uj)
 		return
 	}
 	if !reply.Accepted {
-		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed,
-			fmt.Sprintf("peer %s refused: %s", sub.Target.Usite, reply.Reason))
+		n.completeActionLocked(uj, aid, ajo.StatusFailed,
+			fmt.Sprintf("peer %s refused: %s", usite, reply.Reason))
+		n.finalizeIfDoneLocked(uj)
 		return
 	}
-	ref := &remoteRef{usite: sub.Target.Usite, job: reply.Job}
-	uj.remote[sub.ID()] = ref
-	n.scheduleRemotePollLocked(uj.id, sub.ID(), ref)
+	ref := &remoteRef{usite: usite, job: reply.Job}
+	uj.remote[aid] = ref
+	n.scheduleRemotePollLocked(jobID, aid, ref)
 }
 
 // scheduleRemotePollLocked arms the next status poll for a remote sub-job.
@@ -110,33 +140,29 @@ func (n *NJS) scheduleRemotePollLocked(jobID core.JobID, aid ajo.ActionID, ref *
 }
 
 // pollRemote checks a remote sub-job; on terminal status it retrieves the
-// outcome and completes the action.
+// outcome and completes the action. The network calls happen without any
+// lock held; only the owning job is locked to read and advance its state.
 func (n *NJS) pollRemote(jobID core.JobID, aid ajo.ActionID) {
-	n.mu.Lock()
-	uj, ok := n.jobs[jobID]
+	uj, ok := n.job(jobID)
 	if !ok {
-		n.mu.Unlock()
 		return
 	}
+	uj.mu.Lock()
 	ref, ok := uj.remote[aid]
 	if !ok || uj.outcomes[aid].Status.Terminal() {
-		n.mu.Unlock()
+		uj.mu.Unlock()
 		return
 	}
 	usite, remoteJob := ref.usite, ref.job
-	n.mu.Unlock()
+	uj.mu.Unlock()
 
 	var poll protocol.PollReply
 	err := n.peers.Call(usite, protocol.MsgPoll, protocol.PollRequest{Job: remoteJob}, &poll)
 
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	uj, ok = n.jobs[jobID]
-	if !ok {
-		return
-	}
+	uj.mu.Lock()
 	ref, ok = uj.remote[aid]
-	if !ok {
+	if !ok { // aborted while the poll was in flight
+		uj.mu.Unlock()
 		return
 	}
 	if err != nil || !poll.Found {
@@ -145,25 +171,30 @@ func (n *NJS) pollRemote(jobID core.JobID, aid ajo.ActionID) {
 			n.completeActionLocked(uj, aid, ajo.StatusFailed,
 				fmt.Sprintf("lost contact with %s after %d attempts: %v", usite, ref.failures, err))
 			n.finalizeIfDoneLocked(uj)
+			uj.mu.Unlock()
 			return
 		}
 		n.scheduleRemotePollLocked(jobID, aid, ref)
+		uj.mu.Unlock()
 		return
 	}
 	ref.failures = 0
 	if !poll.Summary.Status.Terminal() {
 		n.scheduleRemotePollLocked(jobID, aid, ref)
+		uj.mu.Unlock()
 		return
 	}
 	// Terminal: fetch the full outcome (best effort — the summary already
 	// tells us the status).
 	status := poll.Summary.Status
-	n.mu.Unlock()
+	uj.mu.Unlock()
+
 	var oreply protocol.OutcomeReply
 	oerr := n.peers.Call(usite, protocol.MsgOutcome, protocol.OutcomeRequest{Job: remoteJob}, &oreply)
-	n.mu.Lock()
-	uj, ok = n.jobs[jobID]
-	if !ok {
+
+	uj.mu.Lock()
+	defer uj.mu.Unlock()
+	if _, ok := uj.remote[aid]; !ok { // aborted while fetching the outcome
 		return
 	}
 	o := uj.outcomes[aid]

@@ -2,7 +2,6 @@ package njs
 
 import (
 	"fmt"
-	"hash/crc64"
 	"sort"
 
 	"unicore/internal/ajo"
@@ -14,9 +13,13 @@ import (
 // status/outcome/control requests and the peer-NJS transfer endpoint. The
 // gateway authenticates callers and invokes these methods; asServer marks
 // requests signed by a peer UNICORE server rather than by the owning user.
+//
+// Each operation locks only the job it touches (see the package comment for
+// the concurrency model), so requests for different jobs never contend.
 
-// authLocked checks that caller may operate on the job.
-func (n *NJS) authLocked(uj *unicoreJob, caller core.DN, asServer bool) error {
+// auth checks that caller may operate on the job. The owner is immutable
+// after admission, so no lock is needed.
+func (n *NJS) auth(uj *unicoreJob, caller core.DN, asServer bool) error {
 	if asServer {
 		return nil // peer servers act on behalf of the consigning site
 	}
@@ -28,33 +31,34 @@ func (n *NJS) authLocked(uj *unicoreJob, caller core.DN, asServer bool) error {
 
 // Poll returns the compact status summary of a job (JMC traffic lights).
 func (n *NJS) Poll(caller core.DN, asServer bool, id core.JobID) (protocol.PollReply, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	uj, ok := n.jobs[id]
+	uj, ok := n.job(id)
 	if !ok {
 		return protocol.PollReply{Found: false}, nil
 	}
-	if err := n.authLocked(uj, caller, asServer); err != nil {
+	if err := n.auth(uj, caller, asServer); err != nil {
 		return protocol.PollReply{}, err
 	}
+	uj.mu.Lock()
 	s := ajo.Summarise(uj.root)
+	uj.mu.Unlock()
 	s.Job = string(id)
 	s.Updated = n.clock.Now()
 	return protocol.PollReply{Found: true, Summary: s}, nil
 }
 
-// Outcome returns a deep copy of the job's outcome tree.
+// Outcome returns a deep copy of the job's outcome tree. The tree is
+// serialized under the job's lock; the copy is decoded outside it.
 func (n *NJS) Outcome(caller core.DN, asServer bool, id core.JobID) (*ajo.Outcome, bool, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	uj, ok := n.jobs[id]
+	uj, ok := n.job(id)
 	if !ok {
 		return nil, false, nil
 	}
-	if err := n.authLocked(uj, caller, asServer); err != nil {
+	if err := n.auth(uj, caller, asServer); err != nil {
 		return nil, false, err
 	}
+	uj.mu.Lock()
 	raw, err := ajo.MarshalOutcome(uj.root)
+	uj.mu.Unlock()
 	if err != nil {
 		return nil, false, err
 	}
@@ -67,17 +71,24 @@ func (n *NJS) Outcome(caller core.DN, asServer bool, id core.JobID) (*ajo.Outcom
 
 // List returns the caller's jobs at this Usite, newest first.
 func (n *NJS) List(caller core.DN) ([]protocol.JobInfo, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	var out []protocol.JobInfo
-	for id, uj := range n.jobs {
+	n.regMu.RLock()
+	mine := make([]*unicoreJob, 0, len(n.jobs))
+	for _, uj := range n.jobs {
 		if uj.owner != caller || uj.parent != nil {
 			continue // children are reported inside their parents
 		}
+		mine = append(mine, uj)
+	}
+	n.regMu.RUnlock()
+	out := make([]protocol.JobInfo, 0, len(mine))
+	for _, uj := range mine {
+		uj.mu.Lock()
+		status := uj.root.Status
+		uj.mu.Unlock()
 		out = append(out, protocol.JobInfo{
-			Job:       id,
+			Job:       uj.id,
 			Name:      uj.job.Name(),
-			Status:    uj.root.Status,
+			Status:    status,
 			Submitted: uj.submitted,
 		})
 	}
@@ -92,25 +103,27 @@ func (n *NJS) List(caller core.DN) ([]protocol.JobInfo, error) {
 
 // Control aborts, holds, or resumes a job (the ControlService semantics).
 func (n *NJS) Control(caller core.DN, asServer bool, id core.JobID, op ajo.ControlOp) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	uj, ok := n.jobs[id]
+	uj, ok := n.job(id)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
 	}
-	if err := n.authLocked(uj, caller, asServer); err != nil {
+	if err := n.auth(uj, caller, asServer); err != nil {
 		return err
 	}
 	switch op {
 	case ajo.OpAbort:
-		return n.abortLocked(uj)
+		return n.abortJob(uj)
 	case ajo.OpHold:
+		uj.mu.Lock()
+		defer uj.mu.Unlock()
 		if uj.root.Status.Terminal() {
 			return fmt.Errorf("njs: job %s already %s", id, uj.root.Status)
 		}
 		uj.held = true
 		return nil
 	case ajo.OpResume:
+		uj.mu.Lock()
+		defer uj.mu.Unlock()
 		if !uj.held {
 			return fmt.Errorf("njs: job %s is not held", id)
 		}
@@ -121,35 +134,61 @@ func (n *NJS) Control(caller core.DN, asServer bool, id core.JobID, op ajo.Contr
 	return fmt.Errorf("njs: unknown control op %q", op)
 }
 
-// abortLocked cancels everything in flight and closes the job.
-func (n *NJS) abortLocked(uj *unicoreJob) error {
+// abortJob cancels a job tree. All state transitions commit atomically under
+// the job locks (ancestor→descendant); the best-effort peer aborts for
+// remote sub-jobs are issued only after every lock is released, so there is
+// no window in which a concurrent Poll or Control can observe a half-aborted
+// job.
+func (n *NJS) abortJob(uj *unicoreJob) error {
+	var remotes []remoteRef
+	uj.mu.Lock()
+	err := n.abortLocked(uj, &remotes)
+	uj.mu.Unlock()
+	if n.peers != nil {
+		for _, ref := range remotes {
+			_ = n.peers.Call(ref.usite, protocol.MsgControl,
+				protocol.ControlRequest{Job: ref.job, Op: ajo.OpAbort}, nil)
+		}
+	}
+	return err
+}
+
+// abortLocked cancels everything in flight and closes the job. Remote
+// sub-job references are collected into remotes for the caller to abort
+// after the locks are dropped.
+func (n *NJS) abortLocked(uj *unicoreJob, remotes *[]remoteRef) error {
 	if uj.root.Status.Terminal() {
 		return fmt.Errorf("njs: job %s already %s", uj.id, uj.root.Status)
 	}
 	uj.aborted = true
-	// Cancel batch jobs in flight.
+	// Cancel batch jobs in flight (completion events arrive through the
+	// clock, so Cancel cannot re-enter this job synchronously).
 	for aid, bid := range uj.batch {
 		_ = uj.vsite.RMS.Cancel(bid)
+		n.regMu.Lock()
+		delete(n.batchIndex, batchKey{uj.vsite.Name, bid})
+		n.regMu.Unlock()
 		delete(uj.batch, aid)
 	}
-	// Abort local children.
+	// Abort local children (descending the sub-job tree keeps lock order).
 	for _, childID := range uj.children {
-		if child, ok := n.jobs[childID]; ok && !child.root.Status.Terminal() {
-			_ = n.abortLocked(child)
+		child, ok := n.job(childID)
+		if !ok {
+			continue
 		}
+		child.mu.Lock()
+		if !child.root.Status.Terminal() {
+			_ = n.abortLocked(child, remotes)
+		}
+		child.mu.Unlock()
 	}
-	// Abort remote sub-jobs (best effort) and stop their poll loops.
+	// Detach remote sub-jobs and stop their poll loops; the peer abort
+	// calls happen outside the locks.
 	for aid, ref := range uj.remote {
 		if ref.timer != nil {
 			ref.timer.Stop()
 		}
-		if n.peers != nil {
-			remote := *ref
-			n.mu.Unlock()
-			_ = n.peers.Call(remote.usite, protocol.MsgControl,
-				protocol.ControlRequest{Job: remote.job, Op: ajo.OpAbort}, nil)
-			n.mu.Lock()
-		}
+		*remotes = append(*remotes, *ref)
 		delete(uj.remote, aid)
 	}
 	// Every non-terminal action becomes ABORTED.
@@ -168,30 +207,26 @@ func (n *NJS) abortLocked(uj *unicoreJob) error {
 }
 
 // FetchFile serves a chunk of a job's Uspace file to a peer NJS (§5.6
-// transfer). The gateway restricts it to server-role callers.
+// transfer). The gateway restricts it to server-role callers. A negative
+// offset is an error; an offset at or past EOF returns the file's metadata
+// (size and whole-file CRC) with no data, which is how readers detect the
+// end of a chunked transfer. The read is ranged: serving a chunk copies
+// only that chunk, not the whole file.
 func (n *NJS) FetchFile(id core.JobID, file string, offset, limit int64) (protocol.TransferReply, error) {
-	n.mu.Lock()
-	uj, ok := n.jobs[id]
-	n.mu.Unlock()
+	if offset < 0 {
+		return protocol.TransferReply{}, fmt.Errorf("njs: negative offset %d reading %q of job %s", offset, file, id)
+	}
+	uj, ok := n.job(id)
 	if !ok {
 		return protocol.TransferReply{Found: false}, nil
 	}
-	data, err := uj.vsite.Space.ReadJobFile(id, file)
+	data, size, crc, err := uj.vsite.Space.ReadJobFileRange(id, file, offset, limit)
 	if err != nil {
 		return protocol.TransferReply{Found: false}, nil
 	}
-	size := int64(len(data))
-	crc := crc64.Checksum(data, crcTable)
-	if offset < 0 || offset > size {
-		return protocol.TransferReply{Found: true, Size: size, CRC: crc}, nil
-	}
-	end := size
-	if limit > 0 && offset+limit < size {
-		end = offset + limit
-	}
 	return protocol.TransferReply{
 		Found: true,
-		Data:  data[offset:end],
+		Data:  data,
 		Size:  size,
 		CRC:   crc,
 	}, nil
@@ -202,16 +237,12 @@ func (n *NJS) FetchFile(id core.JobID, file string, offset, limit int64) (protoc
 // on user request while the user is working with the JMC". Peer servers may
 // also call it on the owner's behalf.
 func (n *NJS) FetchFileOwned(caller core.DN, asServer bool, id core.JobID, file string, offset, limit int64) (protocol.TransferReply, error) {
-	n.mu.Lock()
-	uj, ok := n.jobs[id]
+	uj, ok := n.job(id)
 	if !ok {
-		n.mu.Unlock()
 		return protocol.TransferReply{Found: false}, nil
 	}
-	if err := n.authLocked(uj, caller, asServer); err != nil {
-		n.mu.Unlock()
+	if err := n.auth(uj, caller, asServer); err != nil {
 		return protocol.TransferReply{}, err
 	}
-	n.mu.Unlock()
 	return n.FetchFile(id, file, offset, limit)
 }

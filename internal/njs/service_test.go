@@ -1,0 +1,193 @@
+package njs
+
+import (
+	"bytes"
+	"hash/crc64"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"unicore/internal/ajo"
+	"unicore/internal/core"
+)
+
+// stagedJob consigns a job whose Uspace holds one file with the given
+// content and runs it to completion.
+func stagedJob(t *testing.T, n *NJS, clock interface{ RunUntilIdle(int) int }, name string, content []byte) core.JobID {
+	t.Helper()
+	j := job(name, "T3E", []ajo.Action{
+		&ajo.ImportTask{
+			Header: ajo.Header{ActionID: "imp", ActionName: "import"},
+			Source: ajo.ImportSource{Inline: content},
+			To:     "out.dat",
+		},
+	}, nil)
+	id, err := n.Consign(alice, "", j)
+	if err != nil {
+		t.Fatalf("consign: %v", err)
+	}
+	clock.RunUntilIdle(100000)
+	return id
+}
+
+func TestFetchFileChunkEdges(t *testing.T) {
+	n, clock := newNJS(t)
+	content := make([]byte, 1000)
+	for i := range content {
+		content[i] = byte(i % 251)
+	}
+	id := stagedJob(t, n, clock, "fetch-edges", content)
+	size := int64(len(content))
+	wantCRC := crc64.Checksum(content, crcTable)
+
+	t.Run("whole file", func(t *testing.T) {
+		r, err := n.FetchFile(id, "out.dat", 0, 0)
+		if err != nil || !r.Found {
+			t.Fatalf("fetch: found=%v err=%v", r.Found, err)
+		}
+		if !bytes.Equal(r.Data, content) || r.Size != size || r.CRC != wantCRC {
+			t.Fatalf("whole-file fetch mismatch: %d bytes, size=%d", len(r.Data), r.Size)
+		}
+	})
+
+	t.Run("interior chunk", func(t *testing.T) {
+		r, err := n.FetchFile(id, "out.dat", 100, 200)
+		if err != nil || !r.Found {
+			t.Fatalf("fetch: found=%v err=%v", r.Found, err)
+		}
+		if !bytes.Equal(r.Data, content[100:300]) || r.Size != size || r.CRC != wantCRC {
+			t.Fatalf("chunk mismatch: got %d bytes", len(r.Data))
+		}
+	})
+
+	t.Run("limit past EOF truncates", func(t *testing.T) {
+		r, err := n.FetchFile(id, "out.dat", 900, 500)
+		if err != nil || !r.Found {
+			t.Fatalf("fetch: found=%v err=%v", r.Found, err)
+		}
+		if !bytes.Equal(r.Data, content[900:]) {
+			t.Fatalf("tail chunk = %d bytes, want %d", len(r.Data), size-900)
+		}
+	})
+
+	t.Run("offset at EOF is a metadata probe", func(t *testing.T) {
+		r, err := n.FetchFile(id, "out.dat", size, 100)
+		if err != nil || !r.Found {
+			t.Fatalf("fetch: found=%v err=%v", r.Found, err)
+		}
+		if len(r.Data) != 0 || r.Size != size || r.CRC != wantCRC {
+			t.Fatalf("EOF probe: data=%d size=%d crc ok=%v", len(r.Data), r.Size, r.CRC == wantCRC)
+		}
+	})
+
+	t.Run("offset past EOF is a metadata probe", func(t *testing.T) {
+		r, err := n.FetchFile(id, "out.dat", size+1000, 0)
+		if err != nil || !r.Found || len(r.Data) != 0 || r.Size != size {
+			t.Fatalf("past-EOF probe: found=%v data=%d size=%d err=%v", r.Found, len(r.Data), r.Size, err)
+		}
+	})
+
+	t.Run("huge wire-supplied limit must not overflow", func(t *testing.T) {
+		r, err := n.FetchFile(id, "out.dat", 1, math.MaxInt64)
+		if err != nil || !r.Found {
+			t.Fatalf("fetch: found=%v err=%v", r.Found, err)
+		}
+		if !bytes.Equal(r.Data, content[1:]) {
+			t.Fatalf("got %d bytes, want %d", len(r.Data), size-1)
+		}
+	})
+
+	t.Run("negative offset is an error", func(t *testing.T) {
+		if _, err := n.FetchFile(id, "out.dat", -1, 0); err == nil {
+			t.Fatal("negative offset accepted; want an explicit error")
+		}
+	})
+
+	t.Run("missing file", func(t *testing.T) {
+		r, err := n.FetchFile(id, "no-such.dat", 0, 0)
+		if err != nil || r.Found {
+			t.Fatalf("missing file: found=%v err=%v", r.Found, err)
+		}
+	})
+
+	t.Run("unknown job", func(t *testing.T) {
+		r, err := n.FetchFile("FZJ-999999", "out.dat", 0, 0)
+		if err != nil || r.Found {
+			t.Fatalf("unknown job: found=%v err=%v", r.Found, err)
+		}
+	})
+}
+
+// TestConcurrentAbortAndPoll hammers one job with concurrent Poll, Outcome,
+// and Control(abort) calls. Under the per-job locking the abort must commit
+// atomically: no poller may observe the job regress from a terminal status,
+// and the final state is ABORTED. Run with -race.
+func TestConcurrentAbortAndPoll(t *testing.T) {
+	n, clock := newNJS(t)
+	j := job("abort-race", "T3E", []ajo.Action{
+		script("s1", "cpu 30m\n"),
+		script("s2", "cpu 30m\n"),
+	}, nil)
+	id, err := n.Consign(alice, "", j)
+	if err != nil {
+		t.Fatalf("consign: %v", err)
+	}
+	// Fire only the zero-delay dispatch events: the batch jobs start
+	// (RUNNING) but are nowhere near their 30-virtual-minute completion.
+	clock.Advance(time.Millisecond)
+
+	const pollers = 8
+	var wg sync.WaitGroup
+	regressed := make(chan string, pollers)
+	for p := 0; p < pollers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sawTerminal := false
+			for k := 0; k < 200; k++ {
+				r, err := n.Poll(alice, false, id)
+				if err != nil || !r.Found {
+					regressed <- "poll failed mid-abort"
+					return
+				}
+				if r.Summary.Status.Terminal() {
+					sawTerminal = true
+				} else if sawTerminal {
+					regressed <- "status regressed from terminal to " + r.Summary.Status.String()
+					return
+				}
+				if _, _, err := n.Outcome(alice, false, id); err != nil {
+					regressed <- "outcome failed mid-abort"
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// The first abort wins; repeats must report "already terminal"
+		// rather than corrupt state.
+		for k := 0; k < 4; k++ {
+			_ = n.Control(alice, false, id, ajo.OpAbort)
+		}
+	}()
+	wg.Wait()
+	close(regressed)
+	for msg := range regressed {
+		t.Error(msg)
+	}
+
+	clock.RunUntilIdle(100000) // drain cancelled-batch completions
+	r, err := n.Poll(alice, false, id)
+	if err != nil || !r.Found {
+		t.Fatalf("final poll: found=%v err=%v", r.Found, err)
+	}
+	if r.Summary.Status != ajo.StatusAborted {
+		t.Fatalf("final status = %s, want %s", r.Summary.Status, ajo.StatusAborted)
+	}
+	if err := n.Control(alice, false, id, ajo.OpAbort); err == nil {
+		t.Fatal("abort of a terminal job must error")
+	}
+}

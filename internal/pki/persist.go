@@ -140,10 +140,13 @@ func DecodeAuthorityPEM(data []byte) (*Authority, error) {
 	if cert == nil || key == nil {
 		return nil, errors.New("pki: authority PEM needs a certificate and a private key")
 	}
+	pool := x509.NewCertPool()
+	pool.AddCert(cert)
 	a := &Authority{
 		name:    cert.Subject.CommonName,
 		cert:    cert,
 		key:     key,
+		pool:    pool,
 		serial:  1,
 		revoked: map[string]bool{},
 		ttl:     100 * 365 * 24 * 3600e9,

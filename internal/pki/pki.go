@@ -80,11 +80,16 @@ func (c *Credential) CertPEM() []byte {
 
 // Authority is a certificate authority. It issues certificates, maintains a
 // revocation list, and hands out the trust pool for verification.
+//
+// Verification is on every request's hot path (each envelope is checked
+// against the CA), so the revocation list sits behind an RWMutex and the
+// trust pool is built once: concurrent verifies never serialize on the CA.
 type Authority struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	name    string
 	cert    *x509.Certificate
 	key     ed25519.PrivateKey
+	pool    *x509.CertPool
 	serial  int64
 	revoked map[string]bool // serial (decimal string) -> revoked
 	ttl     time.Duration
@@ -117,10 +122,13 @@ func NewAuthority(name string) (*Authority, error) {
 	if err != nil {
 		return nil, err
 	}
+	pool := x509.NewCertPool()
+	pool.AddCert(cert)
 	return &Authority{
 		name:    name,
 		cert:    cert,
 		key:     priv,
+		pool:    pool,
 		serial:  1,
 		revoked: map[string]bool{},
 		ttl:     100 * 365 * 24 * time.Hour,
@@ -133,11 +141,10 @@ func (a *Authority) Name() string { return a.name }
 // Certificate returns the CA certificate.
 func (a *Authority) Certificate() *x509.Certificate { return a.cert }
 
-// Pool returns a cert pool containing just this CA, for use as a TLS root.
+// Pool returns the cert pool containing just this CA, for use as a TLS
+// root. The pool is immutable and shared; callers must not add to it.
 func (a *Authority) Pool() *x509.CertPool {
-	p := x509.NewCertPool()
-	p.AddCert(a.cert)
-	return p
+	return a.pool
 }
 
 // issue creates a certificate for the given subject and role.
@@ -218,8 +225,8 @@ func (a *Authority) Revoke(cert *x509.Certificate) {
 
 // IsRevoked reports whether the certificate has been revoked.
 func (a *Authority) IsRevoked(cert *x509.Certificate) bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return a.revoked[cert.SerialNumber.String()]
 }
 

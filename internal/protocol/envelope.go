@@ -70,6 +70,24 @@ const (
 	MsgError          MsgType = "error"
 )
 
+// MsgTypes lists every defined message type, in wire-constant order. Servers
+// use it to pre-size lock-free per-type counters.
+func MsgTypes() []MsgType {
+	return []MsgType{
+		MsgConsign, MsgConsignReply,
+		MsgPoll, MsgPollReply,
+		MsgOutcome, MsgOutcomeReply,
+		MsgList, MsgListReply,
+		MsgControl, MsgControlReply,
+		MsgResources, MsgResourcesReply,
+		MsgTransfer, MsgTransferReply,
+		MsgApplet, MsgAppletReply,
+		MsgLoad, MsgLoadReply,
+		MsgFetch, MsgFetchReply,
+		MsgError,
+	}
+}
+
 // Envelope is the signed wire unit. The signature covers the payload bytes;
 // the embedded certificate identifies the sender (user or server) to the
 // receiver, which verifies it against the CA.

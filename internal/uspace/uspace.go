@@ -188,6 +188,19 @@ func (s *Space) ReadJobFile(job core.JobID, rel string) ([]byte, error) {
 	return s.fs.ReadFile(p)
 }
 
+// ReadJobFileRange reads up to limit bytes of a Uspace file starting at
+// offset, returning the chunk plus the file's total size and whole-file CRC
+// — the §5.6 chunked-transfer primitive. Unlike ReadJobFile it copies only
+// the requested window, so serving a 256 KiB chunk of a large result stays
+// O(chunk) rather than O(file).
+func (s *Space) ReadJobFileRange(job core.JobID, rel string, offset, limit int64) ([]byte, int64, uint64, error) {
+	p, err := s.jobPath(job, rel)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return s.fs.ReadFileRange(p, offset, limit)
+}
+
 // WriteJobFile writes a file into a job's Uspace (the inbound side of a
 // transfer).
 func (s *Space) WriteJobFile(job core.JobID, rel string, data []byte) error {

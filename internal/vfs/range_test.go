@@ -1,0 +1,113 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc64"
+	"math"
+	"testing"
+)
+
+func TestReadFileRange(t *testing.T) {
+	fs := New(nil)
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 500)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	if err := fs.WriteFile("/d/f", content); err != nil {
+		t.Fatal(err)
+	}
+	wantCRC := crc64.Checksum(content, crcTable)
+
+	cases := []struct {
+		name          string
+		offset, limit int64
+		want          []byte
+	}{
+		{"whole file via zero limit", 0, 0, content},
+		{"interior window", 100, 100, content[100:200]},
+		{"window truncated at EOF", 450, 100, content[450:]},
+		{"offset at EOF", 500, 10, nil},
+		{"offset past EOF", 600, 10, nil},
+		{"huge limit must not overflow", 1, math.MaxInt64, content[1:]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, size, crc, err := fs.ReadFileRange("/d/f", tc.offset, tc.limit)
+			if err != nil {
+				t.Fatalf("ReadFileRange: %v", err)
+			}
+			if !bytes.Equal(data, tc.want) {
+				t.Fatalf("data = %d bytes, want %d", len(data), len(tc.want))
+			}
+			if size != 500 || crc != wantCRC {
+				t.Fatalf("size=%d crc-ok=%v", size, crc == wantCRC)
+			}
+		})
+	}
+
+	t.Run("negative offset", func(t *testing.T) {
+		_, _, _, err := fs.ReadFileRange("/d/f", -1, 10)
+		if !errors.Is(err, ErrBadRange) {
+			t.Fatalf("err = %v, want ErrBadRange", err)
+		}
+	})
+	t.Run("directory", func(t *testing.T) {
+		if _, _, _, err := fs.ReadFileRange("/d", 0, 10); !errors.Is(err, ErrIsDir) {
+			t.Fatalf("err = %v, want ErrIsDir", err)
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		if _, _, _, err := fs.ReadFileRange("/d/none", 0, 10); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("err = %v, want ErrNotExist", err)
+		}
+	})
+}
+
+// TestReadFileRangeCRCInvalidation checks the cached whole-file CRC tracks
+// mutations: appends invalidate it and rewrites replace it.
+func TestReadFileRangeCRCInvalidation(t *testing.T) {
+	fs := New(nil)
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	crcOf := func(b []byte) uint64 { return crc64.Checksum(b, crcTable) }
+	read := func() uint64 {
+		t.Helper()
+		_, _, crc, err := fs.ReadFileRange("/d/f", 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return crc
+	}
+
+	if err := fs.WriteFile("/d/f", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(); got != crcOf([]byte("one")) {
+		t.Fatal("initial CRC wrong")
+	}
+	if err := fs.AppendFile("/d/f", []byte("+two")); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(); got != crcOf([]byte("one+two")) {
+		t.Fatal("CRC stale after append")
+	}
+	if err := fs.WriteFile("/d/f", []byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(); got != crcOf([]byte("three")) {
+		t.Fatal("CRC stale after rewrite")
+	}
+	// Stat must agree with the cache.
+	fi, err := fs.Stat("/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.CRC != crcOf([]byte("three")) {
+		t.Fatal("Stat CRC disagrees with ReadFileRange CRC")
+	}
+}

@@ -31,6 +31,7 @@ var (
 	ErrQuota    = errors.New("vfs: quota exceeded")
 	ErrNotEmpty = errors.New("vfs: directory not empty")
 	ErrBadPath  = errors.New("vfs: malformed path")
+	ErrBadRange = errors.New("vfs: bad read range")
 )
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
@@ -60,6 +61,11 @@ type node struct {
 	data     []byte
 	modTime  time.Time
 	children map[string]*node
+	// crc caches the whole-file checksum so chunked readers (ReadFileRange)
+	// do not rescan the contents per chunk. Invalidated on append; a
+	// WriteFile replaces the node, so its zero value starts invalid.
+	crc   uint64
+	crcOK bool
 }
 
 // New returns an empty FS whose timestamps come from clock. A nil clock uses
@@ -243,6 +249,7 @@ func (fs *FS) AppendFile(p string, data []byte) error {
 	}
 	n.data = append(n.data, data...)
 	n.modTime = fs.clock.Now()
+	n.crcOK = false
 	return nil
 }
 
@@ -260,6 +267,73 @@ func (fs *FS) ReadFile(p string) ([]byte, error) {
 	out := make([]byte, len(n.data))
 	copy(out, n.data)
 	return out, nil
+}
+
+// ReadFileRange returns up to limit bytes of the file at p starting at
+// offset, together with the file's total size and whole-file CRC. limit <= 0
+// means "to end of file"; a range reaching past EOF is truncated; an offset
+// at or past EOF returns no data with the metadata intact (how chunked
+// readers detect the end of a transfer). Negative offsets are an error.
+//
+// The whole-file CRC is cached on the node, so serving an N-chunk file costs
+// one checksum pass plus one copy per chunk — not a full-file copy and scan
+// per chunk as ReadFile would.
+func (fs *FS) ReadFileRange(p string, offset, limit int64) ([]byte, int64, uint64, error) {
+	if offset < 0 {
+		return nil, 0, 0, fmt.Errorf("%w: negative offset %d", ErrBadRange, offset)
+	}
+	fs.mu.RLock()
+	n, err := fs.lookup(p)
+	if err != nil {
+		fs.mu.RUnlock()
+		return nil, 0, 0, err
+	}
+	if n.dir {
+		fs.mu.RUnlock()
+		return nil, 0, 0, fmt.Errorf("%w: %q", ErrIsDir, p)
+	}
+	if n.crcOK {
+		data, size, crc := rangeOf(n, offset, limit)
+		fs.mu.RUnlock()
+		return data, size, crc, nil
+	}
+	fs.mu.RUnlock()
+
+	// First ranged read of this file: take the write lock to fill the CRC
+	// cache. The node must be re-resolved — it may have been replaced.
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err = fs.lookup(p)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if n.dir {
+		return nil, 0, 0, fmt.Errorf("%w: %q", ErrIsDir, p)
+	}
+	if !n.crcOK {
+		n.crc = crc64.Checksum(n.data, crcTable)
+		n.crcOK = true
+	}
+	data, size, crc := rangeOf(n, offset, limit)
+	return data, size, crc, nil
+}
+
+// rangeOf copies the [offset, offset+limit) window of a file node. Caller
+// holds at least a read lock and has validated offset >= 0.
+func rangeOf(n *node, offset, limit int64) ([]byte, int64, uint64) {
+	size := int64(len(n.data))
+	if offset >= size {
+		return nil, size, n.crc
+	}
+	end := size
+	// Compare limit against the remaining bytes rather than computing
+	// offset+limit, which overflows for wire-supplied limits near MaxInt64.
+	if limit > 0 && limit < size-offset {
+		end = offset + limit
+	}
+	out := make([]byte, end-offset)
+	copy(out, n.data[offset:end])
+	return out, size, n.crc
 }
 
 // Stat describes the file or directory at p.
@@ -281,7 +355,11 @@ func (fs *FS) infoLocked(n *node, fullPath string) FileInfo {
 	}
 	if !n.dir {
 		fi.Size = int64(len(n.data))
-		fi.CRC = crc64.Checksum(n.data, crcTable)
+		if n.crcOK {
+			fi.CRC = n.crc
+		} else {
+			fi.CRC = crc64.Checksum(n.data, crcTable)
+		}
 	}
 	return fi
 }
