@@ -3,18 +3,32 @@
 // site-selectable IP socket that the unicore-gateway front relays to. The
 // front never sees job contents — it only forwards verified envelopes.
 //
+// With -state-dir the NJS is durable: job state is recovered from the
+// write-ahead journal at boot, every admission and transition is journaled
+// while serving, and SIGINT/SIGTERM snapshots the store, closes the
+// listener, and exits cleanly. Without it the NJS is memory-only, as in the
+// original prototype.
+//
 // Usage:
 //
-//	unicore-njs -config site.json -ca ca.pem -cred njs.pem -listen 127.0.0.1:7000
+//	unicore-njs -config site.json -ca ca.pem -cred njs.pem \
+//	    -listen 127.0.0.1:7000 -state-dir /var/lib/unicore/njs
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"net"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
 	"unicore/internal/deploy"
 	"unicore/internal/gateway"
+	"unicore/internal/journal"
+	"unicore/internal/njs"
 	"unicore/internal/protocol"
 	"unicore/internal/sim"
 )
@@ -26,6 +40,8 @@ func main() {
 		credPath   = flag.String("cred", "njs.pem", "server credential file")
 		listen     = flag.String("listen", "127.0.0.1:7000", "inner socket listen address")
 		peers      = flag.String("peers", "", "comma-separated USITE=https://host:port peer registry")
+		stateDir   = flag.String("state-dir", "", "journal/snapshot directory for durable job state (empty = memory-only)")
+		snapEvery  = flag.Int("snapshot-every", 4096, "journal entries between automatic snapshots (with -state-dir)")
 	)
 	flag.Parse()
 	if *configPath == "" {
@@ -43,9 +59,23 @@ func main() {
 	if err != nil {
 		log.Fatalf("unicore-njs: %v", err)
 	}
-	gw, n, _, err := deploy.BuildSite(cfg, cred, ca, sim.RealClock{})
-	if err != nil {
-		log.Fatalf("unicore-njs: %v", err)
+
+	var (
+		gw    *gateway.Gateway
+		n     *njs.NJS
+		store *journal.Store
+	)
+	if *stateDir != "" {
+		gw, n, _, store, err = deploy.BuildDurableSite(cfg, cred, ca, sim.RealClock{}, *stateDir, *snapEvery)
+		if err != nil {
+			log.Fatalf("unicore-njs: %v", err)
+		}
+		log.Printf("recovered durable job state from %s", *stateDir)
+	} else {
+		gw, n, _, err = deploy.BuildSite(cfg, cred, ca, sim.RealClock{})
+		if err != nil {
+			log.Fatalf("unicore-njs: %v", err)
+		}
 	}
 	if *peers != "" {
 		reg, err := deploy.ParsePeers(*peers)
@@ -54,6 +84,12 @@ func main() {
 		}
 		n.SetPeers(protocol.NewClient(gateway.ClientTransport(cred, ca), cred, ca, reg))
 	}
+	if store != nil {
+		// Wiring is complete: resume the recovered workload (re-dispatch
+		// in-flight actions, re-arm remote poll timers).
+		n.ResumeRecovered()
+	}
+
 	inner := gateway.NewInner(gw)
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -61,7 +97,36 @@ func main() {
 	}
 	log.Printf("NJS for Usite %s (Vsites %v) behind the firewall on %s",
 		n.Usite(), n.VsiteNames(), l.Addr())
-	if err := inner.Serve(l); err != nil {
+
+	// Clean shutdown: stop taking requests first (close the listener), and
+	// only once Serve has unwound snapshot the store (so the next boot
+	// replays one compact snapshot instead of a long journal tail) and
+	// close it. The store must outlive the last served request — a consign
+	// acknowledged after the journal closed would be silently lost.
+	var shuttingDown atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		shuttingDown.Store(true)
+		log.Printf("unicore-njs: %s — shutting down", sig)
+		l.Close()
+	}()
+
+	err = inner.Serve(l)
+	if shuttingDown.Load() {
+		if store != nil {
+			if serr := n.Snapshot(); serr != nil {
+				log.Printf("unicore-njs: snapshot on shutdown: %v", serr)
+			}
+			if serr := store.Close(); serr != nil {
+				log.Printf("unicore-njs: closing journal: %v", serr)
+			}
+		}
+		log.Print("unicore-njs: shut down cleanly")
+		return
+	}
+	if err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatalf("unicore-njs: %v", err)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"unicore/internal/codine"
 	"unicore/internal/core"
 	"unicore/internal/gateway"
+	"unicore/internal/journal"
 	"unicore/internal/machine"
 	"unicore/internal/njs"
 	"unicore/internal/pki"
@@ -132,15 +133,15 @@ func Machine(name string, processors int) (machine.Profile, error) {
 	return p, nil
 }
 
-// BuildSite assembles the running pieces of a site: its UUDB, NJS, and
-// gateway, under the given clock (sim.RealClock{} in the daemons).
-func BuildSite(cfg *SiteConfig, cred *pki.Credential, ca *pki.Authority, clock sim.Scheduler) (*gateway.Gateway, *njs.NJS, *uudb.DB, error) {
+// buildParts assembles a site's UUDB and NJS configuration from its JSON
+// description.
+func buildParts(cfg *SiteConfig, clock sim.Scheduler) (*uudb.DB, njs.Config, error) {
 	users := uudb.New(cfg.Usite, clock)
 	for _, u := range cfg.Users {
 		users.AddUser(u.DN, u.Email)
 		for vs, login := range u.Logins {
 			if err := users.AddMapping(u.DN, vs, login); err != nil {
-				return nil, nil, nil, fmt.Errorf("deploy: mapping %s at %s: %w", u.DN, vs, err)
+				return nil, njs.Config{}, fmt.Errorf("deploy: mapping %s at %s: %w", u.DN, vs, err)
 			}
 		}
 	}
@@ -148,7 +149,7 @@ func BuildSite(cfg *SiteConfig, cred *pki.Credential, ca *pki.Authority, clock s
 	for _, v := range cfg.Vsites {
 		prof, err := Machine(v.Machine, v.Processors)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, njs.Config{}, err
 		}
 		var queues []codine.Queue
 		for _, q := range v.Queues {
@@ -165,7 +166,17 @@ func BuildSite(cfg *SiteConfig, cred *pki.Credential, ca *pki.Authority, clock s
 			Queues:   queues,
 		})
 	}
-	n, err := njs.New(njs.Config{Usite: cfg.Usite, Clock: clock, Vsites: vcs})
+	return users, njs.Config{Usite: cfg.Usite, Clock: clock, Vsites: vcs}, nil
+}
+
+// BuildSite assembles the running pieces of a site: its UUDB, NJS, and
+// gateway, under the given clock (sim.RealClock{} in the daemons).
+func BuildSite(cfg *SiteConfig, cred *pki.Credential, ca *pki.Authority, clock sim.Scheduler) (*gateway.Gateway, *njs.NJS, *uudb.DB, error) {
+	users, njsCfg, err := buildParts(cfg, clock)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	n, err := njs.New(njsCfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -180,6 +191,40 @@ func BuildSite(cfg *SiteConfig, cred *pki.Credential, ca *pki.Authority, clock s
 		return nil, nil, nil, err
 	}
 	return gw, n, users, nil
+}
+
+// BuildDurableSite is BuildSite with journal-backed NJS state rooted at
+// stateDir: job state is recovered from the journal at boot and every
+// subsequent transition is journaled (automatic snapshot after snapshotEvery
+// entries; see njs.AttachJournal). The caller must call
+// NJS.ResumeRecovered() once wiring (peers) is complete, and owns the
+// returned store — snapshot and close it on shutdown.
+func BuildDurableSite(cfg *SiteConfig, cred *pki.Credential, ca *pki.Authority, clock sim.Scheduler, stateDir string, snapshotEvery int) (*gateway.Gateway, *njs.NJS, *uudb.DB, *journal.Store, error) {
+	users, njsCfg, err := buildParts(cfg, clock)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	store, err := journal.Open(stateDir)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	n, err := njs.Recover(store, njsCfg, snapshotEvery)
+	if err != nil {
+		store.Close()
+		return nil, nil, nil, nil, err
+	}
+	gw, err := gateway.New(gateway.Config{
+		Usite: cfg.Usite,
+		Cred:  cred,
+		CA:    ca,
+		Users: users,
+		NJS:   n,
+	})
+	if err != nil {
+		store.Close()
+		return nil, nil, nil, nil, err
+	}
+	return gw, n, users, store, nil
 }
 
 // LoadAuthority reads a CA PEM file.

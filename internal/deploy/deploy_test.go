@@ -119,6 +119,73 @@ func TestBuildSiteEndToEnd(t *testing.T) {
 	}
 }
 
+// TestBuildDurableSiteRecovers boots a durable site, consigns a job to
+// completion, tears the site down (crash), and boots a second durable site
+// over the same state directory: the job must come back verbatim.
+func TestBuildDurableSiteRecovers(t *testing.T) {
+	path := writeTemp(t, "site.json", siteJSON)
+	cfg, err := LoadSiteConfig(path)
+	if err != nil {
+		t.Fatalf("LoadSiteConfig: %v", err)
+	}
+	ca, err := pki.NewAuthority("Deploy-CA")
+	if err != nil {
+		t.Fatalf("NewAuthority: %v", err)
+	}
+	cred, err := ca.IssueServer("gateway.fzj")
+	if err != nil {
+		t.Fatalf("IssueServer: %v", err)
+	}
+	clock := sim.NewVirtualClock()
+	stateDir := t.TempDir()
+
+	_, n, _, store, err := BuildDurableSite(cfg, cred, ca, clock, stateDir, 0)
+	if err != nil {
+		t.Fatalf("BuildDurableSite: %v", err)
+	}
+	n.ResumeRecovered()
+	job := &ajo.AbstractJob{
+		Header: ajo.Header{ActionID: "deploy-job", ActionName: "deploy-job"},
+		Target: core.Target{Usite: "FZJ", Vsite: "CLUSTER"},
+		UserDN: "CN=Alice,O=FZJ,C=DE",
+		Actions: ajo.ActionList{&ajo.UserTask{
+			TaskBase: ajo.TaskBase{Header: ajo.Header{ActionID: "hello"}},
+			Command:  "echo hello durable world",
+		}},
+	}
+	id, err := n.Consign("CN=Alice,O=FZJ,C=DE", "dur-1", job)
+	if err != nil {
+		t.Fatalf("Consign: %v", err)
+	}
+	clock.RunUntilIdle(0)
+	if err := n.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	n.Kill()
+	if err := store.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	_, n2, _, store2, err := BuildDurableSite(cfg, cred, ca, clock, stateDir, 0)
+	if err != nil {
+		t.Fatalf("BuildDurableSite (reboot): %v", err)
+	}
+	defer store2.Close()
+	n2.ResumeRecovered()
+	clock.RunUntilIdle(0)
+	o, found, err := n2.Outcome("CN=Alice,O=FZJ,C=DE", false, id)
+	if err != nil || !found {
+		t.Fatalf("Outcome after reboot: %v found=%v", err, found)
+	}
+	if o.Status != ajo.StatusSuccessful {
+		t.Fatalf("recovered job = %s", o.Status)
+	}
+	hit, ok := o.Find("hello")
+	if !ok || string(hit.Stdout) != "hello durable world\n" {
+		t.Fatalf("recovered stdout = %q (found=%v)", hit.Stdout, ok)
+	}
+}
+
 func TestCredentialFiles(t *testing.T) {
 	ca, err := pki.NewAuthority("File-CA")
 	if err != nil {

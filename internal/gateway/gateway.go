@@ -115,8 +115,12 @@ type Gateway struct {
 	cred     *pki.Credential
 	ca       *pki.Authority
 	users    *uudb.DB
-	njs      *njs.NJS
 	siteAuth SiteAuth
+
+	// njsPtr holds the site's NJS behind an atomic pointer so a recovered
+	// NJS can be swapped in while requests are in flight (the gateway and
+	// the NJS restart independently in the §5.2 split deployment).
+	njsPtr atomic.Pointer[njs.NJS]
 
 	// appletMu guards only the applet store; serving an applet never
 	// contends with traffic accounting or other requests.
@@ -157,7 +161,6 @@ func New(cfg Config) (*Gateway, error) {
 		cred:       cfg.Cred,
 		ca:         cfg.CA,
 		users:      cfg.Users,
-		njs:        cfg.NJS,
 		siteAuth:   cfg.SiteAuth,
 		applets:    make(map[string]Applet),
 		byType:     make(map[protocol.MsgType]*atomic.Int64),
@@ -167,8 +170,20 @@ func New(cfg Config) (*Gateway, error) {
 	for _, t := range protocol.MsgTypes() {
 		g.byType[t] = new(atomic.Int64)
 	}
-	cfg.NJS.SetLoginMapper(g.MapLogin)
+	g.SetNJS(cfg.NJS)
 	return g, nil
+}
+
+// NJS returns the network job supervisor currently behind this gateway.
+func (g *Gateway) NJS() *njs.NJS { return g.njsPtr.Load() }
+
+// SetNJS swaps the NJS behind the gateway — the restart path: a recovered
+// NJS (njs.Recover) takes over from the dead one without the gateway or its
+// clients noticing anything beyond the recovery gap. The gateway re-installs
+// itself as the new NJS's login mapper.
+func (g *Gateway) SetNJS(n *njs.NJS) {
+	n.SetLoginMapper(g.MapLogin)
+	g.njsPtr.Store(n)
 }
 
 // Usite returns the site this gateway fronts.
@@ -285,7 +300,7 @@ func (g *Gateway) serveIndex(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprintf(w, "<html><head><title>UNICORE site %s</title></head><body>\n", g.usite)
 	fmt.Fprintf(w, "<h1>UNICORE site %s</h1>\n<h2>Vsites</h2>\n<ul>\n", g.usite)
-	for _, p := range g.njs.Pages() {
+	for _, p := range g.NJS().Pages() {
 		fmt.Fprintf(w, "<li>%s &mdash; %s, %d PEs</li>\n", p.Target, p.Architecture, p.Processors.Max)
 	}
 	fmt.Fprintf(w, "</ul>\n<h2>Signed applets</h2>\n<ul>\n")
@@ -342,14 +357,14 @@ func (g *Gateway) dispatch(t protocol.MsgType, raw json.RawMessage, dn core.DN, 
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad poll request: %w", err)
 		}
-		reply, err := g.njs.Poll(dn, asServer, req.Job)
+		reply, err := g.NJS().Poll(dn, asServer, req.Job)
 		return reply, protocol.MsgPollReply, err
 	case protocol.MsgOutcome:
 		var req protocol.OutcomeRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad outcome request: %w", err)
 		}
-		o, found, err := g.njs.Outcome(dn, asServer, req.Job)
+		o, found, err := g.NJS().Outcome(dn, asServer, req.Job)
 		if err != nil {
 			return nil, "", err
 		}
@@ -363,14 +378,14 @@ func (g *Gateway) dispatch(t protocol.MsgType, raw json.RawMessage, dn core.DN, 
 		}
 		return reply, protocol.MsgOutcomeReply, nil
 	case protocol.MsgList:
-		jobs, err := g.njs.List(dn)
+		jobs, err := g.NJS().List(dn)
 		return protocol.ListReply{Jobs: jobs}, protocol.MsgListReply, err
 	case protocol.MsgControl:
 		var req protocol.ControlRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad control request: %w", err)
 		}
-		err := g.njs.Control(dn, asServer, req.Job, req.Op)
+		err := g.NJS().Control(dn, asServer, req.Job, req.Op)
 		reply := protocol.ControlReply{OK: err == nil}
 		if err != nil {
 			reply.Reason = err.Error()
@@ -390,7 +405,7 @@ func (g *Gateway) dispatch(t protocol.MsgType, raw json.RawMessage, dn core.DN, 
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad transfer request: %w", err)
 		}
-		reply, err := g.njs.FetchFile(req.Job, req.File, req.Offset, req.Limit)
+		reply, err := g.NJS().FetchFile(req.Job, req.File, req.Offset, req.Limit)
 		return reply, protocol.MsgTransferReply, err
 	case protocol.MsgApplet:
 		var req protocol.AppletRequest
@@ -411,11 +426,11 @@ func (g *Gateway) dispatch(t protocol.MsgType, raw json.RawMessage, dn core.DN, 
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad fetch request: %w", err)
 		}
-		reply, err := g.njs.FetchFileOwned(dn, asServer, req.Job, req.File, req.Offset, req.Limit)
+		reply, err := g.NJS().FetchFileOwned(dn, asServer, req.Job, req.File, req.Offset, req.Limit)
 		return reply, protocol.MsgFetchReply, err
 	case protocol.MsgLoad:
-		loads := g.njs.VsiteLoads()
-		reply := protocol.LoadReply{Overall: g.njs.Load(), Vsites: make(map[string]protocol.VsiteLoad, len(loads))}
+		loads := g.NJS().VsiteLoads()
+		reply := protocol.LoadReply{Overall: g.NJS().Load(), Vsites: make(map[string]protocol.VsiteLoad, len(loads))}
 		for v, l := range loads {
 			reply.Vsites[string(v)] = protocol.VsiteLoad{Load: l.Load, Pending: l.Pending}
 		}
@@ -450,7 +465,7 @@ func (g *Gateway) handleConsign(raw json.RawMessage, dn core.DN, asServer bool) 
 	} else if job.UserDN != "" && job.UserDN != dn {
 		return nil, "", fmt.Errorf("gateway: AJO user %s does not match signer %s", job.UserDN, dn)
 	}
-	id, err := g.njs.Consign(owner, req.ConsignID, job)
+	id, err := g.NJS().Consign(owner, req.ConsignID, job)
 	reply := protocol.ConsignReply{Accepted: err == nil, Job: id}
 	if err != nil {
 		reply.Reason = err.Error()
@@ -463,7 +478,7 @@ func (g *Gateway) handleConsign(raw json.RawMessage, dn core.DN, asServer bool) 
 // handleResources serves the ASN.1 resource pages of §5.4.
 func (g *Gateway) handleResources(req protocol.ResourcesRequest) (any, protocol.MsgType, error) {
 	var pages [][]byte
-	for _, p := range g.njs.Pages() {
+	for _, p := range g.NJS().Pages() {
 		if req.Vsite != "" && p.Target.Vsite != req.Vsite {
 			continue
 		}

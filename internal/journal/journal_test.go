@@ -1,0 +1,372 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func entryN(i int) Entry {
+	return Entry{Kind: KindActionDone, Action: &ActionEvent{
+		Job:      fmt.Sprintf("SITE-%06d", i),
+		Action:   "run",
+		Status:   4,
+		Stdout:   []byte("done\n"),
+		Files:    []FileStat{{Path: "result.dat", Size: 1024, CRC: 42}},
+		Started:  time.Unix(100, 0).UTC(),
+		Finished: time.Unix(200, 0).UTC(),
+	}}
+}
+
+func collect(t *testing.T, s *Store) []Entry {
+	t.Helper()
+	var out []Entry
+	if err := s.Replay(func(e Entry) error { out = append(out, e); return nil }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		s.Append(entryN(i))
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	got := collect(t, s)
+	if len(got) != n {
+		t.Fatalf("replayed %d entries, want %d", len(got), n)
+	}
+	for i, e := range got {
+		if e.Kind != KindActionDone || e.Action == nil {
+			t.Fatalf("entry %d: kind %s", i, e.Kind)
+		}
+		if want := fmt.Sprintf("SITE-%06d", i); e.Action.Job != want {
+			t.Fatalf("entry %d: job %q, want %q (order lost)", i, e.Action.Job, want)
+		}
+		if string(e.Action.Stdout) != "done\n" || len(e.Action.Files) != 1 || e.Action.Files[0].CRC != 42 {
+			t.Fatalf("entry %d: payload mangled: %+v", i, e.Action)
+		}
+		if !e.Action.Started.Equal(time.Unix(100, 0).UTC()) {
+			t.Fatalf("entry %d: started %v", i, e.Action.Started)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A fresh Store over the same dir replays the same stream.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if got := collect(t, s2); len(got) != n {
+		t.Fatalf("after reopen: %d entries, want %d", len(got), n)
+	}
+}
+
+func TestAllEntryKindsRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{Kind: KindFileWrite, File: &FileMutation{Vsite: "T3E", Path: "/uspace/J-1/in.dat", Data: []byte{1, 2, 3}}},
+		{Kind: KindFileRemove, File: &FileMutation{Vsite: "T3E", Path: "/uspace/J-1/tmp"}},
+		{Kind: KindMkdir, File: &FileMutation{Vsite: "T3E", Path: "/uspace/J-1/sub"}},
+		{Kind: KindRename, File: &FileMutation{Vsite: "T3E", Path: "/uspace/J-1/a", To: "/uspace/J-1/b"}},
+		{Kind: KindAdmit, Admit: &Admission{
+			Job: "FZJ-000001", Owner: "CN=U,O=Org", UID: "u1", Groups: []string{"unicore"},
+			Project: "hpc", Vsite: "T3E", AJO: []byte("gob"), ConsignID: "c1",
+			ParentJob: "FZJ-000000", ParentAction: "sub", Submitted: time.Unix(7, 0).UTC(),
+		}},
+		{Kind: KindActionStart, Action: &ActionEvent{Job: "FZJ-000001", Action: "run", Status: 2}},
+		entryN(1),
+		{Kind: KindInject, Inject: &Injection{Job: "FZJ-000001", After: "sub", Name: "dep.dat", Data: []byte("x")}},
+		{Kind: KindRemote, Remote: &RemoteLink{Job: "FZJ-000001", Action: "sub", Usite: "ZIB", RemoteJob: "ZIB-000004"}},
+		{Kind: KindControl, Control: &ControlEvent{Job: "FZJ-000001", Op: "hold"}},
+		{Kind: KindRootDone, Root: &RootEvent{Job: "FZJ-000001", Status: 4, Finished: time.Unix(9, 0).UTC()}},
+		{Kind: KindSeq, Seq: 17},
+	}
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	for _, e := range entries {
+		s.Append(e)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	got := collect(t, s)
+	if len(got) != len(entries) {
+		t.Fatalf("replayed %d, want %d", len(got), len(entries))
+	}
+	for i, e := range got {
+		if e.Kind != entries[i].Kind {
+			t.Fatalf("entry %d: kind %s, want %s", i, e.Kind, entries[i].Kind)
+		}
+	}
+	adm := got[4].Admit
+	if adm == nil || adm.ConsignID != "c1" || adm.ParentAction != "sub" || len(adm.Groups) != 1 {
+		t.Fatalf("admission mangled: %+v", adm)
+	}
+	if got[11].Seq != 17 {
+		t.Fatalf("seq = %d", got[11].Seq)
+	}
+}
+
+func TestTornTailIsDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Append(entryN(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Tear the final record: chop a few bytes off the journal file.
+	path := filepath.Join(dir, journalName(0))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	got := collect(t, s2)
+	if len(got) != 9 {
+		t.Fatalf("replayed %d entries after torn tail, want 9", len(got))
+	}
+}
+
+// TestReopenAfterTornTailKeepsNewEntries is the regression for appending
+// behind a torn frame: Open must truncate the garbage so entries written by
+// the recovered process are reachable on the NEXT replay, not stranded
+// behind it.
+func TestReopenAfterTornTailKeepsNewEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	s.Append(entryN(0))
+	s.Append(entryN(1))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	path := filepath.Join(dir, journalName(0))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil { // tear entry 1
+		t.Fatalf("Truncate: %v", err)
+	}
+
+	// First restart: replays entry 0, then journals new work.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen 1: %v", err)
+	}
+	if got := collect(t, s2); len(got) != 1 {
+		t.Fatalf("after tear: %d entries, want 1", len(got))
+	}
+	s2.Append(entryN(2))
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Second restart: the new entry must not be stranded behind the old
+	// torn frame.
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen 2: %v", err)
+	}
+	defer s3.Close()
+	got := collect(t, s3)
+	if len(got) != 2 {
+		t.Fatalf("after reopen: %d entries, want 2 (entry appended post-recovery was lost)", len(got))
+	}
+	if got[1].Action.Job != "SITE-000002" {
+		t.Fatalf("second entry = %s, want SITE-000002", got[1].Action.Job)
+	}
+}
+
+func TestCorruptMidStreamIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Append(entryN(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Flip a payload byte in the middle of the file. The reader sees a CRC
+	// mismatch before the tail: with tail tolerance it stops there (data
+	// after the flip is unreachable), which must lose entries, not invent
+	// them.
+	path := filepath.Join(dir, journalName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	got := collect(t, s2)
+	if len(got) >= 10 {
+		t.Fatalf("replayed %d entries from corrupted journal", len(got))
+	}
+}
+
+func TestCompactRetiresOldGenerations(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		s.Append(entryN(i))
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if n := s.AppendsSinceCompact(); n != 50 {
+		t.Fatalf("AppendsSinceCompact = %d", n)
+	}
+
+	// Snapshot: pretend the live state compacts to 3 entries.
+	err = s.Compact(func(append func(Entry) error) error {
+		for i := 0; i < 3; i++ {
+			if err := append(entryN(1000 + i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if n := s.AppendsSinceCompact(); n != 0 {
+		t.Fatalf("AppendsSinceCompact after compaction = %d", n)
+	}
+
+	// Tail entries after the snapshot.
+	s.Append(entryN(2000))
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+
+	got := collect(t, s)
+	if len(got) != 4 {
+		t.Fatalf("replayed %d entries, want 3 snapshot + 1 tail", len(got))
+	}
+	if got[0].Action.Job != "SITE-001000" || got[3].Action.Job != "SITE-002000" {
+		t.Fatalf("wrong replay order: %s ... %s", got[0].Action.Job, got[3].Action.Job)
+	}
+
+	// The original 50-entry journal is gone.
+	if _, err := os.Stat(filepath.Join(dir, journalName(0))); !os.IsNotExist(err) {
+		t.Fatalf("journal-0 still present after compaction")
+	}
+}
+
+func TestConcurrentAppendersLoseNothing(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.Append(entryN(w*each + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if got := collect(t, s); len(got) != workers*each {
+		t.Fatalf("replayed %d entries, want %d", len(got), workers*each)
+	}
+}
+
+// BenchmarkJournalAppend measures the producer-side cost of an append: the
+// enqueue that runs on the NJS transition path while the flusher goroutine
+// does the I/O.
+func BenchmarkJournalAppend(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	e := entryN(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append(e)
+	}
+	b.StopTimer()
+	if err := s.Sync(); err != nil {
+		b.Fatalf("Sync: %v", err)
+	}
+}
+
+// BenchmarkJournalAppendParallel is the contended shape: many NJS operations
+// appending transitions at once.
+func BenchmarkJournalAppendParallel(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	e := entryN(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.Append(e)
+		}
+	})
+	b.StopTimer()
+	if err := s.Sync(); err != nil {
+		b.Fatalf("Sync: %v", err)
+	}
+}

@@ -1,0 +1,296 @@
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Store manages one state directory of journal generations and snapshots.
+//
+// Concurrency: Append is safe from any goroutine and never blocks on a
+// running compaction — Compact swaps the live writer under a small mutex
+// first and only then captures the snapshot. Compactions themselves are
+// serialized.
+type Store struct {
+	dir string
+
+	// wmu guards only the live-writer pointer and generation number; it is
+	// held for pointer swaps, never across I/O or state capture.
+	wmu sync.Mutex
+	w   *writer
+	gen uint64
+
+	// compactMu serializes compactions.
+	compactMu sync.Mutex
+
+	closed  atomic.Bool
+	appends atomic.Int64 // entries since the last compaction (snapshot cadence)
+}
+
+func journalName(gen uint64) string  { return fmt.Sprintf("journal-%08d.wal", gen) }
+func snapshotName(gen uint64) string { return fmt.Sprintf("snapshot-%08d.snap", gen) }
+
+// scan lists the generation numbers present in dir.
+func scan(dir string) (journals, snapshots []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	for _, ent := range entries {
+		var gen uint64
+		switch {
+		case matchGen(ent.Name(), "journal-%08d.wal", &gen):
+			journals = append(journals, gen)
+		case matchGen(ent.Name(), "snapshot-%08d.snap", &gen):
+			snapshots = append(snapshots, gen)
+		}
+	}
+	sort.Slice(journals, func(i, j int) bool { return journals[i] < journals[j] })
+	sort.Slice(snapshots, func(i, j int) bool { return snapshots[i] < snapshots[j] })
+	return journals, snapshots, nil
+}
+
+func matchGen(name, format string, gen *uint64) bool {
+	var g uint64
+	if n, err := fmt.Sscanf(name, format, &g); n == 1 && err == nil {
+		*gen = g
+		return true
+	}
+	return false
+}
+
+// Open creates (if needed) and opens a state directory. Appends continue in
+// the newest journal generation; Replay starts from the newest snapshot.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	journals, snapshots, err := scan(dir)
+	if err != nil {
+		return nil, err
+	}
+	gen := uint64(0)
+	if len(snapshots) > 0 {
+		gen = snapshots[len(snapshots)-1]
+	}
+	if len(journals) > 0 && journals[len(journals)-1] > gen {
+		gen = journals[len(journals)-1]
+	}
+	// A crash may have left a torn frame at the journal tail. Appending
+	// after it would strand everything written from here on behind garbage
+	// the next replay stops at — truncate the file to its valid prefix
+	// before reopening it for append.
+	path := filepath.Join(dir, journalName(gen))
+	if err := truncateTornTail(path); err != nil {
+		return nil, err
+	}
+	w, err := newWriter(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, w: w, gen: gen}, nil
+}
+
+// truncateTornTail cuts a journal file back to its longest prefix of valid
+// frames. A missing file is fine (fresh directory).
+func truncateTornTail(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	valid, err := validPrefix(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if valid < fi.Size() {
+		if err := os.Truncate(path, valid); err != nil {
+			return fmt.Errorf("journal: truncating torn tail of %s: %w", filepath.Base(path), err)
+		}
+	}
+	return nil
+}
+
+// Dir returns the state directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Append enqueues one entry on the live journal. It is cheap and
+// non-blocking; durability is deferred to the batched flusher (call Sync to
+// force it). The enqueue happens under wmu so it cannot race Compact's
+// writer swap: an entry lands either in the old generation (whose Close
+// drains it) or the new one — never in a writer that is already closed.
+func (s *Store) Append(e Entry) {
+	if s.closed.Load() {
+		return
+	}
+	s.wmu.Lock()
+	s.w.Append(e)
+	s.wmu.Unlock()
+	s.appends.Add(1)
+}
+
+// AppendsSinceCompact reports entries appended since the last compaction —
+// the input to the snapshot cadence decision.
+func (s *Store) AppendsSinceCompact() int64 { return s.appends.Load() }
+
+// Sync flushes and fsyncs everything appended so far.
+func (s *Store) Sync() error {
+	s.wmu.Lock()
+	w := s.w
+	s.wmu.Unlock()
+	return w.Sync()
+}
+
+// Replay streams the newest snapshot (if any) and then every journal of that
+// generation or later, in order, through fn. A torn tail on a journal is
+// silently dropped; corruption elsewhere is an error. Replay reads committed
+// files only, so it may run before traffic starts (recovery) without racing
+// the live writer.
+func (s *Store) Replay(fn func(Entry) error) error {
+	journals, snapshots, err := scan(s.dir)
+	if err != nil {
+		return err
+	}
+	snapGen := uint64(0)
+	if len(snapshots) > 0 {
+		snapGen = snapshots[len(snapshots)-1]
+		if err := replayFile(filepath.Join(s.dir, snapshotName(snapGen)), false, fn); err != nil {
+			return err
+		}
+	}
+	for _, g := range journals {
+		if g < snapGen {
+			continue
+		}
+		if err := replayFile(filepath.Join(s.dir, journalName(g)), true, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replayFile(path string, tolerateTail bool, fn func(Entry) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	if err := readAll(f, tolerateTail, fn); err != nil {
+		return fmt.Errorf("journal: replaying %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// Compact takes a snapshot and retires older generations. emit is called with
+// an append function and must write the entry stream that reconstructs all
+// live state; it runs while appends continue on the next journal generation,
+// so the snapshot may be fuzzy — replay idempotency (see the package comment)
+// makes that safe.
+//
+// Sequence: rotate the journal to generation g+1, capture the snapshot to a
+// temp file, fsync, rename to snapshot-(g+1), then delete generations <= g.
+// A crash at any point leaves a recoverable directory: Replay always starts
+// from the newest complete snapshot.
+func (s *Store) Compact(emit func(append func(Entry) error) error) error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	if s.closed.Load() {
+		return fmt.Errorf("journal: store closed")
+	}
+
+	// Rotate: new generation's journal takes appends from here on.
+	s.wmu.Lock()
+	oldGen := s.gen
+	newGen := s.gen + 1
+	neww, err := newWriter(filepath.Join(s.dir, journalName(newGen)))
+	if err != nil {
+		s.wmu.Unlock()
+		return err
+	}
+	oldw := s.w
+	s.w = neww
+	s.gen = newGen
+	s.appends.Store(0)
+	s.wmu.Unlock()
+	if err := oldw.Close(); err != nil {
+		return err
+	}
+
+	// Capture: write the snapshot to a temp file, then publish atomically.
+	tmp := filepath.Join(s.dir, snapshotName(newGen)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	werr := func() error {
+		bw := bufio.NewWriterSize(f, 1<<16)
+		var frame bytes.Buffer
+		appendFn := func(e Entry) error {
+			frame.Reset()
+			if err := encode(&frame, e); err != nil {
+				return err
+			}
+			_, err := bw.Write(frame.Bytes())
+			return err
+		}
+		if err := emit(appendFn); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}()
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: writing snapshot: %w", werr)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName(newGen))); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+
+	// Retire: everything before the new generation is now redundant.
+	journals, snapshots, err := scan(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, g := range journals {
+		if g <= oldGen {
+			os.Remove(filepath.Join(s.dir, journalName(g)))
+		}
+	}
+	for _, g := range snapshots {
+		if g <= oldGen {
+			os.Remove(filepath.Join(s.dir, snapshotName(g)))
+		}
+	}
+	return nil
+}
+
+// Close flushes, fsyncs, and closes the live journal. Further appends are
+// dropped.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.wmu.Lock()
+	w := s.w
+	s.wmu.Unlock()
+	return w.Close()
+}

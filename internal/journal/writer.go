@@ -1,0 +1,142 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// writer is the batched appender behind a Store. Append enqueues an entry
+// under a small mutex and returns immediately; a background goroutine drains
+// the queue in batches (group commit), so producers — which may hold NJS job
+// locks or the vfs lock — never wait on file I/O. Sync blocks until every
+// entry appended so far is written and fsynced.
+type writer struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	f        *os.File
+	pending  []Entry
+	appended int64 // entries handed to Append
+	flushed  int64 // entries written to the file
+	err      error // first write error, sticky
+	closed   bool
+	done     chan struct{}
+}
+
+// newWriter opens (creating or appending to) the journal file at path and
+// starts the flusher.
+func newWriter(path string) (*writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	w := &writer{f: f, done: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	go w.flushLoop()
+	return w, nil
+}
+
+// Append enqueues one entry. It never blocks on I/O; a sticky write error
+// surfaces on the next Sync or Close.
+func (w *writer) Append(e Entry) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.pending = append(w.pending, e)
+	w.appended++
+	w.mu.Unlock()
+	w.cond.Signal()
+}
+
+// flushLoop drains the queue in batches until Close.
+func (w *writer) flushLoop() {
+	defer close(w.done)
+	var buf bytes.Buffer
+	for {
+		w.mu.Lock()
+		for len(w.pending) == 0 && !w.closed && w.err == nil {
+			w.cond.Wait()
+		}
+		if w.err != nil || (w.closed && len(w.pending) == 0) {
+			w.mu.Unlock()
+			return
+		}
+		batch := w.pending
+		w.pending = nil
+		w.mu.Unlock()
+
+		buf.Reset()
+		var err error
+		for _, e := range batch {
+			if err = encode(&buf, e); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			_, err = w.f.Write(buf.Bytes())
+		}
+
+		w.mu.Lock()
+		w.flushed += int64(len(batch))
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		w.mu.Unlock()
+		w.cond.Broadcast()
+	}
+}
+
+// Sync blocks until everything appended before the call is on disk. Syncing
+// a writer that Close has already retired is a no-op success: Close drains
+// and fsyncs before closing the file.
+func (w *writer) Sync() error {
+	w.mu.Lock()
+	target := w.appended
+	for w.flushed < target && w.err == nil {
+		w.cond.Wait()
+	}
+	err := w.err
+	closed := w.closed
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if closed {
+		// Close drains and fsyncs; wait for the drain, then fsync ourselves
+		// in case Close has not reached its own Sync yet. A file Close
+		// already closed was already synced.
+		<-w.done
+		if serr := w.f.Sync(); serr != nil && !errors.Is(serr, os.ErrClosed) {
+			return serr
+		}
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// Close drains the queue, fsyncs, and closes the file.
+func (w *writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+	<-w.done
+	w.mu.Lock()
+	err := w.err
+	w.mu.Unlock()
+	if serr := w.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -39,6 +39,9 @@ func (n *NJS) startActionLocked(uj *unicoreJob, a ajo.Action) {
 func (n *NJS) deferComplete(uj *unicoreJob, aid ajo.ActionID, d time.Duration, status ajo.Status, reason string) {
 	jobID := uj.id
 	n.clock.AfterFunc(d, func() {
+		if n.dead.Load() {
+			return
+		}
 		j, ok := n.job(jobID)
 		if !ok {
 			return
@@ -169,6 +172,7 @@ func (n *NJS) startBatchLocked(uj *unicoreJob, a ajo.Action) {
 	}
 	o.Status = ajo.StatusQueued
 	uj.batch[a.ID()] = bid
+	n.recordActionStart(uj, a.ID(), ajo.StatusQueued)
 	n.regMu.Lock()
 	n.batchIndex[batchKey{uj.vsite.Name, bid}] = actionRef{uj.id, a.ID()}
 	n.regMu.Unlock()
@@ -177,6 +181,9 @@ func (n *NJS) startBatchLocked(uj *unicoreJob, a ajo.Action) {
 // onBatchStarted flips an outcome to RUNNING when the batch system
 // dispatches it (drives the JMC's yellow icons).
 func (n *NJS) onBatchStarted(vsite core.Vsite, bid codine.JobID) {
+	if n.dead.Load() {
+		return
+	}
 	n.regMu.RLock()
 	ref, ok := n.batchIndex[batchKey{vsite, bid}]
 	n.regMu.RUnlock()
@@ -191,6 +198,7 @@ func (n *NJS) onBatchStarted(vsite core.Vsite, bid codine.JobID) {
 	defer uj.mu.Unlock()
 	if o := uj.outcomes[ref.action]; o != nil && !o.Status.Terminal() {
 		o.Status = ajo.StatusRunning
+		n.recordActionStart(uj, ref.action, ajo.StatusRunning)
 	}
 }
 
@@ -198,6 +206,9 @@ func (n *NJS) onBatchStarted(vsite core.Vsite, bid codine.JobID) {
 // and error files from the batch jobs belonging to one UNICORE job and make
 // them available to the user" (§5.5).
 func (n *NJS) onBatchDone(jobID core.JobID, aid ajo.ActionID, res codine.Result) {
+	if n.dead.Load() {
+		return
+	}
 	uj, ok := n.job(jobID)
 	if !ok {
 		return
@@ -253,6 +264,7 @@ func (n *NJS) propagateFilesLocked(uj *unicoreJob, before ajo.ActionID) error {
 				// The successor is a job group: stage the file into it as
 				// an injected import when it is consigned.
 				uj.injections[dep.After] = append(uj.injections[dep.After], injection{name: file, data: data})
+				n.recordInject(uj, dep.After, file, data)
 				continue
 			}
 			// The successor is a plain task sharing this job's Uspace:

@@ -1,0 +1,419 @@
+package njs
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unicore/internal/ajo"
+	"unicore/internal/core"
+	"unicore/internal/journal"
+	"unicore/internal/machine"
+	"unicore/internal/sim"
+	"unicore/internal/uudb"
+)
+
+// newDurableNJS builds a journal-backed NJS over dir.
+func newDurableNJS(t testing.TB, clock *sim.VirtualClock, dir string, snapshotEvery int) (*NJS, *journal.Store) {
+	t.Helper()
+	store, err := journal.Open(dir)
+	if err != nil {
+		t.Fatalf("journal.Open: %v", err)
+	}
+	n, err := New(durableCfg(clock))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	n.SetLoginMapper(testMapper)
+	n.AttachJournal(store, snapshotEvery)
+	return n, store
+}
+
+func durableCfg(clock *sim.VirtualClock) Config {
+	return Config{
+		Usite: "FZJ",
+		Clock: clock,
+		Vsites: []VsiteConfig{
+			{Name: "T3E", Profile: machine.CrayT3E(64)},
+			{Name: "CLUSTER", Profile: machine.GenericCluster(8)},
+		},
+	}
+}
+
+func testMapper(dn core.DN, v core.Vsite) (uudb.Login, error) {
+	return uudb.Login{UID: "u_" + strings.ToLower(dn.CommonName())}, nil
+}
+
+// crashRestart simulates a process death and restart: the old NJS is killed,
+// the store is flushed and closed (the crash point is "right after the last
+// fsync"), and a fresh NJS recovers from the directory.
+func crashRestart(t testing.TB, old *NJS, store *journal.Store, clock *sim.VirtualClock, dir string, snapshotEvery int) (*NJS, *journal.Store) {
+	t.Helper()
+	if err := store.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	old.Kill()
+	if err := store.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	store2, err := journal.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	n, err := Recover(store2, durableCfg(clock), snapshotEvery)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	n.SetLoginMapper(testMapper)
+	n.ResumeRecovered()
+	return n, store2
+}
+
+// canonical renders an outcome tree without timestamps, for comparing a
+// recovered run against an uninterrupted one.
+func canonical(o *ajo.Outcome) string {
+	var b strings.Builder
+	var rec func(o *ajo.Outcome, depth int)
+	rec = func(o *ajo.Outcome, depth int) {
+		fmt.Fprintf(&b, "%s%s %s exit=%d stdout=%q files=%d\n",
+			strings.Repeat("  ", depth), o.Action, o.Status, o.ExitCode, o.Stdout, len(o.Files))
+		for _, c := range o.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(o, 0)
+	return b.String()
+}
+
+func durableStagedJob(name string) *ajo.AbstractJob {
+	b := &ajo.AbstractJob{
+		Header: ajo.Header{ActionID: ajo.ActionID(name), ActionName: name},
+		Target: core.Target{Usite: "FZJ", Vsite: "CLUSTER"},
+	}
+	imp := &ajo.ImportTask{
+		Header: ajo.Header{ActionID: "imp"},
+		Source: ajo.ImportSource{Inline: []byte("input for " + name)},
+		To:     "input.dat",
+	}
+	run := script("run", "cat input.dat > used.tmp\ncpu 10m\nwrite result.dat 2048\necho "+name+" done\n")
+	exp := &ajo.ExportTask{
+		Header: ajo.Header{ActionID: "exp"}, From: "result.dat", ToXspace: "/results/" + name + ".dat",
+	}
+	b.Actions = ajo.ActionList{imp, run, exp}
+	b.Dependencies = []ajo.Dependency{{Before: "imp", After: "run"}, {Before: "run", After: "exp"}}
+	return b
+}
+
+func TestRecoverCompletedJobVerbatim(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	dir := t.TempDir()
+	n, store := newDurableNJS(t, clock, dir, 0)
+
+	id, err := n.Consign(alice, "consign-1", durableStagedJob("done-before-crash"))
+	if err != nil {
+		t.Fatalf("Consign: %v", err)
+	}
+	clock.RunUntilIdle(0)
+	before, found, err := n.Outcome(alice, false, id)
+	if err != nil || !found {
+		t.Fatalf("Outcome before crash: %v found=%v", err, found)
+	}
+	if before.Status != ajo.StatusSuccessful {
+		t.Fatalf("status before crash = %s", before.Status)
+	}
+
+	n2, store2 := crashRestart(t, n, store, clock, dir, 0)
+	defer store2.Close()
+	clock.RunUntilIdle(0)
+
+	after, found, err := n2.Outcome(alice, false, id)
+	if err != nil || !found {
+		t.Fatalf("Outcome after recovery: %v found=%v", err, found)
+	}
+	// A job that was terminal before the crash recovers with full fidelity,
+	// timestamps included.
+	rawBefore, _ := ajo.MarshalOutcome(before)
+	rawAfter, _ := ajo.MarshalOutcome(after)
+	if string(rawBefore) != string(rawAfter) {
+		t.Fatalf("terminal outcome changed across recovery:\nbefore: %s\nafter:  %s", rawBefore, rawAfter)
+	}
+
+	// The Uspace contents survived: the result file is still fetchable.
+	reply, err := n2.FetchFileOwned(alice, false, id, "result.dat", 0, 1<<20)
+	if err != nil || !reply.Found {
+		t.Fatalf("FetchFile after recovery: %v found=%v", err, reply.Found)
+	}
+	if reply.Size != 2048 {
+		t.Fatalf("result.dat size = %d", reply.Size)
+	}
+	// And the exported Xspace copy too.
+	vs, _ := n2.Vsite("CLUSTER")
+	if _, err := vs.Space.ReadXspace("/results/done-before-crash.dat"); err != nil {
+		t.Fatalf("export lost: %v", err)
+	}
+
+	// The idempotent consign index survived: a retry returns the same job.
+	again, err := n2.Consign(alice, "consign-1", durableStagedJob("done-before-crash"))
+	if err != nil || again != id {
+		t.Fatalf("consign retry after recovery: id=%s err=%v, want %s", again, err, id)
+	}
+}
+
+func TestRecoverMidFlightMatchesUninterruptedRun(t *testing.T) {
+	runOnce := func(crash bool) string {
+		clock := sim.NewVirtualClock()
+		dir := t.TempDir()
+		n, store := newDurableNJS(t, clock, dir, 0)
+		defer func() { _ = store }()
+
+		var ids []core.JobID
+		for i := 0; i < 6; i++ {
+			id, err := n.Consign(alice, fmt.Sprintf("c-%d", i), durableStagedJob(fmt.Sprintf("wl-%02d", i)))
+			if err != nil {
+				t.Fatalf("Consign: %v", err)
+			}
+			ids = append(ids, id)
+		}
+		// Mid-workload: imports have landed, batch jobs are queued/running,
+		// nothing is finished yet.
+		clock.Advance(2 * time.Minute)
+
+		if crash {
+			n, store = crashRestart(t, n, store, clock, dir, 0)
+		}
+		defer store.Close()
+		clock.RunUntilIdle(0)
+
+		var b strings.Builder
+		for _, id := range ids {
+			o, found, err := n.Outcome(alice, false, id)
+			if err != nil || !found {
+				t.Fatalf("Outcome(%s): %v found=%v", id, err, found)
+			}
+			b.WriteString(canonical(o))
+		}
+		return b.String()
+	}
+
+	base := runOnce(false)
+	crashed := runOnce(true)
+	if base != crashed {
+		t.Fatalf("recovered outcomes diverge from uninterrupted run:\n--- uninterrupted ---\n%s--- recovered ---\n%s", base, crashed)
+	}
+	if !strings.Contains(base, "SUCCESSFUL") {
+		t.Fatalf("workload did not succeed:\n%s", base)
+	}
+}
+
+func TestRecoverWithSnapshotCompaction(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	dir := t.TempDir()
+	// Aggressive cadence so several compactions happen mid-workload.
+	n, store := newDurableNJS(t, clock, dir, 40)
+
+	var ids []core.JobID
+	for i := 0; i < 8; i++ {
+		id, err := n.Consign(alice, "", durableStagedJob(fmt.Sprintf("snap-%02d", i)))
+		if err != nil {
+			t.Fatalf("Consign: %v", err)
+		}
+		ids = append(ids, id)
+	}
+	clock.RunUntilIdle(0)
+
+	n2, store2 := crashRestart(t, n, store, clock, dir, 40)
+	defer store2.Close()
+	clock.RunUntilIdle(0)
+	for _, id := range ids {
+		o, found, err := n2.Outcome(alice, false, id)
+		if err != nil || !found {
+			t.Fatalf("Outcome(%s) after compacted recovery: %v found=%v", id, err, found)
+		}
+		if o.Status != ajo.StatusSuccessful {
+			t.Fatalf("job %s = %s after compacted recovery", id, o.Status)
+		}
+	}
+}
+
+func TestRecoverHeldJobStaysHeld(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	dir := t.TempDir()
+	n, store := newDurableNJS(t, clock, dir, 0)
+
+	// Hold before anything dispatches beyond the first actions.
+	id, err := n.Consign(alice, "", durableStagedJob("held"))
+	if err != nil {
+		t.Fatalf("Consign: %v", err)
+	}
+	if err := n.Control(alice, false, id, ajo.OpHold); err != nil {
+		t.Fatalf("Hold: %v", err)
+	}
+	clock.RunUntilIdle(0)
+
+	n2, store2 := crashRestart(t, n, store, clock, dir, 0)
+	defer store2.Close()
+	clock.RunUntilIdle(0)
+
+	poll, err := n2.Poll(alice, false, id)
+	if err != nil || !poll.Found {
+		t.Fatalf("Poll: %v", err)
+	}
+	if poll.Summary.Status.Terminal() {
+		t.Fatalf("held job ran to %s across recovery", poll.Summary.Status)
+	}
+	if err := n2.Control(alice, false, id, ajo.OpResume); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	clock.RunUntilIdle(0)
+	o, _, _ := n2.Outcome(alice, false, id)
+	if o.Status != ajo.StatusSuccessful {
+		t.Fatalf("resumed job = %s", o.Status)
+	}
+}
+
+func TestRecoverAbortedJobStaysAborted(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	dir := t.TempDir()
+	n, store := newDurableNJS(t, clock, dir, 0)
+
+	id, err := n.Consign(alice, "", durableStagedJob("aborted"))
+	if err != nil {
+		t.Fatalf("Consign: %v", err)
+	}
+	clock.Advance(time.Minute)
+	if err := n.Control(alice, false, id, ajo.OpAbort); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+
+	n2, store2 := crashRestart(t, n, store, clock, dir, 0)
+	defer store2.Close()
+	clock.RunUntilIdle(0)
+
+	o, found, err := n2.Outcome(alice, false, id)
+	if err != nil || !found {
+		t.Fatalf("Outcome: %v found=%v", err, found)
+	}
+	if o.Status != ajo.StatusAborted {
+		t.Fatalf("aborted job recovered as %s", o.Status)
+	}
+}
+
+func TestRecoverLocalSubJobTree(t *testing.T) {
+	runOnce := func(crash bool) string {
+		clock := sim.NewVirtualClock()
+		dir := t.TempDir()
+		n, store := newDurableNJS(t, clock, dir, 0)
+
+		// Parent at CLUSTER with a sub-job at T3E (same Usite) feeding a
+		// transfer — exercises child recovery and the parent/child links.
+		sub := &ajo.AbstractJob{
+			Header: ajo.Header{ActionID: "pre", ActionName: "pre"},
+			Target: core.Target{Usite: "FZJ", Vsite: "T3E"},
+			Actions: ajo.ActionList{
+				script("prep", "cpu 5m\nwrite prepped.dat 1024\necho prepped\n"),
+			},
+		}
+		parent := &ajo.AbstractJob{
+			Header: ajo.Header{ActionID: "parent", ActionName: "parent"},
+			Target: core.Target{Usite: "FZJ", Vsite: "CLUSTER"},
+			Actions: ajo.ActionList{
+				sub,
+				&ajo.TransferTask{Header: ajo.Header{ActionID: "tr"}, FromAction: "pre", Files: []string{"prepped.dat"}},
+				script("main", "cat prepped.dat > staged.tmp\ncpu 5m\necho main done\n"),
+			},
+			Dependencies: []ajo.Dependency{
+				{Before: "pre", After: "tr"},
+				{Before: "tr", After: "main"},
+			},
+		}
+		id, err := n.Consign(alice, "", parent)
+		if err != nil {
+			t.Fatalf("Consign: %v", err)
+		}
+		clock.Advance(90 * time.Second) // sub-job in flight
+
+		if crash {
+			n, store = crashRestart(t, n, store, clock, dir, 0)
+		}
+		defer store.Close()
+		clock.RunUntilIdle(0)
+
+		o, found, err := n.Outcome(alice, false, id)
+		if err != nil || !found {
+			t.Fatalf("Outcome: %v found=%v", err, found)
+		}
+		return canonical(o)
+	}
+
+	base := runOnce(false)
+	crashed := runOnce(true)
+	if base != crashed {
+		t.Fatalf("sub-job recovery diverged:\n--- uninterrupted ---\n%s--- recovered ---\n%s", base, crashed)
+	}
+	if !strings.Contains(base, "SUCCESSFUL") {
+		t.Fatalf("sub-job workload failed:\n%s", base)
+	}
+}
+
+// BenchmarkConsignDurable drives concurrent consignments with journaling
+// attached: the journal append is an enqueue on the batched flusher, so
+// adding durability must not serialize the Consign hot path.
+func BenchmarkConsignDurable(b *testing.B) {
+	clock := sim.NewVirtualClock()
+	n, store := newDurableNJS(b, clock, b.TempDir(), 0)
+	defer store.Close()
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			if _, err := n.Consign(alice, "", durableStagedJob(fmt.Sprintf("bench-%06d", i))); err != nil {
+				b.Fatalf("Consign: %v", err)
+			}
+		}
+	})
+	b.StopTimer()
+	if err := store.Sync(); err != nil {
+		b.Fatalf("Sync: %v", err)
+	}
+}
+
+// BenchmarkJournalRecover measures boot-time recovery: replaying a journal
+// holding many completed jobs (plus their Uspace contents) into a fresh NJS.
+func BenchmarkJournalRecover(b *testing.B) {
+	clock := sim.NewVirtualClock()
+	dir := b.TempDir()
+	n, store := newDurableNJS(b, clock, dir, 0)
+	const jobs = 50
+	for i := 0; i < jobs; i++ {
+		if _, err := n.Consign(alice, "", durableStagedJob(fmt.Sprintf("bench-%03d", i))); err != nil {
+			b.Fatalf("Consign: %v", err)
+		}
+	}
+	clock.RunUntilIdle(0)
+	if err := store.Sync(); err != nil {
+		b.Fatalf("Sync: %v", err)
+	}
+	n.Kill()
+	if err := store.Close(); err != nil {
+		b.Fatalf("Close: %v", err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store, err := journal.Open(dir)
+		if err != nil {
+			b.Fatalf("Open: %v", err)
+		}
+		rn, err := Recover(store, durableCfg(clock), 0)
+		if err != nil {
+			b.Fatalf("Recover: %v", err)
+		}
+		rn.Kill()
+		store.Close()
+	}
+}

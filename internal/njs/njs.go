@@ -28,6 +28,14 @@
 // acquired only below job locks. Fields of a job that are set at admission
 // (id, owner, login, job, vsite, jobDir, graph, submitted, parent) are
 // immutable and may be read without any lock.
+//
+// # Durability
+//
+// With a journal attached (AttachJournal / Recover), every admission and
+// state transition is appended to a write-ahead journal: the append is an
+// O(1) enqueue on a batched background flusher, so journaling never puts
+// file I/O inside a job lock or on the Consign/Poll hot path. See durable.go
+// for the recovery model.
 package njs
 
 import (
@@ -35,6 +43,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"unicore/internal/ajo"
@@ -58,6 +67,7 @@ var (
 	ErrWrongUsite    = errors.New("njs: job addressed to another usite")
 	ErrNotAuthorized = errors.New("njs: not authorized for this job")
 	ErrNoMapper      = errors.New("njs: no login mapper configured")
+	ErrDown          = errors.New("njs: site is down")
 )
 
 // Timing model for staged data (virtual time): local copies stream at
@@ -121,8 +131,11 @@ type NJS struct {
 	clock  sim.Scheduler
 	vsites map[core.Vsite]*Vsite // immutable after New
 
-	mapLogin LoginMapper      // set once during wiring, before traffic
-	peers    *protocol.Client // for sub-job consignment and transfers
+	mapLogin LoginMapper // set once during wiring, before traffic
+	// peers is the client for sub-job consignment and transfers. It is an
+	// atomic pointer because recovery re-wires it while recovered clock
+	// callbacks may already be scheduled.
+	peers atomic.Pointer[protocol.Client]
 
 	// regMu guards the job registry and the batch index. It is held only
 	// for map lookups and inserts — never across job work — so that
@@ -141,6 +154,14 @@ type NJS struct {
 	// retries wait on the entry instead of admitting a duplicate.
 	consignMu    sync.Mutex
 	consignIndex map[string]*consignEntry
+
+	// rec is the attached journal recorder (nil = durability disabled). An
+	// atomic pointer keeps the hot-path check lock-free.
+	rec atomic.Pointer[recorder]
+	// dead marks a killed NJS (crash simulation / decommission): clock
+	// callbacks that fire afterwards must not advance state, reach peers, or
+	// journal.
+	dead atomic.Bool
 }
 
 // consignEntry is one idempotent-consignment reservation. done is closed
@@ -173,6 +194,7 @@ type unicoreJob struct {
 	jobDir    string
 	graph     *dag.Graph
 	submitted time.Time
+	consignID string
 	// parent links a locally expanded child back to its parent action.
 	parent *parentLink
 
@@ -294,7 +316,10 @@ func (n *NJS) Usite() core.Usite { return n.usite }
 func (n *NJS) SetLoginMapper(fn LoginMapper) { n.mapLogin = fn }
 
 // SetPeers installs the client used to reach other Usites' gateways.
-func (n *NJS) SetPeers(c *protocol.Client) { n.peers = c }
+func (n *NJS) SetPeers(c *protocol.Client) { n.peers.Store(c) }
+
+// peerClient returns the installed peer client (nil before wiring).
+func (n *NJS) peerClient() *protocol.Client { return n.peers.Load() }
 
 // VsiteNames lists the configured Vsites, sorted.
 func (n *NJS) VsiteNames() []core.Vsite {
@@ -357,6 +382,9 @@ func (n *NJS) job(id core.JobID) (*unicoreJob, bool) {
 // resource requests against the Vsite's resource page, creates the job
 // directory, and begins dispatching. consignID makes retries idempotent.
 func (n *NJS) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error) {
+	if n.dead.Load() {
+		return "", ErrDown
+	}
 	if err := job.Validate(); err != nil {
 		return "", err
 	}
@@ -384,7 +412,7 @@ func (n *NJS) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (cor
 	}
 
 	if consignID == "" {
-		return n.admit(user, login, job, vs, nil)
+		return n.admit(user, login, job, vs, nil, "")
 	}
 	for {
 		n.consignMu.Lock()
@@ -393,7 +421,7 @@ func (n *NJS) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (cor
 			e = &consignEntry{done: make(chan struct{})}
 			n.consignIndex[consignID] = e
 			n.consignMu.Unlock()
-			id, err := n.admit(user, login, job, vs, nil)
+			id, err := n.admit(user, login, job, vs, nil, consignID)
 			n.consignMu.Lock()
 			if err != nil {
 				delete(n.consignIndex, consignID) // let a retry re-attempt
@@ -417,7 +445,7 @@ func (n *NJS) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (cor
 // admit creates the job record, registers it, and starts dispatching under
 // the new job's own lock. parent is set for locally expanded sub-jobs, in
 // which case the caller holds the parent's lock (ancestor→descendant order).
-func (n *NJS) admit(user core.DN, login uudb.Login, job *ajo.AbstractJob, vs *Vsite, parent *parentLink) (core.JobID, error) {
+func (n *NJS) admit(user core.DN, login uudb.Login, job *ajo.AbstractJob, vs *Vsite, parent *parentLink, consignID string) (core.JobID, error) {
 	id := n.nextJobID()
 	jobDir, err := vs.Space.CreateJobDir(id)
 	if err != nil {
@@ -435,6 +463,7 @@ func (n *NJS) admit(user core.DN, login uudb.Login, job *ajo.AbstractJob, vs *Vs
 		vsite:      vs,
 		jobDir:     jobDir,
 		graph:      graph,
+		consignID:  consignID,
 		outcomes:   make(map[ajo.ActionID]*ajo.Outcome, len(job.Actions)),
 		done:       make(map[string]bool),
 		inflight:   make(map[ajo.ActionID]bool),
@@ -456,6 +485,7 @@ func (n *NJS) admit(user core.DN, login uudb.Login, job *ajo.AbstractJob, vs *Vs
 	n.regMu.Lock()
 	n.jobs[id] = uj
 	n.regMu.Unlock()
+	n.recordAdmit(uj)
 	uj.mu.Lock()
 	n.dispatchLocked(uj)
 	uj.mu.Unlock()
@@ -498,6 +528,7 @@ func (n *NJS) completeActionLocked(uj *unicoreJob, aid ajo.ActionID, status ajo.
 	}
 	uj.done[string(aid)] = true
 	delete(uj.inflight, aid)
+	n.recordActionDone(uj, aid, o)
 
 	if status == ajo.StatusSuccessful {
 		if err := n.propagateFilesLocked(uj, aid); err != nil {
@@ -528,6 +559,7 @@ func (n *NJS) cascadeNotDoneLocked(uj *unicoreJob, aid ajo.ActionID) {
 		o.Finished = n.clock.Now()
 		uj.done[d] = true
 		delete(uj.inflight, did)
+		n.recordActionDone(uj, did, o)
 	}
 }
 
@@ -545,6 +577,7 @@ func (n *NJS) failSuccessorsNeedingFilesLocked(uj *unicoreJob, before ajo.Action
 		o.Reason = fmt.Sprintf("dependency files unavailable: %v", cause)
 		o.Finished = n.clock.Now()
 		uj.done[string(dep.After)] = true
+		n.recordActionDone(uj, dep.After, o)
 		n.cascadeNotDoneLocked(uj, dep.After)
 	}
 }
@@ -563,6 +596,7 @@ func (n *NJS) finalizeIfDoneLocked(uj *unicoreJob) {
 	}
 	uj.root.Status = status
 	uj.root.Finished = n.clock.Now()
+	n.recordRootDone(uj)
 	if uj.parent != nil {
 		// Notify the parent through the clock: the lock order is
 		// ancestor→descendant, so a child must never reach up into its
@@ -575,6 +609,9 @@ func (n *NJS) finalizeIfDoneLocked(uj *unicoreJob) {
 // completeChild folds a finished local sub-job into its parent. It runs as a
 // clock callback, locking the parent before the child.
 func (n *NJS) completeChild(parentID core.JobID, aid ajo.ActionID, childID core.JobID) {
+	if n.dead.Load() {
+		return
+	}
 	parent, ok := n.job(parentID)
 	if !ok {
 		return

@@ -62,7 +62,7 @@ func (n *NJS) startLocalSubJobLocked(uj *unicoreJob, sub *ajo.AbstractJob) {
 	// ancestor→descendant, the allowed direction. If the child finishes
 	// synchronously during admission, its finalizer schedules the
 	// parent-side completion through the clock.
-	childID, err := n.admit(uj.owner, login, sub, vs, &parentLink{job: uj.id, action: sub.ID()})
+	childID, err := n.admit(uj.owner, login, sub, vs, &parentLink{job: uj.id, action: sub.ID()}, "")
 	if err != nil {
 		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed, fmt.Sprintf("sub-job admit: %v", err))
 		return
@@ -73,13 +73,10 @@ func (n *NJS) startLocalSubJobLocked(uj *unicoreJob, sub *ajo.AbstractJob) {
 // startRemoteSubJobLocked consigns a sub-job to a peer Usite and starts the
 // poll loop. The network call is deferred through the clock so it runs with
 // no job lock held — a consign to a peer must never block Poll/Control on
-// this job behind a network round trip.
+// this job behind a network round trip. The peer client is also checked only
+// when the deferred call runs, so a recovered NJS may re-dispatch remote
+// sub-jobs before SetPeers has been re-wired.
 func (n *NJS) startRemoteSubJobLocked(uj *unicoreJob, sub *ajo.AbstractJob) {
-	if n.peers == nil {
-		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed,
-			fmt.Sprintf("no peer client configured for %s", sub.Target.Usite))
-		return
-	}
 	raw, err := ajo.Marshal(sub)
 	if err != nil {
 		n.completeActionLocked(uj, sub.ID(), ajo.StatusFailed, fmt.Sprintf("encoding sub-job: %v", err))
@@ -94,9 +91,15 @@ func (n *NJS) startRemoteSubJobLocked(uj *unicoreJob, sub *ajo.AbstractJob) {
 // the peer consignment call, then (re-locking the job) recording the remote
 // reference and arming the poll loop.
 func (n *NJS) consignRemote(jobID core.JobID, aid ajo.ActionID, usite core.Usite, consignID string, raw []byte) {
+	if n.dead.Load() {
+		return
+	}
 	var reply protocol.ConsignReply
-	err := n.peers.Call(usite, protocol.MsgConsign,
-		protocol.ConsignRequest{ConsignID: consignID, AJO: raw}, &reply)
+	err := fmt.Errorf("njs: no peer client configured for %s", usite)
+	if peers := n.peerClient(); peers != nil {
+		err = peers.Call(usite, protocol.MsgConsign,
+			protocol.ConsignRequest{ConsignID: consignID, AJO: raw}, &reply)
+	}
 
 	uj, ok := n.job(jobID)
 	if !ok {
@@ -108,8 +111,8 @@ func (n *NJS) consignRemote(jobID core.JobID, aid ajo.ActionID, usite core.Usite
 		// Aborted while the consign was in flight. If the peer accepted,
 		// that job is now orphaned — abort it best-effort, outside the lock.
 		uj.mu.Unlock()
-		if err == nil && reply.Accepted {
-			_ = n.peers.Call(usite, protocol.MsgControl,
+		if peers := n.peerClient(); err == nil && reply.Accepted && peers != nil {
+			_ = peers.Call(usite, protocol.MsgControl,
 				protocol.ControlRequest{Job: reply.Job, Op: ajo.OpAbort}, nil)
 		}
 		return
@@ -129,6 +132,7 @@ func (n *NJS) consignRemote(jobID core.JobID, aid ajo.ActionID, usite core.Usite
 	}
 	ref := &remoteRef{usite: usite, job: reply.Job}
 	uj.remote[aid] = ref
+	n.recordRemote(uj, aid, ref)
 	n.scheduleRemotePollLocked(jobID, aid, ref)
 }
 
@@ -143,6 +147,9 @@ func (n *NJS) scheduleRemotePollLocked(jobID core.JobID, aid ajo.ActionID, ref *
 // outcome and completes the action. The network calls happen without any
 // lock held; only the owning job is locked to read and advance its state.
 func (n *NJS) pollRemote(jobID core.JobID, aid ajo.ActionID) {
+	if n.dead.Load() {
+		return
+	}
 	uj, ok := n.job(jobID)
 	if !ok {
 		return
@@ -157,7 +164,10 @@ func (n *NJS) pollRemote(jobID core.JobID, aid ajo.ActionID) {
 	uj.mu.Unlock()
 
 	var poll protocol.PollReply
-	err := n.peers.Call(usite, protocol.MsgPoll, protocol.PollRequest{Job: remoteJob}, &poll)
+	err := fmt.Errorf("njs: no peer client configured for %s", usite)
+	if peers := n.peerClient(); peers != nil {
+		err = peers.Call(usite, protocol.MsgPoll, protocol.PollRequest{Job: remoteJob}, &poll)
+	}
 
 	uj.mu.Lock()
 	ref, ok = uj.remote[aid]
@@ -190,7 +200,10 @@ func (n *NJS) pollRemote(jobID core.JobID, aid ajo.ActionID) {
 	uj.mu.Unlock()
 
 	var oreply protocol.OutcomeReply
-	oerr := n.peers.Call(usite, protocol.MsgOutcome, protocol.OutcomeRequest{Job: remoteJob}, &oreply)
+	oerr := fmt.Errorf("njs: no peer client configured for %s", usite)
+	if peers := n.peerClient(); peers != nil {
+		oerr = peers.Call(usite, protocol.MsgOutcome, protocol.OutcomeRequest{Job: remoteJob}, &oreply)
+	}
 
 	uj.mu.Lock()
 	defer uj.mu.Unlock()
@@ -218,14 +231,15 @@ func (n *NJS) pollRemote(jobID core.JobID, aid ajo.ActionID) {
 // fetchRemoteFile pulls one file from a remote job's Uspace in chunks via
 // the peer gateway (the NJS–NJS transfer path of §5.6).
 func (n *NJS) fetchRemoteFile(usite core.Usite, job core.JobID, file string) ([]byte, error) {
-	if n.peers == nil {
+	peers := n.peerClient()
+	if peers == nil {
 		return nil, fmt.Errorf("njs: no peer client configured for %s", usite)
 	}
 	var buf []byte
 	offset := int64(0)
 	for {
 		var reply protocol.TransferReply
-		err := n.peers.Call(usite, protocol.MsgTransfer, protocol.TransferRequest{
+		err := peers.Call(usite, protocol.MsgTransfer, protocol.TransferRequest{
 			Job: job, File: file, Offset: offset, Limit: transferChunk,
 		}, &reply)
 		if err != nil {

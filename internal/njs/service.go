@@ -120,6 +120,7 @@ func (n *NJS) Control(caller core.DN, asServer bool, id core.JobID, op ajo.Contr
 			return fmt.Errorf("njs: job %s already %s", id, uj.root.Status)
 		}
 		uj.held = true
+		n.recordControl(uj, ajo.OpHold)
 		return nil
 	case ajo.OpResume:
 		uj.mu.Lock()
@@ -128,6 +129,7 @@ func (n *NJS) Control(caller core.DN, asServer bool, id core.JobID, op ajo.Contr
 			return fmt.Errorf("njs: job %s is not held", id)
 		}
 		uj.held = false
+		n.recordControl(uj, ajo.OpResume)
 		n.dispatchLocked(uj)
 		return nil
 	}
@@ -144,9 +146,9 @@ func (n *NJS) abortJob(uj *unicoreJob) error {
 	uj.mu.Lock()
 	err := n.abortLocked(uj, &remotes)
 	uj.mu.Unlock()
-	if n.peers != nil {
+	if peers := n.peerClient(); peers != nil {
 		for _, ref := range remotes {
-			_ = n.peers.Call(ref.usite, protocol.MsgControl,
+			_ = peers.Call(ref.usite, protocol.MsgControl,
 				protocol.ControlRequest{Job: ref.job, Op: ajo.OpAbort}, nil)
 		}
 	}
@@ -161,6 +163,7 @@ func (n *NJS) abortLocked(uj *unicoreJob, remotes *[]remoteRef) error {
 		return fmt.Errorf("njs: job %s already %s", uj.id, uj.root.Status)
 	}
 	uj.aborted = true
+	n.recordControl(uj, ajo.OpAbort)
 	// Cancel batch jobs in flight (completion events arrive through the
 	// clock, so Cancel cannot re-enter this job synchronously).
 	for aid, bid := range uj.batch {
@@ -201,6 +204,7 @@ func (n *NJS) abortLocked(uj *unicoreJob, remotes *[]remoteRef) error {
 		o.Finished = n.clock.Now()
 		uj.done[string(aid)] = true
 		delete(uj.inflight, aid)
+		n.recordActionDone(uj, aid, o)
 	}
 	n.finalizeIfDoneLocked(uj)
 	return nil

@@ -19,6 +19,7 @@ import (
 	"unicore/internal/codine"
 	"unicore/internal/core"
 	"unicore/internal/gateway"
+	"unicore/internal/journal"
 	"unicore/internal/machine"
 	"unicore/internal/njs"
 	"unicore/internal/pki"
@@ -48,6 +49,8 @@ type Site struct {
 	// Front and inner are set in split deployments.
 	Front *gateway.Front
 	inner *gateway.Inner
+
+	cred *pki.Credential // server credential, kept for NJS restarts
 }
 
 // Deployment is a whole multi-Usite UNICORE installation.
@@ -143,7 +146,7 @@ func (d *Deployment) deploySite(spec SiteSpec) (*Site, error) {
 		}
 	}
 
-	site := &Site{Spec: spec, NJS: n, Gateway: gw, Users: users}
+	site := &Site{Spec: spec, NJS: n, Gateway: gw, Users: users, cred: srvCred}
 	if spec.Split {
 		inner := gateway.NewInner(gw)
 		l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -167,6 +170,59 @@ func (d *Deployment) deploySite(spec SiteSpec) (*Site, error) {
 	}
 	d.Registry.Add(spec.Usite, "https://"+host)
 	return site, nil
+}
+
+// EnableDurability attaches a write-ahead journal store (rooted at dir) to a
+// site's NJS. snapshotEvery > 0 sets the automatic snapshot cadence. The
+// returned store belongs to the caller: Sync/Close it around a simulated
+// crash and hand a reopened store to RestartSite.
+func (d *Deployment) EnableDurability(u core.Usite, dir string, snapshotEvery int) (*journal.Store, error) {
+	site, ok := d.Sites[u]
+	if !ok {
+		return nil, fmt.Errorf("testbed: unknown usite %q", u)
+	}
+	store, err := journal.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	site.NJS.AttachJournal(store, snapshotEvery)
+	return store, nil
+}
+
+// KillSite simulates an NJS process crash at a site: the NJS stops
+// journaling and every pending clock callback it owns becomes a no-op. The
+// gateway keeps running (the §5.2 split survives an inner restart); calls
+// reaching the dead NJS are refused or see its frozen state until
+// RestartSite swaps in the recovered one.
+func (d *Deployment) KillSite(u core.Usite) error {
+	site, ok := d.Sites[u]
+	if !ok {
+		return fmt.Errorf("testbed: unknown usite %q", u)
+	}
+	site.NJS.Kill()
+	return nil
+}
+
+// RestartSite boots a replacement NJS from the journal store, re-wires it
+// (peer client, gateway, login mapping), and resumes the recovered workload.
+func (d *Deployment) RestartSite(u core.Usite, store *journal.Store, snapshotEvery int) error {
+	site, ok := d.Sites[u]
+	if !ok {
+		return fmt.Errorf("testbed: unknown usite %q", u)
+	}
+	n, err := njs.Recover(store, njs.Config{
+		Usite:  site.Spec.Usite,
+		Clock:  d.Clock,
+		Vsites: site.Spec.Vsites,
+	}, snapshotEvery)
+	if err != nil {
+		return err
+	}
+	n.SetPeers(protocol.NewClient(d.Net, site.cred, d.CA, d.Registry))
+	site.Gateway.SetNJS(n) // installs the login mapper
+	site.NJS = n
+	n.ResumeRecovered()
+	return nil
 }
 
 // Close tears down split-site sockets.

@@ -65,6 +65,10 @@ func (s *Space) FS() *vfs.FS { return s.fs }
 // XspaceRoot returns the Xspace root path.
 func (s *Space) XspaceRoot() string { return s.xspaceRoot }
 
+// UspaceRoot returns the Uspace root path (the parent of every job
+// directory).
+func (s *Space) UspaceRoot() string { return s.uspaceRoot }
+
 // JobDir returns the Uspace directory path for a job.
 func (s *Space) JobDir(job core.JobID) string {
 	return path.Join(s.uspaceRoot, string(job))

@@ -46,13 +46,45 @@ type FileInfo struct {
 	CRC     uint64 // crc64 of contents; 0 for directories
 }
 
+// MutationOp classifies a change reported to an FS observer.
+type MutationOp uint8
+
+const (
+	// OpWrite materialised a file with the contents in Mutation.Data. Appends
+	// are reported as writes carrying the full resulting contents, so an
+	// observer replaying mutations elsewhere stays idempotent.
+	OpWrite MutationOp = iota + 1
+	// OpMkdir created a directory (and possibly missing parents).
+	OpMkdir
+	// OpRemove deleted the path (file or whole subtree).
+	OpRemove
+	// OpRename moved Path to To.
+	OpRename
+)
+
+// Mutation describes one successful change to the file system. Data is a
+// private copy the observer may retain.
+type Mutation struct {
+	Op   MutationOp
+	Path string
+	To   string // rename destination
+	Data []byte
+}
+
 // FS is a thread-safe in-memory file system with an optional byte quota.
+//
+// An observer installed with Observe is invoked after every successful
+// mutation, while the FS write lock is still held — that keeps the
+// notification order identical to the apply order, which is what a
+// write-ahead journal needs. Observers must be fast and must not call back
+// into the FS.
 type FS struct {
-	mu    sync.RWMutex
-	root  *node
-	clock sim.Clock
-	quota int64 // 0 = unlimited
-	used  int64
+	mu       sync.RWMutex
+	root     *node
+	clock    sim.Clock
+	quota    int64 // 0 = unlimited
+	used     int64
+	observer func(Mutation)
 }
 
 type node struct {
@@ -78,6 +110,32 @@ func New(clock sim.Clock) *FS {
 		root:  &node{name: "/", dir: true, children: map[string]*node{}},
 		clock: clock,
 	}
+}
+
+// Observe installs fn as the FS's mutation observer (nil uninstalls). See
+// the FS doc comment for the calling contract.
+func (fs *FS) Observe(fn func(Mutation)) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.observer = fn
+}
+
+// notifyLocked reports a successful mutation. Caller holds the write lock.
+func (fs *FS) notifyLocked(m Mutation) {
+	if fs.observer != nil {
+		fs.observer(m)
+	}
+}
+
+// notifyWriteLocked reports a write, copying the contents only when someone
+// is listening. Caller holds the write lock.
+func (fs *FS) notifyWriteLocked(p string, data []byte) {
+	if fs.observer == nil {
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	fs.observer(Mutation{Op: OpWrite, Path: p, Data: cp})
 }
 
 // SetQuota sets the total byte quota (0 disables). Lowering the quota below
@@ -184,6 +242,7 @@ func (fs *FS) MkdirAll(p string) error {
 		}
 		n = child
 	}
+	fs.notifyLocked(Mutation{Op: OpMkdir, Path: cp})
 	return nil
 }
 
@@ -199,6 +258,8 @@ func (fs *FS) Mkdir(p string) error {
 		return fmt.Errorf("%w: %q", ErrExist, p)
 	}
 	par.children[base] = &node{name: base, dir: true, children: map[string]*node{}, modTime: fs.clock.Now()}
+	cp, _ := clean(p)
+	fs.notifyLocked(Mutation{Op: OpMkdir, Path: cp})
 	return nil
 }
 
@@ -225,6 +286,8 @@ func (fs *FS) WriteFile(p string, data []byte) error {
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	par.children[base] = &node{name: base, data: buf, modTime: fs.clock.Now()}
+	cp, _ := clean(p)
+	fs.notifyWriteLocked(cp, data)
 	return nil
 }
 
@@ -250,6 +313,9 @@ func (fs *FS) AppendFile(p string, data []byte) error {
 	n.data = append(n.data, data...)
 	n.modTime = fs.clock.Now()
 	n.crcOK = false
+	// Appends are observed as full-content writes (see MutationOp).
+	cp, _ := clean(p)
+	fs.notifyWriteLocked(cp, n.data)
 	return nil
 }
 
@@ -448,6 +514,8 @@ func (fs *FS) Remove(p string) error {
 	}
 	fs.used -= subtreeSize(n)
 	delete(par.children, base)
+	cp, _ := clean(p)
+	fs.notifyLocked(Mutation{Op: OpRemove, Path: cp})
 	return nil
 }
 
@@ -469,6 +537,8 @@ func (fs *FS) RemoveAll(p string) error {
 	}
 	fs.used -= subtreeSize(n)
 	delete(par.children, base)
+	cp, _ := clean(p)
+	fs.notifyLocked(Mutation{Op: OpRemove, Path: cp})
 	return nil
 }
 
@@ -496,6 +566,9 @@ func (fs *FS) Rename(oldp, newp string) error {
 	n.name = nbase
 	n.modTime = fs.clock.Now()
 	npar.children[nbase] = n
+	ocp, _ := clean(oldp)
+	ncp, _ := clean(newp)
+	fs.notifyLocked(Mutation{Op: OpRename, Path: ocp, To: ncp})
 	return nil
 }
 

@@ -36,6 +36,7 @@ import (
 	"unicore/internal/broker"
 	"unicore/internal/client"
 	"unicore/internal/core"
+	"unicore/internal/journal"
 	"unicore/internal/pki"
 	"unicore/internal/protocol"
 	"unicore/internal/resources"
@@ -118,6 +119,9 @@ type (
 	SiteSpec = testbed.SiteSpec
 	// WorkloadConfig parameterises the synthetic job mix.
 	WorkloadConfig = testbed.WorkloadConfig
+	// JournalStore is the write-ahead journal + snapshot store behind a
+	// durable NJS (Deployment.EnableDurability / KillSite / RestartSite).
+	JournalStore = journal.Store
 )
 
 // NewDeployment deploys the given sites in-process under a virtual clock.
