@@ -100,9 +100,10 @@ func main() {
 
 	// Clean shutdown: stop taking requests first (close the listener), and
 	// only once Serve has unwound snapshot the store (so the next boot
-	// replays one compact snapshot instead of a long journal tail) and
-	// close it. The store must outlive the last served request — a consign
-	// acknowledged after the journal closed would be silently lost.
+	// replays one compact snapshot instead of a long journal tail), retire
+	// the NJS, and close the journal. A consign acknowledged after the
+	// journal closed would be silently lost, so the NJS must refuse new
+	// work before the store goes away.
 	var shuttingDown atomic.Bool
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -119,6 +120,13 @@ func main() {
 			if serr := n.Snapshot(); serr != nil {
 				log.Printf("unicore-njs: snapshot on shutdown: %v", serr)
 			}
+			// Connections accepted before the listener closed may still be
+			// served. Retire the NJS before closing the store: from here on
+			// consigns are refused with ErrDown instead of being acked
+			// against a journal that is about to close (which would silently
+			// lose them), and journaling stops so Close flushes a complete
+			// stream.
+			n.Kill()
 			if serr := store.Close(); serr != nil {
 				log.Printf("unicore-njs: closing journal: %v", serr)
 			}

@@ -302,6 +302,66 @@ func TestCompactRetiresOldGenerations(t *testing.T) {
 	}
 }
 
+// TestStaleSnapshotTempDoesNotBreakRecovery is the regression for a crash
+// mid-compaction: a leftover snapshot-NNNNNNNN.snap.tmp must neither be
+// mistaken for a real snapshot (the lax-Sscanf bug made Replay try to open
+// the nonexistent renamed name) nor survive the next Open.
+func TestStaleSnapshotTempDoesNotBreakRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Append(entryN(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate a compaction that died between writing the temp snapshot and
+	// renaming it into place.
+	stale := filepath.Join(dir, snapshotName(2)+".tmp")
+	if err := os.WriteFile(stale, []byte("half-written snapshot"), 0o600); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with stale temp: %v", err)
+	}
+	defer s2.Close()
+	if got := collect(t, s2); len(got) != 5 {
+		t.Fatalf("replayed %d entries, want 5", len(got))
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp snapshot still present after Open")
+	}
+}
+
+func TestScanRejectsNearMissNames(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{
+		journalName(1), snapshotName(1), // the only two that must match
+		snapshotName(2) + ".tmp", journalName(2) + ".bak",
+		"x" + journalName(3), "journal-1.wal", "snapshot-.snap",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o600); err != nil {
+			t.Fatalf("WriteFile %s: %v", name, err)
+		}
+	}
+	journals, snapshots, err := scan(dir)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(journals) != 1 || journals[0] != 1 {
+		t.Fatalf("journals = %v, want [1]", journals)
+	}
+	if len(snapshots) != 1 || snapshots[0] != 1 {
+		t.Fatalf("snapshots = %v, want [1]", snapshots)
+	}
+}
+
 func TestConcurrentAppendersLoseNothing(t *testing.T) {
 	s, err := Open(t.TempDir())
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -20,11 +21,19 @@ import (
 type Store struct {
 	dir string
 
-	// wmu guards only the live-writer pointer and generation number; it is
+	// wmu guards only the live-writer pointers and generation number; it is
 	// held for pointer swaps, never across I/O or state capture.
 	wmu sync.Mutex
 	w   *writer
-	gen uint64
+	// prev is the rotated-out writer while Compact is still draining it
+	// (nil otherwise). Sync must cover it: an entry appended just before
+	// the rotation lives there, and Sync's durability promise includes it.
+	prev *writer
+	// cerr is the first failure to drain/close a rotated-out generation.
+	// Entries acknowledged into that generation may not be on disk, so once
+	// set, Sync fails forever — the store can no longer promise durability.
+	cerr error
+	gen  uint64
 
 	// compactMu serializes compactions.
 	compactMu sync.Mutex
@@ -56,13 +65,21 @@ func scan(dir string) (journals, snapshots []uint64, err error) {
 	return journals, snapshots, nil
 }
 
+// matchGen reports whether name is exactly format rendered with some
+// generation number. Sscanf alone is too lax: it ignores trailing input, so
+// a leftover snapshot temp file ("snapshot-00000002.snap.tmp") would match
+// the snapshot format — the parsed generation is rendered back and compared
+// against the whole name to reject such near-misses.
 func matchGen(name, format string, gen *uint64) bool {
 	var g uint64
-	if n, err := fmt.Sscanf(name, format, &g); n == 1 && err == nil {
-		*gen = g
-		return true
+	if n, err := fmt.Sscanf(name, format, &g); n != 1 || err != nil {
+		return false
 	}
-	return false
+	if fmt.Sprintf(format, g) != name {
+		return false
+	}
+	*gen = g
+	return true
 }
 
 // Open creates (if needed) and opens a state directory. Appends continue in
@@ -70,6 +87,9 @@ func matchGen(name, format string, gen *uint64) bool {
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := removeStaleTemps(dir); err != nil {
+		return nil, err
 	}
 	journals, snapshots, err := scan(dir)
 	if err != nil {
@@ -95,6 +115,23 @@ func Open(dir string) (*Store, error) {
 		return nil, err
 	}
 	return &Store{dir: dir, w: w, gen: gen}, nil
+}
+
+// removeStaleTemps deletes *.tmp files left behind by a compaction that
+// crashed between creating the temp snapshot and renaming it into place.
+func removeStaleTemps(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".tmp") {
+			if err := os.Remove(filepath.Join(dir, ent.Name())); err != nil {
+				return fmt.Errorf("journal: removing stale %s: %w", ent.Name(), err)
+			}
+		}
+	}
+	return nil
 }
 
 // truncateTornTail cuts a journal file back to its longest prefix of valid
@@ -146,11 +183,23 @@ func (s *Store) Append(e Entry) {
 // the input to the snapshot cadence decision.
 func (s *Store) AppendsSinceCompact() int64 { return s.appends.Load() }
 
-// Sync flushes and fsyncs everything appended so far.
+// Sync flushes and fsyncs everything appended so far — including entries in
+// a journal generation that Compact has rotated out but not finished
+// draining.
 func (s *Store) Sync() error {
 	s.wmu.Lock()
+	cerr := s.cerr
+	prev := s.prev
 	w := s.w
 	s.wmu.Unlock()
+	if cerr != nil {
+		return cerr
+	}
+	if prev != nil {
+		if err := prev.Sync(); err != nil {
+			return err
+		}
+	}
 	return w.Sync()
 }
 
@@ -211,21 +260,31 @@ func (s *Store) Compact(emit func(append func(Entry) error) error) error {
 		return fmt.Errorf("journal: store closed")
 	}
 
-	// Rotate: new generation's journal takes appends from here on.
-	s.wmu.Lock()
+	// Rotate: new generation's journal takes appends from here on. The file
+	// open happens before taking wmu — producers calling Append (possibly
+	// under NJS job locks or the vfs lock) must never wait on a syscall.
+	// s.gen is stable here: only Compact mutates it, under compactMu.
 	oldGen := s.gen
-	newGen := s.gen + 1
+	newGen := oldGen + 1
 	neww, err := newWriter(filepath.Join(s.dir, journalName(newGen)))
 	if err != nil {
-		s.wmu.Unlock()
 		return err
 	}
+	s.wmu.Lock()
 	oldw := s.w
 	s.w = neww
+	s.prev = oldw
 	s.gen = newGen
 	s.appends.Store(0)
 	s.wmu.Unlock()
-	if err := oldw.Close(); err != nil {
+	err = oldw.Close()
+	s.wmu.Lock()
+	s.prev = nil
+	if err != nil && s.cerr == nil {
+		s.cerr = err // the retiring generation may be incomplete on disk
+	}
+	s.wmu.Unlock()
+	if err != nil {
 		return err
 	}
 
@@ -284,13 +343,23 @@ func (s *Store) Compact(emit func(append func(Entry) error) error) error {
 }
 
 // Close flushes, fsyncs, and closes the live journal. Further appends are
-// dropped.
+// dropped. It takes compactMu so it cannot interleave with Compact: without
+// it, Close could capture the pre-rotation writer while Compact swaps in a
+// fresh one that would then never be closed — leaking its flusher goroutine
+// and losing whatever was batched into it.
 func (s *Store) Close() error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
 	if s.closed.Swap(true) {
 		return nil
 	}
 	s.wmu.Lock()
 	w := s.w
+	cerr := s.cerr
 	s.wmu.Unlock()
-	return w.Close()
+	err := w.Close()
+	if err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -39,10 +39,11 @@ func newWriter(path string) (*writer, error) {
 }
 
 // Append enqueues one entry. It never blocks on I/O; a sticky write error
-// surfaces on the next Sync or Close.
+// surfaces on the next Sync or Close. After such an error the flusher is
+// gone, so entries are dropped rather than queued without bound.
 func (w *writer) Append(e Entry) {
 	w.mu.Lock()
-	if w.closed {
+	if w.closed || w.err != nil {
 		w.mu.Unlock()
 		return
 	}
@@ -91,8 +92,9 @@ func (w *writer) flushLoop() {
 }
 
 // Sync blocks until everything appended before the call is on disk. Syncing
-// a writer that Close has already retired is a no-op success: Close drains
-// and fsyncs before closing the file.
+// a writer that Close has already retired reports Close's outcome: Close
+// drains and fsyncs before closing the file, and records its fsync failure
+// in the sticky error.
 func (w *writer) Sync() error {
 	w.mu.Lock()
 	target := w.appended
@@ -106,19 +108,34 @@ func (w *writer) Sync() error {
 		return err
 	}
 	if closed {
-		// Close drains and fsyncs; wait for the drain, then fsync ourselves
-		// in case Close has not reached its own Sync yet. A file Close
-		// already closed was already synced.
+		// Close drains before fsyncing; wait for the drain so our target
+		// entries are on their way to the file before we fsync.
 		<-w.done
-		if serr := w.f.Sync(); serr != nil && !errors.Is(serr, os.ErrClosed) {
-			return serr
-		}
-		return nil
 	}
-	return w.f.Sync()
+	return w.syncFile()
 }
 
-// Close drains the queue, fsyncs, and closes the file.
+// syncFile fsyncs the journal file, tolerating a concurrent Close: the fd is
+// only closed after Close's own drain+fsync, so ErrClosed means Close got
+// there first — and its fsync outcome is in the sticky error, which was
+// recorded before the fd was closed.
+func (w *writer) syncFile() error {
+	serr := w.f.Sync()
+	if serr == nil {
+		return nil
+	}
+	if !errors.Is(serr, os.ErrClosed) {
+		return serr
+	}
+	w.mu.Lock()
+	err := w.err
+	w.mu.Unlock()
+	return err
+}
+
+// Close drains the queue, fsyncs, and closes the file. A failed fsync is
+// recorded in the sticky error before the fd is closed, so a racing Sync
+// never mistakes "file closed" for "data durable".
 func (w *writer) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -129,12 +146,13 @@ func (w *writer) Close() error {
 	w.mu.Unlock()
 	w.cond.Broadcast()
 	<-w.done
+	serr := w.f.Sync()
 	w.mu.Lock()
+	if serr != nil && w.err == nil {
+		w.err = serr
+	}
 	err := w.err
 	w.mu.Unlock()
-	if serr := w.f.Sync(); err == nil {
-		err = serr
-	}
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}

@@ -46,7 +46,12 @@ package njs
 //
 // Work that was buffered but not yet flushed when the process died is lost —
 // exactly the write-ahead contract: a job survives iff its admission reached
-// the journal.
+// the journal. Consign enforces that for acknowledged jobs: it group-commits
+// (SyncJournal) after admission and before replying, so a client that was
+// told "accepted" never loses the job — only transitions journaled after the
+// ack can be lost, and re-dispatch replays those. Sub-jobs expanded locally
+// by a dispatching parent are not individually synced; a re-dispatched
+// parent re-admits them deterministically.
 
 import (
 	"errors"
@@ -61,6 +66,7 @@ import (
 	"unicore/internal/codine"
 	"unicore/internal/core"
 	"unicore/internal/journal"
+	"unicore/internal/protocol"
 	"unicore/internal/uudb"
 	"unicore/internal/vfs"
 )
@@ -493,9 +499,19 @@ func (n *NJS) ResumeRecovered() {
 		}
 	}
 
+	var remotes []remoteRef
 	for _, uj := range jobs {
 		uj.mu.Lock()
 		if uj.root.Status.Terminal() {
+			uj.mu.Unlock()
+			continue
+		}
+		if uj.aborted {
+			// A crash can land between the journaled abort control and its
+			// per-action cancellations, recovering the job aborted but
+			// non-terminal. dispatchLocked refuses aborted jobs, so finish
+			// the abort here or the job stays non-terminal forever.
+			_ = n.abortLocked(uj, &remotes)
 			uj.mu.Unlock()
 			continue
 		}
@@ -530,6 +546,14 @@ func (n *NJS) ResumeRecovered() {
 		// journaled state.
 		n.dispatchLocked(uj)
 		uj.mu.Unlock()
+	}
+	// Best-effort peer aborts for remote sub-jobs of resumed aborts, issued
+	// outside all locks (mirrors abortJob).
+	if peers := n.peerClient(); peers != nil {
+		for _, ref := range remotes {
+			_ = peers.Call(ref.usite, protocol.MsgControl,
+				protocol.ControlRequest{Job: ref.job, Op: ajo.OpAbort}, nil)
+		}
 	}
 }
 

@@ -300,6 +300,55 @@ func TestRecoverAbortedJobStaysAborted(t *testing.T) {
 	}
 }
 
+// TestRecoverPartialAbortFinishes covers a crash whose durable journal
+// prefix ends right after an abort's KindControl entry but before the
+// per-action cancellations: the job recovers aborted but non-terminal, and
+// since dispatch refuses aborted jobs, ResumeRecovered must finish the abort
+// or the job would stay non-terminal forever.
+func TestRecoverPartialAbortFinishes(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	store, err := journal.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer store.Close()
+
+	// Hand-write the torn prefix: admission, then only the abort control.
+	raw, err := ajo.MarshalGob(durableStagedJob("torn-abort"))
+	if err != nil {
+		t.Fatalf("MarshalGob: %v", err)
+	}
+	store.Append(journal.Entry{Kind: journal.KindAdmit, Admit: &journal.Admission{
+		Job: "FZJ-000001", Owner: string(alice), UID: "u_alice", Vsite: "CLUSTER", AJO: raw,
+	}})
+	store.Append(journal.Entry{Kind: journal.KindControl,
+		Control: &journal.ControlEvent{Job: "FZJ-000001", Op: string(ajo.OpAbort)}})
+	if err := store.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+
+	n, err := Recover(store, durableCfg(clock), 0)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	n.SetLoginMapper(testMapper)
+	n.ResumeRecovered()
+	clock.RunUntilIdle(0)
+
+	o, found, err := n.Outcome(alice, false, "FZJ-000001")
+	if err != nil || !found {
+		t.Fatalf("Outcome: %v found=%v", err, found)
+	}
+	if o.Status != ajo.StatusAborted {
+		t.Fatalf("partially aborted job recovered as %s, want ABORTED", o.Status)
+	}
+	for _, c := range o.Children {
+		if !c.Status.Terminal() {
+			t.Fatalf("action %s left non-terminal (%s) after resumed abort", c.Action, c.Status)
+		}
+	}
+}
+
 func TestRecoverLocalSubJobTree(t *testing.T) {
 	runOnce := func(crash bool) string {
 		clock := sim.NewVirtualClock()
@@ -354,6 +403,52 @@ func TestRecoverLocalSubJobTree(t *testing.T) {
 	}
 	if !strings.Contains(base, "SUCCESSFUL") {
 		t.Fatalf("sub-job workload failed:\n%s", base)
+	}
+}
+
+// TestConsignAckIsDurable is the regression for acknowledging a consignment
+// before its admission record is durable: the site dies immediately after the
+// Consign call returns — no explicit SyncJournal, no store.Close flushing on
+// its behalf — and the acknowledged job must still be recoverable and run to
+// completion.
+func TestConsignAckIsDurable(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	dir := t.TempDir()
+	n, store := newDurableNJS(t, clock, dir, 0)
+
+	id, err := n.Consign(alice, "ack-1", durableStagedJob("acked"))
+	if err != nil {
+		t.Fatalf("Consign: %v", err)
+	}
+	// Crash right after the ack: the dead store is abandoned (never synced or
+	// closed), so only what Consign itself made durable is on disk.
+	n.Kill()
+	defer store.Close()
+
+	store2, err := journal.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer store2.Close()
+	n2, err := Recover(store2, durableCfg(clock), 0)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	n2.SetLoginMapper(testMapper)
+	n2.ResumeRecovered()
+	clock.RunUntilIdle(0)
+
+	o, found, err := n2.Outcome(alice, false, id)
+	if err != nil || !found {
+		t.Fatalf("acknowledged job lost across crash: %v found=%v", err, found)
+	}
+	if o.Status != ajo.StatusSuccessful {
+		t.Fatalf("recovered job = %s", o.Status)
+	}
+	// The idempotent consign index recovered with it.
+	again, err := n2.Consign(alice, "ack-1", durableStagedJob("acked"))
+	if err != nil || again != id {
+		t.Fatalf("consign retry: id=%s err=%v, want %s", again, err, id)
 	}
 }
 

@@ -34,8 +34,10 @@
 // With a journal attached (AttachJournal / Recover), every admission and
 // state transition is appended to a write-ahead journal: the append is an
 // O(1) enqueue on a batched background flusher, so journaling never puts
-// file I/O inside a job lock or on the Consign/Poll hot path. See durable.go
-// for the recovery model.
+// file I/O inside a job lock and Poll appends nothing. Consign additionally
+// group-commits (fsync, batched across concurrent consigns, outside all
+// locks) before acknowledging, so an accepted job is always durable. See
+// durable.go for the recovery model.
 package njs
 
 import (
@@ -412,7 +414,24 @@ func (n *NJS) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (cor
 	}
 
 	if consignID == "" {
-		return n.admit(user, login, job, vs, nil, "")
+		id, err := n.admit(user, login, job, vs, nil, "")
+		if err == nil {
+			// Write-ahead contract: the admission record must be durable
+			// before the client is told the job was accepted — a crash after
+			// the ack may lose later transitions, never the job itself. The
+			// store's batched flusher group-commits concurrent consigns.
+			// On sync failure the id is returned with the error: the job is
+			// admitted and running, only its durability is unconfirmed.
+			err = n.SyncJournal()
+		}
+		if err == nil && n.dead.Load() {
+			// Killed between admit and ack: the recorder may already have
+			// been detached, so this admission's durability is unknowable.
+			// Refuse the ack — either the record reached the journal (the
+			// job recovers) or the client's retry re-consigns it.
+			err = ErrDown
+		}
+		return id, err
 	}
 	for {
 		n.consignMu.Lock()
@@ -421,11 +440,21 @@ func (n *NJS) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (cor
 			e = &consignEntry{done: make(chan struct{})}
 			n.consignIndex[consignID] = e
 			n.consignMu.Unlock()
-			id, err := n.admit(user, login, job, vs, nil, consignID)
+			id, admitErr := n.admit(user, login, job, vs, nil, consignID)
+			err := admitErr
+			if err == nil {
+				err = n.SyncJournal() // durable before the ack (see above)
+			}
+			if err == nil && n.dead.Load() {
+				err = ErrDown // killed between admit and ack (see above)
+			}
 			n.consignMu.Lock()
-			if err != nil {
+			if admitErr != nil {
 				delete(n.consignIndex, consignID) // let a retry re-attempt
 			} else {
+				// Keep the reservation even when the durability sync failed:
+				// the job is admitted and running, so retries must converge
+				// on it (and surface the same error), never duplicate it.
 				e.id = id
 			}
 			e.err = err
@@ -435,10 +464,11 @@ func (n *NJS) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (cor
 		}
 		n.consignMu.Unlock()
 		<-e.done // idempotent retry: wait for the admitting caller
-		if e.err == nil {
-			return e.id, nil
+		if e.err == nil || e.id != "" {
+			return e.id, e.err
 		}
-		// The attempt we waited on failed and was cleared; try again.
+		// The attempt we waited on failed before admission and was cleared;
+		// try again.
 	}
 }
 

@@ -145,7 +145,12 @@ type ConsignRequest struct {
 }
 
 // ConsignReply acknowledges (or refuses) a consignment. The protocol is
-// asynchronous: acceptance only means the NJS took responsibility.
+// asynchronous: acceptance only means the NJS took responsibility — on a
+// durable NJS, that the admission record reached the journal. A refused
+// reply that still carries a Job means the job was admitted but its
+// durability could not be confirmed (journal failure or site shutdown
+// mid-consign): clients should reconcile by that ID or retry with the same
+// consign ID rather than resubmitting as new work.
 type ConsignReply struct {
 	Job      core.JobID `json:"job,omitempty"`
 	Accepted bool       `json:"accepted"`
