@@ -4,9 +4,15 @@
 // Web-server half of the §5.2 firewall split and relays to an inner
 // unicore-njs over an IP socket.
 //
+// With -replicas N (or per-Vsite "replicas" counts in the site config) the
+// combined mode runs every Vsite as a pool of N NJS replicas behind
+// health-checked failover routing (-pool-policy selects round-robin,
+// least-loaded, or consistent-hash).
+//
 // Usage:
 //
 //	unicore-gateway -config site.json -ca ca.pem -cred gateway.pem -listen :8443
+//	unicore-gateway -config site.json -replicas 3 -pool-policy least-loaded -listen :8443
 //	unicore-gateway -front -inner 127.0.0.1:7000 -ca ca.pem -cred front.pem -listen :8443
 package main
 
@@ -21,6 +27,7 @@ import (
 
 	"unicore/internal/deploy"
 	"unicore/internal/gateway"
+	"unicore/internal/pool"
 	"unicore/internal/protocol"
 	"unicore/internal/sim"
 )
@@ -36,6 +43,8 @@ func main() {
 		peers      = flag.String("peers", "", "comma-separated USITE=https://host:port peer registry")
 		appletsDir = flag.String("applets", "", "directory of applet payload files to sign and serve")
 		softPath   = flag.String("software", "", "software credential used to sign applets")
+		replicas   = flag.Int("replicas", 1, "NJS replicas per Vsite (replica-pool mode when > 1)")
+		poolPolicy = flag.String("pool-policy", "round-robin", "replica routing: round-robin, least-loaded, or consistent-hash")
 	)
 	flag.Parse()
 
@@ -65,16 +74,49 @@ func main() {
 		if err != nil {
 			log.Fatalf("unicore-gateway: %v", err)
 		}
-		gw, n, _, err := deploy.BuildSite(cfg, cred, ca, sim.RealClock{})
-		if err != nil {
-			log.Fatalf("unicore-gateway: %v", err)
+		replicated := *replicas > 1
+		for _, v := range cfg.Vsites {
+			if v.Replicas > 1 {
+				replicated = true
+			}
 		}
+		var reg *protocol.Registry
 		if *peers != "" {
-			reg, err := deploy.ParsePeers(*peers)
+			if reg, err = deploy.ParsePeers(*peers); err != nil {
+				log.Fatalf("unicore-gateway: %v", err)
+			}
+		}
+		var gw *gateway.Gateway
+		if replicated {
+			policy, err := pool.ParsePolicy(*poolPolicy)
 			if err != nil {
 				log.Fatalf("unicore-gateway: %v", err)
 			}
-			n.SetPeers(protocol.NewClient(gateway.ClientTransport(cred, ca), cred, ca, reg))
+			g, router, reps, _, err := deploy.BuildReplicatedSite(cfg, cred, ca, sim.RealClock{}, *replicas, policy)
+			if err != nil {
+				log.Fatalf("unicore-gateway: %v", err)
+			}
+			gw = g
+			if reg != nil {
+				for _, ns := range reps {
+					for _, n := range ns {
+						n.SetPeers(protocol.NewClient(gateway.ClientTransport(cred, ca), cred, ca, reg))
+					}
+				}
+			}
+			router.StartHealthChecks()
+			for _, set := range router.Sets() {
+				log.Printf("vsite %s: %d NJS replicas, %s routing", set.Vsite(), len(set.Names()), policy)
+			}
+		} else {
+			g, n, _, err := deploy.BuildSite(cfg, cred, ca, sim.RealClock{})
+			if err != nil {
+				log.Fatalf("unicore-gateway: %v", err)
+			}
+			gw = g
+			if reg != nil {
+				n.SetPeers(protocol.NewClient(gateway.ClientTransport(cred, ca), cred, ca, reg))
+			}
 		}
 		if *appletsDir != "" {
 			if err := installApplets(gw, *appletsDir, *softPath); err != nil {
@@ -82,7 +124,11 @@ func main() {
 			}
 		}
 		handler = gw
-		log.Printf("combined mode: serving Usite %s with Vsites %v", gw.Usite(), n.VsiteNames())
+		var vsites []string
+		for _, v := range cfg.Vsites {
+			vsites = append(vsites, string(v.Name))
+		}
+		log.Printf("combined mode: serving Usite %s with Vsites %v", gw.Usite(), vsites)
 	}
 
 	l, err := net.Listen("tcp", *listen)

@@ -54,10 +54,28 @@ func (p Policy) String() string {
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
-// Load is one Vsite's live occupancy as reported by its gateway.
+// Load is one Vsite's live occupancy as reported by its gateway, including
+// the replica-pool health behind it (package pool): Replicas/Healthy let the
+// ranking skip a drained Vsite — one whose pool has no healthy NJS replica
+// left — and weight backlog by the capacity that actually survives. A report
+// with Replicas == 0 predates pooling and is read as a single healthy NJS.
 type Load struct {
-	Load    float64 // fraction of batch slots in use, [0,1]
-	Pending int     // jobs waiting in the queues
+	Load     float64 // fraction of batch slots in use, [0,1]
+	Pending  int     // jobs waiting in the queues
+	Replicas int     // NJS replicas serving this Vsite (0 = unknown, assume 1)
+	Healthy  int     // replicas currently healthy
+}
+
+// Drained reports whether the Vsite's replica pool has no healthy replica
+// left. Legacy reports (Replicas == 0) are never considered drained.
+func (l Load) Drained() bool { return l.Replicas > 0 && l.Healthy == 0 }
+
+// healthyFraction is the surviving share of the Vsite's capacity.
+func (l Load) healthyFraction() float64 {
+	if l.Replicas <= 0 {
+		return 1
+	}
+	return float64(l.Healthy) / float64(l.Replicas)
 }
 
 // Candidate is one ranked placement option.
@@ -123,7 +141,10 @@ func (b *Broker) Refresh(c *protocol.Client, usites ...core.Usite) error {
 			return fmt.Errorf("broker: load from %s: %w", u, err)
 		}
 		for vs, vl := range load.Vsites {
-			b.SetLoad(core.Target{Usite: u, Vsite: core.Vsite(vs)}, Load{Load: vl.Load, Pending: vl.Pending})
+			b.SetLoad(core.Target{Usite: u, Vsite: core.Vsite(vs)}, Load{
+				Load: vl.Load, Pending: vl.Pending,
+				Replicas: vl.Replicas, Healthy: vl.Healthy,
+			})
 		}
 	}
 	return nil
@@ -148,6 +169,13 @@ func (b *Broker) Candidates(req resources.Request, software ...resources.Softwar
 			}
 		}
 		if !ok {
+			continue
+		}
+		if b.loads[t].Drained() {
+			// Every NJS replica behind the Vsite is failing its health
+			// check: the capability is nominally there, but nothing can take
+			// responsibility for a job right now. Selecting it would trade
+			// the §6 "best system" promise for a consign error.
 			continue
 		}
 		c := Candidate{Target: t, Load: b.loads[t]}
@@ -180,15 +208,21 @@ func (b *Broker) Choose(req resources.Request, software ...resources.Software) (
 const referenceMFlops = 600.0
 
 // score fills Candidate.Score under the broker's policy. Lower is better.
+// Backlog pressure is normalised by the capacity that is actually healthy:
+// a half-drained replica pool queues twice as deep per surviving slot.
 func (b *Broker) score(c *Candidate, page *resources.Page, req resources.Request) {
 	slots := page.Processors.Max
 	if slots < 1 {
 		slots = 1
 	}
+	effSlots := float64(slots) * c.Load.healthyFraction()
+	if effSlots < 1 {
+		effSlots = 1
+	}
 	switch b.policy {
 	case LeastLoaded:
 		// Occupancy plus backlog pressure, normalised by machine size.
-		c.Score = c.Load.Load + float64(c.Load.Pending)/float64(slots)
+		c.Score = c.Load.Load + float64(c.Load.Pending)/effSlots
 	case FastestMachine:
 		// Negative aggregate peak: the biggest machine wins regardless of
 		// load (the user-visible behaviour of "give me the fast one").
@@ -205,7 +239,7 @@ func (b *Broker) score(c *Candidate, page *resources.Page, req resources.Request
 		if procs == 0 {
 			procs = page.Processors.Default
 		}
-		occupancy := c.Load.Load + float64(c.Load.Pending*procs)/float64(slots)
+		occupancy := c.Load.Load + float64(c.Load.Pending*procs)/effSlots
 		wait := time.Duration(occupancy * float64(run))
 		perf := float64(page.PerfMFlops)
 		if perf <= 0 {

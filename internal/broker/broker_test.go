@@ -188,3 +188,54 @@ func TestZeroRequestUsesPageDefaults(t *testing.T) {
 		}
 	}
 }
+
+func TestDrainedSiteIsNeverSelected(t *testing.T) {
+	b := inventory(LeastLoaded)
+	// The idle VPP would win on load alone, but its replica pool is fully
+	// drained — every NJS replica is failing health checks — so the broker
+	// must not select it.
+	b.SetLoad(lrzVPP, Load{Load: 0.1, Replicas: 3, Healthy: 0})
+	b.SetLoad(dwdSX4, Load{Load: 0.5, Replicas: 3, Healthy: 3})
+	b.SetLoad(fzjT3E, Load{Load: 0.9, Pending: 40, Replicas: 1, Healthy: 1})
+	got, err := b.Choose(resources.Request{Processors: 8, RunTime: time.Hour})
+	if err != nil {
+		t.Fatalf("Choose: %v", err)
+	}
+	if got == lrzVPP {
+		t.Fatalf("broker selected the drained site %s", got)
+	}
+	if got != dwdSX4 {
+		t.Fatalf("choice = %s, want the healthy SX4", got)
+	}
+	// A drained-only inventory yields a clean no-candidate error.
+	b.SetLoad(dwdSX4, Load{Replicas: 2, Healthy: 0})
+	b.SetLoad(fzjT3E, Load{Replicas: 2, Healthy: 0})
+	if _, err := b.Choose(resources.Request{Processors: 8, RunTime: time.Hour}); !errors.Is(err, ErrNoCandidate) {
+		t.Fatalf("err = %v, want ErrNoCandidate when every pool is drained", err)
+	}
+}
+
+func TestPartiallyDrainedPoolWeighsBacklogHarder(t *testing.T) {
+	score := func(healthy int) float64 {
+		b := inventory(LeastLoaded)
+		b.SetLoad(fzjT3E, Load{Load: 0.4, Pending: 64, Replicas: 4, Healthy: healthy})
+		cands, err := b.Candidates(resources.Request{Processors: 8, RunTime: time.Hour})
+		if err != nil {
+			t.Fatalf("Candidates: %v", err)
+		}
+		for _, c := range cands {
+			if c.Target == fzjT3E {
+				return c.Score
+			}
+		}
+		t.Fatalf("FZJ missing from candidates")
+		return 0
+	}
+	// The same queue depth presses four times as hard on a pool that has
+	// lost 3 of its 4 replicas: the backlog is carried by a quarter of the
+	// capacity, so the degraded pool must score strictly worse.
+	intact, degraded := score(4), score(1)
+	if degraded <= intact {
+		t.Fatalf("degraded pool scored %.3f, intact %.3f; want degraded > intact", degraded, intact)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"unicore/internal/machine"
 	"unicore/internal/njs"
 	"unicore/internal/pki"
+	"unicore/internal/pool"
 	"unicore/internal/protocol"
 	"unicore/internal/sim"
 	"unicore/internal/uudb"
@@ -43,6 +44,10 @@ type VsiteConfig struct {
 	Backfill bool `json:"backfill,omitempty"`
 	// Queues optionally declares batch queues (default: one "batch" queue).
 	Queues []QueueConfig `json:"queues,omitempty"`
+	// Replicas is how many NJS replicas serve this Vsite in a replicated
+	// deployment (BuildReplicatedSite); 0 falls back to the deployment-wide
+	// default, and plain BuildSite ignores it.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // QueueConfig is the JSON description of one batch queue.
@@ -95,6 +100,9 @@ func (c *SiteConfig) Validate() error {
 		seen[v.Name] = true
 		if _, err := Machine(v.Machine, v.Processors); err != nil {
 			return fmt.Errorf("vsite %s: %w", v.Name, err)
+		}
+		if v.Replicas < 0 {
+			return fmt.Errorf("vsite %s: negative replica count %d", v.Name, v.Replicas)
 		}
 	}
 	for _, u := range c.Users {
@@ -225,6 +233,69 @@ func BuildDurableSite(cfg *SiteConfig, cred *pki.Credential, ca *pki.Authority, 
 		return nil, nil, nil, nil, err
 	}
 	return gw, n, users, store, nil
+}
+
+// BuildReplicatedSite assembles a scaled-out site: every Vsite is served by
+// a pool of NJS replicas (the per-Vsite count from the JSON config, falling
+// back to defaultReplicas, minimum 1) behind a pool.Router that the gateway
+// fronts through the njs.Service interface. Each replica carries a distinct
+// instance tag so minted job IDs never collide across the pool. The caller
+// owns peer wiring: install a protocol client on every returned replica NJS
+// (SetPeers) when the site talks to other Usites, and start the router's
+// health checks once serving begins.
+func BuildReplicatedSite(cfg *SiteConfig, cred *pki.Credential, ca *pki.Authority, clock sim.Scheduler, defaultReplicas int, policy pool.Policy) (*gateway.Gateway, *pool.Router, map[core.Vsite][]*njs.NJS, *uudb.DB, error) {
+	users, njsCfg, err := buildParts(cfg, clock)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if defaultReplicas < 1 {
+		defaultReplicas = 1
+	}
+	router, err := pool.NewRouter(cfg.Usite)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	replicas := make(map[core.Vsite][]*njs.NJS, len(njsCfg.Vsites))
+	for i, vc := range njsCfg.Vsites {
+		count := cfg.Vsites[i].Replicas
+		if count < 1 {
+			count = defaultReplicas
+		}
+		set, err := pool.New(pool.Config{Vsite: vc.Name, Policy: policy, Clock: clock})
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		for r := 0; r < count; r++ {
+			tag := pool.ReplicaTag(r)
+			n, err := njs.New(njs.Config{
+				Usite:    cfg.Usite,
+				Clock:    clock,
+				Vsites:   []njs.VsiteConfig{vc},
+				Instance: tag,
+			})
+			if err != nil {
+				return nil, nil, nil, nil, fmt.Errorf("deploy: vsite %s replica %s: %w", vc.Name, tag, err)
+			}
+			if err := set.Add(tag, n); err != nil {
+				return nil, nil, nil, nil, err
+			}
+			replicas[vc.Name] = append(replicas[vc.Name], n)
+		}
+		if err := router.AddSet(set); err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	gw, err := gateway.New(gateway.Config{
+		Usite:   cfg.Usite,
+		Cred:    cred,
+		CA:      ca,
+		Users:   users,
+		Backend: router,
+	})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return gw, router, replicas, users, nil
 }
 
 // LoadAuthority reads a CA PEM file.

@@ -7,8 +7,12 @@ import (
 	"time"
 
 	"unicore/internal/ajo"
+	"unicore/internal/client"
 	"unicore/internal/core"
+	"unicore/internal/njs"
 	"unicore/internal/pki"
+	"unicore/internal/pool"
+	"unicore/internal/resources"
 	"unicore/internal/sim"
 	"unicore/internal/uudb"
 )
@@ -354,3 +358,74 @@ func TestJobSpecErrors(t *testing.T) {
 }
 
 var _ = uudb.Login{} // keep the import for the site JSON round trip above
+
+func TestBuildReplicatedSite(t *testing.T) {
+	// T3E pins its own replica count; CLUSTER falls back to the default.
+	doc := `{
+  "usite": "FZJ",
+  "vsites": [
+    {"name": "T3E", "machine": "t3e", "processors": 128, "replicas": 2},
+    {"name": "CLUSTER", "machine": "cluster"}
+  ],
+  "users": [
+    {"dn": "CN=Alice,O=FZJ,C=DE",
+     "logins": {"T3E": {"uid": "alice"}, "CLUSTER": {"uid": "ali"}}}
+  ]
+}`
+	path := writeTemp(t, "site.json", doc)
+	cfg, err := LoadSiteConfig(path)
+	if err != nil {
+		t.Fatalf("LoadSiteConfig: %v", err)
+	}
+	ca, err := pki.NewAuthority("Deploy-CA")
+	if err != nil {
+		t.Fatalf("NewAuthority: %v", err)
+	}
+	cred, err := ca.IssueServer("gateway.fzj")
+	if err != nil {
+		t.Fatalf("IssueServer: %v", err)
+	}
+	clock := sim.NewVirtualClock()
+	gw, router, replicas, _, err := BuildReplicatedSite(cfg, cred, ca, clock, 3, pool.LeastLoaded)
+	if err != nil {
+		t.Fatalf("BuildReplicatedSite: %v", err)
+	}
+	if got := len(replicas["T3E"]); got != 2 {
+		t.Fatalf("T3E replicas = %d, want the per-vsite override 2", got)
+	}
+	if got := len(replicas["CLUSTER"]); got != 3 {
+		t.Fatalf("CLUSTER replicas = %d, want the default 3", got)
+	}
+	// Replica instance tags keep job IDs disjoint across the pool.
+	tags := map[string]bool{}
+	for _, n := range replicas["CLUSTER"] {
+		if tags[n.Instance()] {
+			t.Fatalf("duplicate replica instance tag %q", n.Instance())
+		}
+		tags[n.Instance()] = true
+	}
+	// The gateway fronts the router, and a consigned job lands on exactly
+	// one replica with the DN→login mapping applied.
+	if gw.Backend() != njs.Service(router) {
+		t.Fatal("gateway backend is not the router")
+	}
+	b := client.NewJob("hello", core.Target{Usite: "FZJ", Vsite: "CLUSTER"})
+	b.Script("noop", "echo hello\n", resources.Request{Processors: 1, RunTime: time.Hour})
+	job, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	id, err := router.Consign("CN=Alice,O=FZJ,C=DE", "c1", job)
+	if err != nil {
+		t.Fatalf("Consign through router: %v", err)
+	}
+	owners := 0
+	for _, n := range replicas["CLUSTER"] {
+		if jobs, _ := n.List("CN=Alice,O=FZJ,C=DE"); len(jobs) == 1 && jobs[0].Job == id {
+			owners++
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("job %s owned by %d replicas, want exactly 1", id, owners)
+	}
+}

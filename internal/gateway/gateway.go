@@ -103,8 +103,12 @@ type Config struct {
 	// Users is the site's UNICORE user database for DN→login mapping.
 	Users *uudb.DB
 	// NJS is the site's network job supervisor. The gateway installs itself
-	// as the NJS's login mapper.
+	// as the NJS's login mapper. Exactly one of NJS and Backend must be set.
 	NJS *njs.NJS
+	// Backend is the generalised server tier behind the gateway: any
+	// njs.Service — in particular a pool.Router fronting health-checked NJS
+	// replica pools per Vsite. Exactly one of NJS and Backend must be set.
+	Backend njs.Service
 	// SiteAuth, when set, is consulted for every user-role request.
 	SiteAuth SiteAuth
 }
@@ -117,10 +121,11 @@ type Gateway struct {
 	users    *uudb.DB
 	siteAuth SiteAuth
 
-	// njsPtr holds the site's NJS behind an atomic pointer so a recovered
-	// NJS can be swapped in while requests are in flight (the gateway and
-	// the NJS restart independently in the §5.2 split deployment).
-	njsPtr atomic.Pointer[njs.NJS]
+	// backend holds the server tier behind an atomic pointer so a recovered
+	// NJS (or a rebuilt replica router) can be swapped in while requests are
+	// in flight (the gateway and the NJS restart independently in the §5.2
+	// split deployment). The box keeps the stored concrete type uniform.
+	backend atomic.Pointer[backendBox]
 
 	// appletMu guards only the applet store; serving an applet never
 	// contends with traffic accounting or other requests.
@@ -153,8 +158,15 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.Users == nil {
 		return nil, errors.New("gateway: nil user database")
 	}
-	if cfg.NJS == nil {
-		return nil, errors.New("gateway: nil NJS")
+	backend := cfg.Backend
+	if cfg.NJS != nil {
+		if backend != nil {
+			return nil, errors.New("gateway: set either NJS or Backend, not both")
+		}
+		backend = cfg.NJS
+	}
+	if backend == nil {
+		return nil, errors.New("gateway: nil NJS/Backend")
 	}
 	g := &Gateway{
 		usite:      cfg.Usite,
@@ -170,21 +182,43 @@ func New(cfg Config) (*Gateway, error) {
 	for _, t := range protocol.MsgTypes() {
 		g.byType[t] = new(atomic.Int64)
 	}
-	g.SetNJS(cfg.NJS)
+	g.SetBackend(backend)
 	return g, nil
 }
 
-// NJS returns the network job supervisor currently behind this gateway.
-func (g *Gateway) NJS() *njs.NJS { return g.njsPtr.Load() }
+// backendBox wraps the service interface for atomic storage regardless of
+// the concrete backend type.
+type backendBox struct{ svc njs.Service }
 
-// SetNJS swaps the NJS behind the gateway — the restart path: a recovered
-// NJS (njs.Recover) takes over from the dead one without the gateway or its
-// clients noticing anything beyond the recovery gap. The gateway re-installs
-// itself as the new NJS's login mapper.
-func (g *Gateway) SetNJS(n *njs.NJS) {
-	n.SetLoginMapper(g.MapLogin)
-	g.njsPtr.Store(n)
+// svc returns the server tier currently behind this gateway.
+func (g *Gateway) svc() njs.Service { return g.backend.Load().svc }
+
+// Backend returns the server tier currently behind this gateway: a single
+// *njs.NJS or a pool.Router over replica sets.
+func (g *Gateway) Backend() njs.Service { return g.svc() }
+
+// NJS returns the network job supervisor currently behind this gateway, or
+// nil when the backend is a replica pool rather than a single NJS (use
+// Backend for the general form).
+func (g *Gateway) NJS() *njs.NJS {
+	n, _ := g.svc().(*njs.NJS)
+	return n
 }
+
+// SetBackend swaps the server tier behind the gateway — the restart path: a
+// recovered NJS (njs.Recover) or a rebuilt router takes over from the dead
+// one without the gateway or its clients noticing anything beyond the
+// recovery gap. The gateway re-installs itself as the new backend's login
+// mapper.
+func (g *Gateway) SetBackend(s njs.Service) {
+	s.SetLoginMapper(g.MapLogin)
+	g.backend.Store(&backendBox{svc: s})
+}
+
+// SetNJS swaps a single NJS in as the gateway's backend (SetBackend's
+// original, NJS-typed form — kept for the combined deployment and the
+// restart path of the crash testbed).
+func (g *Gateway) SetNJS(n *njs.NJS) { g.SetBackend(n) }
 
 // Usite returns the site this gateway fronts.
 func (g *Gateway) Usite() core.Usite { return g.usite }
@@ -300,7 +334,7 @@ func (g *Gateway) serveIndex(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprintf(w, "<html><head><title>UNICORE site %s</title></head><body>\n", g.usite)
 	fmt.Fprintf(w, "<h1>UNICORE site %s</h1>\n<h2>Vsites</h2>\n<ul>\n", g.usite)
-	for _, p := range g.NJS().Pages() {
+	for _, p := range g.svc().Pages() {
 		fmt.Fprintf(w, "<li>%s &mdash; %s, %d PEs</li>\n", p.Target, p.Architecture, p.Processors.Max)
 	}
 	fmt.Fprintf(w, "</ul>\n<h2>Signed applets</h2>\n<ul>\n")
@@ -357,14 +391,14 @@ func (g *Gateway) dispatch(t protocol.MsgType, raw json.RawMessage, dn core.DN, 
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad poll request: %w", err)
 		}
-		reply, err := g.NJS().Poll(dn, asServer, req.Job)
+		reply, err := g.svc().Poll(dn, asServer, req.Job)
 		return reply, protocol.MsgPollReply, err
 	case protocol.MsgOutcome:
 		var req protocol.OutcomeRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad outcome request: %w", err)
 		}
-		o, found, err := g.NJS().Outcome(dn, asServer, req.Job)
+		o, found, err := g.svc().Outcome(dn, asServer, req.Job)
 		if err != nil {
 			return nil, "", err
 		}
@@ -378,14 +412,14 @@ func (g *Gateway) dispatch(t protocol.MsgType, raw json.RawMessage, dn core.DN, 
 		}
 		return reply, protocol.MsgOutcomeReply, nil
 	case protocol.MsgList:
-		jobs, err := g.NJS().List(dn)
+		jobs, err := g.svc().List(dn)
 		return protocol.ListReply{Jobs: jobs}, protocol.MsgListReply, err
 	case protocol.MsgControl:
 		var req protocol.ControlRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad control request: %w", err)
 		}
-		err := g.NJS().Control(dn, asServer, req.Job, req.Op)
+		err := g.svc().Control(dn, asServer, req.Job, req.Op)
 		reply := protocol.ControlReply{OK: err == nil}
 		if err != nil {
 			reply.Reason = err.Error()
@@ -405,7 +439,7 @@ func (g *Gateway) dispatch(t protocol.MsgType, raw json.RawMessage, dn core.DN, 
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad transfer request: %w", err)
 		}
-		reply, err := g.NJS().FetchFile(req.Job, req.File, req.Offset, req.Limit)
+		reply, err := g.svc().FetchFile(req.Job, req.File, req.Offset, req.Limit)
 		return reply, protocol.MsgTransferReply, err
 	case protocol.MsgApplet:
 		var req protocol.AppletRequest
@@ -426,13 +460,19 @@ func (g *Gateway) dispatch(t protocol.MsgType, raw json.RawMessage, dn core.DN, 
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad fetch request: %w", err)
 		}
-		reply, err := g.NJS().FetchFileOwned(dn, asServer, req.Job, req.File, req.Offset, req.Limit)
+		reply, err := g.svc().FetchFileOwned(dn, asServer, req.Job, req.File, req.Offset, req.Limit)
 		return reply, protocol.MsgFetchReply, err
 	case protocol.MsgLoad:
-		loads := g.NJS().VsiteLoads()
-		reply := protocol.LoadReply{Overall: g.NJS().Load(), Vsites: make(map[string]protocol.VsiteLoad, len(loads))}
+		// One backend load for the whole reply: a concurrent SetBackend swap
+		// must not yield a report mixing two backends' figures.
+		svc := g.svc()
+		loads := svc.VsiteLoads()
+		reply := protocol.LoadReply{Overall: svc.Load(), Vsites: make(map[string]protocol.VsiteLoad, len(loads))}
 		for v, l := range loads {
-			reply.Vsites[string(v)] = protocol.VsiteLoad{Load: l.Load, Pending: l.Pending}
+			reply.Vsites[string(v)] = protocol.VsiteLoad{
+				Load: l.Load, Pending: l.Pending,
+				Replicas: l.Replicas, Healthy: l.Healthy,
+			}
 		}
 		return reply, protocol.MsgLoadReply, nil
 	default:
@@ -465,7 +505,7 @@ func (g *Gateway) handleConsign(raw json.RawMessage, dn core.DN, asServer bool) 
 	} else if job.UserDN != "" && job.UserDN != dn {
 		return nil, "", fmt.Errorf("gateway: AJO user %s does not match signer %s", job.UserDN, dn)
 	}
-	id, err := g.NJS().Consign(owner, req.ConsignID, job)
+	id, err := g.svc().Consign(owner, req.ConsignID, job)
 	reply := protocol.ConsignReply{Accepted: err == nil, Job: id}
 	if err != nil {
 		reply.Reason = err.Error()
@@ -478,7 +518,7 @@ func (g *Gateway) handleConsign(raw json.RawMessage, dn core.DN, asServer bool) 
 // handleResources serves the ASN.1 resource pages of §5.4.
 func (g *Gateway) handleResources(req protocol.ResourcesRequest) (any, protocol.MsgType, error) {
 	var pages [][]byte
-	for _, p := range g.NJS().Pages() {
+	for _, p := range g.svc().Pages() {
 		if req.Vsite != "" && p.Target.Vsite != req.Vsite {
 			continue
 		}

@@ -125,13 +125,22 @@ type Config struct {
 	Usite  core.Usite
 	Clock  sim.Scheduler
 	Vsites []VsiteConfig
+	// Instance tags this NJS within a replica pool (package pool). When set,
+	// minted job IDs carry the tag ("FZJ-r1-000042" instead of "FZJ-000042")
+	// so that the replicas of one Usite never collide on job IDs — and, since
+	// sub-job consign IDs derive from job IDs, never collide on the
+	// deterministic consign IDs they present to peer sites either. Leave
+	// empty for a single-NJS site; a recovered replica must reuse the tag it
+	// was journaled under.
+	Instance string
 }
 
 // NJS is one site's network job supervisor.
 type NJS struct {
-	usite  core.Usite
-	clock  sim.Scheduler
-	vsites map[core.Vsite]*Vsite // immutable after New
+	usite    core.Usite
+	instance string
+	clock    sim.Scheduler
+	vsites   map[core.Vsite]*Vsite // immutable after New
 
 	mapLogin LoginMapper // set once during wiring, before traffic
 	// peers is the client for sub-job consignment and transfers. It is an
@@ -250,6 +259,7 @@ func New(cfg Config) (*NJS, error) {
 	}
 	n := &NJS{
 		usite:        cfg.Usite,
+		instance:     cfg.Instance,
 		clock:        cfg.Clock,
 		vsites:       make(map[core.Vsite]*Vsite, len(cfg.Vsites)),
 		jobs:         make(map[core.JobID]*unicoreJob),
@@ -361,12 +371,16 @@ func (n *NJS) Load() float64 {
 	return total / float64(len(n.vsites))
 }
 
-// nextJobID mints "USITE-000001"-style IDs.
+// nextJobID mints "USITE-000001"-style IDs ("USITE-r1-000001" when this NJS
+// is a tagged pool replica).
 func (n *NJS) nextJobID() core.JobID {
 	n.regMu.Lock()
 	n.seq++
 	seq := n.seq
 	n.regMu.Unlock()
+	if n.instance != "" {
+		return core.JobID(fmt.Sprintf("%s-%s-%06d", n.usite, n.instance, seq))
+	}
 	return core.JobID(fmt.Sprintf("%s-%06d", n.usite, seq))
 }
 
@@ -677,10 +691,16 @@ func (n *NJS) completeChild(parentID core.JobID, aid ajo.ActionID, childID core.
 	n.finalizeIfDoneLocked(parent)
 }
 
-// VsiteLoad reports one Vsite's batch occupancy and backlog.
+// VsiteLoad reports one Vsite's batch occupancy and backlog, plus the
+// replica-pool topology behind it: a single NJS always reports 1/1, while a
+// pool.Router reports how many replicas serve the Vsite and how many are
+// currently passing health checks — the signal the §6 resource broker uses
+// to stop selecting drained sites.
 type VsiteLoad struct {
-	Load    float64 // fraction of slots in use, [0,1]
-	Pending int     // jobs waiting in the queues
+	Load     float64 // fraction of slots in use, [0,1]
+	Pending  int     // jobs waiting in the queues
+	Replicas int     // NJS replicas serving this Vsite
+	Healthy  int     // replicas currently healthy
 }
 
 // VsiteLoads reports the occupancy of every configured Vsite — the load
@@ -688,7 +708,7 @@ type VsiteLoad struct {
 func (n *NJS) VsiteLoads() map[core.Vsite]VsiteLoad {
 	out := make(map[core.Vsite]VsiteLoad, len(n.vsites))
 	for name, v := range n.vsites {
-		out[name] = VsiteLoad{Load: v.RMS.Load(), Pending: v.RMS.Backlog()}
+		out[name] = VsiteLoad{Load: v.RMS.Load(), Pending: v.RMS.Backlog(), Replicas: 1, Healthy: 1}
 	}
 	return out
 }

@@ -7,7 +7,86 @@ import (
 	"unicore/internal/ajo"
 	"unicore/internal/core"
 	"unicore/internal/protocol"
+	"unicore/internal/resources"
 )
+
+// Service is the NJS service surface as the gateway consumes it: everything
+// the paper's "UNICORE server" tier (§4.2) answers on behalf of a site —
+// consignment (§5.3), status/outcome/control (§5.5), resource pages (§5.4),
+// Uspace file transfers (§5.6), and the load figures the §6 broker reads.
+//
+// *NJS implements Service directly (one supervisor per site, the topology of
+// Figure 2). pool.Router also implements it by fanning the same calls out
+// over per-Vsite replica sets, which is what lets a gateway scale from one
+// NJS to a health-checked replica pool without changing its request path.
+type Service interface {
+	// Usite returns the site this service fronts.
+	Usite() core.Usite
+	// Consign admits an AJO (§5.3); consignID makes retries idempotent.
+	Consign(user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error)
+	// Poll returns the compact status summary of a job.
+	Poll(caller core.DN, asServer bool, id core.JobID) (protocol.PollReply, error)
+	// Outcome returns a deep copy of a job's outcome tree.
+	Outcome(caller core.DN, asServer bool, id core.JobID) (*ajo.Outcome, bool, error)
+	// List returns the caller's jobs at this Usite, newest first.
+	List(caller core.DN) ([]protocol.JobInfo, error)
+	// Control aborts, holds, or resumes a job.
+	Control(caller core.DN, asServer bool, id core.JobID, op ajo.ControlOp) error
+	// FetchFile serves a chunk of a job's Uspace file to a peer NJS (§5.6).
+	FetchFile(id core.JobID, file string, offset, limit int64) (protocol.TransferReply, error)
+	// FetchFileOwned serves a chunk of a job's Uspace file to its owner.
+	FetchFileOwned(caller core.DN, asServer bool, id core.JobID, file string, offset, limit int64) (protocol.TransferReply, error)
+	// Pages returns the resource pages of all Vsites, sorted by target (§5.4).
+	Pages() []resources.Page
+	// Load reports the mean batch occupancy across Vsites in [0,1].
+	Load() float64
+	// VsiteLoads reports per-Vsite occupancy and replica health (§6 input).
+	VsiteLoads() map[core.Vsite]VsiteLoad
+	// SetLoginMapper installs the DN→login resolver of the security tier.
+	SetLoginMapper(LoginMapper)
+	// Ping reports whether the service can currently take responsibility for
+	// work — the active health probe of a replica pool.
+	Ping() error
+}
+
+// Service is satisfied by the concrete NJS.
+var _ Service = (*NJS)(nil)
+
+// Ping reports nil while this NJS is alive and ErrDown once it has been
+// killed (crash simulation or decommission) — the health-check probe a
+// replica pool uses to trip a replica's circuit breaker.
+func (n *NJS) Ping() error {
+	if n.dead.Load() {
+		return ErrDown
+	}
+	return nil
+}
+
+// Instance returns the replica tag this NJS mints job IDs under ("" for a
+// single-NJS site).
+func (n *NJS) Instance() string { return n.instance }
+
+// ConsignedJobs reports the completed consign-ID → job-ID admissions of
+// this NJS (pool.ConsignReporter): the index a replica pool reconciles
+// against its acknowledgements when this NJS joins or rejoins a set, so a
+// recovered replica's admissions are adopted — or, if re-admitted elsewhere
+// by consign failover while this NJS was dead, aborted as orphans.
+// Reservations still in flight are excluded.
+func (n *NJS) ConsignedJobs() map[string]core.JobID {
+	n.consignMu.Lock()
+	defer n.consignMu.Unlock()
+	out := make(map[string]core.JobID, len(n.consignIndex))
+	for cid, e := range n.consignIndex {
+		select {
+		case <-e.done:
+			if e.id != "" {
+				out[cid] = e.id
+			}
+		default:
+		}
+	}
+	return out
+}
 
 // This file is the NJS's service surface: the operations behind the JMC's
 // status/outcome/control requests and the peer-NJS transfer endpoint. The

@@ -1,0 +1,73 @@
+package pool
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// virtualNodes is how many points each replica contributes to the hash ring.
+// More points smooth the key distribution; 64 keeps the ring small while
+// bounding per-replica imbalance to a few percent.
+const virtualNodes = 64
+
+// ring is a consistent-hash ring over replica names. Membership is by name,
+// never by service pointer, so a replica that is killed and swapped for a
+// recovered instance (SetService) keeps exactly the ring positions it had —
+// the property that lets hash-routed jobs find their owner across restarts.
+type ring struct {
+	entries []ringEntry // sorted by point
+}
+
+type ringEntry struct {
+	point uint64
+	name  string
+}
+
+// hashKey maps an arbitrary routing key onto the ring.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// add inserts a replica's virtual nodes. The ring is rebuilt copy-on-write:
+// readers that snapshotted the previous entries slice keep a consistent
+// (merely stale) view, so membership changes never race in-flight lookups.
+func (r *ring) add(name string) {
+	next := make([]ringEntry, 0, len(r.entries)+virtualNodes)
+	next = append(next, r.entries...)
+	for i := 0; i < virtualNodes; i++ {
+		next = append(next, ringEntry{
+			point: hashKey(name + "#" + strconv.Itoa(i)),
+			name:  name,
+		})
+	}
+	sort.Slice(next, func(i, j int) bool { return next[i].point < next[j].point })
+	r.entries = next
+}
+
+// lookup walks clockwise from key's point and returns the first distinct
+// replica accepted by ok ("" when none qualifies). The walk order for a given
+// key depends only on ring membership, so two lookups of the same key with
+// the same healthy set always agree.
+func (r *ring) lookup(key string, ok func(name string) bool) string {
+	n := len(r.entries)
+	if n == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	start := sort.Search(n, func(i int) bool { return r.entries[i].point >= h })
+	seen := make(map[string]bool)
+	for i := 0; i < n; i++ {
+		e := r.entries[(start+i)%n]
+		if seen[e.name] {
+			continue
+		}
+		seen[e.name] = true
+		if ok(e.name) {
+			return e.name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,319 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"unicore/internal/ajo"
+	"unicore/internal/core"
+	"unicore/internal/njs"
+	"unicore/internal/protocol"
+	"unicore/internal/resources"
+)
+
+// Router aggregates the ReplicaSets of one Usite and implements njs.Service,
+// so a gateway fronts a replicated server tier through the exact interface
+// it uses for a single NJS (paper §4.2: the gateway stays the one door to
+// the site; the pooling behind it is invisible to clients). Consignments are
+// routed to the target Vsite's set; job-scoped reads are routed by each
+// set's job affinity; listings and load figures are merged across sets.
+type Router struct {
+	usite core.Usite
+
+	// Sets are registered at assembly time and the slice is append-only;
+	// lookups go through the map.
+	sets  map[core.Vsite]*ReplicaSet
+	order []core.Vsite
+
+	mapper njs.LoginMapper
+}
+
+// Router implements the NJS service surface.
+var _ njs.Service = (*Router)(nil)
+
+// NewRouter creates an empty router for one Usite; add per-Vsite sets with
+// AddSet before serving traffic.
+func NewRouter(usite core.Usite) (*Router, error) {
+	if usite == "" {
+		return nil, errors.New("pool: empty usite")
+	}
+	return &Router{usite: usite, sets: make(map[core.Vsite]*ReplicaSet)}, nil
+}
+
+// AddSet registers a Vsite's replica set. Call during assembly, before the
+// router takes traffic.
+func (r *Router) AddSet(set *ReplicaSet) error {
+	if set == nil {
+		return errors.New("pool: nil replica set")
+	}
+	if _, dup := r.sets[set.Vsite()]; dup {
+		return fmt.Errorf("pool: duplicate replica set for vsite %q", set.Vsite())
+	}
+	r.sets[set.Vsite()] = set
+	r.order = append(r.order, set.Vsite())
+	if r.mapper != nil {
+		set.SetLoginMapper(r.mapper)
+	}
+	return nil
+}
+
+// Set returns the replica set serving a Vsite.
+func (r *Router) Set(v core.Vsite) (*ReplicaSet, bool) {
+	s, ok := r.sets[v]
+	return s, ok
+}
+
+// Sets lists the replica sets in registration order.
+func (r *Router) Sets() []*ReplicaSet {
+	out := make([]*ReplicaSet, 0, len(r.order))
+	for _, v := range r.order {
+		out = append(out, r.sets[v])
+	}
+	return out
+}
+
+// Usite returns the site this router fronts.
+func (r *Router) Usite() core.Usite { return r.usite }
+
+// SetLoginMapper installs the DN→login resolver on every replica of every
+// set — the gateway calls this once when it adopts the router as its
+// backend, exactly as it would a single NJS.
+func (r *Router) SetLoginMapper(fn njs.LoginMapper) {
+	r.mapper = fn
+	for _, set := range r.Sets() {
+		set.SetLoginMapper(fn)
+	}
+}
+
+// CheckNow actively health-checks every replica of every set once.
+func (r *Router) CheckNow() {
+	for _, set := range r.Sets() {
+		set.CheckNow()
+	}
+}
+
+// StartHealthChecks arms the active health-check loop on every set (for
+// real-clock daemons; see ReplicaSet.StartHealthChecks).
+func (r *Router) StartHealthChecks() {
+	for _, set := range r.Sets() {
+		set.StartHealthChecks()
+	}
+}
+
+// StopHealthChecks cancels every set's health-check loop.
+func (r *Router) StopHealthChecks() {
+	for _, set := range r.Sets() {
+		set.StopHealthChecks()
+	}
+}
+
+// Consign admits an AJO on the target Vsite's replica set (§5.3 admission
+// with pool failover).
+func (r *Router) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error) {
+	if job.Target.Usite != r.usite {
+		return "", fmt.Errorf("%w: %s (this pool serves %s)", njs.ErrWrongUsite, job.Target, r.usite)
+	}
+	set, ok := r.Set(job.Target.Vsite)
+	if !ok {
+		return "", fmt.Errorf("%w: %q", njs.ErrUnknownVsite, job.Target.Vsite)
+	}
+	return set.Consign(user, consignID, job)
+}
+
+// scatterErr folds per-set routing failures: a set that reported the job
+// unreachable (owner down / no replica) wins over "not found", because the
+// job may well live behind the unhealthy replica.
+func scatterErr(first, err error) error {
+	if first == nil {
+		return err
+	}
+	return first
+}
+
+// Poll finds the job's Vsite set by affinity (scatter on a cold pool) and
+// returns its status summary.
+func (r *Router) Poll(caller core.DN, asServer bool, id core.JobID) (protocol.PollReply, error) {
+	var routeErr error
+	for _, set := range r.Sets() {
+		reply, err := set.Poll(caller, asServer, id)
+		if err != nil {
+			if errors.Is(err, ErrNoReplica) || errors.Is(err, ErrReplicaDown) {
+				routeErr = scatterErr(routeErr, err)
+				continue
+			}
+			return protocol.PollReply{}, err
+		}
+		if reply.Found {
+			return reply, nil
+		}
+	}
+	if routeErr != nil {
+		return protocol.PollReply{}, routeErr
+	}
+	return protocol.PollReply{Found: false}, nil
+}
+
+// Outcome finds the job's Vsite set and returns its outcome tree.
+func (r *Router) Outcome(caller core.DN, asServer bool, id core.JobID) (*ajo.Outcome, bool, error) {
+	var routeErr error
+	for _, set := range r.Sets() {
+		o, found, err := set.Outcome(caller, asServer, id)
+		if err != nil {
+			if errors.Is(err, ErrNoReplica) || errors.Is(err, ErrReplicaDown) {
+				routeErr = scatterErr(routeErr, err)
+				continue
+			}
+			return nil, false, err
+		}
+		if found {
+			return o, true, nil
+		}
+	}
+	if routeErr != nil {
+		return nil, false, routeErr
+	}
+	return nil, false, nil
+}
+
+// Control routes an abort/hold/resume to the replica that owns the job.
+func (r *Router) Control(caller core.DN, asServer bool, id core.JobID, op ajo.ControlOp) error {
+	var routeErr error
+	for _, set := range r.Sets() {
+		err := set.Control(caller, asServer, id, op)
+		switch {
+		case errors.Is(err, ErrNoReplica) || errors.Is(err, ErrReplicaDown):
+			// The job may live behind this set's unhealthy replicas:
+			// unreachable beats "not found" (see scatterErr).
+			routeErr = scatterErr(routeErr, err)
+		case errors.Is(err, njs.ErrUnknownJob):
+			// Keep scanning the other sets.
+		default:
+			return err // success, or a real per-job failure
+		}
+	}
+	if routeErr != nil {
+		return routeErr
+	}
+	return fmt.Errorf("%w: %s", njs.ErrUnknownJob, id)
+}
+
+// FetchFile serves a peer-NJS Uspace read from the replica that owns the
+// job (§5.6 Uspace-to-Uspace transfers).
+func (r *Router) FetchFile(id core.JobID, file string, offset, limit int64) (protocol.TransferReply, error) {
+	var routeErr error
+	for _, set := range r.Sets() {
+		reply, err := set.FetchFile(id, file, offset, limit)
+		if err != nil {
+			if errors.Is(err, ErrNoReplica) || errors.Is(err, ErrReplicaDown) {
+				routeErr = scatterErr(routeErr, err)
+				continue
+			}
+			return protocol.TransferReply{}, err
+		}
+		if reply.Found {
+			return reply, nil
+		}
+	}
+	if routeErr != nil {
+		return protocol.TransferReply{}, routeErr
+	}
+	return protocol.TransferReply{Found: false}, nil
+}
+
+// FetchFileOwned serves an owner Uspace read from the replica that owns the
+// job.
+func (r *Router) FetchFileOwned(caller core.DN, asServer bool, id core.JobID, file string, offset, limit int64) (protocol.TransferReply, error) {
+	var routeErr error
+	for _, set := range r.Sets() {
+		reply, err := set.FetchFileOwned(caller, asServer, id, file, offset, limit)
+		if err != nil {
+			if errors.Is(err, ErrNoReplica) || errors.Is(err, ErrReplicaDown) {
+				routeErr = scatterErr(routeErr, err)
+				continue
+			}
+			return protocol.TransferReply{}, err
+		}
+		if reply.Found {
+			return reply, nil
+		}
+	}
+	if routeErr != nil {
+		return protocol.TransferReply{}, routeErr
+	}
+	return protocol.TransferReply{Found: false}, nil
+}
+
+// List merges the caller's jobs across every set, newest first. Jobs owned
+// by a tripped replica are omitted until it recovers (see
+// ReplicaSet.List).
+func (r *Router) List(caller core.DN) ([]protocol.JobInfo, error) {
+	var out []protocol.JobInfo
+	for _, set := range r.Sets() {
+		jobs, err := set.List(caller)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, jobs...)
+	}
+	sortJobInfos(out)
+	return out, nil
+}
+
+// Pages returns one resource page per Vsite (§5.4) — replicas of a Vsite
+// share one machine profile, so the first healthy replica speaks for the
+// set.
+func (r *Router) Pages() []resources.Page {
+	var out []resources.Page
+	for _, set := range r.Sets() {
+		reps := set.snapshotReplicas()
+		if len(reps) == 0 {
+			continue
+		}
+		pick := reps[0]
+		now := set.cfg.Clock.Now()
+		for _, rep := range reps {
+			if rep.state(now) == stateClosed {
+				pick = rep
+				break
+			}
+		}
+		out = append(out, pick.service().Pages()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Target.String() < out[j].Target.String() })
+	return out
+}
+
+// Load reports the mean healthy-replica occupancy across the Vsites — the
+// overall figure the §6 broker reads.
+func (r *Router) Load() float64 {
+	sets := r.Sets()
+	if len(sets) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, set := range sets {
+		total += set.LoadInfo().Load
+	}
+	return total / float64(len(sets))
+}
+
+// VsiteLoads reports per-Vsite occupancy with the replica-pool health the
+// broker uses to skip drained sites.
+func (r *Router) VsiteLoads() map[core.Vsite]njs.VsiteLoad {
+	out := make(map[core.Vsite]njs.VsiteLoad, len(r.sets))
+	for _, set := range r.Sets() {
+		out[set.Vsite()] = set.LoadInfo()
+	}
+	return out
+}
+
+// Ping reports nil while at least one replica of one set is healthy.
+func (r *Router) Ping() error {
+	for _, set := range r.Sets() {
+		if len(set.Healthy()) > 0 {
+			return nil
+		}
+	}
+	return ErrNoReplica
+}

@@ -264,10 +264,17 @@ type AppletReply struct {
 // information" the §6 resource broker needs to pick an execution server.
 type LoadRequest struct{}
 
-// VsiteLoad is the occupancy of one Vsite.
+// VsiteLoad is the occupancy of one Vsite. Replicas/Healthy expose the
+// replica-pool topology behind the Vsite: a single-NJS site reports 1/1,
+// a pooled site reports how many NJS replicas serve the Vsite and how many
+// currently pass their health checks. Both fields are omitted by pre-pool
+// servers; a reader treats 0 replicas as "topology unknown" (legacy single
+// NJS), not as a drained site.
 type VsiteLoad struct {
-	Load    float64 `json:"load"`    // fraction of batch slots in use, [0,1]
-	Pending int     `json:"pending"` // jobs waiting in the queues
+	Load     float64 `json:"load"`               // fraction of batch slots in use, [0,1]
+	Pending  int     `json:"pending"`            // jobs waiting in the queues
+	Replicas int     `json:"replicas,omitempty"` // NJS replicas serving this Vsite
+	Healthy  int     `json:"healthy,omitempty"`  // replicas currently healthy
 }
 
 // LoadReply reports per-Vsite and overall load at a Usite.

@@ -1,0 +1,274 @@
+package testbed
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"unicore/internal/ajo"
+	"unicore/internal/client"
+	"unicore/internal/core"
+	"unicore/internal/machine"
+	"unicore/internal/njs"
+	"unicore/internal/pool"
+	"unicore/internal/resources"
+)
+
+// probeRequest is the resource demand of the tiny probe jobs the failover
+// tests consign.
+func probeRequest() resources.Request {
+	return resources.Request{Processors: 1, RunTime: 10 * time.Minute, MemoryMB: 16}
+}
+
+// probeJob builds a minimal script job for the pool's Vsite.
+func probeJob(t *testing.T, name string) *ajo.AbstractJob {
+	t.Helper()
+	b := client.NewJob(name, core.Target{Usite: "POOL", Vsite: "CLUSTER"})
+	b.Script("noop", "cpu 1m\necho "+name+" done\n", probeRequest())
+	job, err := b.Build()
+	if err != nil {
+		t.Fatalf("building %s: %v", name, err)
+	}
+	return job
+}
+
+// failoverSpec is one Usite whose single Vsite is served by three NJS
+// replicas behind a pool.Router — the scaled-out server tier.
+func failoverSpec(policy pool.Policy) SiteSpec {
+	return SiteSpec{
+		Usite:    "POOL",
+		Vsites:   []njs.VsiteConfig{{Name: "CLUSTER", Profile: machine.GenericCluster(16)}},
+		Replicas: 3,
+		Policy:   policy,
+	}
+}
+
+const failoverVictim = 1 // replica index killed mid-workload
+
+// runFailoverWorkload deploys the replicated site (every replica journaled),
+// submits a deterministic workload, and — when kill is set — crashes one
+// replica mid-workload, proves the pool stops routing to it, restarts it
+// from its journal, and lets the clock run dry. It returns the canonical
+// outcome of every workload job, keyed by name.
+func runFailoverWorkload(t *testing.T, kill bool) map[string]string {
+	t.Helper()
+	d, err := New(failoverSpec(pool.RoundRobin))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer d.Close()
+	user, err := d.NewUser("Failover User", "Test", "failover")
+	if err != nil {
+		t.Fatalf("NewUser: %v", err)
+	}
+	const snapshotEvery = 256
+	stores := make([]storeHandle, 3)
+	for i := range stores {
+		dir := t.TempDir()
+		store, err := d.EnableReplicaDurability("POOL", "CLUSTER", i, dir, snapshotEvery)
+		if err != nil {
+			t.Fatalf("EnableReplicaDurability(%d): %v", i, err)
+		}
+		stores[i] = storeHandle{dir: dir, store: store}
+	}
+	defer func() {
+		for _, h := range stores {
+			h.store.Close()
+		}
+	}()
+
+	cfg := DefaultWorkload(11, 24, d.Targets())
+	cfg.MultiSiteFraction = 0 // one Usite: every job is local to the pool
+	cfg.MeanCPU = 15 * time.Minute
+	cfg.MaxProcs = 8
+	jobs, err := GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatalf("GenerateWorkload: %v", err)
+	}
+	jpa, jmc := d.JPA(user), d.JMC(user)
+	ids := make(map[string]core.JobID, len(jobs))
+	for _, j := range jobs {
+		id, err := jpa.Submit(j)
+		if err != nil {
+			t.Fatalf("Submit(%s): %v", j.Name(), err)
+		}
+		ids[j.Name()] = id
+	}
+
+	// Run to mid-workload: staging done, batch jobs queued/running across
+	// the three replicas.
+	d.Clock.Advance(10 * time.Minute)
+
+	if kill {
+		live := 0
+		for name, id := range ids {
+			sum, err := jmc.Status("POOL", id)
+			if err != nil {
+				t.Fatalf("Status(%s) at kill point: %v", name, err)
+			}
+			if !sum.Status.Terminal() {
+				live++
+			}
+		}
+		if live == 0 {
+			t.Fatal("kill point is not mid-workload: every job already terminal")
+		}
+
+		victim := d.Sites["POOL"].Replicas["CLUSTER"][failoverVictim]
+		ownedBefore, err := victim.List(user.DN())
+		if err != nil {
+			t.Fatalf("List on victim: %v", err)
+		}
+
+		// Crash right after the last fsync, as a real process restart would.
+		h := stores[failoverVictim]
+		if err := h.store.Sync(); err != nil {
+			t.Fatalf("Sync: %v", err)
+		}
+		if err := d.KillReplica("POOL", "CLUSTER", failoverVictim); err != nil {
+			t.Fatalf("KillReplica: %v", err)
+		}
+
+		// The health check has tripped the victim's breaker: no new
+		// admission may reach it, and reads pinned to its jobs fail fast
+		// instead of consulting the frozen corpse.
+		set, _ := d.Sites["POOL"].Pool.Set("CLUSTER")
+		if h := set.Healthy(); len(h) != 2 {
+			t.Fatalf("healthy after kill = %v, want 2 replicas", h)
+		}
+		for i := 0; i < 6; i++ {
+			if _, err := jpa.Submit(probeJob(t, fmt.Sprintf("probe-%02d", i))); err != nil {
+				t.Fatalf("Submit(probe-%02d) during outage: %v", i, err)
+			}
+		}
+		ownedDuring, err := victim.List(user.DN())
+		if err != nil {
+			t.Fatalf("List on dead victim: %v", err)
+		}
+		if len(ownedDuring) != len(ownedBefore) {
+			t.Fatalf("dead replica admitted %d jobs after its health check tripped",
+				len(ownedDuring)-len(ownedBefore))
+		}
+		if len(ownedBefore) > 0 {
+			_, err := jmc.Status("POOL", ownedBefore[0].Job)
+			if err == nil || !strings.Contains(err.Error(), pool.ErrReplicaDown.Error()) {
+				t.Fatalf("Status of a job on the dead replica: err = %v, want ErrReplicaDown", err)
+			}
+		}
+
+		// Recover the victim from its journal and swap it back in under its
+		// stable pool name.
+		if err := h.store.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		store, err := journalReopen(h.dir)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		stores[failoverVictim] = storeHandle{dir: h.dir, store: store}
+		if err := d.RestartReplica("POOL", "CLUSTER", failoverVictim, store, snapshotEvery); err != nil {
+			t.Fatalf("RestartReplica: %v", err)
+		}
+	}
+
+	if fired := d.Run(10_000_000); fired >= 10_000_000 {
+		t.Fatal("clock never went idle")
+	}
+
+	// Zero duplicated jobs: the merged pool listing reports every workload
+	// job exactly once across the three replicas.
+	listed, err := d.Sites["POOL"].Pool.List(user.DN())
+	if err != nil {
+		t.Fatalf("pool List: %v", err)
+	}
+	seen := make(map[string]int)
+	for _, ji := range listed {
+		seen[ji.Name]++
+	}
+	for name := range ids {
+		if seen[name] != 1 {
+			t.Fatalf("job %s listed %d times across the pool, want exactly 1", name, seen[name])
+		}
+	}
+
+	out := make(map[string]string, len(ids))
+	for name, id := range ids {
+		o, err := jmc.Outcome("POOL", id)
+		if err != nil {
+			t.Fatalf("Outcome(%s): %v", name, err)
+		}
+		if !o.Status.Terminal() {
+			t.Fatalf("job %s (%s) never finished: %s", name, id, o.Status)
+		}
+		out[name] = canonicalOutcome(o)
+	}
+	return out
+}
+
+// TestReplicaFailoverMidWorkload is the acceptance test for the replica
+// pool: with 3 replicas serving one Vsite, killing one mid-workload (health
+// check trips, traffic fails over, victim recovers from its journal) yields
+// outcomes identical to an uninterrupted run, with zero duplicated jobs and
+// no request routed to the dead replica while its breaker is open.
+func TestReplicaFailoverMidWorkload(t *testing.T) {
+	base := runFailoverWorkload(t, false)
+	failed := runFailoverWorkload(t, true)
+	if len(base) != len(failed) {
+		t.Fatalf("job counts differ: %d vs %d", len(base), len(failed))
+	}
+	for name, want := range base {
+		got, ok := failed[name]
+		if !ok {
+			t.Fatalf("job %s missing from failover run", name)
+		}
+		if got != want {
+			t.Errorf("job %s diverged across replica failover:\n--- uninterrupted ---\n%s--- failover ---\n%s", name, want, got)
+		}
+	}
+	for _, s := range base {
+		if strings.Contains(s, "FAILED") || strings.Contains(s, "NOT_DONE") {
+			t.Fatalf("baseline workload has failures:\n%s", s)
+		}
+	}
+}
+
+// TestConsignFailoverAcrossRealReplicas drives the pool's consign failover
+// against real NJS replicas: the first-choice replica is killed between two
+// submissions, and the next submission lands on a healthy replica without
+// the client seeing an error.
+func TestConsignFailoverAcrossRealReplicas(t *testing.T) {
+	d, err := New(failoverSpec(pool.ConsistentHash))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer d.Close()
+	user, err := d.NewUser("Failover User", "Test", "failover")
+	if err != nil {
+		t.Fatalf("NewUser: %v", err)
+	}
+	jpa := d.JPA(user)
+	// Kill whatever replica consistent hashing would pick for this job by
+	// killing all but one: the submission must still succeed on the
+	// survivor.
+	for i := 0; i < 2; i++ {
+		if err := d.KillReplica("POOL", "CLUSTER", i); err != nil {
+			t.Fatalf("KillReplica(%d): %v", i, err)
+		}
+	}
+	id, err := jpa.Submit(probeJob(t, "solo"))
+	if err != nil {
+		t.Fatalf("Submit with 2 of 3 replicas dead: %v", err)
+	}
+	survivor := d.Sites["POOL"].Replicas["CLUSTER"][2]
+	if jobs, _ := survivor.List(user.DN()); len(jobs) != 1 || jobs[0].Job != id {
+		t.Fatalf("survivor does not own the failed-over job %s", id)
+	}
+	// Kill the survivor too: a fresh consign now fails cleanly.
+	if err := d.KillReplica("POOL", "CLUSTER", 2); err != nil {
+		t.Fatalf("KillReplica(2): %v", err)
+	}
+	if _, err := jpa.Submit(probeJob(t, "solo2")); err == nil || !strings.Contains(err.Error(), pool.ErrNoReplica.Error()) {
+		t.Fatalf("Submit on fully drained pool: err = %v, want ErrNoReplica", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"unicore/internal/machine"
 	"unicore/internal/njs"
 	"unicore/internal/pki"
+	"unicore/internal/pool"
 	"unicore/internal/protocol"
 	"unicore/internal/sim"
 	"unicore/internal/uudb"
@@ -36,6 +37,12 @@ type SiteSpec struct {
 	// server half outside, the NJS half inside, talking over a loopback TCP
 	// socket.
 	Split bool
+	// Replicas > 1 deploys the site with a replica pool: every Vsite is
+	// served by that many independent NJS replicas behind a pool.Router, the
+	// scaled-out server tier. Replicated sites cannot also be Split.
+	Replicas int
+	// Policy selects the pool's consign routing (used when Replicas > 1).
+	Policy pool.Policy
 	// SiteAuth is the optional site-specific authentication hook.
 	SiteAuth gateway.SiteAuth
 }
@@ -43,9 +50,14 @@ type SiteSpec struct {
 // Site is one deployed Usite.
 type Site struct {
 	Spec    SiteSpec
-	NJS     *njs.NJS
+	NJS     *njs.NJS // nil on replicated sites; see Pool/Replicas
 	Gateway *gateway.Gateway
 	Users   *uudb.DB
+	// Pool and Replicas are set on replicated sites (Spec.Replicas > 1):
+	// the router behind the gateway, and the replica NJSs per Vsite in
+	// replica-index order.
+	Pool     *pool.Router
+	Replicas map[core.Vsite][]*njs.NJS
 	// Front and inner are set in split deployments.
 	Front *gateway.Front
 	inner *gateway.Inner
@@ -108,6 +120,12 @@ func New(specs ...SiteSpec) (*Deployment, error) {
 	return d, nil
 }
 
+// replicaName is the stable pool identity (and njs.Config.Instance tag) of
+// replica i — the shared convention of pool.ReplicaTag, which RestartReplica
+// relies on to recover a replica under the exact tag it journaled its job
+// IDs with.
+func replicaName(i int) string { return pool.ReplicaTag(i) }
+
 // deploySite stands up one Usite.
 func (d *Deployment) deploySite(spec SiteSpec) (*Site, error) {
 	host := hostOf(spec.Usite)
@@ -116,23 +134,68 @@ func (d *Deployment) deploySite(spec SiteSpec) (*Site, error) {
 		return nil, err
 	}
 	users := uudb.New(spec.Usite, d.Clock)
-	n, err := njs.New(njs.Config{Usite: spec.Usite, Clock: d.Clock, Vsites: spec.Vsites})
-	if err != nil {
-		return nil, err
-	}
-	gw, err := gateway.New(gateway.Config{
+	site := &Site{Spec: spec, Users: users, cred: srvCred}
+	gwCfg := gateway.Config{
 		Usite:    spec.Usite,
 		Cred:     srvCred,
 		CA:       d.CA,
 		Users:    users,
-		NJS:      n,
 		SiteAuth: spec.SiteAuth,
-	})
+	}
+	if spec.Replicas > 1 {
+		// Replica-pool deployment: every Vsite is served by Replicas
+		// independent NJSs behind a pool.Router, which the gateway fronts
+		// through the same njs.Service interface as a single NJS.
+		if spec.Split {
+			return nil, fmt.Errorf("replicated site cannot also be split")
+		}
+		router, err := pool.NewRouter(spec.Usite)
+		if err != nil {
+			return nil, err
+		}
+		site.Pool = router
+		site.Replicas = make(map[core.Vsite][]*njs.NJS, len(spec.Vsites))
+		for _, vc := range spec.Vsites {
+			set, err := pool.New(pool.Config{Vsite: vc.Name, Policy: spec.Policy, Clock: d.Clock})
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < spec.Replicas; i++ {
+				n, err := njs.New(njs.Config{
+					Usite:    spec.Usite,
+					Clock:    d.Clock,
+					Vsites:   []njs.VsiteConfig{vc},
+					Instance: replicaName(i),
+				})
+				if err != nil {
+					return nil, err
+				}
+				n.SetPeers(protocol.NewClient(d.Net, srvCred, d.CA, d.Registry))
+				if err := set.Add(replicaName(i), n); err != nil {
+					return nil, err
+				}
+				site.Replicas[vc.Name] = append(site.Replicas[vc.Name], n)
+			}
+			if err := router.AddSet(set); err != nil {
+				return nil, err
+			}
+		}
+		gwCfg.Backend = router
+	} else {
+		n, err := njs.New(njs.Config{Usite: spec.Usite, Clock: d.Clock, Vsites: spec.Vsites})
+		if err != nil {
+			return nil, err
+		}
+		// The NJS talks to peer sites as this site's server identity.
+		n.SetPeers(protocol.NewClient(d.Net, srvCred, d.CA, d.Registry))
+		site.NJS = n
+		gwCfg.NJS = n
+	}
+	gw, err := gateway.New(gwCfg)
 	if err != nil {
 		return nil, err
 	}
-	// The NJS talks to peer sites as this site's server identity.
-	n.SetPeers(protocol.NewClient(d.Net, srvCred, d.CA, d.Registry))
+	site.Gateway = gw
 
 	// Serve the signed applets the user tier loads (§4.1).
 	for _, name := range []string{"jpa", "jmc"} {
@@ -146,7 +209,6 @@ func (d *Deployment) deploySite(spec SiteSpec) (*Site, error) {
 		}
 	}
 
-	site := &Site{Spec: spec, NJS: n, Gateway: gw, Users: users, cred: srvCred}
 	if spec.Split {
 		inner := gateway.NewInner(gw)
 		l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -175,11 +237,15 @@ func (d *Deployment) deploySite(spec SiteSpec) (*Site, error) {
 // EnableDurability attaches a write-ahead journal store (rooted at dir) to a
 // site's NJS. snapshotEvery > 0 sets the automatic snapshot cadence. The
 // returned store belongs to the caller: Sync/Close it around a simulated
-// crash and hand a reopened store to RestartSite.
+// crash and hand a reopened store to RestartSite. Replicated sites journal
+// per replica; use EnableReplicaDurability.
 func (d *Deployment) EnableDurability(u core.Usite, dir string, snapshotEvery int) (*journal.Store, error) {
 	site, ok := d.Sites[u]
 	if !ok {
 		return nil, fmt.Errorf("testbed: unknown usite %q", u)
+	}
+	if site.NJS == nil {
+		return nil, fmt.Errorf("testbed: %s is replicated; use EnableReplicaDurability", u)
 	}
 	store, err := journal.Open(dir)
 	if err != nil {
@@ -187,6 +253,95 @@ func (d *Deployment) EnableDurability(u core.Usite, dir string, snapshotEvery in
 	}
 	site.NJS.AttachJournal(store, snapshotEvery)
 	return store, nil
+}
+
+// replica resolves one replica of a replicated site.
+func (d *Deployment) replica(u core.Usite, v core.Vsite, i int) (*Site, *pool.ReplicaSet, *njs.NJS, error) {
+	site, ok := d.Sites[u]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("testbed: unknown usite %q", u)
+	}
+	if site.Pool == nil {
+		return nil, nil, nil, fmt.Errorf("testbed: %s is not a replicated site", u)
+	}
+	set, ok := site.Pool.Set(v)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("testbed: no vsite %q at %s", v, u)
+	}
+	reps := site.Replicas[v]
+	if i < 0 || i >= len(reps) {
+		return nil, nil, nil, fmt.Errorf("testbed: %s/%s has no replica %d", u, v, i)
+	}
+	return site, set, reps[i], nil
+}
+
+// EnableReplicaDurability attaches a journal store (rooted at dir) to one
+// replica of a replicated site — each replica owns its own journal, exactly
+// as each would in a real multi-process pool.
+func (d *Deployment) EnableReplicaDurability(u core.Usite, v core.Vsite, i int, dir string, snapshotEvery int) (*journal.Store, error) {
+	_, _, n, err := d.replica(u, v, i)
+	if err != nil {
+		return nil, err
+	}
+	store, err := journal.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	n.AttachJournal(store, snapshotEvery)
+	return store, nil
+}
+
+// KillReplica simulates an NJS process crash at one replica of a replicated
+// site, then sweeps the pool's health checks so the dead replica's breaker
+// trips: from this instant no new admission is routed to it, and reads
+// pinned to its jobs fail fast with pool.ErrReplicaDown until RestartReplica
+// swaps a recovered NJS back in.
+func (d *Deployment) KillReplica(u core.Usite, v core.Vsite, i int) error {
+	_, set, n, err := d.replica(u, v, i)
+	if err != nil {
+		return err
+	}
+	n.Kill()
+	set.CheckNow()
+	return nil
+}
+
+// RestartReplica boots a replacement NJS from the replica's journal store,
+// re-wires it (peer client, instance tag), swaps it into the pool under the
+// replica's stable name (which re-installs the login mapper and closes the
+// breaker), and resumes the recovered workload.
+func (d *Deployment) RestartReplica(u core.Usite, v core.Vsite, i int, store *journal.Store, snapshotEvery int) error {
+	site, set, _, err := d.replica(u, v, i)
+	if err != nil {
+		return err
+	}
+	var vc njs.VsiteConfig
+	found := false
+	for _, c := range site.Spec.Vsites {
+		if c.Name == v {
+			vc, found = c, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("testbed: no vsite spec %q at %s", v, u)
+	}
+	n, err := njs.Recover(store, njs.Config{
+		Usite:    u,
+		Clock:    d.Clock,
+		Vsites:   []njs.VsiteConfig{vc},
+		Instance: replicaName(i),
+	}, snapshotEvery)
+	if err != nil {
+		return err
+	}
+	n.SetPeers(protocol.NewClient(d.Net, site.cred, d.CA, d.Registry))
+	if err := set.SetService(replicaName(i), n); err != nil {
+		return err
+	}
+	site.Replicas[v][i] = n
+	n.ResumeRecovered()
+	return nil
 }
 
 // KillSite simulates an NJS process crash at a site: the NJS stops
@@ -199,6 +354,9 @@ func (d *Deployment) KillSite(u core.Usite) error {
 	if !ok {
 		return fmt.Errorf("testbed: unknown usite %q", u)
 	}
+	if site.NJS == nil {
+		return fmt.Errorf("testbed: %s is replicated; use KillReplica", u)
+	}
 	site.NJS.Kill()
 	return nil
 }
@@ -209,6 +367,9 @@ func (d *Deployment) RestartSite(u core.Usite, store *journal.Store, snapshotEve
 	site, ok := d.Sites[u]
 	if !ok {
 		return fmt.Errorf("testbed: unknown usite %q", u)
+	}
+	if site.NJS == nil {
+		return fmt.Errorf("testbed: %s is replicated; use RestartReplica", u)
 	}
 	n, err := njs.Recover(store, njs.Config{
 		Usite:  site.Spec.Usite,
@@ -302,16 +463,24 @@ func (d *Deployment) Accounting() []accounting.Record {
 	for _, u := range d.order {
 		site := d.Sites[u]
 		for _, vc := range site.Spec.Vsites {
-			vs, ok := site.NJS.Vsite(vc.Name)
-			if !ok {
-				continue
+			// A replicated site runs one RMS per replica; each contributes
+			// its share of the Vsite's accounting.
+			njss := []*njs.NJS{site.NJS}
+			if site.NJS == nil {
+				njss = site.Replicas[vc.Name]
 			}
-			for _, rec := range vs.RMS.Accounting() {
-				out = append(out, accounting.Record{
-					Target:      core.Target{Usite: u, Vsite: vc.Name},
-					MFlopsPerPE: vc.Profile.MFlopsPerPE,
-					Record:      rec,
-				})
+			for _, n := range njss {
+				vs, ok := n.Vsite(vc.Name)
+				if !ok {
+					continue
+				}
+				for _, rec := range vs.RMS.Accounting() {
+					out = append(out, accounting.Record{
+						Target:      core.Target{Usite: u, Vsite: vc.Name},
+						MFlopsPerPE: vc.Profile.MFlopsPerPE,
+						Record:      rec,
+					})
+				}
 			}
 		}
 	}
@@ -348,6 +517,18 @@ func SingleSite(usite core.Usite, vsite core.Vsite, nodes int) (*Deployment, err
 	return New(SiteSpec{
 		Usite:  usite,
 		Vsites: []njs.VsiteConfig{{Name: vsite, Profile: machine.GenericCluster(nodes)}},
+	})
+}
+
+// ReplicatedSite builds a one-Usite deployment whose generic-cluster Vsite
+// is served by a pool of NJS replicas behind health-checked failover
+// routing — the scaled-out server tier (package pool).
+func ReplicatedSite(usite core.Usite, vsite core.Vsite, nodes, replicas int, policy pool.Policy) (*Deployment, error) {
+	return New(SiteSpec{
+		Usite:    usite,
+		Vsites:   []njs.VsiteConfig{{Name: vsite, Profile: machine.GenericCluster(nodes)}},
+		Replicas: replicas,
+		Policy:   policy,
 	})
 }
 

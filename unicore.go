@@ -38,6 +38,7 @@ import (
 	"unicore/internal/core"
 	"unicore/internal/journal"
 	"unicore/internal/pki"
+	"unicore/internal/pool"
 	"unicore/internal/protocol"
 	"unicore/internal/resources"
 	"unicore/internal/testbed"
@@ -126,6 +127,33 @@ type (
 
 // NewDeployment deploys the given sites in-process under a virtual clock.
 func NewDeployment(specs ...SiteSpec) (*Deployment, error) { return testbed.New(specs...) }
+
+// Server-tier replica pools (the horizontal scale-out of docs/ARCHITECTURE.md;
+// package pool): a Vsite can be served by several NJS replicas behind
+// health-checked failover routing.
+type (
+	// ReplicaPolicy selects how a Vsite's replica pool routes admissions.
+	ReplicaPolicy = pool.Policy
+)
+
+// Replica routing policies.
+const (
+	PoolRoundRobin     = pool.RoundRobin
+	PoolLeastLoaded    = pool.LeastLoaded
+	PoolConsistentHash = pool.ConsistentHash
+)
+
+// ReplicatedSite deploys one Usite whose generic-cluster Vsite is served by
+// a pool of NJS replicas (Deployment.KillReplica / RestartReplica /
+// EnableReplicaDurability drive the failover lifecycle).
+func ReplicatedSite(usite Usite, vsite Vsite, nodes, replicas int, policy ReplicaPolicy) (*Deployment, error) {
+	return testbed.ReplicatedSite(usite, vsite, nodes, replicas, policy)
+}
+
+// OpenJournal opens (or creates) a journal store rooted at dir — the handle
+// EnableDurability/EnableReplicaDurability attach and RestartSite/
+// RestartReplica recover from.
+func OpenJournal(dir string) (*JournalStore, error) { return journal.Open(dir) }
 
 // German deploys the six-site 1999 German production testbed of §5.7.
 func German() (*Deployment, error) { return testbed.German() }
