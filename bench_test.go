@@ -19,6 +19,7 @@
 package unicore_test
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -659,6 +660,101 @@ func BenchmarkConcurrentClients(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Session API v2: server-push events vs interval polling ----------------
+
+// monitorEnvelopes counts the signed monitoring envelopes (status polls plus
+// event subscribes) a gateway has verified.
+func monitorEnvelopes(d *testbed.Deployment, usite unicore.Usite) int64 {
+	stats := d.Sites[usite].Gateway.Stats()
+	return stats.ByType[protocol.MsgPoll] + stats.ByType[protocol.MsgSubscribe]
+}
+
+// notifyBenchJob is the monitored workload of the Wait/Await pair: ~20
+// virtual minutes of batch work.
+func notifyBenchJob(b *testing.B, i int) *unicore.AbstractJob {
+	jb := unicore.NewJob(fmt.Sprintf("notify-%06d", i), unicore.Target{Usite: "FZJ", Vsite: "T3E"})
+	jb.Script("work", "cpu 20m\necho done\n", unicore.ResourceRequest{Processors: 4, RunTime: time.Hour})
+	job, err := jb.Build()
+	if err != nil {
+		b.Fatalf("build: %v", err)
+	}
+	return job
+}
+
+// BenchmarkWaitPoll measures the deprecated poll-paced monitor: JMC.Wait
+// issues one signed monitoring envelope per 2-second interval until the job
+// is terminal, so envelopes/job grows with the job's duration —
+// O(duration/interval), the §5.3 scaling wall the session API removes.
+func BenchmarkWaitPoll(b *testing.B) {
+	d := mustDeploy(b, singleSiteSpec("FZJ"))
+	user := mustUser(b, d, "waitpoll")
+	jpa, jmc := d.JPA(user), d.JMC(user)
+	before := monitorEnvelopes(d, "FZJ")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := jpa.Submit(notifyBenchJob(b, i))
+		if err != nil {
+			b.Fatalf("submit: %v", err)
+		}
+		sum, err := jmc.Wait("FZJ", id, 2*time.Second, func(dur time.Duration) { d.Clock.Advance(dur) }, 100000)
+		if err != nil {
+			b.Fatalf("wait: %v", err)
+		}
+		if sum.Status != unicore.StatusSuccessful {
+			b.Fatalf("job finished %s", sum.Status)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(monitorEnvelopes(d, "FZJ")-before)/float64(b.N), "envelopes/job")
+}
+
+// BenchmarkAwaitEvent measures the protocol-v2 session monitor: one
+// long-polled subscribe that the server holds until the terminal event, plus
+// the final summary fetch — O(1) envelopes per completed job regardless of
+// duration. Compare the envelopes/job metric against BenchmarkWaitPoll.
+func BenchmarkAwaitEvent(b *testing.B) {
+	d := mustDeploy(b, singleSiteSpec("FZJ"))
+	user := mustUser(b, d, "await")
+	sess := d.Session(user, "FZJ")
+	before := monitorEnvelopes(d, "FZJ")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := sess.Submit(context.Background(), notifyBenchJob(b, i))
+		if err != nil {
+			b.Fatalf("submit: %v", err)
+		}
+		type result struct {
+			sum unicore.Summary
+			err error
+		}
+		done := make(chan result, 1)
+		go func() {
+			sum, err := sess.Await(context.Background(), id)
+			done <- result{sum, err}
+		}()
+		// Drive the virtual clock while Await blocks on the long-poll; keep
+		// driving until the awaiting goroutine reports back.
+		var res result
+	drive:
+		for {
+			d.Run(50_000_000)
+			select {
+			case res = <-done:
+				break drive
+			case <-time.After(100 * time.Microsecond):
+			}
+		}
+		if res.err != nil {
+			b.Fatalf("await: %v", res.err)
+		}
+		if res.sum.Status != unicore.StatusSuccessful {
+			b.Fatalf("job finished %s", res.sum.Status)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(monitorEnvelopes(d, "FZJ")-before)/float64(b.N), "envelopes/job")
 }
 
 // --- Ablation: §5.2 firewall split vs combined gateway ---------------------

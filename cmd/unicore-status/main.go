@@ -1,6 +1,7 @@
 // Command unicore-status is the CLI job monitor controller (JMC, §4.1,
 // §5.7): it lists jobs, shows the coloured status display, saves task
-// output, and controls jobs.
+// output, controls jobs, and — over protocol v2 — follows the server-push
+// event stream of a job instead of polling it.
 //
 // Usage:
 //
@@ -8,15 +9,24 @@
 //	unicore-status ... status  FZJ-000042
 //	unicore-status ... outcome FZJ-000042
 //	unicore-status ... wait    FZJ-000042
+//	unicore-status ... watch   FZJ-000042
 //	unicore-status ... abort   FZJ-000042
 //	unicore-status ... hold    FZJ-000042
 //	unicore-status ... resume  FZJ-000042
+//
+// wait awaits the terminal event over the v2 stream (falling back to
+// -interval polling against a v1 site); watch streams every lifecycle event
+// as it happens until the job finishes or the user interrupts.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"unicore/internal/ajo"
@@ -33,8 +43,8 @@ func main() {
 		usiteFlag  = flag.String("usite", "", "Usite name behind the gateway")
 		caPath     = flag.String("ca", "ca.pem", "CA file")
 		credPath   = flag.String("cred", "user.pem", "user credential file")
-		interval   = flag.Duration("interval", 2*time.Second, "poll interval for wait")
-		maxPolls   = flag.Int("max-polls", 1800, "poll limit for wait")
+		interval   = flag.Duration("interval", 2*time.Second, "poll interval for wait against a v1 site")
+		maxPolls   = flag.Int("max-polls", 1800, "poll limit for wait against a v1 site")
 	)
 	flag.Parse()
 	if *gatewayURL == "" || *usiteFlag == "" {
@@ -42,7 +52,7 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("unicore-status: need a command (list, status, outcome, wait, abort, hold, resume)")
+		log.Fatal("unicore-status: need a command (list, status, outcome, wait, watch, abort, hold, resume)")
 	}
 	usite := core.Usite(*usiteFlag)
 
@@ -56,7 +66,8 @@ func main() {
 	}
 	reg := protocol.NewRegistry()
 	reg.Add(usite, *gatewayURL)
-	jmc := client.NewJMC(protocol.NewClient(gateway.ClientTransport(cred, ca), cred, ca, reg))
+	sess := client.NewSession(protocol.NewClient(gateway.ClientTransport(cred, ca), cred, ca, reg), usite)
+	jmc := sess.JMC()
 
 	cmd := args[0]
 	jobArg := func() core.JobID {
@@ -86,11 +97,35 @@ func main() {
 		}
 		printSummary(sum)
 	case "wait":
-		sum, err := jmc.Wait(usite, jobArg(), *interval, time.Sleep, *maxPolls)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		sum, err := sess.Await(ctx, jobArg())
+		if errors.Is(err, protocol.ErrV1Peer) {
+			// The site only speaks v1: fall back to interval polling.
+			sum, err = jmc.Wait(usite, jobArg(), *interval, time.Sleep, *maxPolls)
+		}
 		if err != nil {
 			log.Fatalf("unicore-status: %v", err)
 		}
 		printSummary(sum)
+	case "watch":
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		ch, err := sess.Watch(ctx, jobArg())
+		if err != nil {
+			log.Fatalf("unicore-status: %v", err)
+		}
+		terminal := false
+		for ev := range ch {
+			printEvent(ev)
+			terminal = ev.Terminal
+		}
+		if !terminal {
+			if ctx.Err() != nil {
+				log.Fatal("unicore-status: watch interrupted before the job finished")
+			}
+			log.Fatal("unicore-status: event stream ended before the job's terminal event")
+		}
 	case "outcome":
 		o, err := jmc.Outcome(usite, jobArg())
 		if err != nil {
@@ -120,4 +155,16 @@ func main() {
 func printSummary(sum ajo.Summary) {
 	fmt.Printf("%s: %s (%d/%d actions done, %d failed)\n",
 		sum.Job, sum.Status, sum.Done, sum.Total, sum.Failed)
+}
+
+func printEvent(ev client.JobEvent) {
+	line := fmt.Sprintf("%s  #%-3d %-12s", ev.Time.Format(time.RFC3339), ev.Seq, ev.Type)
+	if ev.Action != "" {
+		line += " " + string(ev.Action)
+	}
+	line += " → " + ev.Status.String()
+	if ev.Reason != "" {
+		line += " (" + ev.Reason + ")"
+	}
+	fmt.Println(line)
 }

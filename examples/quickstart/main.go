@@ -1,10 +1,12 @@
 // Quickstart: deploy a one-site UNICORE installation in-process, submit a
-// script job through the full stack — JPA → gateway (X.509 authentication,
-// DN→login mapping) → NJS (incarnation) → batch subsystem — and read the
-// outcome back, exactly as a 1999 user would through the applet GUI.
+// script job through the full stack — session → gateway (X.509
+// authentication, DN→login mapping) → NJS (incarnation) → batch subsystem —
+// and await the result over the protocol-v2 server-push event stream
+// instead of polling.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -42,32 +44,43 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Submit (the JPA validates against the Vsite's resource page first).
-	jpa := d.JPA(user)
-	if _, err := jpa.FetchResources("DEMO"); err != nil {
+	// Open a context-aware session and submit (the JPA validates against
+	// the Vsite's resource page first).
+	ctx := context.Background()
+	sess := d.Session(user, "DEMO")
+	if _, err := sess.JPA().FetchResources("DEMO"); err != nil {
 		log.Fatal(err)
 	}
-	if err := jpa.Validate(job); err != nil {
+	if err := sess.JPA().Validate(job); err != nil {
 		log.Fatal(err)
 	}
-	id, err := jpa.Submit(job)
+	id, err := sess.Submit(ctx, job)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("consigned job:", id)
 
-	// Drive the virtual clock until the deployment is idle.
-	d.Run(100000)
+	// Follow the server-push event stream while the virtual clock drives
+	// the deployment: no polling — the gateway holds the subscription and
+	// replies as the NJS appends lifecycle events.
+	watch, err := sess.Watch(ctx, id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go d.Run(100000)
+	for ev := range watch {
+		fmt.Printf("event #%d %-12s %-14s → %s\n", ev.Seq, ev.Type, ev.Action, ev.Status)
+	}
 
-	// Monitor with the JMC: coloured status display and task output.
-	jmc := d.JMC(user)
-	sum, err := jmc.Status("DEMO", id)
+	// Await is the one-call form: it returns the terminal summary after
+	// O(1) round trips (here the stream is already complete).
+	sum, err := sess.Await(ctx, id)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("final status: %s (%d/%d actions done)\n\n", sum.Status, sum.Done, sum.Total)
 
-	outcome, err := jmc.Outcome("DEMO", id)
+	outcome, err := sess.Outcome(ctx, id)
 	if err != nil {
 		log.Fatal(err)
 	}

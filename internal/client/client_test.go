@@ -23,6 +23,8 @@ type rig struct {
 	ca    *pki.Authority
 	gw    *gateway.Gateway
 	net   *protocol.InProc
+	reg   *protocol.Registry
+	user  *pki.Credential
 	jpa   *JPA
 	jmc   *JMC
 	c     *protocol.Client
@@ -65,7 +67,7 @@ func newRig(t *testing.T) *rig {
 	reg := protocol.NewRegistry()
 	reg.Add("LRZ", "https://gw.lrz")
 	c := protocol.NewClient(net, user, ca, reg)
-	return &rig{clock: clock, ca: ca, gw: gw, net: net, jpa: NewJPA(c), jmc: NewJMC(c), c: c}
+	return &rig{clock: clock, ca: ca, gw: gw, net: net, reg: reg, user: user, jpa: NewJPA(c), jmc: NewJMC(c), c: c}
 }
 
 var vpp = core.Target{Usite: "LRZ", Vsite: "VPP"}

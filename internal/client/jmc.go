@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc64"
@@ -28,8 +29,12 @@ func NewJMC(c *protocol.Client) *JMC {
 
 // List returns the caller's jobs at a Usite, newest first.
 func (m *JMC) List(usite core.Usite) ([]protocol.JobInfo, error) {
+	return m.listContext(context.Background(), usite)
+}
+
+func (m *JMC) listContext(ctx context.Context, usite core.Usite) ([]protocol.JobInfo, error) {
 	var reply protocol.ListReply
-	if err := m.c.Call(usite, protocol.MsgList, protocol.ListRequest{}, &reply); err != nil {
+	if err := m.c.CallContext(ctx, usite, protocol.MsgList, protocol.ListRequest{}, &reply); err != nil {
 		return nil, err
 	}
 	return reply.Jobs, nil
@@ -37,8 +42,12 @@ func (m *JMC) List(usite core.Usite) ([]protocol.JobInfo, error) {
 
 // Status polls the compact summary of one job.
 func (m *JMC) Status(usite core.Usite, job core.JobID) (ajo.Summary, error) {
+	return m.statusContext(context.Background(), usite, job)
+}
+
+func (m *JMC) statusContext(ctx context.Context, usite core.Usite, job core.JobID) (ajo.Summary, error) {
 	var reply protocol.PollReply
-	if err := m.c.Call(usite, protocol.MsgPoll, protocol.PollRequest{Job: job}, &reply); err != nil {
+	if err := m.c.CallContext(ctx, usite, protocol.MsgPoll, protocol.PollRequest{Job: job}, &reply); err != nil {
 		return ajo.Summary{}, err
 	}
 	if !reply.Found {
@@ -49,8 +58,12 @@ func (m *JMC) Status(usite core.Usite, job core.JobID) (ajo.Summary, error) {
 
 // Outcome retrieves the full outcome tree of one job.
 func (m *JMC) Outcome(usite core.Usite, job core.JobID) (*ajo.Outcome, error) {
+	return m.outcomeContext(context.Background(), usite, job)
+}
+
+func (m *JMC) outcomeContext(ctx context.Context, usite core.Usite, job core.JobID) (*ajo.Outcome, error) {
 	var reply protocol.OutcomeReply
-	if err := m.c.Call(usite, protocol.MsgOutcome, protocol.OutcomeRequest{Job: job}, &reply); err != nil {
+	if err := m.c.CallContext(ctx, usite, protocol.MsgOutcome, protocol.OutcomeRequest{Job: job}, &reply); err != nil {
 		return nil, err
 	}
 	if !reply.Found {
@@ -61,8 +74,12 @@ func (m *JMC) Outcome(usite core.Usite, job core.JobID) (*ajo.Outcome, error) {
 
 // control sends one job-control operation.
 func (m *JMC) control(usite core.Usite, job core.JobID, op ajo.ControlOp) error {
+	return m.controlContext(context.Background(), usite, job, op)
+}
+
+func (m *JMC) controlContext(ctx context.Context, usite core.Usite, job core.JobID, op ajo.ControlOp) error {
 	var reply protocol.ControlReply
-	if err := m.c.Call(usite, protocol.MsgControl, protocol.ControlRequest{Job: job, Op: op}, &reply); err != nil {
+	if err := m.c.CallContext(ctx, usite, protocol.MsgControl, protocol.ControlRequest{Job: job, Op: op}, &reply); err != nil {
 		return err
 	}
 	if !reply.OK {
@@ -89,23 +106,79 @@ func (m *JMC) Resume(usite core.Usite, job core.JobID) error {
 // ErrWaitTimeout reports that Wait gave up before the job became terminal.
 var ErrWaitTimeout = errors.New("client: job did not reach a terminal status in time")
 
-// Wait polls until the job is terminal, sleeping between polls with the
-// given function (time.Sleep in the CLIs; a virtual-clock advance in
-// simulations). maxPolls bounds the wait.
+// Wait blocks until the job is terminal, pacing itself with sleep(interval)
+// between rounds and giving up after maxPolls rounds (sleep is time.Sleep in
+// the CLIs; a virtual-clock advance in simulations).
+//
+// Deprecated: Wait is the polling predecessor of Session.Await, kept as a
+// thin interval-paced wrapper over the same event-stream engine: against a
+// protocol-v2 site each round is one cursor fetch of the job's event stream,
+// and against a v1 site it falls back to status polling. New code should use
+// Session.Await (one long-poll round trip instead of one request per
+// interval) or Session.Watch.
+//
+// A transport failure mid-wait is surfaced immediately — including on the
+// final round: the timeout error is returned only when the job was genuinely
+// observed non-terminal, never to mask an error. The summary returned
+// alongside a mid-wait error is the freshest one Wait happened to fetch
+// (the zero Summary on the event path, which carries no summaries).
 func (m *JMC) Wait(usite core.Usite, job core.JobID, interval time.Duration, sleep func(time.Duration), maxPolls int) (ajo.Summary, error) {
+	ctx := context.Background()
 	var last ajo.Summary
+	cursor := uint64(0)
+	legacy := false
 	for i := 0; i < maxPolls; i++ {
-		s, err := m.Status(usite, job)
-		if err != nil {
-			return last, err
+		if !legacy {
+			reply, err := fetchEvents(ctx, m.c, usite, protocol.SubscribeRequest{Job: job, Cursor: cursor})
+			switch {
+			case errors.Is(err, protocol.ErrV1Peer):
+				legacy = true // the site cannot push events: poll status
+			case err != nil:
+				return last, err
+			default:
+				if reply.Cursor > cursor {
+					cursor = reply.Cursor
+				}
+				for _, ev := range reply.Events {
+					if ev.Terminal {
+						return m.statusContext(ctx, usite, job)
+					}
+				}
+			}
 		}
-		last = s
-		if s.Status.Terminal() {
-			return s, nil
+		if legacy {
+			s, err := m.statusContext(ctx, usite, job)
+			if err != nil {
+				return last, err
+			}
+			last = s
+			if s.Status.Terminal() {
+				return s, nil
+			}
 		}
 		sleep(interval)
 	}
-	return last, fmt.Errorf("%w: %s after %d polls", ErrWaitTimeout, job, maxPolls)
+	// Timed out. Fetch the freshest summary for the caller — and if this
+	// final poll fails in transit, surface that error instead of masking it
+	// behind ErrWaitTimeout.
+	s, err := m.statusContext(ctx, usite, job)
+	if err != nil {
+		return last, err
+	}
+	if s.Status.Terminal() {
+		return s, nil // the job finished during the last sleep
+	}
+	return s, fmt.Errorf("%w: %s after %d polls", ErrWaitTimeout, job, maxPolls)
+}
+
+// fetchEvents performs one non-waiting (unless req.WaitMs asks) subscription
+// fetch — the shared engine under Wait, Session.Await, and Session.Watch.
+func fetchEvents(ctx context.Context, c *protocol.Client, usite core.Usite, req protocol.SubscribeRequest) (protocol.EventsReply, error) {
+	var reply protocol.EventsReply
+	if err := c.CallContext(ctx, usite, protocol.MsgSubscribe, req, &reply); err != nil {
+		return protocol.EventsReply{}, err
+	}
+	return reply, nil
 }
 
 // fetchChunk bounds one workstation download chunk.
@@ -119,11 +192,15 @@ var crcTable = crc64.MakeTable(crc64.ECMA)
 // while the user is working with the JMC"). Large files arrive in chunks
 // and the whole-file checksum is verified.
 func (m *JMC) FetchFile(usite core.Usite, job core.JobID, file string) ([]byte, error) {
+	return m.fetchFileContext(context.Background(), usite, job, file)
+}
+
+func (m *JMC) fetchFileContext(ctx context.Context, usite core.Usite, job core.JobID, file string) ([]byte, error) {
 	var buf []byte
 	offset := int64(0)
 	for {
 		var reply protocol.TransferReply
-		err := m.c.Call(usite, protocol.MsgFetch, protocol.FetchRequest{
+		err := m.c.CallContext(ctx, usite, protocol.MsgFetch, protocol.FetchRequest{
 			Job: job, File: file, Offset: offset, Limit: fetchChunk,
 		}, &reply)
 		if err != nil {

@@ -1,9 +1,12 @@
 package client
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"unicore/internal/ajo"
 	"unicore/internal/core"
@@ -84,6 +87,11 @@ func (j *JPA) Validate(job *ajo.AbstractJob) error {
 // by the destination NJS. The AJO's user DN is stamped with the caller's
 // certificate identity before sealing.
 func (j *JPA) Submit(job *ajo.AbstractJob) (core.JobID, error) {
+	return j.submitContext(context.Background(), job)
+}
+
+// submitContext is Submit under a context (Session.Submit's engine).
+func (j *JPA) submitContext(ctx context.Context, job *ajo.AbstractJob) (core.JobID, error) {
 	if err := job.Validate(); err != nil {
 		return "", err
 	}
@@ -93,7 +101,7 @@ func (j *JPA) Submit(job *ajo.AbstractJob) (core.JobID, error) {
 		return "", err
 	}
 	var reply protocol.ConsignReply
-	err = j.c.Call(job.Target.Usite, protocol.MsgConsign, protocol.ConsignRequest{
+	err = j.c.CallContext(ctx, job.Target.Usite, protocol.MsgConsign, protocol.ConsignRequest{
 		ConsignID: newConsignID(),
 		AJO:       raw,
 	}, &reply)
@@ -106,15 +114,24 @@ func (j *JPA) Submit(job *ajo.AbstractJob) (core.JobID, error) {
 	return reply.Job, nil
 }
 
+// consignIDReader is swapped by tests to simulate crypto/rand failure.
+var consignIDReader = rand.Read
+
+// consignIDFallback counts entropy-free tokens minted by this process.
+var consignIDFallback atomic.Uint64
+
 // newConsignID mints a random idempotency token for one submission attempt;
-// retries of the same submission reuse it inside protocol.Client.
+// retries of the same submission reuse it inside protocol.Client. If
+// crypto/rand fails (the token only deduplicates retries, so aborting the
+// submission would be worse), the fallback token is still unique per
+// submission: a process-local atomic counter plus a wall-clock stamp. A
+// constant fallback here would make two distinct submissions share an
+// idempotency token, silently deduplicating the second as a "retry".
 func newConsignID() string {
 	var b [12]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		// crypto/rand failing is unrecoverable for key material but here the
-		// token only deduplicates retries; fall back to a counter-free best
-		// effort rather than aborting a submission.
-		return "consign-fallback"
+	if _, err := consignIDReader(b[:]); err != nil {
+		n := consignIDFallback.Add(1)
+		return fmt.Sprintf("consign-%d-%d", time.Now().UnixNano(), n)
 	}
 	return hex.EncodeToString(b[:])
 }

@@ -1,0 +1,258 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"unicore/internal/ajo"
+	"unicore/internal/core"
+	"unicore/internal/events"
+	"unicore/internal/protocol"
+)
+
+// JobEvent is one server-push job lifecycle notification, exactly as the
+// server logged it (package events defines the shape; protocol v2 carries
+// it). Watch delivers these; Await consumes them internally.
+type JobEvent = events.Event
+
+// DefaultLongPoll is the default server-side hold per Watch/Await subscribe
+// round. It is real (wall-clock) time: under a virtual-clock testbed the
+// round returns as soon as the clock driver appends events, long before the
+// hold expires.
+const DefaultLongPoll = 30 * time.Second
+
+// Session is the protocol-v2 client handle: one user, one Usite, one
+// context-aware API. It unifies the JPA (job preparation, §5.4) and the JMC
+// (job monitoring and control, §5.7) behind a single surface, and replaces
+// interval polling with the server-push event stream — Await and Watch
+// complete a job with O(1) subscribe round trips where JMC.Wait needed one
+// poll per interval.
+//
+// Every method takes a context.Context; cancellation propagates through
+// protocol.Client into the transport, so a cancelled Await releases the
+// server-side long-poll immediately. A Session is safe for concurrent use.
+type Session struct {
+	c     *protocol.Client
+	usite core.Usite
+	jpa   *JPA
+	jmc   *JMC
+
+	// LongPoll is the server-side hold requested per subscribe round of
+	// Watch/Await (default DefaultLongPoll). Set it before first use.
+	LongPoll time.Duration
+}
+
+// NewSession opens a session for one Usite over a protocol client (the same
+// client a JPA/JMC would use — unicore.Dial is the facade form).
+func NewSession(c *protocol.Client, usite core.Usite) *Session {
+	return &Session{c: c, usite: usite, jpa: NewJPA(c), jmc: NewJMC(c), LongPoll: DefaultLongPoll}
+}
+
+// Usite returns the site this session talks to.
+func (s *Session) Usite() core.Usite { return s.usite }
+
+// DN returns the user identity behind this session.
+func (s *Session) DN() core.DN { return s.c.DN() }
+
+// JPA returns the session's job preparation agent (resource pages,
+// validation) for workflows the unified surface does not cover.
+func (s *Session) JPA() *JPA { return s.jpa }
+
+// JMC returns the session's job monitor controller (deprecated polling
+// surface) for workflows the unified surface does not cover.
+func (s *Session) JMC() *JMC { return s.jmc }
+
+// Submit validates and consigns a job at this session's Usite.
+func (s *Session) Submit(ctx context.Context, job *ajo.AbstractJob) (core.JobID, error) {
+	if job.Target.Usite != s.usite {
+		return "", fmt.Errorf("client: job targets %s, session is bound to %s", job.Target.Usite, s.usite)
+	}
+	return s.jpa.submitContext(ctx, job)
+}
+
+// Status polls the compact summary of one job.
+func (s *Session) Status(ctx context.Context, job core.JobID) (ajo.Summary, error) {
+	return s.jmc.statusContext(ctx, s.usite, job)
+}
+
+// Outcome retrieves the full outcome tree of one job.
+func (s *Session) Outcome(ctx context.Context, job core.JobID) (*ajo.Outcome, error) {
+	return s.jmc.outcomeContext(ctx, s.usite, job)
+}
+
+// List returns the caller's jobs at the session's Usite, newest first.
+func (s *Session) List(ctx context.Context) ([]protocol.JobInfo, error) {
+	return s.jmc.listContext(ctx, s.usite)
+}
+
+// Abort cancels a job and everything in flight for it.
+func (s *Session) Abort(ctx context.Context, job core.JobID) error {
+	return s.jmc.controlContext(ctx, s.usite, job, ajo.OpAbort)
+}
+
+// Hold pauses dispatching of a job's not-yet-started actions.
+func (s *Session) Hold(ctx context.Context, job core.JobID) error {
+	return s.jmc.controlContext(ctx, s.usite, job, ajo.OpHold)
+}
+
+// Resume releases a held job.
+func (s *Session) Resume(ctx context.Context, job core.JobID) error {
+	return s.jmc.controlContext(ctx, s.usite, job, ajo.OpResume)
+}
+
+// FetchFile downloads a file from the job's Uspace to the workstation.
+func (s *Session) FetchFile(ctx context.Context, job core.JobID, file string) ([]byte, error) {
+	return s.jmc.fetchFileContext(ctx, s.usite, job, file)
+}
+
+// Events performs one raw subscription fetch (protocol v2): the buffered
+// events past the request's cursor, long-polled server-side for up to
+// req.WaitMs. Most callers want Watch or Await instead.
+func (s *Session) Events(ctx context.Context, req protocol.SubscribeRequest) (protocol.EventsReply, error) {
+	return fetchEvents(ctx, s.c, s.usite, req)
+}
+
+// longPollMs returns the per-round server hold in milliseconds.
+func (s *Session) longPollMs() int64 {
+	lp := s.LongPoll
+	if lp <= 0 {
+		lp = DefaultLongPoll
+	}
+	return lp.Milliseconds()
+}
+
+// Await blocks until the job is terminal and returns its final summary,
+// consuming the server-push event stream: each round is one long-polled
+// subscribe that the server holds until events arrive, so a job completes in
+// O(1) round trips regardless of how long it runs — where the deprecated
+// JMC.Wait burned one signed poll envelope per interval. A lost reply is
+// recovered by re-subscribing at the same cursor (no gaps, no duplicates);
+// cancelling ctx aborts the in-flight round immediately. Against a site that
+// negotiated down to protocol v1, Await fails with protocol.ErrV1Peer — use
+// the polling Wait there.
+func (s *Session) Await(ctx context.Context, job core.JobID) (ajo.Summary, error) {
+	cursor := uint64(0)
+	for {
+		if err := ctx.Err(); err != nil {
+			return ajo.Summary{}, err
+		}
+		reply, err := s.Events(ctx, protocol.SubscribeRequest{
+			Job: job, Cursor: cursor, WaitMs: s.longPollMs(),
+		})
+		if err != nil {
+			return ajo.Summary{}, err
+		}
+		for _, ev := range reply.Events {
+			if ev.Terminal {
+				return s.Status(ctx, job)
+			}
+		}
+		if reply.Cursor > cursor {
+			cursor = reply.Cursor
+		}
+	}
+}
+
+// ErrWatchGap reports that a subscription cursor fell below the server's
+// bounded event log — events were evicted before the watcher consumed them,
+// so a gapless stream can no longer be delivered from that cursor. Resume
+// with Session.Events at an explicit cursor to read the retained window.
+var ErrWatchGap = errors.New("client: events evicted before the watch cursor; stream would be incomplete")
+
+// Watch subscribes to one job's lifecycle events and delivers them in order
+// on the returned channel — the server-push replacement for polling the JMC
+// status display. The first fetch runs synchronously, so an unknown job, an
+// authorization failure, or an already-evicted stream head (ErrWatchGap)
+// surfaces as an error instead of a silently closed channel.
+//
+// The channel is closed after the job's terminal event has been delivered.
+// A closure whose last delivered event is not terminal means the stream
+// ended early: ctx was cancelled, or the subscription failed after its
+// retries (transient failures — a replica failing over, replies lost in
+// transit — are retried at the same cursor, which the idempotent fetch
+// makes safe). Consumers that must distinguish completion from truncation
+// check the last event's Terminal flag.
+func (s *Session) Watch(ctx context.Context, job core.JobID) (<-chan JobEvent, error) {
+	first, err := s.Events(ctx, protocol.SubscribeRequest{Job: job})
+	if err != nil {
+		return nil, err
+	}
+	if first.Gap {
+		return nil, fmt.Errorf("%w (job %s)", ErrWatchGap, job)
+	}
+	out := make(chan JobEvent, defaultWatchBuffer)
+	go func() {
+		defer close(out)
+		cursor := uint64(0)
+		deliver := func(reply protocol.EventsReply) (done bool) {
+			for _, ev := range reply.Events {
+				select {
+				case out <- ev:
+				case <-ctx.Done():
+					return true
+				}
+				if ev.Terminal {
+					return true
+				}
+			}
+			if reply.Cursor > cursor {
+				cursor = reply.Cursor
+			}
+			return false
+		}
+		if deliver(first) {
+			return
+		}
+		fails := 0
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			reply, err := s.Events(ctx, protocol.SubscribeRequest{
+				Job: job, Cursor: cursor, WaitMs: s.longPollMs(),
+			})
+			switch {
+			case err != nil && ctx.Err() != nil:
+				return
+			case errors.Is(err, protocol.ErrV1Peer):
+				return // permanent: the site cannot push events
+			case err != nil:
+				// Transient (owning replica failing over, reply lost beyond
+				// the client's retries): back off and re-subscribe at the
+				// same cursor — the fetch is idempotent, so recovery loses
+				// and duplicates nothing.
+				fails++
+				if fails > watchMaxFailures {
+					return
+				}
+				select {
+				case <-time.After(watchRetryBackoff * time.Duration(fails)):
+				case <-ctx.Done():
+					return
+				}
+				continue
+			case reply.Gap:
+				return // fell behind the bounded log: truncation, end early
+			}
+			fails = 0
+			if deliver(reply) {
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// defaultWatchBuffer decouples Watch delivery from slow consumers for small
+// bursts (a coalesced batch) without unbounded buffering.
+const defaultWatchBuffer = 16
+
+// watchMaxFailures bounds consecutive failed subscribe rounds before a
+// Watch gives up; watchRetryBackoff spaces the retries (real time — the
+// failures being ridden out are transport- and failover-level).
+const (
+	watchMaxFailures  = 5
+	watchRetryBackoff = 200 * time.Millisecond
+)

@@ -1,0 +1,349 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"unicore/internal/ajo"
+	"unicore/internal/events"
+	"unicore/internal/pki"
+	"unicore/internal/protocol"
+	"unicore/internal/resources"
+)
+
+// session opens a v2 session against the rig's site.
+func (r *rig) session() *Session {
+	return NewSession(r.c, "LRZ")
+}
+
+// slowJob builds a two-step script job with real virtual runtime.
+func slowJob(t *testing.T) *ajo.AbstractJob {
+	t.Helper()
+	b := NewJob("awaited", vpp)
+	s1 := b.Script("produce", "cpu 5m\necho 42 > answer.txt\n", resources.Request{Processors: 1, RunTime: time.Hour})
+	s2 := b.Script("consume", "cpu 2m\ncat answer.txt\n", resources.Request{Processors: 1, RunTime: time.Hour})
+	b.After(s1, s2, "answer.txt")
+	job, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return job
+}
+
+// TestSessionAwaitCompletesOnEventStream runs Await concurrently with the
+// virtual-clock driver: the long-polled subscription wakes as the NJS
+// appends events, and Await returns the terminal summary without interval
+// polling.
+func TestSessionAwaitCompletesOnEventStream(t *testing.T) {
+	r := newRig(t)
+	sess := r.session()
+	jid, err := sess.Submit(context.Background(), slowJob(t))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	type result struct {
+		sum ajo.Summary
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		sum, err := sess.Await(context.Background(), jid)
+		done <- result{sum, err}
+	}()
+	// Drive the deployment to completion while Await blocks.
+	deadline := time.After(10 * time.Second)
+	for {
+		r.clock.RunUntilIdle(100000)
+		select {
+		case res := <-done:
+			if res.err != nil {
+				t.Fatalf("Await: %v", res.err)
+			}
+			if res.sum.Status != ajo.StatusSuccessful {
+				t.Fatalf("Await status = %s, want SUCCESSFUL", res.sum.Status)
+			}
+			return
+		case <-deadline:
+			t.Fatal("Await never returned")
+		case <-time.After(time.Millisecond):
+			// The Await goroutine may not have subscribed yet; drive again.
+		}
+	}
+}
+
+// TestSessionAwaitCancellation unblocks a held Await as soon as its context
+// is cancelled — the cancellation path through protocol.Client and the
+// gateway long-poll.
+func TestSessionAwaitCancellation(t *testing.T) {
+	r := newRig(t)
+	sess := r.session()
+	jid, err := sess.Submit(context.Background(), slowJob(t))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := sess.Await(ctx, jid)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the long-poll start
+	cancel()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("cancelled Await returned nil error")
+		}
+		if !errors.Is(err, context.Canceled) && !strings.Contains(err.Error(), context.Canceled.Error()) {
+			t.Fatalf("cancelled Await returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not unblock Await")
+	}
+}
+
+// TestSessionWatchDeliversOrderedStream collects the full event stream of a
+// job and checks ordering invariants: contiguous per-job sequence from 1,
+// admitted first, exactly one terminal event, delivered last.
+func TestSessionWatchDeliversOrderedStream(t *testing.T) {
+	r := newRig(t)
+	sess := r.session()
+	jid, err := sess.Submit(context.Background(), slowJob(t))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ch, err := sess.Watch(context.Background(), jid)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	got := make(chan []JobEvent, 1)
+	go func() {
+		var evs []JobEvent
+		for ev := range ch {
+			evs = append(evs, ev)
+		}
+		got <- evs
+	}()
+	var evs []JobEvent
+	deadline := time.After(10 * time.Second)
+collect:
+	for {
+		r.clock.RunUntilIdle(100000)
+		select {
+		case evs = <-got:
+			break collect
+		case <-deadline:
+			t.Fatal("Watch channel never closed")
+		case <-time.After(time.Millisecond):
+			// The watcher may still be mid-subscribe; drive again.
+		}
+	}
+	if len(evs) == 0 {
+		t.Fatal("Watch delivered no events")
+	}
+	terminals := 0
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has Seq %d — stream not contiguous", i, ev.Seq)
+		}
+		if ev.Terminal {
+			terminals++
+		}
+	}
+	if evs[0].Type != events.TypeAdmitted {
+		t.Fatalf("first event = %s, want admitted", evs[0].Type)
+	}
+	last := evs[len(evs)-1]
+	if terminals != 1 || !last.Terminal || last.Status != ajo.StatusSuccessful {
+		t.Fatalf("terminal events = %d, last = %+v; want exactly one terminal last", terminals, last)
+	}
+}
+
+// TestWatchUnknownJobFailsFast surfaces bad subscriptions synchronously.
+func TestWatchUnknownJobFailsFast(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.session().Watch(context.Background(), "LRZ-999999"); err == nil {
+		t.Fatal("Watch of an unknown job returned a channel instead of an error")
+	}
+}
+
+// TestConsignIDFallbackStaysUnique is the regression test for the
+// crypto/rand fallback: two submissions minted without entropy must not
+// share an idempotency token (a shared token silently dedupes the second
+// submission as a "retry" of the first).
+func TestConsignIDFallbackStaysUnique(t *testing.T) {
+	orig := consignIDReader
+	consignIDReader = func([]byte) (int, error) { return 0, errors.New("entropy exhausted") }
+	defer func() { consignIDReader = orig }()
+
+	a, b := newConsignID(), newConsignID()
+	if a == b {
+		t.Fatalf("two entropy-free consign IDs collide: %q", a)
+	}
+	if a == "consign-fallback" || b == "consign-fallback" {
+		t.Fatalf("constant fallback token is back: %q %q", a, b)
+	}
+
+	// End to end: two fallback-tokened submissions admit two distinct jobs.
+	r := newRig(t)
+	id1, err := r.jpa.Submit(slowJob(t))
+	if err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	id2, err := r.jpa.Submit(slowJob(t))
+	if err != nil {
+		t.Fatalf("Submit 2: %v", err)
+	}
+	if id1 == id2 {
+		t.Fatalf("second submission deduplicated onto %s", id1)
+	}
+}
+
+// failAfter passes requests through until n have been served, then fails
+// every later round trip — the shape of a transport that dies mid-wait.
+type failAfter struct {
+	base http.RoundTripper
+	left int
+}
+
+func (f *failAfter) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f.left <= 0 {
+		return nil, fmt.Errorf("transport down")
+	}
+	f.left--
+	return f.base.RoundTrip(req)
+}
+
+// TestWaitSurfacesTransportError is the regression test for the Wait error
+// contract: when a poll fails in transit mid-wait — including on the very
+// last round — Wait returns the transport error, never ErrWaitTimeout
+// masking it.
+func TestWaitSurfacesTransportError(t *testing.T) {
+	r := newRig(t)
+	jid, err := r.jpa.Submit(slowJob(t))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// The job stays non-terminal (nobody drives the clock). Let exactly the
+	// first two monitor rounds through, then kill the transport: the final
+	// round errors and that error must surface.
+	ft := &failAfter{base: r.net, left: 2}
+	c := protocol.NewClient(ft, r.user, r.ca, r.reg)
+	c.Retries = 0
+	jmc := NewJMC(c)
+	_, err = jmc.Wait("LRZ", jid, time.Millisecond, func(time.Duration) {}, 3)
+	if err == nil {
+		t.Fatal("Wait returned nil despite the dead transport")
+	}
+	if errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("Wait masked the transport failure behind ErrWaitTimeout: %v", err)
+	}
+	if !strings.Contains(err.Error(), "transport down") {
+		t.Fatalf("Wait error = %v, want the transport failure", err)
+	}
+	// Under a lossy-but-retrying transport (the §5.3 claim) Wait still
+	// reaches the terminal summary.
+	r.clock.RunUntilIdle(1000000)
+	flaky := protocol.NewFlaky(r.net, 0.3, 42)
+	fc := protocol.NewClient(flaky, r.user, r.ca, r.reg)
+	fc.Retries = 50
+	sum, err := NewJMC(fc).Wait("LRZ", jid, time.Millisecond, func(time.Duration) {}, 50)
+	if err != nil {
+		t.Fatalf("Wait over flaky transport: %v", err)
+	}
+	if sum.Status != ajo.StatusSuccessful {
+		t.Fatalf("Wait status = %s, want SUCCESSFUL", sum.Status)
+	}
+}
+
+// v1Site mimics a pre-session gateway: it accepts only version-1 envelopes
+// (rejecting others with the ErrBadVersion marker, exactly as the old strict
+// Open did) and answers polls with a terminal summary.
+func v1Site(t *testing.T, ca *pki.Authority, cred *pki.Credential) http.Handler {
+	t.Helper()
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var env protocol.Envelope
+		if err := json.NewDecoder(req.Body).Decode(&env); err != nil {
+			t.Fatalf("v1 site: decode: %v", err)
+		}
+		seal := func(mt protocol.MsgType, payload any) {
+			out, err := protocol.SealAt(cred, 1, mt, payload)
+			if err != nil {
+				t.Fatalf("v1 site: seal: %v", err)
+			}
+			w.Write(out)
+		}
+		if env.Version != 1 {
+			seal(protocol.MsgError, protocol.ErrorReply{
+				Code:    "authentication",
+				Message: fmt.Sprintf("protocol: unsupported protocol version: %d", env.Version),
+			})
+			return
+		}
+		switch env.Type {
+		case protocol.MsgPoll:
+			seal(protocol.MsgPollReply, protocol.PollReply{Found: true, Summary: ajo.Summary{
+				Job: "OLD-000001", Status: ajo.StatusSuccessful, Total: 1, Done: 1,
+			}})
+		default:
+			seal(protocol.MsgError, protocol.ErrorReply{Code: string(env.Type), Message: "unsupported"})
+		}
+	})
+}
+
+// TestVersionNegotiationAgainstV1Site downgrades transparently: the first
+// call re-seals at v1 after the rejection, later calls go straight to v1,
+// Session.Await reports ErrV1Peer, and JMC.Wait falls back to polling.
+func TestVersionNegotiationAgainstV1Site(t *testing.T) {
+	ca, err := pki.NewAuthority("DFN-PCA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ca.IssueServer("gateway.old", "gw.old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := ca.IssueUser("Vera Vintage", "OLD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := protocol.NewInProc()
+	net.Register("gw.old", v1Site(t, ca, srv))
+	reg := protocol.NewRegistry()
+	reg.Add("OLD", "https://gw.old")
+	c := protocol.NewClient(net, user, ca, reg)
+
+	if v := c.SiteVersion("OLD"); v != protocol.Version {
+		t.Fatalf("initial site version = %d, want %d", v, protocol.Version)
+	}
+	jmc := NewJMC(c)
+	sum, err := jmc.Status("OLD", "OLD-000001")
+	if err != nil {
+		t.Fatalf("Status via negotiation: %v", err)
+	}
+	if sum.Status != ajo.StatusSuccessful {
+		t.Fatalf("status = %s", sum.Status)
+	}
+	if v := c.SiteVersion("OLD"); v != 1 {
+		t.Fatalf("negotiated site version = %d, want 1", v)
+	}
+
+	sess := NewSession(c, "OLD")
+	if _, err := sess.Await(context.Background(), "OLD-000001"); !errors.Is(err, protocol.ErrV1Peer) {
+		t.Fatalf("Await against a v1 site: err = %v, want ErrV1Peer", err)
+	}
+	// The deprecated Wait still completes by falling back to status polls.
+	sum, err = jmc.Wait("OLD", "OLD-000001", time.Millisecond, func(time.Duration) {}, 5)
+	if err != nil {
+		t.Fatalf("Wait fallback: %v", err)
+	}
+	if sum.Status != ajo.StatusSuccessful {
+		t.Fatalf("Wait fallback status = %s", sum.Status)
+	}
+}

@@ -1,0 +1,176 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"unicore/internal/pki"
+	"unicore/internal/protocol"
+)
+
+// subscribeEnvelope seals a MsgSubscribe request for a site user.
+func (s *site) subscribeEnvelope(t *testing.T, req protocol.SubscribeRequest) []byte {
+	t.Helper()
+	body, err := protocol.Seal(s.alice, protocol.MsgSubscribe, req)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	return body
+}
+
+// openEvents decodes an events reply envelope.
+func (s *site) openEvents(t *testing.T, data []byte) protocol.EventsReply {
+	t.Helper()
+	mt, raw, _, _, err := protocol.Open(s.ca, data)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if mt == protocol.MsgError {
+		var er protocol.ErrorReply
+		_ = json.Unmarshal(raw, &er)
+		t.Fatalf("error reply: %v", &er)
+	}
+	if mt != protocol.MsgEventsReply {
+		t.Fatalf("reply type = %s, want %s", mt, protocol.MsgEventsReply)
+	}
+	var reply protocol.EventsReply
+	if err := json.Unmarshal(raw, &reply); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return reply
+}
+
+// TestSubscribeLongPollWakesOnEvent holds a user-stream subscription open
+// until a consignment appends the first events, then returns them coalesced.
+func TestSubscribeLongPollWakesOnEvent(t *testing.T) {
+	s := newSite(t)
+	env := s.subscribeEnvelope(t, protocol.SubscribeRequest{WaitMs: 30_000})
+
+	replies := make(chan protocol.EventsReply, 1)
+	go func() {
+		replies <- s.openEvents(t, s.gw.HandleContext(context.Background(), env))
+	}()
+	select {
+	case r := <-replies:
+		t.Fatalf("long-poll returned before any event: %+v", r)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	id := consign(t, s.client(s.alice), scriptJob("wake", "echo hi\n"))
+	var reply protocol.EventsReply
+	select {
+	case reply = <-replies:
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll never woke after the consignment")
+	}
+	if len(reply.Events) == 0 {
+		t.Fatal("woken long-poll returned no events")
+	}
+	if reply.Events[0].Job != id || reply.Events[0].Type != "admitted" {
+		t.Fatalf("first event = %+v, want admitted %s", reply.Events[0], id)
+	}
+}
+
+// TestSubscribeLongPollDeadline returns an empty batch once the requested
+// wall-clock wait expires without events.
+func TestSubscribeLongPollDeadline(t *testing.T) {
+	s := newSite(t)
+	env := s.subscribeEnvelope(t, protocol.SubscribeRequest{WaitMs: 30})
+	start := time.Now()
+	reply := s.openEvents(t, s.gw.HandleContext(context.Background(), env))
+	if len(reply.Events) != 0 {
+		t.Fatalf("idle subscription returned %d events", len(reply.Events))
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("long-poll returned before its deadline")
+	}
+}
+
+// TestSubscribeLongPollCancellation releases the held request as soon as the
+// caller's context is cancelled — the propagation path of Session contexts.
+func TestSubscribeLongPollCancellation(t *testing.T) {
+	s := newSite(t)
+	env := s.subscribeEnvelope(t, protocol.SubscribeRequest{WaitMs: 60_000})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan protocol.EventsReply, 1)
+	go func() { done <- s.openEvents(t, s.gw.HandleContext(ctx, env)) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case reply := <-done:
+		if len(reply.Events) != 0 {
+			t.Fatalf("cancelled subscription returned %d events", len(reply.Events))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not release the long-poll")
+	}
+}
+
+// TestReplyMirrorsRequestVersion keeps v1 peers working against a v2 server:
+// a v1-sealed request gets a v1-sealed reply, and a v2 request a v2 reply.
+func TestReplyMirrorsRequestVersion(t *testing.T) {
+	s := newSite(t)
+	for _, ver := range []int{1, 2} {
+		env, err := protocol.SealAt(s.alice, ver, protocol.MsgList, protocol.ListRequest{})
+		if err != nil {
+			t.Fatalf("SealAt(%d): %v", ver, err)
+		}
+		got, mt, _, _, _, err := protocol.OpenVersioned(s.ca, s.gw.Handle(env))
+		if err != nil {
+			t.Fatalf("OpenVersioned(reply to v%d): %v", ver, err)
+		}
+		if mt != protocol.MsgListReply {
+			t.Fatalf("v%d request answered with %s", ver, mt)
+		}
+		if got != ver {
+			t.Fatalf("reply to a v%d request sealed at v%d", ver, got)
+		}
+	}
+	// An authentication failure on a v1 envelope is answered at v1 too —
+	// a strict v1 verifier must be able to read the error it caused.
+	otherCA, err := pki.NewAuthority("IMPOSTOR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stranger, err := otherCA.IssueUser("Mallory", "ELSEWHERE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badEnv, err := protocol.SealAt(stranger, 1, protocol.MsgList, protocol.ListRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotVer, mt, _, _, _, err := protocol.OpenVersioned(s.ca, s.gw.Handle(badEnv))
+	if err != nil {
+		t.Fatalf("OpenVersioned(auth-failure reply): %v", err)
+	}
+	if mt != protocol.MsgError {
+		t.Fatalf("untrusted signer answered with %s, want error", mt)
+	}
+	if gotVer != 1 {
+		t.Fatalf("auth-failure reply to a v1 envelope sealed at v%d, want v1", gotVer)
+	}
+
+	// A version beyond the supported range is rejected with the negotiation
+	// marker clients downgrade on.
+	raw, err := json.Marshal(map[string]any{"version": protocol.Version + 1, "type": "list"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, body, _, _, err := protocol.Open(s.ca, s.gw.Handle(raw))
+	if err != nil {
+		t.Fatalf("Open(rejection): %v", err)
+	}
+	if mt != protocol.MsgError {
+		t.Fatalf("future-version request answered with %s", mt)
+	}
+	var er protocol.ErrorReply
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !protocol.IsVersionRejection(&er) {
+		t.Fatalf("rejection %v not recognised by IsVersionRejection", &er)
+	}
+}

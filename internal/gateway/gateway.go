@@ -26,6 +26,7 @@
 package gateway
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -34,6 +35,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"unicore/internal/ajo"
 	"unicore/internal/core"
@@ -46,6 +48,12 @@ import (
 // maxRequest bounds one request envelope. AJOs carry workstation files
 // inline (§5.6), so the bound is generous.
 const maxRequest = 64 << 20
+
+// DefaultMaxEventWait caps how long one MsgSubscribe request may long-poll
+// server-side. The cap is real (wall-clock) time even under a virtual-clock
+// deployment: holding a request is a transport concern, and burning no
+// virtual events keeps simulations deterministic.
+const DefaultMaxEventWait = 2 * time.Minute
 
 // Errors reported by the gateway.
 var (
@@ -111,6 +119,9 @@ type Config struct {
 	Backend njs.Service
 	// SiteAuth, when set, is consulted for every user-role request.
 	SiteAuth SiteAuth
+	// MaxEventWait caps the server-side long-poll of one MsgSubscribe
+	// request (default DefaultMaxEventWait).
+	MaxEventWait time.Duration
 }
 
 // Gateway is one Usite's UNICORE server front end.
@@ -120,6 +131,7 @@ type Gateway struct {
 	ca       *pki.Authority
 	users    *uudb.DB
 	siteAuth SiteAuth
+	maxWait  time.Duration
 
 	// backend holds the server tier behind an atomic pointer so a recovered
 	// NJS (or a rebuilt replica router) can be swapped in while requests are
@@ -168,12 +180,17 @@ func New(cfg Config) (*Gateway, error) {
 	if backend == nil {
 		return nil, errors.New("gateway: nil NJS/Backend")
 	}
+	maxWait := cfg.MaxEventWait
+	if maxWait <= 0 {
+		maxWait = DefaultMaxEventWait
+	}
 	g := &Gateway{
 		usite:      cfg.Usite,
 		cred:       cfg.Cred,
 		ca:         cfg.CA,
 		users:      cfg.Users,
 		siteAuth:   cfg.SiteAuth,
+		maxWait:    maxWait,
 		applets:    make(map[string]Applet),
 		byType:     make(map[protocol.MsgType]*atomic.Int64),
 		extraTypes: make(map[protocol.MsgType]int64),
@@ -319,7 +336,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		if _, err := w.Write(g.Handle(body)); err != nil {
+		if _, err := w.Write(g.HandleContext(r.Context(), body)); err != nil {
 			return
 		}
 	case r.Method == http.MethodGet && r.URL.Path == "/":
@@ -348,10 +365,24 @@ func (g *Gateway) serveIndex(w http.ResponseWriter) {
 // sealed reply envelope. It is the shared core of the combined server, the
 // TLS server, and the firewall-split inner half.
 func (g *Gateway) Handle(data []byte) []byte {
-	t, raw, dn, role, err := protocol.Open(g.ca, data)
+	return g.HandleContext(context.Background(), data)
+}
+
+// HandleContext is Handle under a caller context: a MsgSubscribe long-poll
+// waits on it, so cancelling the inbound request (the client went away)
+// releases the held goroutine immediately. The reply envelope is sealed at
+// the version the request arrived with, which is what keeps v1 peers working
+// against a v2 server.
+func (g *Gateway) HandleContext(ctx context.Context, data []byte) []byte {
+	ver, t, raw, dn, role, err := protocol.OpenVersioned(g.ca, data)
 	if err != nil {
 		g.countFailure("authentication")
-		return g.sealError("authentication", err)
+		// Mirror the failing peer's version when it parsed in range, so a
+		// strict v1 verifier can still read the error reply.
+		if ver == 0 {
+			ver = protocol.Version
+		}
+		return g.sealError(ver, "authentication", err)
 	}
 	g.count(t)
 	switch role {
@@ -359,30 +390,30 @@ func (g *Gateway) Handle(data []byte) []byte {
 		// Users and peer UNICORE servers may talk to a gateway.
 	default:
 		g.countFailure("role")
-		return g.sealError("role", fmt.Errorf("%w: %q", ErrNotPermitted, role))
+		return g.sealError(ver, "role", fmt.Errorf("%w: %q", ErrNotPermitted, role))
 	}
 	if role == pki.RoleUser && g.siteAuth != nil {
 		if err := g.siteAuth(dn); err != nil {
 			g.countFailure("site-auth")
-			return g.sealError("site-auth", fmt.Errorf("%w: %v", ErrSiteAuth, err))
+			return g.sealError(ver, "site-auth", fmt.Errorf("%w: %v", ErrSiteAuth, err))
 		}
 	}
 	asServer := role == pki.RoleServer
 
-	reply, rt, err := g.dispatch(t, raw, dn, asServer)
+	reply, rt, err := g.dispatch(ctx, t, raw, dn, asServer)
 	if err != nil {
 		g.countFailure(string(t))
-		return g.sealError(string(t), err)
+		return g.sealError(ver, string(t), err)
 	}
-	out, err := protocol.Seal(g.cred, rt, reply)
+	out, err := protocol.SealAt(g.cred, ver, rt, reply)
 	if err != nil {
-		return g.sealError("internal", err)
+		return g.sealError(ver, "internal", err)
 	}
 	return out
 }
 
 // dispatch routes one authenticated request to the NJS.
-func (g *Gateway) dispatch(t protocol.MsgType, raw json.RawMessage, dn core.DN, asServer bool) (any, protocol.MsgType, error) {
+func (g *Gateway) dispatch(ctx context.Context, t protocol.MsgType, raw json.RawMessage, dn core.DN, asServer bool) (any, protocol.MsgType, error) {
 	switch t {
 	case protocol.MsgConsign:
 		return g.handleConsign(raw, dn, asServer)
@@ -462,6 +493,13 @@ func (g *Gateway) dispatch(t protocol.MsgType, raw json.RawMessage, dn core.DN, 
 		}
 		reply, err := g.svc().FetchFileOwned(dn, asServer, req.Job, req.File, req.Offset, req.Limit)
 		return reply, protocol.MsgFetchReply, err
+	case protocol.MsgSubscribe:
+		var req protocol.SubscribeRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, "", fmt.Errorf("gateway: bad subscribe request: %w", err)
+		}
+		reply, err := g.longPollEvents(ctx, dn, asServer, req)
+		return reply, protocol.MsgEventsReply, err
 	case protocol.MsgLoad:
 		// One backend load for the whole reply: a concurrent SetBackend swap
 		// must not yield a report mixing two backends' figures.
@@ -534,10 +572,49 @@ func (g *Gateway) handleResources(req protocol.ResourcesRequest) (any, protocol.
 	return protocol.ResourcesReply{PagesDER: pages}, protocol.MsgResourcesReply, nil
 }
 
-// sealError wraps a failure as a signed error reply. If even sealing fails
-// the gateway returns an unsigned error document as a last resort.
-func (g *Gateway) sealError(code string, cause error) []byte {
-	out, err := protocol.Seal(g.cred, protocol.MsgError, protocol.ErrorReply{
+// longPollEvents serves one MsgSubscribe: fetch buffered events past the
+// cursor; when none are available and the request asked to wait, hold until
+// the backend signals an append, the wall-clock wait expires, or the caller
+// goes away — then reply with everything buffered by then (coalescing). The
+// notify channel is taken before each fetch, so an append racing the fetch
+// wakes the next round instead of being lost.
+func (g *Gateway) longPollEvents(ctx context.Context, dn core.DN, asServer bool, req protocol.SubscribeRequest) (protocol.EventsReply, error) {
+	wait := time.Duration(req.WaitMs) * time.Millisecond
+	if wait > g.maxWait {
+		wait = g.maxWait
+	}
+	var deadline <-chan time.Time
+	if wait > 0 {
+		tm := time.NewTimer(wait)
+		defer tm.Stop()
+		deadline = tm.C
+	}
+	for {
+		svc := g.svc()
+		ch, release := svc.EventsNotify(req)
+		reply, err := svc.Events(dn, asServer, req)
+		if err != nil || len(reply.Events) > 0 || wait <= 0 {
+			release()
+			return reply, err
+		}
+		select {
+		case <-ch:
+			release()
+		case <-deadline:
+			release()
+			return reply, nil
+		case <-ctx.Done():
+			release()
+			return reply, nil
+		}
+	}
+}
+
+// sealError wraps a failure as a signed error reply at the request's
+// protocol version. If even sealing fails the gateway returns an unsigned
+// error document as a last resort.
+func (g *Gateway) sealError(ver int, code string, cause error) []byte {
+	out, err := protocol.SealAt(g.cred, ver, protocol.MsgError, protocol.ErrorReply{
 		Code:    code,
 		Message: cause.Error(),
 	})

@@ -92,12 +92,17 @@ const (
 	KindRootDone
 	// KindSeq restores the job-ID counter (snapshot bookkeeping).
 	KindSeq
+	// KindJobEvent records one protocol-v2 subscription event exactly as the
+	// event log assigned it (per-job and per-log sequence numbers included),
+	// so a recovered NJS restores its event log with the original cursor
+	// numbering — what keeps subscriber cursors valid across a crash.
+	KindJobEvent
 )
 
 var kindNames = [...]string{
 	"", "FILE_WRITE", "FILE_REMOVE", "MKDIR", "RENAME", "ADMIT",
 	"ACTION_START", "ACTION_DONE", "INJECT", "REMOTE", "CONTROL",
-	"ROOT_DONE", "SEQ",
+	"ROOT_DONE", "SEQ", "JOB_EVENT",
 }
 
 func (k Kind) String() string {
@@ -184,6 +189,23 @@ type RootEvent struct {
 	Finished time.Time
 }
 
+// JobEventRecord is a journaled subscription event (package events), stored
+// with the exact sequence numbers the event log assigned, plus the owner DN
+// that keys the per-user stream on restore.
+type JobEventRecord struct {
+	Owner    string
+	Job      string
+	Seq      uint64
+	Global   uint64
+	Origin   string
+	Type     string
+	Action   string
+	Status   int
+	Reason   string
+	Time     time.Time
+	Terminal bool
+}
+
 // Entry is one journal record. Exactly the payload field matching Kind is
 // set; the rest stay nil so gob keeps records compact.
 type Entry struct {
@@ -195,6 +217,7 @@ type Entry struct {
 	Remote  *RemoteLink
 	Control *ControlEvent
 	Root    *RootEvent
+	Event   *JobEventRecord
 	Seq     int64
 }
 

@@ -65,6 +65,7 @@ import (
 	"unicore/internal/ajo"
 	"unicore/internal/codine"
 	"unicore/internal/core"
+	"unicore/internal/events"
 	"unicore/internal/journal"
 	"unicore/internal/protocol"
 	"unicore/internal/uudb"
@@ -178,7 +179,41 @@ func (n *NJS) recordFile(vsite string, m vfs.Mutation) {
 	}})
 }
 
+// toJobEventRecord converts one assigned log event into its journal record,
+// the single mapping shared by the tail (emitEvent) and the snapshot
+// (emitSnapshot) so the two can never drift apart.
+func toJobEventRecord(owner core.DN, ev events.Event) *journal.JobEventRecord {
+	return &journal.JobEventRecord{
+		Owner:    string(owner),
+		Job:      string(ev.Job),
+		Seq:      ev.Seq,
+		Global:   ev.Global,
+		Origin:   ev.Origin,
+		Type:     string(ev.Type),
+		Action:   string(ev.Action),
+		Status:   int(ev.Status),
+		Reason:   ev.Reason,
+		Time:     ev.Time,
+		Terminal: ev.Terminal,
+	}
+}
+
+// emitEvent appends one lifecycle event to the in-memory log (always) and
+// journals the assigned record (when a journal is attached), so a recovered
+// replica restores the log with the exact cursor numbering subscribers hold.
+// Called under the job's lock, like the journal hooks; both are O(1).
+func (n *NJS) emitEvent(uj *unicoreJob, ev events.Event) {
+	ev.Job = uj.id
+	ev.Time = n.clock.Now()
+	ev = n.log.Append(uj.owner, ev)
+	if n.rec.Load() == nil {
+		return
+	}
+	n.record(journal.Entry{Kind: journal.KindJobEvent, Event: toJobEventRecord(uj.owner, ev)})
+}
+
 func (n *NJS) recordAdmit(uj *unicoreJob) {
+	n.emitEvent(uj, events.Event{Type: events.TypeAdmitted, Status: ajo.StatusRunning})
 	if n.rec.Load() == nil {
 		return
 	}
@@ -230,6 +265,7 @@ func actionEventOf(uj *unicoreJob, aid ajo.ActionID, o *ajo.Outcome) *journal.Ac
 }
 
 func (n *NJS) recordActionDone(uj *unicoreJob, aid ajo.ActionID, o *ajo.Outcome) {
+	n.emitEvent(uj, events.Event{Type: events.TypeActionDone, Action: aid, Status: o.Status, Reason: o.Reason})
 	if n.rec.Load() == nil {
 		return
 	}
@@ -237,6 +273,7 @@ func (n *NJS) recordActionDone(uj *unicoreJob, aid ajo.ActionID, o *ajo.Outcome)
 }
 
 func (n *NJS) recordActionStart(uj *unicoreJob, aid ajo.ActionID, status ajo.Status) {
+	n.emitEvent(uj, events.Event{Type: events.TypeStatus, Action: aid, Status: status})
 	if n.rec.Load() == nil {
 		return
 	}
@@ -264,6 +301,7 @@ func (n *NJS) recordRemote(uj *unicoreJob, aid ajo.ActionID, ref *remoteRef) {
 }
 
 func (n *NJS) recordControl(uj *unicoreJob, op ajo.ControlOp) {
+	n.emitEvent(uj, events.Event{Type: events.TypeControl, Status: uj.root.Status, Reason: string(op)})
 	if n.rec.Load() == nil {
 		return
 	}
@@ -273,6 +311,7 @@ func (n *NJS) recordControl(uj *unicoreJob, op ajo.ControlOp) {
 }
 
 func (n *NJS) recordRootDone(uj *unicoreJob) {
+	n.emitEvent(uj, events.Event{Type: events.TypeJobDone, Status: uj.root.Status, Terminal: true})
 	if n.rec.Load() == nil {
 		return
 	}
@@ -309,6 +348,14 @@ func (n *NJS) emitSnapshot(emit func(journal.Entry) error) error {
 	}
 	for _, uj := range jobs {
 		if err := n.emitJob(uj, emit); err != nil {
+			return err
+		}
+	}
+	// The retained event log rides in the snapshot with its original
+	// numbering, so compaction never invalidates a subscriber's cursor.
+	for _, ev := range n.log.Snapshot() {
+		owner, _ := n.log.Owner(ev.Job)
+		if err := emit(journal.Entry{Kind: journal.KindJobEvent, Event: toJobEventRecord(owner, ev)}); err != nil {
 			return err
 		}
 	}
@@ -577,6 +624,8 @@ func (n *NJS) applyEntry(e journal.Entry) error {
 		return n.applyControl(e.Control)
 	case journal.KindRootDone:
 		return n.applyRootDone(e.Root)
+	case journal.KindJobEvent:
+		return n.applyJobEvent(e.Event)
 	case journal.KindSeq:
 		if e.Seq > n.seq {
 			n.seq = e.Seq
@@ -808,6 +857,27 @@ func (n *NJS) applyControl(c *journal.ControlEvent) error {
 	case ajo.OpResume:
 		uj.held = false
 	}
+	return nil
+}
+
+// applyJobEvent restores one subscription event into the event log with its
+// original sequence numbers; Restore drops snapshot+tail duplicates.
+func (n *NJS) applyJobEvent(r *journal.JobEventRecord) error {
+	if r == nil {
+		return nil
+	}
+	n.log.Restore(core.DN(r.Owner), events.Event{
+		Job:      core.JobID(r.Job),
+		Seq:      r.Seq,
+		Global:   r.Global,
+		Origin:   r.Origin,
+		Type:     events.Type(r.Type),
+		Action:   ajo.ActionID(r.Action),
+		Status:   ajo.Status(r.Status),
+		Reason:   r.Reason,
+		Time:     r.Time,
+		Terminal: r.Terminal,
+	})
 	return nil
 }
 

@@ -52,6 +52,7 @@ import (
 	"unicore/internal/codine"
 	"unicore/internal/core"
 	"unicore/internal/dag"
+	"unicore/internal/events"
 	"unicore/internal/incarnation"
 	"unicore/internal/machine"
 	"unicore/internal/protocol"
@@ -166,6 +167,11 @@ type NJS struct {
 	consignMu    sync.Mutex
 	consignIndex map[string]*consignEntry
 
+	// log is the protocol-v2 event log: every lifecycle transition is
+	// appended here (always, journal or not) so subscribers can consume job
+	// progress as server-push events instead of polling.
+	log *events.Log
+
 	// rec is the attached journal recorder (nil = durability disabled). An
 	// atomic pointer keeps the hot-path check lock-free.
 	rec atomic.Pointer[recorder]
@@ -265,6 +271,7 @@ func New(cfg Config) (*NJS, error) {
 		jobs:         make(map[core.JobID]*unicoreJob),
 		batchIndex:   make(map[batchKey]actionRef),
 		consignIndex: make(map[string]*consignEntry),
+		log:          events.NewLog(cfg.Instance, events.DefaultJobCap),
 	}
 	for _, vc := range cfg.Vsites {
 		if vc.Name == "" {

@@ -47,6 +47,14 @@ type Service interface {
 	// Ping reports whether the service can currently take responsibility for
 	// work — the active health probe of a replica pool.
 	Ping() error
+	// Events returns the buffered job lifecycle events past the request's
+	// cursor (protocol v2, non-blocking; the gateway long-polls around it).
+	Events(caller core.DN, asServer bool, req protocol.SubscribeRequest) (protocol.EventsReply, error)
+	// EventsNotify returns a channel that is closed when new events may be
+	// available, plus a release func the waiter must call when done. Take the
+	// channel before fetching so an append racing the fetch is never missed;
+	// wakeups may be spurious (re-fetch and wait again).
+	EventsNotify(req protocol.SubscribeRequest) (<-chan struct{}, func())
 }
 
 // Service is satisfied by the concrete NJS.
@@ -65,6 +73,54 @@ func (n *NJS) Ping() error {
 // Instance returns the replica tag this NJS mints job IDs under ("" for a
 // single-NJS site).
 func (n *NJS) Instance() string { return n.instance }
+
+// defaultEventBatch bounds one MsgEventsReply when the subscriber did not ask
+// for a smaller batch.
+const defaultEventBatch = 256
+
+// Events returns buffered lifecycle events past the request's cursor: one
+// job's stream (per-job Seq cursor) when req.Job is set, otherwise the
+// caller's stream across all their jobs at this NJS (per-origin Global
+// cursor). The read is idempotent — a subscriber whose reply was lost in
+// transit re-issues the same cursor and observes no gaps and no duplicates.
+func (n *NJS) Events(caller core.DN, asServer bool, req protocol.SubscribeRequest) (protocol.EventsReply, error) {
+	max := req.Max
+	if max <= 0 || max > defaultEventBatch {
+		max = defaultEventBatch
+	}
+	if req.Job != "" {
+		uj, ok := n.job(req.Job)
+		if !ok {
+			return protocol.EventsReply{}, fmt.Errorf("%w: %s", ErrUnknownJob, req.Job)
+		}
+		if err := n.auth(uj, caller, asServer); err != nil {
+			return protocol.EventsReply{}, err
+		}
+		evs, gap := n.log.JobEvents(req.Job, req.Cursor, max)
+		cursor := req.Cursor
+		if len(evs) > 0 {
+			cursor = evs[len(evs)-1].Seq
+		}
+		return protocol.EventsReply{Events: evs, Cursor: cursor, Gap: gap}, nil
+	}
+	after := req.Cursor
+	if v, ok := req.Origins[n.log.Origin()]; ok {
+		after = v
+	}
+	evs, next, gap := n.log.UserEvents(caller, after, max)
+	return protocol.EventsReply{
+		Events:  evs,
+		Origins: map[string]uint64{n.log.Origin(): next},
+		Gap:     gap,
+	}, nil
+}
+
+// EventsNotify returns the event log's append broadcast channel. The NJS has
+// one log, so every subscription scope shares the channel; wakeups for
+// unrelated jobs are spurious but harmless.
+func (n *NJS) EventsNotify(protocol.SubscribeRequest) (<-chan struct{}, func()) {
+	return n.log.Notify(), func() {}
+}
 
 // ConsignedJobs reports the completed consign-ID → job-ID admissions of
 // this NJS (pool.ConsignReporter): the index a replica pool reconciles

@@ -815,6 +815,112 @@ func (s *ReplicaSet) FetchFileOwned(caller core.DN, asServer bool, id core.JobID
 	return protocol.TransferReply{Found: false}, nil
 }
 
+// Events routes a protocol-v2 subscription read. A job-scoped request goes
+// to the replica that owns the job (the existing read affinity); its per-job
+// Seq cursor is replica-independent — a journal-recovered replacement replica
+// restores the job's event stream with the original numbering — so failover
+// needs no cursor translation beyond re-routing, and the subscriber resumes
+// with no lost and no duplicated events. A user-scoped request scatters over
+// the usable replicas and merges their streams, keyed by per-origin cursors.
+func (s *ReplicaSet) Events(caller core.DN, asServer bool, req protocol.SubscribeRequest) (protocol.EventsReply, error) {
+	if req.Job != "" {
+		reps, err := s.lookupOrder(req.Job)
+		if err != nil {
+			return protocol.EventsReply{}, err
+		}
+		for _, rep := range reps {
+			reply, err := rep.service().Events(caller, asServer, req)
+			if errors.Is(err, njs.ErrUnknownJob) {
+				continue
+			}
+			if err != nil {
+				return protocol.EventsReply{}, err
+			}
+			s.recordAffinity(req.Job, rep)
+			return reply, nil
+		}
+		return protocol.EventsReply{}, fmt.Errorf("%w: %s", njs.ErrUnknownJob, req.Job)
+	}
+	now := s.cfg.Clock.Now()
+	merged := protocol.EventsReply{Cursor: req.Cursor, Origins: make(map[string]uint64)}
+	for _, rep := range s.snapshotReplicas() {
+		if !s.usable(rep, now) {
+			continue
+		}
+		reply, err := rep.service().Events(caller, asServer, req)
+		if err != nil {
+			return protocol.EventsReply{}, err
+		}
+		merged.Events = append(merged.Events, reply.Events...)
+		for origin, next := range reply.Origins {
+			merged.Origins[origin] = next
+		}
+		merged.Gap = merged.Gap || reply.Gap
+	}
+	sortEvents(merged.Events)
+	return merged, nil
+}
+
+// sortEvents orders a merged event batch deterministically: by server time,
+// then origin, then per-replica append order.
+func sortEvents(evs []protocol.JobEvent) {
+	sort.Slice(evs, func(i, j int) bool {
+		if !evs[i].Time.Equal(evs[j].Time) {
+			return evs[i].Time.Before(evs[j].Time)
+		}
+		if evs[i].Origin != evs[j].Origin {
+			return evs[i].Origin < evs[j].Origin
+		}
+		return evs[i].Global < evs[j].Global
+	})
+}
+
+// EventsNotify combines the notify channels of every replica: the returned
+// channel closes when any replica appends an event. The release func must be
+// called when the wait ends; it reclaims the fan-in goroutines.
+func (s *ReplicaSet) EventsNotify(req protocol.SubscribeRequest) (<-chan struct{}, func()) {
+	// A pinned job's events can only appear on its owning replica.
+	if req.Job != "" {
+		if rep, ok := s.owner(req.Job); ok {
+			return rep.service().EventsNotify(req)
+		}
+	}
+	reps := s.snapshotReplicas()
+	chs := make([]<-chan struct{}, 0, len(reps))
+	releases := make([]func(), 0, len(reps))
+	for _, rep := range reps {
+		ch, release := rep.service().EventsNotify(req)
+		chs = append(chs, ch)
+		releases = append(releases, release)
+	}
+	return combineNotify(chs, releases)
+}
+
+// combineNotify fans several notify channels into one. The out channel closes
+// on the first signal; release tears the waiter goroutines down.
+func combineNotify(chs []<-chan struct{}, releases []func()) (<-chan struct{}, func()) {
+	out := make(chan struct{})
+	stop := make(chan struct{})
+	var once sync.Once
+	for _, ch := range chs {
+		go func(ch <-chan struct{}) {
+			select {
+			case <-ch:
+				once.Do(func() { close(out) })
+			case <-stop:
+			}
+		}(ch)
+	}
+	var stopOnce sync.Once
+	release := func() {
+		stopOnce.Do(func() { close(stop) })
+		for _, r := range releases {
+			r()
+		}
+	}
+	return out, release
+}
+
 // List merges the caller's jobs across the replicas currently taking
 // traffic, newest first — the same order a single NJS reports. Half-open
 // replicas are probed and included when they answer; a tripped replica's

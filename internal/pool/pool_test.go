@@ -172,6 +172,22 @@ func (f *fakeService) Ping() error {
 	return nil
 }
 
+func (f *fakeService) Events(caller core.DN, asServer bool, req protocol.SubscribeRequest) (protocol.EventsReply, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if req.Job != "" {
+		if _, ok := f.jobs[req.Job]; !ok {
+			return protocol.EventsReply{}, fmt.Errorf("%w: %s", njs.ErrUnknownJob, req.Job)
+		}
+		return protocol.EventsReply{Cursor: req.Cursor}, nil
+	}
+	return protocol.EventsReply{Origins: map[string]uint64{f.instance: req.Cursor}}, nil
+}
+
+func (f *fakeService) EventsNotify(protocol.SubscribeRequest) (<-chan struct{}, func()) {
+	return make(chan struct{}), func() {}
+}
+
 func (f *fakeService) setDown(down bool) {
 	f.mu.Lock()
 	f.down = down

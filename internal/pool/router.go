@@ -244,6 +244,61 @@ func (r *Router) FetchFileOwned(caller core.DN, asServer bool, id core.JobID, fi
 	return protocol.TransferReply{Found: false}, nil
 }
 
+// Events merges the protocol-v2 event streams behind this Usite. A
+// job-scoped subscription is routed to the Vsite set (and, inside it, the
+// replica) that owns the job; per-job cursors survive failover unchanged. A
+// user-scoped subscription merges every set's per-replica streams under
+// per-origin cursors.
+func (r *Router) Events(caller core.DN, asServer bool, req protocol.SubscribeRequest) (protocol.EventsReply, error) {
+	if req.Job != "" {
+		var routeErr error
+		for _, set := range r.Sets() {
+			reply, err := set.Events(caller, asServer, req)
+			switch {
+			case err == nil:
+				return reply, nil
+			case errors.Is(err, ErrNoReplica) || errors.Is(err, ErrReplicaDown):
+				routeErr = scatterErr(routeErr, err)
+			case errors.Is(err, njs.ErrUnknownJob):
+				// Keep scanning the other sets.
+			default:
+				return protocol.EventsReply{}, err
+			}
+		}
+		if routeErr != nil {
+			return protocol.EventsReply{}, routeErr
+		}
+		return protocol.EventsReply{}, fmt.Errorf("%w: %s", njs.ErrUnknownJob, req.Job)
+	}
+	merged := protocol.EventsReply{Cursor: req.Cursor, Origins: make(map[string]uint64)}
+	for _, set := range r.Sets() {
+		reply, err := set.Events(caller, asServer, req)
+		if err != nil {
+			return protocol.EventsReply{}, err
+		}
+		merged.Events = append(merged.Events, reply.Events...)
+		for origin, next := range reply.Origins {
+			merged.Origins[origin] = next
+		}
+		merged.Gap = merged.Gap || reply.Gap
+	}
+	sortEvents(merged.Events)
+	return merged, nil
+}
+
+// EventsNotify combines the notify channels of every set's replicas; the
+// returned channel closes when any replica of the Usite appends an event.
+func (r *Router) EventsNotify(req protocol.SubscribeRequest) (<-chan struct{}, func()) {
+	var chs []<-chan struct{}
+	var releases []func()
+	for _, set := range r.Sets() {
+		ch, release := set.EventsNotify(req)
+		chs = append(chs, ch)
+		releases = append(releases, release)
+	}
+	return combineNotify(chs, releases)
+}
+
 // List merges the caller's jobs across every set, newest first. Jobs owned
 // by a tripped replica are omitted until it recovers (see
 // ReplicaSet.List).

@@ -1,7 +1,9 @@
 package protocol
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -50,7 +52,10 @@ func (r *Registry) Sites() []core.Usite {
 }
 
 // Client is the signed-envelope RPC client used by the user tier (JPA/JMC)
-// and by NJS→peer-gateway communication.
+// and by NJS→peer-gateway communication. It negotiates the protocol version
+// per site: requests are sealed at the newest version the site is known to
+// accept (v2 until proven otherwise), and a version rejection downgrades the
+// site to v1 and retries the call transparently.
 type Client struct {
 	rt       http.RoundTripper
 	cred     *pki.Credential
@@ -61,12 +66,16 @@ type Client struct {
 	// idempotent via ConsignID, everything else is read-only or
 	// idempotent).
 	Retries int
+
+	// vmu guards the negotiated per-site protocol versions.
+	vmu  sync.Mutex
+	vers map[core.Usite]int
 }
 
 // NewClient builds a client. rt is typically an *InProc for tests or an
 // http.Transport with pki.ClientTLS config for real deployments.
 func NewClient(rt http.RoundTripper, cred *pki.Credential, ca *pki.Authority, reg *Registry) *Client {
-	return &Client{rt: rt, cred: cred, ca: ca, registry: reg, Retries: 2}
+	return &Client{rt: rt, cred: cred, ca: ca, registry: reg, Retries: 2, vers: make(map[core.Usite]int)}
 }
 
 // DN returns the client identity.
@@ -75,21 +84,68 @@ func (c *Client) DN() core.DN { return c.cred.DN() }
 // Registry returns the client's site registry.
 func (c *Client) Registry() *Registry { return c.registry }
 
+// SiteVersion returns the protocol version this client currently seals
+// requests to a site at (Version until a rejection negotiated it down).
+func (c *Client) SiteVersion(usite core.Usite) int {
+	c.vmu.Lock()
+	defer c.vmu.Unlock()
+	if v, ok := c.vers[usite]; ok {
+		return v
+	}
+	return Version
+}
+
+// setSiteVersion records a negotiated site version.
+func (c *Client) setSiteVersion(usite core.Usite, v int) {
+	c.vmu.Lock()
+	c.vers[usite] = v
+	c.vmu.Unlock()
+}
+
 // Call sends one request to a Usite's gateway and decodes the reply payload
 // into replyOut (a pointer). Server errors arrive as *ErrorReply errors.
 func (c *Client) Call(usite core.Usite, t MsgType, payload any, replyOut any) error {
+	return c.CallContext(context.Background(), usite, t, payload, replyOut)
+}
+
+// CallContext is Call under a context: cancellation aborts the in-flight
+// round trip (the request is built with the context, so a server long-poll —
+// MsgSubscribe — unblocks as soon as the caller cancels) and stops the retry
+// loop. It also runs the passive version negotiation: a version-rejection
+// error reply downgrades the site to v1 and retries the call once.
+func (c *Client) CallContext(ctx context.Context, usite core.Usite, t MsgType, payload any, replyOut any) error {
+	for {
+		ver := c.SiteVersion(usite)
+		if t == MsgSubscribe && ver < 2 {
+			return fmt.Errorf("%w: %s", ErrV1Peer, usite)
+		}
+		err := c.callOnce(ctx, usite, ver, t, payload, replyOut)
+		var er *ErrorReply
+		if errors.As(err, &er) && ver > MinVersion && IsVersionRejection(er) {
+			c.setSiteVersion(usite, MinVersion)
+			continue // re-seal at v1; MinVersion stops a second downgrade
+		}
+		return err
+	}
+}
+
+// callOnce performs one sealed round trip at an explicit version.
+func (c *Client) callOnce(ctx context.Context, usite core.Usite, ver int, t MsgType, payload any, replyOut any) error {
 	base, ok := c.registry.Lookup(usite)
 	if !ok {
 		return fmt.Errorf("protocol: unknown Usite %q", usite)
 	}
-	body, err := Seal(c.cred, t, payload)
+	body, err := SealAt(c.cred, ver, t, payload)
 	if err != nil {
 		return err
 	}
 	var respBody []byte
 	attempts := c.Retries + 1
 	for i := 0; i < attempts; i++ {
-		respBody, err = post(c.rt, base, body)
+		if err = ctx.Err(); err != nil {
+			return fmt.Errorf("protocol: %s to %s: %w", t, usite, err)
+		}
+		respBody, err = post(ctx, c.rt, base, body)
 		if err == nil {
 			break
 		}

@@ -17,10 +17,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"unicore/internal/ajo"
 	"unicore/internal/core"
+	"unicore/internal/events"
 	"unicore/internal/pki"
 )
 
@@ -33,14 +35,33 @@ func parseCert(der []byte) (*x509.Certificate, error) {
 	return cert, nil
 }
 
-// Version is the wire protocol version.
-const Version = 1
+// Version is the newest wire protocol version this build speaks. Protocol v2
+// adds the session API: MsgSubscribe/MsgEventsReply server-push job event
+// streams with cursor-resumable batches.
+const Version = 2
 
-// Errors reported when opening envelopes.
+// MinVersion is the oldest wire protocol version still accepted. v1 peers
+// (request/reply polling only) keep working against v2 servers: their
+// envelopes verify, and replies are sealed back at the version the request
+// arrived with.
+const MinVersion = 1
+
+// Errors reported when opening envelopes and negotiating versions.
 var (
 	ErrBadEnvelope = errors.New("protocol: malformed envelope")
 	ErrBadVersion  = errors.New("protocol: unsupported protocol version")
+	// ErrV1Peer reports that a v2-only request (MsgSubscribe) was addressed
+	// to a peer that negotiated down to protocol v1.
+	ErrV1Peer = errors.New("protocol: peer speaks protocol v1 (no server-push events)")
 )
+
+// IsVersionRejection reports whether a server error reply is a protocol
+// version rejection — the downgrade signal of the passive version
+// negotiation: a client that sealed at v2 and got this back re-seals at v1
+// and remembers the peer's version.
+func IsVersionRejection(er *ErrorReply) bool {
+	return er != nil && strings.Contains(er.Message, ErrBadVersion.Error())
+}
 
 // MsgType discriminates envelope payloads.
 type MsgType string
@@ -67,7 +88,12 @@ const (
 	MsgLoadReply      MsgType = "load-reply"
 	MsgFetch          MsgType = "fetch"
 	MsgFetchReply     MsgType = "fetch-reply"
-	MsgError          MsgType = "error"
+	// MsgSubscribe fetches a cursor-resumable batch of job lifecycle events,
+	// long-polling server-side until events are available (protocol v2).
+	MsgSubscribe MsgType = "subscribe"
+	// MsgEventsReply answers a subscription with a coalesced event batch.
+	MsgEventsReply MsgType = "events-reply"
+	MsgError       MsgType = "error"
 )
 
 // MsgTypes lists every defined message type, in wire-constant order. Servers
@@ -84,6 +110,7 @@ func MsgTypes() []MsgType {
 		MsgApplet, MsgAppletReply,
 		MsgLoad, MsgLoadReply,
 		MsgFetch, MsgFetchReply,
+		MsgSubscribe, MsgEventsReply,
 		MsgError,
 	}
 }
@@ -99,8 +126,18 @@ type Envelope struct {
 }
 
 // Seal marshals payload, signs it with cred, and returns the encoded
-// envelope.
+// envelope at the current protocol version.
 func Seal(cred *pki.Credential, t MsgType, payload any) ([]byte, error) {
+	return SealAt(cred, Version, t, payload)
+}
+
+// SealAt seals an envelope at an explicit protocol version — the negotiation
+// hook: clients seal at the version a site last accepted, servers seal
+// replies at the version the request arrived with.
+func SealAt(cred *pki.Credential, version int, t MsgType, payload any) ([]byte, error) {
+	if version < MinVersion || version > Version {
+		return nil, fmt.Errorf("%w: cannot seal at version %d", ErrBadVersion, version)
+	}
 	body, err := json.Marshal(payload)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: marshal %s payload: %w", t, err)
@@ -109,7 +146,7 @@ func Seal(cred *pki.Credential, t MsgType, payload any) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(Envelope{Version: Version, Type: t, Payload: body, Signature: sig})
+	return json.Marshal(Envelope{Version: version, Type: t, Payload: body, Signature: sig})
 }
 
 // Open decodes an envelope, verifies the payload signature against the CA,
@@ -117,22 +154,33 @@ func Seal(cred *pki.Credential, t MsgType, payload any) ([]byte, error) {
 // role chains through the same CA; callers enforce role expectations
 // (gateways accept users and servers, clients expect servers).
 func Open(ca *pki.Authority, data []byte) (MsgType, json.RawMessage, core.DN, pki.Role, error) {
+	_, t, raw, dn, role, err := OpenVersioned(ca, data)
+	return t, raw, dn, role, err
+}
+
+// OpenVersioned is Open plus the envelope's protocol version, which servers
+// mirror when sealing the reply so that v1 peers keep verifying replies.
+// Every version in [MinVersion, Version] is accepted. On verification
+// failures past the version check, the parsed in-range version is still
+// returned (with the error), so a server can seal its error reply at the
+// version the failing peer speaks.
+func OpenVersioned(ca *pki.Authority, data []byte) (int, MsgType, json.RawMessage, core.DN, pki.Role, error) {
 	var env Envelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		return "", nil, "", "", fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+		return 0, "", nil, "", "", fmt.Errorf("%w: %v", ErrBadEnvelope, err)
 	}
-	if env.Version != Version {
-		return "", nil, "", "", fmt.Errorf("%w: %d", ErrBadVersion, env.Version)
+	if env.Version < MinVersion || env.Version > Version {
+		return 0, "", nil, "", "", fmt.Errorf("%w: %d", ErrBadVersion, env.Version)
 	}
 	dn, err := ca.VerifySignature(env.Payload, env.Signature, "")
 	if err != nil {
-		return "", nil, "", "", err
+		return env.Version, "", nil, "", "", err
 	}
 	cert, err := parseCert(env.Signature.CertDER)
 	if err != nil {
-		return "", nil, "", "", err
+		return env.Version, "", nil, "", "", err
 	}
-	return env.Type, env.Payload, dn, pki.CertRole(cert), nil
+	return env.Version, env.Type, env.Payload, dn, pki.CertRole(cert), nil
 }
 
 // --- high-level protocol messages ---
@@ -281,6 +329,37 @@ type VsiteLoad struct {
 type LoadReply struct {
 	Overall float64              `json:"overall"`
 	Vsites  map[string]VsiteLoad `json:"vsites"`
+}
+
+// JobEvent is one protocol-v2 job lifecycle notification — the wire shape is
+// exactly the server's log record (package events).
+type JobEvent = events.Event
+
+// SubscribeRequest fetches a batch of job lifecycle events past a cursor
+// (protocol v2). Job selects one job's stream (resumed at the per-job Cursor);
+// an empty Job selects all of the caller's jobs at the Usite (resumed at the
+// per-replica Origins cursors). WaitMs asks the server to long-poll: hold the
+// request up to that many real milliseconds until events are available, then
+// reply with everything buffered (server-side coalescing). Subscription reads
+// are idempotent — a lost reply is recovered by re-issuing the request with
+// the same cursor, with no gaps and no duplicates.
+type SubscribeRequest struct {
+	Job     core.JobID        `json:"job,omitempty"`
+	Cursor  uint64            `json:"cursor,omitempty"`
+	Origins map[string]uint64 `json:"origins,omitempty"`
+	Max     int               `json:"max,omitempty"`
+	WaitMs  int64             `json:"waitMs,omitempty"`
+}
+
+// EventsReply answers a subscription with a coalesced, cursor-ordered event
+// batch. Cursor (job streams) and Origins (user streams) are the positions to
+// resume at; Gap reports that events below the retained window were evicted
+// before the subscriber caught up.
+type EventsReply struct {
+	Events  []JobEvent        `json:"events,omitempty"`
+	Cursor  uint64            `json:"cursor,omitempty"`
+	Origins map[string]uint64 `json:"origins,omitempty"`
+	Gap     bool              `json:"gap,omitempty"`
 }
 
 // ErrorReply is the failure payload for any request.

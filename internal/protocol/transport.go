@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -111,9 +112,10 @@ func (f *Flaky) RoundTrip(req *http.Request) (*http.Response, error) {
 }
 
 // post sends an envelope to a site URL over the given transport and returns
-// the reply envelope bytes.
-func post(rt http.RoundTripper, baseURL string, body []byte) ([]byte, error) {
-	req, err := http.NewRequest(http.MethodPost, baseURL+Endpoint, bytes.NewReader(body))
+// the reply envelope bytes. The context rides on the request, so handlers
+// that wait server-side (the MsgSubscribe long-poll) observe cancellation.
+func post(ctx context.Context, rt http.RoundTripper, baseURL string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+Endpoint, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,77 @@
+package protocol
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"unicore/internal/pki"
+)
+
+func versionFixture(t *testing.T) (*pki.Authority, *pki.Credential) {
+	t.Helper()
+	ca, err := pki.NewAuthority("DFN-PCA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := ca.IssueUser("Version Tester", "FZJ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca, cred
+}
+
+// TestSealAtOpenVersioned round-trips every supported version and rejects
+// the rest on both the seal and open sides.
+func TestSealAtOpenVersioned(t *testing.T) {
+	ca, cred := versionFixture(t)
+	for ver := MinVersion; ver <= Version; ver++ {
+		env, err := SealAt(cred, ver, MsgList, ListRequest{})
+		if err != nil {
+			t.Fatalf("SealAt(%d): %v", ver, err)
+		}
+		got, mt, _, dn, role, err := OpenVersioned(ca, env)
+		if err != nil {
+			t.Fatalf("OpenVersioned(v%d): %v", ver, err)
+		}
+		if got != ver || mt != MsgList || dn != cred.DN() || role != pki.RoleUser {
+			t.Fatalf("v%d round trip: got ver=%d type=%s dn=%s role=%s", ver, got, mt, dn, role)
+		}
+	}
+	if _, err := SealAt(cred, Version+1, MsgList, ListRequest{}); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("SealAt(future) err = %v, want ErrBadVersion", err)
+	}
+	if _, err := SealAt(cred, 0, MsgList, ListRequest{}); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("SealAt(0) err = %v, want ErrBadVersion", err)
+	}
+	// A forged future-version envelope is rejected by Open.
+	env, err := SealAt(cred, Version, MsgList, ListRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(env, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["version"] = json.RawMessage("99")
+	forged, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := Open(ca, forged); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("Open(v99) err = %v, want ErrBadVersion", err)
+	}
+}
+
+// TestSubscribeRequiresV2 fails fast on a site that negotiated down.
+func TestSubscribeRequiresV2(t *testing.T) {
+	ca, cred := versionFixture(t)
+	reg := NewRegistry()
+	reg.Add("OLD", "https://gw.old")
+	c := NewClient(NewInProc(), cred, ca, reg)
+	c.setSiteVersion("OLD", 1)
+	err := c.Call("OLD", MsgSubscribe, SubscribeRequest{}, nil)
+	if !errors.Is(err, ErrV1Peer) {
+		t.Fatalf("subscribe to a v1 site: err = %v, want ErrV1Peer", err)
+	}
+}

@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"unicore/internal/machine"
 	"unicore/internal/njs"
 	"unicore/internal/pool"
+	"unicore/internal/protocol"
 	"unicore/internal/resources"
 )
 
@@ -45,6 +47,83 @@ func failoverSpec(policy pool.Policy) SiteSpec {
 }
 
 const failoverVictim = 1 // replica index killed mid-workload
+
+// eventWatcher follows every workload job's event stream through the pool
+// gateway with cursor-resumed fetches — the client half of the protocol-v2
+// session API under failover.
+type eventWatcher struct {
+	sess    *client.Session
+	ids     map[string]core.JobID
+	cursors map[string]uint64
+	events  map[string][]client.JobEvent
+}
+
+func newEventWatcher(sess *client.Session, ids map[string]core.JobID) *eventWatcher {
+	return &eventWatcher{
+		sess:    sess,
+		ids:     ids,
+		cursors: make(map[string]uint64),
+		events:  make(map[string][]client.JobEvent),
+	}
+}
+
+// drain pulls every job's stream to exhaustion from its last cursor. With
+// tolerateDown set, jobs pinned to an unhealthy replica are skipped (their
+// cursors stay put, to resume after the restart) instead of failing the
+// test.
+func (w *eventWatcher) drain(t *testing.T, tolerateDown bool) {
+	t.Helper()
+	for name, id := range w.ids {
+		for {
+			reply, err := w.sess.Events(context.Background(),
+				protocol.SubscribeRequest{Job: id, Cursor: w.cursors[name]})
+			if err != nil {
+				if tolerateDown && strings.Contains(err.Error(), pool.ErrReplicaDown.Error()) {
+					break // resume at the same cursor once the replica is back
+				}
+				t.Fatalf("Events(%s@%d): %v", name, w.cursors[name], err)
+			}
+			if reply.Gap {
+				t.Fatalf("event stream of %s gapped at cursor %d", name, w.cursors[name])
+			}
+			w.events[name] = append(w.events[name], reply.Events...)
+			if reply.Cursor > w.cursors[name] {
+				w.cursors[name] = reply.Cursor
+			}
+			if len(reply.Events) == 0 {
+				break
+			}
+		}
+	}
+}
+
+// verify asserts event-stream continuity across the whole run: contiguous
+// per-job sequences (nothing lost, nothing duplicated — the cursors span the
+// replica kill and restart) and exactly one terminal event per job, last.
+func (w *eventWatcher) verify(t *testing.T) {
+	t.Helper()
+	for name := range w.ids {
+		evs := w.events[name]
+		if len(evs) == 0 {
+			t.Fatalf("watcher saw no events for job %s", name)
+		}
+		terminals := 0
+		for i, ev := range evs {
+			if ev.Seq != uint64(i+1) {
+				t.Fatalf("job %s: event %d has Seq %d — events lost or duplicated across failover", name, i, ev.Seq)
+			}
+			if ev.Terminal {
+				terminals++
+			}
+		}
+		if terminals != 1 {
+			t.Fatalf("job %s: watcher saw %d terminal events across the replica kill, want exactly 1", name, terminals)
+		}
+		if !evs[len(evs)-1].Terminal {
+			t.Fatalf("job %s: terminal event is not the stream's last", name)
+		}
+	}
+}
 
 // runFailoverWorkload deploys the replicated site (every replica journaled),
 // submits a deterministic workload, and — when kill is set — crashes one
@@ -99,6 +178,11 @@ func runFailoverWorkload(t *testing.T, kill bool) map[string]string {
 	// Run to mid-workload: staging done, batch jobs queued/running across
 	// the three replicas.
 	d.Clock.Advance(10 * time.Minute)
+
+	// A protocol-v2 watcher follows every job's event stream through the
+	// pool; its cursors must stay valid across the kill/restart below.
+	watcher := newEventWatcher(d.Session(user, "POOL"), ids)
+	watcher.drain(t, false)
 
 	if kill {
 		live := 0
@@ -157,6 +241,11 @@ func runFailoverWorkload(t *testing.T, kill bool) map[string]string {
 			}
 		}
 
+		// Mid-outage the watcher keeps consuming the healthy replicas'
+		// streams; jobs behind the tripped breaker fail fast and resume at
+		// their cursors after the restart.
+		watcher.drain(t, true)
+
 		// Recover the victim from its journal and swap it back in under its
 		// stable pool name.
 		if err := h.store.Close(); err != nil {
@@ -175,6 +264,11 @@ func runFailoverWorkload(t *testing.T, kill bool) map[string]string {
 	if fired := d.Run(10_000_000); fired >= 10_000_000 {
 		t.Fatal("clock never went idle")
 	}
+
+	// Event-stream continuity: resuming every cursor now must close each
+	// stream with exactly one terminal event and no gaps or duplicates.
+	watcher.drain(t, false)
+	watcher.verify(t)
 
 	// Zero duplicated jobs: the merged pool listing reports every workload
 	// job exactly once across the three replicas.

@@ -450,6 +450,14 @@ func (d *Deployment) JMC(cred *pki.Credential) *client.JMC {
 	return client.NewJMC(d.UserClient(cred))
 }
 
+// Session opens a protocol-v2 session (context-aware submit/monitor/control
+// with server-push event streams) for a user at one Usite. Under the virtual
+// clock, drive the deployment from another goroutine (go d.Run(...)) while a
+// Session.Await or Watch blocks — its long-poll wakes as events fire.
+func (d *Deployment) Session(cred *pki.Credential, usite core.Usite) *client.Session {
+	return client.NewSession(d.UserClient(cred), usite)
+}
+
 // Run drives the virtual clock until no events remain (or the safety cap is
 // hit) and returns the number of fired events.
 func (d *Deployment) Run(maxEvents int) int {

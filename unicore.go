@@ -104,7 +104,19 @@ type (
 	// Client is the signed-envelope protocol client underneath JPA and JMC;
 	// the broker refreshes its load information through one.
 	Client = protocol.Client
+	// Session is the protocol-v2 client handle: context-aware
+	// submit/monitor/control for one user at one Usite, with server-push job
+	// event streams (Session.Watch / Session.Await) replacing interval
+	// polling. Open one with Dial or Deployment.Session.
+	Session = client.Session
+	// JobEvent is one server-push job lifecycle notification delivered by
+	// Session.Watch.
+	JobEvent = client.JobEvent
 )
+
+// Dial opens a protocol-v2 session for one Usite over a protocol client (for
+// in-process testbeds, Deployment.Session is the shortcut).
+func Dial(c *Client, usite Usite) *Session { return client.NewSession(c, usite) }
 
 // NewJob starts building a job destined for target.
 func NewJob(name string, target Target) *Builder { return client.NewJob(name, target) }

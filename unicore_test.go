@@ -1,6 +1,7 @@
 package unicore_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -49,6 +50,54 @@ func TestPublicQuickstart(t *testing.T) {
 	task, ok := o.Find(run)
 	if !ok || !strings.Contains(string(task.Stdout), "hello unicore") {
 		t.Fatalf("task output = %q", task.Stdout)
+	}
+}
+
+// TestSessionQuickstart runs the README's session flow against the public
+// facade: Dial/Session, context-aware submit, Watch for the event stream,
+// and Await for the terminal summary — no polling anywhere.
+func TestSessionQuickstart(t *testing.T) {
+	d, err := unicore.SingleSite("DEMO", "CLUSTER", 8)
+	if err != nil {
+		t.Fatalf("SingleSite: %v", err)
+	}
+	defer d.Close()
+	user, err := d.NewUser("Jane Doe", "Demo Org", "jdoe")
+	if err != nil {
+		t.Fatalf("NewUser: %v", err)
+	}
+	b := unicore.NewJob("hello", unicore.Target{Usite: "DEMO", Vsite: "CLUSTER"})
+	b.Script("greet", "echo hello unicore\n", unicore.ResourceRequest{Processors: 1, RunTime: time.Minute})
+	job, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ctx := context.Background()
+	sess := unicore.Dial(d.UserClient(user), "DEMO") // == d.Session(user, "DEMO")
+	id, err := sess.Submit(ctx, job)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	watch, err := sess.Watch(ctx, id)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	go d.Run(100000)
+	var last unicore.JobEvent
+	n := 0
+	for ev := range watch {
+		last = ev
+		n++
+	}
+	if n == 0 || !last.Terminal || last.Status != unicore.StatusSuccessful {
+		t.Fatalf("watched %d events, last = %+v; want a successful terminal event", n, last)
+	}
+	sum, err := sess.Await(ctx, id)
+	if err != nil {
+		t.Fatalf("Await: %v", err)
+	}
+	if sum.Status != unicore.StatusSuccessful {
+		t.Fatalf("Await status = %s", sum.Status)
 	}
 }
 
