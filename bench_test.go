@@ -21,6 +21,7 @@ package unicore_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -755,6 +756,66 @@ func BenchmarkAwaitEvent(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(monitorEnvelopes(d, "FZJ")-before)/float64(b.N), "envelopes/job")
+}
+
+// --- Bulk staging: windowed parallel transfers vs the sequential baseline ---
+
+// fetchEnvelopes counts the signed ranged-read envelopes (MsgFetch) a
+// gateway has verified.
+func fetchEnvelopes(d *testbed.Deployment, usite unicore.Usite) int64 {
+	return d.Sites[usite].Gateway.Stats().ByType[protocol.MsgFetch]
+}
+
+// BenchmarkTransferThroughput measures the §5.6 bulk download path for a
+// 16 MiB Uspace result through the full authenticated gateway → NJS stack.
+// path=sequential reproduces the seed implementation: one signed envelope
+// per sequential 256 KiB chunk, exactly one in flight. path=parallel is the
+// staging engine's default: 1 MiB chunks with an 8-deep readahead window,
+// streamed to the writer with incremental CRC verification. The parallel
+// path must win on both MB/s (fewer, amortised sign/verify round trips, in
+// flight concurrently) and envelopes/MB (4× fewer signed envelopes per
+// megabyte) — the benchgate CI step enforces exactly that invariant.
+func BenchmarkTransferThroughput(b *testing.B) {
+	const fileSize = 16 << 20
+	d := mustDeploy(b, singleSiteSpec("FZJ"))
+	user := mustUser(b, d, "xfer")
+	jb := unicore.NewJob("produce", unicore.Target{Usite: "FZJ", Vsite: "T3E"})
+	jb.Script("produce", fmt.Sprintf("cpu 1m\nwrite out.dat %d\n", fileSize),
+		unicore.ResourceRequest{Processors: 2, RunTime: time.Hour})
+	job, err := jb.Build()
+	if err != nil {
+		b.Fatalf("build: %v", err)
+	}
+	id, err := d.JPA(user).Submit(job)
+	if err != nil {
+		b.Fatalf("submit: %v", err)
+	}
+	d.Run(10_000_000)
+
+	modes := []struct {
+		name string
+		opt  unicore.TransferOptions
+	}{
+		{"path=sequential", unicore.TransferOptions{ChunkSize: 256 << 10, Window: 1}},
+		{"path=parallel", unicore.TransferOptions{}}, // engine defaults: 1 MiB × 8
+	}
+	for _, m := range modes {
+		b.Run(fmt.Sprintf("%s/size=%d", m.name, fileSize), func(b *testing.B) {
+			sess := d.Session(user, "FZJ")
+			sess.Transfer = m.opt
+			before := fetchEnvelopes(d, "FZJ")
+			b.SetBytes(fileSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Download(context.Background(), id, "out.dat", io.Discard); err != nil {
+					b.Fatalf("download: %v", err)
+				}
+			}
+			b.StopTimer()
+			envelopes := float64(fetchEnvelopes(d, "FZJ")-before) / float64(b.N)
+			b.ReportMetric(envelopes/(float64(fileSize)/(1<<20)), "envelopes/MB")
+		})
+	}
 }
 
 // --- Ablation: §5.2 firewall split vs combined gateway ---------------------

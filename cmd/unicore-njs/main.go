@@ -24,6 +24,7 @@ import (
 	"os/signal"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"unicore/internal/deploy"
 	"unicore/internal/gateway"
@@ -42,6 +43,7 @@ func main() {
 		peers      = flag.String("peers", "", "comma-separated USITE=https://host:port peer registry")
 		stateDir   = flag.String("state-dir", "", "journal/snapshot directory for durable job state (empty = memory-only)")
 		snapEvery  = flag.Int("snapshot-every", 4096, "journal entries between automatic snapshots (with -state-dir)")
+		spoolTTL   = flag.Duration("spool-ttl", njs.DefaultSpoolTTL, "staged uploads never consigned are garbage-collected after this age")
 	)
 	flag.Parse()
 	if *configPath == "" {
@@ -88,6 +90,20 @@ func main() {
 		// Wiring is complete: resume the recovered workload (re-dispatch
 		// in-flight actions, re-arm remote poll timers).
 		n.ResumeRecovered()
+	}
+
+	// Staged-upload garbage collection: abandoned spool entries (uploads
+	// never committed, or committed but never consigned) go after -spool-ttl.
+	if *spoolTTL > 0 {
+		sweep := time.NewTicker(*spoolTTL / 4)
+		defer sweep.Stop()
+		go func() {
+			for range sweep.C {
+				if removed := n.SweepStaging(*spoolTTL); removed > 0 {
+					log.Printf("unicore-njs: swept %d abandoned staged uploads", removed)
+				}
+			}
+		}()
 	}
 
 	inner := gateway.NewInner(gw)

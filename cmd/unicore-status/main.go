@@ -10,13 +10,16 @@
 //	unicore-status ... outcome FZJ-000042
 //	unicore-status ... wait    FZJ-000042
 //	unicore-status ... watch   FZJ-000042
+//	unicore-status ... -o result.dat fetch FZJ-000042 out.dat
 //	unicore-status ... abort   FZJ-000042
 //	unicore-status ... hold    FZJ-000042
 //	unicore-status ... resume  FZJ-000042
 //
 // wait awaits the terminal event over the v2 stream (falling back to
 // -interval polling against a v1 site); watch streams every lifecycle event
-// as it happens until the job finishes or the user interrupts.
+// as it happens until the job finishes or the user interrupts; fetch streams
+// a Uspace file to -o (or stdout) through the windowed parallel download
+// engine, verifying the whole-file checksum incrementally.
 package main
 
 import (
@@ -45,6 +48,7 @@ func main() {
 		credPath   = flag.String("cred", "user.pem", "user credential file")
 		interval   = flag.Duration("interval", 2*time.Second, "poll interval for wait against a v1 site")
 		maxPolls   = flag.Int("max-polls", 1800, "poll limit for wait against a v1 site")
+		outPath    = flag.String("o", "", "fetch: write the file here instead of stdout")
 	)
 	flag.Parse()
 	if *gatewayURL == "" || *usiteFlag == "" {
@@ -52,7 +56,7 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("unicore-status: need a command (list, status, outcome, wait, watch, abort, hold, resume)")
+		log.Fatal("unicore-status: need a command (list, status, outcome, wait, watch, fetch, abort, hold, resume)")
 	}
 	usite := core.Usite(*usiteFlag)
 
@@ -125,6 +129,24 @@ func main() {
 				log.Fatal("unicore-status: watch interrupted before the job finished")
 			}
 			log.Fatal("unicore-status: event stream ended before the job's terminal event")
+		}
+	case "fetch":
+		if len(args) < 3 {
+			log.Fatal("unicore-status: fetch needs a job ID and a Uspace file name")
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		file := args[2]
+		if *outPath != "" {
+			n, err := sess.DownloadTo(ctx, jobArg(), file, *outPath)
+			if err != nil {
+				log.Fatalf("unicore-status: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "%d bytes → %s\n", n, *outPath)
+			return
+		}
+		if _, err := sess.Download(ctx, jobArg(), file, os.Stdout); err != nil {
+			log.Fatalf("unicore-status: %v", err)
 		}
 	case "outcome":
 		o, err := jmc.Outcome(usite, jobArg())

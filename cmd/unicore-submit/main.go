@@ -7,12 +7,22 @@
 //	unicore-submit -gateway https://gw.fzj:8443 -ca ca.pem -cred alice.pem job.json
 //	unicore-submit -gateway https://gw.fzj:8443 -ca ca.pem -cred alice.pem \
 //	    -target FZJ/T3E -script "echo hello" -name quick
+//	unicore-submit ... -stage-in input.dat=/data/huge.bin job.json
+//
+// -stage-in TO=LOCALPATH (repeatable) streams a local file into the
+// destination Vsite's spool through the chunked protocol-v2 staging engine
+// before consigning, and adds an ImportTask referencing the committed
+// transfer handle — so huge inputs never ride inline in the signed consign
+// envelope.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strings"
 
 	"unicore/internal/ajo"
 	"unicore/internal/client"
@@ -34,6 +44,14 @@ func main() {
 		procs      = flag.Int("procs", 1, "processors for -script mode")
 		skipCheck  = flag.Bool("skip-validate", false, "skip resource-page validation")
 	)
+	var stageIns []string
+	flag.Func("stage-in", "stage TO=LOCALPATH into the job's Uspace via the chunked upload engine (repeatable)", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return fmt.Errorf("want TO=LOCALPATH, got %q", v)
+		}
+		stageIns = append(stageIns, v)
+		return nil
+	})
 	flag.Parse()
 	if *gatewayURL == "" {
 		log.Fatal("unicore-submit: need -gateway")
@@ -58,6 +76,12 @@ func main() {
 	c := protocol.NewClient(gateway.ClientTransport(cred, ca), cred, ca, reg)
 	jpa := client.NewJPA(c)
 
+	if len(stageIns) > 0 {
+		if err := stageInputs(c, job, stageIns); err != nil {
+			log.Fatalf("unicore-submit: %v", err)
+		}
+	}
+
 	if !*skipCheck {
 		if _, err := jpa.FetchResources(job.Target.Usite); err != nil {
 			log.Fatalf("unicore-submit: fetching resource pages: %v", err)
@@ -71,6 +95,50 @@ func main() {
 		log.Fatalf("unicore-submit: %v", err)
 	}
 	fmt.Println(id)
+}
+
+// stageInputs uploads each TO=LOCALPATH file into the destination Vsite's
+// spool and prepends an ImportTask referencing the committed handle, wired
+// before every original root action so no task runs until its staged inputs
+// are in the Uspace.
+func stageInputs(c *protocol.Client, job *ajo.AbstractJob, stageIns []string) error {
+	g, err := job.Graph()
+	if err != nil {
+		return err
+	}
+	roots := g.Roots()
+	sess := client.NewSession(c, job.Target.Usite)
+	for i, si := range stageIns {
+		to, local, _ := strings.Cut(si, "=")
+		if to == "" || local == "" {
+			return fmt.Errorf("bad -stage-in %q: want TO=LOCALPATH", si)
+		}
+		f, err := os.Open(local)
+		if err != nil {
+			return err
+		}
+		handle, err := sess.Upload(context.Background(), job.Target.Vsite, to, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("staging %s: %w", local, err)
+		}
+		imp := &ajo.ImportTask{
+			Header: ajo.Header{
+				ActionID:   ajo.ActionID(fmt.Sprintf("stage-in-%02d", i)),
+				ActionName: "staged input " + to,
+			},
+			Source: ajo.ImportSource{Staged: handle},
+			To:     to,
+		}
+		job.Actions = append(job.Actions, imp)
+		for _, r := range roots {
+			job.Dependencies = append(job.Dependencies, ajo.Dependency{
+				Before: imp.ActionID, After: ajo.ActionID(r),
+			})
+		}
+		fmt.Fprintf(os.Stderr, "staged %s as %s (%s)\n", local, handle, to)
+	}
+	return nil
 }
 
 // buildJob assembles the job from a spec file or the -script flags.

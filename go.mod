@@ -1,3 +1,3 @@
 module unicore
 
-go 1.24
+go 1.23

@@ -256,14 +256,38 @@ func (t *ScriptTask) Validate() error {
 
 // --- FileTask subclasses (§5.6 data model) ---
 
-// ImportSource describes where imported data comes from: either inline bytes
-// from the user's workstation ("files from the user's workstation needed in
-// a job are put into the AJO", §5.6) or a path in the Vsite's Xspace.
+// ImportSource describes where imported data comes from: inline bytes from
+// the user's workstation ("files from the user's workstation needed in a job
+// are put into the AJO", §5.6), a path in the Vsite's Xspace, or a staged
+// upload already spooled at the Vsite. Exactly one of the three must be set.
 type ImportSource struct {
-	// Inline carries workstation data inside the AJO.
+	// Inline carries workstation data inside the AJO — fine for small files,
+	// but a huge input makes the whole signed consign envelope huge.
 	Inline []byte `json:"inline,omitempty"`
 	// XspacePath names a file in the destination Vsite's Xspace.
 	XspacePath string `json:"xspacePath,omitempty"`
+	// Staged references a committed staged upload (the transfer handle
+	// returned by the protocol-v2 MsgPutOpen/MsgPutChunk/MsgPutCommit
+	// sequence) in the destination Vsite's spool area, so bulk inputs travel
+	// ahead of the AJO in CRC-checked chunks instead of inline. The handle
+	// must belong to the consigning user.
+	Staged string `json:"staged,omitempty"`
+}
+
+// count reports how many of the alternative sources are set. A non-nil empty
+// Inline counts: it deliberately imports an empty file.
+func (s ImportSource) count() int {
+	n := 0
+	if s.Inline != nil {
+		n++
+	}
+	if s.XspacePath != "" {
+		n++
+	}
+	if s.Staged != "" {
+		n++
+	}
+	return n
 }
 
 // ImportTask stages data into the job's Uspace.
@@ -282,13 +306,13 @@ func (t *ImportTask) Validate() error {
 	if t.To == "" {
 		return fmt.Errorf("ajo: ImportTask %s: empty destination", t.ActionID)
 	}
-	if len(t.Source.Inline) == 0 && t.Source.Inline == nil && t.Source.XspacePath == "" {
+	switch t.Source.count() {
+	case 0:
 		return fmt.Errorf("ajo: ImportTask %s: no source", t.ActionID)
+	case 1:
+		return nil
 	}
-	if len(t.Source.Inline) > 0 && t.Source.XspacePath != "" {
-		return fmt.Errorf("ajo: ImportTask %s: both inline and Xspace source", t.ActionID)
-	}
-	return nil
+	return fmt.Errorf("ajo: ImportTask %s: more than one of inline, Xspace, and staged source", t.ActionID)
 }
 
 // ExportTask copies a result from the Uspace to permanent Xspace storage.
@@ -310,6 +334,21 @@ func (t *ExportTask) Validate() error {
 		return fmt.Errorf("ajo: ExportTask %s: empty from/to", t.ActionID)
 	}
 	return nil
+}
+
+// StagedHandles returns the staged-upload handles referenced by the job's
+// direct ImportTasks. A replica pool uses them as the consign-affinity hint:
+// the chunks live in one replica's spool, so the admission must land there.
+// Only direct children matter — sub-job groups are consigned separately and
+// carry their own hints.
+func (j *AbstractJob) StagedHandles() []string {
+	var out []string
+	for _, a := range j.Actions {
+		if imp, ok := a.(*ImportTask); ok && imp.Source.Staged != "" {
+			out = append(out, imp.Source.Staged)
+		}
+	}
+	return out
 }
 
 // TransferTask moves files between the Uspaces of two job groups, possibly

@@ -135,6 +135,18 @@ func (b *Builder) ImportBytes(name string, data []byte, to string) ajo.ActionID 
 	})
 }
 
+// ImportStaged stages a committed staged upload (the transfer handle
+// returned by Session.Upload) into the job's Uspace — the bulk path: the
+// bytes travelled ahead of the AJO through the chunked protocol-v2 staging
+// engine, so the consign envelope stays small.
+func (b *Builder) ImportStaged(name, handle, to string) ajo.ActionID {
+	return b.add(&ajo.ImportTask{
+		Header: ajo.Header{ActionID: b.nextID("import"), ActionName: name},
+		Source: ajo.ImportSource{Staged: handle},
+		To:     to,
+	})
+}
+
 // ImportXspace stages a file already in the Vsite's Xspace into the Uspace.
 func (b *Builder) ImportXspace(name, xspacePath, to string) ajo.ActionID {
 	return b.add(&ajo.ImportTask{

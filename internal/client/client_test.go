@@ -28,6 +28,8 @@ type rig struct {
 	jpa   *JPA
 	jmc   *JMC
 	c     *protocol.Client
+	njs   *njs.NJS
+	users *uudb.DB
 }
 
 func newRig(t *testing.T) *rig {
@@ -67,7 +69,7 @@ func newRig(t *testing.T) *rig {
 	reg := protocol.NewRegistry()
 	reg.Add("LRZ", "https://gw.lrz")
 	c := protocol.NewClient(net, user, ca, reg)
-	return &rig{clock: clock, ca: ca, gw: gw, net: net, reg: reg, user: user, jpa: NewJPA(c), jmc: NewJMC(c), c: c}
+	return &rig{clock: clock, ca: ca, gw: gw, net: net, reg: reg, user: user, jpa: NewJPA(c), jmc: NewJMC(c), c: c, njs: n, users: users}
 }
 
 var vpp = core.Target{Usite: "LRZ", Vsite: "VPP"}

@@ -1,10 +1,10 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
-	"hash/crc64"
 	"sort"
 	"strings"
 	"time"
@@ -12,6 +12,7 @@ import (
 	"unicore/internal/ajo"
 	"unicore/internal/core"
 	"unicore/internal/protocol"
+	"unicore/internal/staging"
 )
 
 // JMC is the job monitor controller: it "shows the job status of the user's
@@ -20,6 +21,10 @@ import (
 // (§5.7).
 type JMC struct {
 	c *protocol.Client
+
+	// Transfer tunes the chunked download engine under FetchFile (zero value
+	// = package staging defaults). Set it before first use.
+	Transfer staging.Options
 }
 
 // NewJMC wraps a protocol client.
@@ -181,43 +186,55 @@ func fetchEvents(ctx context.Context, c *protocol.Client, usite core.Usite, req 
 	return reply, nil
 }
 
-// fetchChunk bounds one workstation download chunk.
-const fetchChunk = 256 << 10
+// fetchSource builds the staging engine's chunk source over the owner fetch
+// endpoint (MsgFetch): one ranged, idempotent read per call, each reply
+// carrying the file's size and whole-file CRC.
+func fetchSource(c *protocol.Client, usite core.Usite, job core.JobID, file string) staging.Source {
+	return func(ctx context.Context, offset, limit int64) (staging.Chunk, error) {
+		var reply protocol.TransferReply
+		err := c.CallContext(ctx, usite, protocol.MsgFetch, protocol.FetchRequest{
+			Job: job, File: file, Offset: offset, Limit: limit,
+		}, &reply)
+		if err != nil {
+			return staging.Chunk{}, err
+		}
+		if !reply.Found {
+			return staging.Chunk{}, fmt.Errorf("%w: job %s at %s has no file %q", staging.ErrNotFound, job, usite, file)
+		}
+		return staging.Chunk{Data: reply.Data, Size: reply.Size, CRC: reply.CRC}, nil
+	}
+}
 
-var crcTable = crc64.MakeTable(crc64.ECMA)
+// fetchOptions applies the v1 fallback to a transfer configuration: against
+// a site that negotiated down to protocol v1 the windowed engine degrades to
+// the sequential one-chunk-in-flight loop of the original implementation
+// (the ranged MsgFetch itself exists since v1).
+func fetchOptions(c *protocol.Client, usite core.Usite, opt staging.Options) staging.Options {
+	if c.SiteVersion(usite) < 2 {
+		opt.Window = 1
+	}
+	return opt
+}
 
 // FetchFile downloads a file from the job's Uspace back to the user's
 // workstation — the §5.6 on-request result transfer ("the current
 // implementation sends data back to the workstation only on user request
-// while the user is working with the JMC"). Large files arrive in chunks
-// and the whole-file checksum is verified.
+// while the user is working with the JMC"). It runs on the windowed parallel
+// streaming engine (package staging): chunks are fetched with readahead,
+// verified incrementally against the whole-file checksum, and a file that
+// mutates mid-transfer surfaces as an error. Session.Download streams the
+// same engine to an io.Writer without materialising the file in memory.
 func (m *JMC) FetchFile(usite core.Usite, job core.JobID, file string) ([]byte, error) {
 	return m.fetchFileContext(context.Background(), usite, job, file)
 }
 
 func (m *JMC) fetchFileContext(ctx context.Context, usite core.Usite, job core.JobID, file string) ([]byte, error) {
-	var buf []byte
-	offset := int64(0)
-	for {
-		var reply protocol.TransferReply
-		err := m.c.CallContext(ctx, usite, protocol.MsgFetch, protocol.FetchRequest{
-			Job: job, File: file, Offset: offset, Limit: fetchChunk,
-		}, &reply)
-		if err != nil {
-			return nil, err
-		}
-		if !reply.Found {
-			return nil, fmt.Errorf("client: job %s at %s has no file %q", job, usite, file)
-		}
-		buf = append(buf, reply.Data...)
-		offset += int64(len(reply.Data))
-		if offset >= reply.Size || len(reply.Data) == 0 {
-			if crc64.Checksum(buf, crcTable) != reply.CRC {
-				return nil, fmt.Errorf("client: checksum mismatch fetching %q from %s", file, usite)
-			}
-			return buf, nil
-		}
+	var buf bytes.Buffer
+	opt := fetchOptions(m.c, usite, m.Transfer)
+	if _, err := staging.Download(ctx, fetchSource(m.c, usite, job, file), &buf, opt); err != nil {
+		return nil, err
 	}
+	return buf.Bytes(), nil
 }
 
 // TaskOutput extracts a task's standard output and error from an outcome

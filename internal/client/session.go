@@ -1,15 +1,19 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"unicore/internal/ajo"
 	"unicore/internal/core"
 	"unicore/internal/events"
 	"unicore/internal/protocol"
+	"unicore/internal/staging"
 )
 
 // JobEvent is one server-push job lifecycle notification, exactly as the
@@ -42,6 +46,11 @@ type Session struct {
 	// LongPoll is the server-side hold requested per subscribe round of
 	// Watch/Await (default DefaultLongPoll). Set it before first use.
 	LongPoll time.Duration
+
+	// Transfer tunes the chunked transfer engines under Upload, Download,
+	// DownloadTo, and FetchFile: chunk size, in-flight window, chunk retries
+	// (zero value = package staging defaults). Set it before first use.
+	Transfer staging.Options
 }
 
 // NewSession opens a session for one Usite over a protocol client (the same
@@ -102,9 +111,85 @@ func (s *Session) Resume(ctx context.Context, job core.JobID) error {
 	return s.jmc.controlContext(ctx, s.usite, job, ajo.OpResume)
 }
 
-// FetchFile downloads a file from the job's Uspace to the workstation.
+// FetchFile downloads a whole file from the job's Uspace into memory. For
+// large results prefer Download, which streams without buffering the file.
 func (s *Session) FetchFile(ctx context.Context, job core.JobID, file string) ([]byte, error) {
-	return s.jmc.fetchFileContext(ctx, s.usite, job, file)
+	var buf bytes.Buffer
+	if _, err := s.Download(ctx, job, file, &buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Download streams a file from the job's Uspace to w through the windowed
+// parallel transfer engine (package staging): s.Transfer.Window ranged
+// fetches stay in flight, bytes arrive at w strictly in order with no
+// whole-file buffering, and the whole-file checksum is verified
+// incrementally. Chunk-level retries ride out replica failover mid-transfer.
+// On failure the returned progress resumes the download via ResumeDownload.
+func (s *Session) Download(ctx context.Context, job core.JobID, file string, w io.Writer) (staging.Progress, error) {
+	opt := fetchOptions(s.c, s.usite, s.Transfer)
+	return staging.Download(ctx, fetchSource(s.c, s.usite, job, file), w, opt)
+}
+
+// ResumeDownload continues a failed Download from its returned progress
+// (against the same writer): nothing already delivered is refetched, and the
+// whole-file checksum still covers every byte.
+func (s *Session) ResumeDownload(ctx context.Context, job core.JobID, file string, w io.Writer, p staging.Progress) (staging.Progress, error) {
+	opt := fetchOptions(s.c, s.usite, s.Transfer)
+	return staging.Resume(ctx, fetchSource(s.c, s.usite, job, file), w, p, opt)
+}
+
+// DownloadTo streams a file from the job's Uspace into a local file
+// (created or truncated), returning the byte count.
+func (s *Session) DownloadTo(ctx context.Context, job core.JobID, file, localPath string) (int64, error) {
+	f, err := os.Create(localPath)
+	if err != nil {
+		return 0, err
+	}
+	p, derr := s.Download(ctx, job, file, f)
+	cerr := f.Close()
+	if derr != nil {
+		return p.Offset, derr
+	}
+	return p.Offset, cerr
+}
+
+// PutOpen begins a staged upload at the session's Usite (protocol v2, part
+// of the staging.Putter surface; most callers want Upload).
+func (s *Session) PutOpen(ctx context.Context, req protocol.PutOpenRequest) (protocol.PutOpenReply, error) {
+	var reply protocol.PutOpenReply
+	err := s.c.CallContext(ctx, s.usite, protocol.MsgPutOpen, req, &reply)
+	return reply, err
+}
+
+// PutChunk delivers one chunk of a staged upload (idempotent re-send safe).
+func (s *Session) PutChunk(ctx context.Context, req protocol.PutChunkRequest) (protocol.PutChunkReply, error) {
+	var reply protocol.PutChunkReply
+	err := s.c.CallContext(ctx, s.usite, protocol.MsgPutChunk, req, &reply)
+	return reply, err
+}
+
+// PutCommit seals a staged upload after the server verified its CRC.
+func (s *Session) PutCommit(ctx context.Context, req protocol.PutCommitRequest) (protocol.PutCommitReply, error) {
+	var reply protocol.PutCommitReply
+	err := s.c.CallContext(ctx, s.usite, protocol.MsgPutCommit, req, &reply)
+	return reply, err
+}
+
+// Session implements the staging upload surface.
+var _ staging.Putter = (*Session)(nil)
+
+// Upload streams r into the spool area of a Vsite at this session's Usite
+// and returns the committed transfer handle — the value to reference from an
+// ImportTask (Builder.ImportStaged / ajo.ImportSource.Staged) so a bulk
+// input travels in CRC-checked chunks ahead of the AJO instead of inline in
+// the signed consign envelope. Against a site that negotiated down to
+// protocol v1, Upload fails with protocol.ErrV1Peer — fall back to an inline
+// import there.
+func (s *Session) Upload(ctx context.Context, vsite core.Vsite, name string, r io.Reader) (string, error) {
+	handle, _, err := staging.Upload(ctx, s, vsite, name, r, s.Transfer)
+	return handle, err
 }
 
 // Events performs one raw subscription fetch (protocol v2): the buffered

@@ -400,7 +400,7 @@ func (g *Gateway) HandleContext(ctx context.Context, data []byte) []byte {
 	}
 	asServer := role == pki.RoleServer
 
-	reply, rt, err := g.dispatch(ctx, t, raw, dn, asServer)
+	reply, rt, err := g.dispatch(ctx, ver, t, raw, dn, asServer)
 	if err != nil {
 		g.countFailure(string(t))
 		return g.sealError(ver, string(t), err)
@@ -412,8 +412,13 @@ func (g *Gateway) HandleContext(ctx context.Context, data []byte) []byte {
 	return out
 }
 
-// dispatch routes one authenticated request to the NJS.
-func (g *Gateway) dispatch(ctx context.Context, t protocol.MsgType, raw json.RawMessage, dn core.DN, asServer bool) (any, protocol.MsgType, error) {
+// dispatch routes one authenticated request to the NJS. ver is the protocol
+// version the envelope arrived with: v2-only requests (the staging MsgPut*
+// family) inside a v1 envelope are refused with a version rejection.
+func (g *Gateway) dispatch(ctx context.Context, ver int, t protocol.MsgType, raw json.RawMessage, dn core.DN, asServer bool) (any, protocol.MsgType, error) {
+	if protocol.V2Only(t) && ver < 2 {
+		return nil, "", fmt.Errorf("%w: %s requires protocol v2", protocol.ErrBadVersion, t)
+	}
 	switch t {
 	case protocol.MsgConsign:
 		return g.handleConsign(raw, dn, asServer)
@@ -500,6 +505,27 @@ func (g *Gateway) dispatch(ctx context.Context, t protocol.MsgType, raw json.Raw
 		}
 		reply, err := g.longPollEvents(ctx, dn, asServer, req)
 		return reply, protocol.MsgEventsReply, err
+	case protocol.MsgPutOpen:
+		var req protocol.PutOpenRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, "", fmt.Errorf("gateway: bad put-open request: %w", err)
+		}
+		reply, err := g.svc().StageOpen(dn, asServer, req)
+		return reply, protocol.MsgPutOpenReply, err
+	case protocol.MsgPutChunk:
+		var req protocol.PutChunkRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, "", fmt.Errorf("gateway: bad put-chunk request: %w", err)
+		}
+		reply, err := g.svc().StageChunk(dn, asServer, req)
+		return reply, protocol.MsgPutChunkReply, err
+	case protocol.MsgPutCommit:
+		var req protocol.PutCommitRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, "", fmt.Errorf("gateway: bad put-commit request: %w", err)
+		}
+		reply, err := g.svc().StageCommit(dn, asServer, req)
+		return reply, protocol.MsgPutCommitReply, err
 	case protocol.MsgLoad:
 		// One backend load for the whole reply: a concurrent SetBackend swap
 		// must not yield a report mixing two backends' figures.

@@ -53,21 +53,33 @@ func (n *NJS) deferComplete(uj *unicoreJob, aid ajo.ActionID, d time.Duration, s
 	})
 }
 
-// startImportLocked stages data into the job's Uspace (§5.6: from the
-// user's workstation — carried inside the AJO — or from the Vsite Xspace).
+// startImportLocked stages data into the job's Uspace (§5.6: from the user's
+// workstation — carried inside the AJO or pre-staged into the Vsite's spool
+// by the chunked upload protocol — or from the Vsite Xspace).
 func (n *NJS) startImportLocked(uj *unicoreJob, t *ajo.ImportTask) {
 	o := uj.outcomes[t.ID()]
 	o.Status = ajo.StatusRunning
 	var size int64
 	var err error
-	if t.Source.XspacePath != "" {
+	switch {
+	case t.Source.XspacePath != "":
 		err = uj.vsite.Space.ImportXspace(uj.id, t.To, t.Source.XspacePath)
 		if err == nil {
 			if fi, statErr := uj.vsite.Space.StatJobFile(uj.id, t.To); statErr == nil {
 				size = fi.Size
 			}
 		}
-	} else {
+	case t.Source.Staged != "":
+		// Consume the committed staged upload from this Vsite's spool. The
+		// entry stays (marked consumed) until the next sweep, so a crash
+		// recovery that re-dispatches this import finds the bytes again.
+		var data []byte
+		data, _, err = n.spools[uj.vsite.Name].Consume(uj.owner, t.Source.Staged)
+		if err == nil {
+			size = int64(len(data))
+			err = uj.vsite.Space.WriteJobFile(uj.id, t.To, data)
+		}
+	default:
 		size = int64(len(t.Source.Inline))
 		err = uj.vsite.Space.ImportInline(uj.id, t.To, t.Source.Inline)
 	}

@@ -504,6 +504,14 @@ func Recover(store *journal.Store, cfg Config, snapshotEvery int) (*NJS, error) 
 	for name, vs := range n.vsites {
 		vs.Space.FS().SetQuota(quotas[name])
 	}
+	// The replayed file trees carry every acknowledged staged-upload chunk
+	// and metadata document; rebuild the spool indexes from them so uploads
+	// survive the crash with their handles and watermarks intact.
+	for _, sp := range n.spools {
+		if err := sp.Rescan(); err != nil {
+			return nil, err
+		}
+	}
 	n.AttachJournal(store, snapshotEvery)
 	return n, nil
 }

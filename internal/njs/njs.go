@@ -58,6 +58,7 @@ import (
 	"unicore/internal/protocol"
 	"unicore/internal/resources"
 	"unicore/internal/sim"
+	"unicore/internal/staging"
 	"unicore/internal/uspace"
 	"unicore/internal/uudb"
 	"unicore/internal/vfs"
@@ -84,7 +85,6 @@ const (
 
 	remotePollInterval = 2 * time.Second
 	remoteMaxFailures  = 30
-	transferChunk      = 256 << 10
 )
 
 func localCopyDelay(size int64) time.Duration {
@@ -142,6 +142,9 @@ type NJS struct {
 	instance string
 	clock    sim.Scheduler
 	vsites   map[core.Vsite]*Vsite // immutable after New
+	// spools holds each Vsite's staged-upload spool (immutable after New;
+	// the Spool itself is thread-safe). See staging.go.
+	spools map[core.Vsite]*staging.Spool
 
 	mapLogin LoginMapper // set once during wiring, before traffic
 	// peers is the client for sub-job consignment and transfers. It is an
@@ -268,6 +271,7 @@ func New(cfg Config) (*NJS, error) {
 		instance:     cfg.Instance,
 		clock:        cfg.Clock,
 		vsites:       make(map[core.Vsite]*Vsite, len(cfg.Vsites)),
+		spools:       make(map[core.Vsite]*staging.Spool, len(cfg.Vsites)),
 		jobs:         make(map[core.JobID]*unicoreJob),
 		batchIndex:   make(map[batchKey]actionRef),
 		consignIndex: make(map[string]*consignEntry),
@@ -311,6 +315,19 @@ func New(cfg Config) (*NJS, error) {
 			Page:  page,
 		}
 		n.vsites[vc.Name] = vs
+		// The spool tag makes handles globally unambiguous: distinct per
+		// Vsite within this NJS and, via the replica instance, distinct
+		// across the replicas of a pool (a recovered replica reuses its tag,
+		// so handles survive recovery unchanged).
+		spoolTag := string(vc.Name)
+		if cfg.Instance != "" {
+			spoolTag = cfg.Instance + "-" + spoolTag
+		}
+		spool, err := staging.NewSpool(fs, SpoolRoot, spoolTag, cfg.Clock)
+		if err != nil {
+			return nil, fmt.Errorf("njs: vsite %s: %w", vc.Name, err)
+		}
+		n.spools[vc.Name] = spool
 		name := vc.Name
 		// Deliver start events through the clock rather than synchronously:
 		// the RMS may dispatch inside Submit, which runs while the NJS holds

@@ -1,12 +1,14 @@
 package njs
 
 import (
+	"bytes"
+	"context"
 	"fmt"
-	"hash/crc64"
 
 	"unicore/internal/ajo"
 	"unicore/internal/core"
 	"unicore/internal/protocol"
+	"unicore/internal/staging"
 )
 
 // This file implements the distributed side of the NJS: "split [the job]
@@ -228,38 +230,35 @@ func (n *NJS) pollRemote(jobID core.JobID, aid ajo.ActionID) {
 	n.finalizeIfDoneLocked(uj)
 }
 
-// fetchRemoteFile pulls one file from a remote job's Uspace in chunks via
-// the peer gateway (the NJS–NJS transfer path of §5.6).
+// fetchRemoteFile pulls one file from a remote job's Uspace via the peer
+// gateway (the NJS–NJS transfer path of §5.6), on the shared windowed
+// streaming engine: parallel ranged MsgTransfer requests, chunk-level
+// retries, and incremental whole-file CRC verification — a file that mutates
+// under the transfer surfaces as an error instead of assembling garbage.
 func (n *NJS) fetchRemoteFile(usite core.Usite, job core.JobID, file string) ([]byte, error) {
 	peers := n.peerClient()
 	if peers == nil {
 		return nil, fmt.Errorf("njs: no peer client configured for %s", usite)
 	}
-	var buf []byte
-	offset := int64(0)
-	for {
+	src := func(ctx context.Context, offset, limit int64) (staging.Chunk, error) {
 		var reply protocol.TransferReply
-		err := peers.Call(usite, protocol.MsgTransfer, protocol.TransferRequest{
-			Job: job, File: file, Offset: offset, Limit: transferChunk,
+		err := peers.CallContext(ctx, usite, protocol.MsgTransfer, protocol.TransferRequest{
+			Job: job, File: file, Offset: offset, Limit: limit,
 		}, &reply)
 		if err != nil {
-			return nil, err
+			return staging.Chunk{}, err
 		}
 		if !reply.Found {
-			return nil, fmt.Errorf("njs: %s has no file %q in job %s", usite, file, job)
+			return staging.Chunk{}, fmt.Errorf("%w: %s has no file %q in job %s", staging.ErrNotFound, usite, file, job)
 		}
-		buf = append(buf, reply.Data...)
-		offset += int64(len(reply.Data))
-		if offset >= reply.Size || len(reply.Data) == 0 {
-			if crc64.Checksum(buf, crcTable) != reply.CRC {
-				return nil, fmt.Errorf("njs: checksum mismatch transferring %q from %s", file, usite)
-			}
-			return buf, nil
-		}
+		return staging.Chunk{Data: reply.Data, Size: reply.Size, CRC: reply.CRC}, nil
 	}
+	var buf bytes.Buffer
+	if _, err := staging.Download(context.Background(), src, &buf, staging.Options{}); err != nil {
+		return nil, fmt.Errorf("njs: transferring %q from %s: %w", file, usite, err)
+	}
+	return buf.Bytes(), nil
 }
-
-var crcTable = crc64.MakeTable(crc64.ECMA)
 
 // injectImports deep-copies a sub-job and prepends inline ImportTasks for
 // the staged dependency files, wiring them before every original root.

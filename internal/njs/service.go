@@ -36,6 +36,12 @@ type Service interface {
 	FetchFile(id core.JobID, file string, offset, limit int64) (protocol.TransferReply, error)
 	// FetchFileOwned serves a chunk of a job's Uspace file to its owner.
 	FetchFileOwned(caller core.DN, asServer bool, id core.JobID, file string, offset, limit int64) (protocol.TransferReply, error)
+	// StageOpen begins a staged upload into a Vsite's spool (protocol v2).
+	StageOpen(caller core.DN, asServer bool, req protocol.PutOpenRequest) (protocol.PutOpenReply, error)
+	// StageChunk stores one idempotent, CRC-checked chunk of a staged upload.
+	StageChunk(caller core.DN, asServer bool, req protocol.PutChunkRequest) (protocol.PutChunkReply, error)
+	// StageCommit seals a staged upload after verifying the whole-file CRC.
+	StageCommit(caller core.DN, asServer bool, req protocol.PutCommitRequest) (protocol.PutCommitReply, error)
 	// Pages returns the resource pages of all Vsites, sorted by target (§5.4).
 	Pages() []resources.Page
 	// Load reports the mean batch occupancy across Vsites in [0,1].

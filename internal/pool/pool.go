@@ -216,6 +216,8 @@ type ReplicaSet struct {
 	affinity map[core.JobID]*Replica  // job → owning replica
 	acks     map[string]ackEntry      // consign ID → acknowledged admission
 	inflight map[string]chan struct{} // consign ID → in-flight admission
+	stage    map[string]stagePin      // staged-upload handle → holding replica
+	lastOpen map[core.DN]*Replica     // user → replica of their latest StageOpen
 	mapper   njs.LoginMapper
 	checking bool
 	timer    sim.Timer
@@ -249,6 +251,8 @@ func New(cfg Config) (*ReplicaSet, error) {
 		affinity: make(map[core.JobID]*Replica),
 		acks:     make(map[string]ackEntry),
 		inflight: make(map[string]chan struct{}),
+		stage:    make(map[string]stagePin),
+		lastOpen: make(map[core.DN]*Replica),
 	}, nil
 }
 
@@ -332,6 +336,9 @@ type ConsignReporter interface {
 // left running: duplicated work is recoverable, aborting the acknowledged
 // copy is not.
 func (s *ReplicaSet) reconcile(r *Replica, svc njs.Service) {
+	// Staged-upload pins rebuild the same way the consign-ack index does:
+	// the joining replica's spool speaks for where the bytes are.
+	s.reconcileStage(r, svc)
 	rep, ok := svc.(ConsignReporter)
 	if !ok {
 		return
@@ -564,8 +571,31 @@ func (s *ReplicaSet) Consign(user core.DN, consignID string, job *ajo.AbstractJo
 	}
 }
 
-// consignOnce runs one policy-routed admission attempt with failover.
+// consignOnce runs one policy-routed admission attempt with failover. A job
+// referencing staged uploads is pinned to the replica whose spool holds the
+// bytes (the consign-affinity hint): routing it anywhere else would admit a
+// job whose imports cannot be satisfied, so if that replica is down the
+// admission fails with ErrReplicaDown instead of failing over.
 func (s *ReplicaSet) consignOnce(user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error) {
+	hint, err := s.stageHint(job)
+	if err != nil {
+		return "", err
+	}
+	if hint != nil {
+		if !s.usable(hint, s.cfg.Clock.Now()) {
+			return "", fmt.Errorf("%w: replica %s holds this job's staged uploads", ErrReplicaDown, hint.name)
+		}
+		id, err := hint.service().Consign(user, consignID, job)
+		if err == nil {
+			hint.markSuccess()
+			s.recordAck(consignID, hint, id)
+			return id, nil
+		}
+		if failoverable(err) {
+			s.markFailure(hint)
+		}
+		return "", err
+	}
 	tried := make(map[*Replica]bool)
 	var lastErr error
 	for {

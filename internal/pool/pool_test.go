@@ -13,6 +13,7 @@ import (
 	"unicore/internal/protocol"
 	"unicore/internal/resources"
 	"unicore/internal/sim"
+	"unicore/internal/staging"
 )
 
 // fakeService is a minimal in-memory njs.Service for pool routing tests. It
@@ -36,6 +37,7 @@ type fakeService struct {
 	load         float64
 	aborts       []core.JobID // jobs aborted via Control
 	mapper       njs.LoginMapper
+	stages       map[string]int64 // staged handle → chunk watermark
 }
 
 func newFake(usite core.Usite, vsite core.Vsite, instance string) *fakeService {
@@ -186,6 +188,62 @@ func (f *fakeService) Events(caller core.DN, asServer bool, req protocol.Subscri
 
 func (f *fakeService) EventsNotify(protocol.SubscribeRequest) (<-chan struct{}, func()) {
 	return make(chan struct{}), func() {}
+}
+
+func (f *fakeService) StageOpen(caller core.DN, asServer bool, req protocol.PutOpenRequest) (protocol.PutOpenReply, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return protocol.PutOpenReply{}, njs.ErrDown
+	}
+	f.seq++
+	h := fmt.Sprintf("stg-%s-%06d", f.instance, f.seq)
+	if f.stages == nil {
+		f.stages = make(map[string]int64)
+	}
+	f.stages[h] = 0
+	return protocol.PutOpenReply{Handle: h, ChunkSize: req.ChunkSize, Window: req.Window}, nil
+}
+
+func (f *fakeService) StageChunk(caller core.DN, asServer bool, req protocol.PutChunkRequest) (protocol.PutChunkReply, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return protocol.PutChunkReply{}, njs.ErrDown
+	}
+	w, ok := f.stages[req.Handle]
+	if !ok {
+		return protocol.PutChunkReply{}, fmt.Errorf("%w: %q", staging.ErrUnknownHandle, req.Handle)
+	}
+	if req.Index == w {
+		w++
+		f.stages[req.Handle] = w
+	}
+	return protocol.PutChunkReply{Received: w}, nil
+}
+
+// StagedHandles implements pool.StageReporter, mirroring the NJS spool index.
+func (f *fakeService) StagedHandles() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.stages))
+	for h := range f.stages {
+		out = append(out, h)
+	}
+	return out
+}
+
+func (f *fakeService) StageCommit(caller core.DN, asServer bool, req protocol.PutCommitRequest) (protocol.PutCommitReply, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return protocol.PutCommitReply{}, njs.ErrDown
+	}
+	w, ok := f.stages[req.Handle]
+	if !ok {
+		return protocol.PutCommitReply{}, fmt.Errorf("%w: %q", staging.ErrUnknownHandle, req.Handle)
+	}
+	return protocol.PutCommitReply{Chunks: w, CRC: req.CRC}, nil
 }
 
 func (f *fakeService) setDown(down bool) {

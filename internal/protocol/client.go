@@ -116,7 +116,7 @@ func (c *Client) Call(usite core.Usite, t MsgType, payload any, replyOut any) er
 func (c *Client) CallContext(ctx context.Context, usite core.Usite, t MsgType, payload any, replyOut any) error {
 	for {
 		ver := c.SiteVersion(usite)
-		if t == MsgSubscribe && ver < 2 {
+		if V2Only(t) && ver < 2 {
 			return fmt.Errorf("%w: %s", ErrV1Peer, usite)
 		}
 		err := c.callOnce(ctx, usite, ver, t, payload, replyOut)

@@ -50,8 +50,8 @@ const MinVersion = 1
 var (
 	ErrBadEnvelope = errors.New("protocol: malformed envelope")
 	ErrBadVersion  = errors.New("protocol: unsupported protocol version")
-	// ErrV1Peer reports that a v2-only request (MsgSubscribe) was addressed
-	// to a peer that negotiated down to protocol v1.
+	// ErrV1Peer reports that a v2-only request (MsgSubscribe or a staging
+	// MsgPut*) was addressed to a peer that negotiated down to protocol v1.
 	ErrV1Peer = errors.New("protocol: peer speaks protocol v1 (no server-push events)")
 )
 
@@ -93,8 +93,34 @@ const (
 	MsgSubscribe MsgType = "subscribe"
 	// MsgEventsReply answers a subscription with a coalesced event batch.
 	MsgEventsReply MsgType = "events-reply"
-	MsgError       MsgType = "error"
+	// MsgPutOpen begins a staged upload into a Vsite's spool area, returning
+	// the transfer handle the chunks are sent under (protocol v2).
+	MsgPutOpen MsgType = "put-open"
+	// MsgPutOpenReply acknowledges a staged-upload open with its handle.
+	MsgPutOpenReply MsgType = "put-open-reply"
+	// MsgPutChunk delivers one CRC-checked chunk of a staged upload. Chunk
+	// sends are idempotent: a re-send of an already-received index is
+	// acknowledged without rewriting.
+	MsgPutChunk MsgType = "put-chunk"
+	// MsgPutChunkReply acknowledges a chunk with the contiguous watermark.
+	MsgPutChunkReply MsgType = "put-chunk-reply"
+	// MsgPutCommit seals a staged upload after verifying the whole-file CRC.
+	MsgPutCommit MsgType = "put-commit"
+	// MsgPutCommitReply acknowledges the seal with the recorded size and CRC.
+	MsgPutCommitReply MsgType = "put-commit-reply"
+	MsgError          MsgType = "error"
 )
+
+// V2Only reports whether a message type exists only in protocol v2 — the
+// client refuses to address these to a peer that negotiated down to v1, and
+// servers refuse them inside a v1-sealed envelope.
+func V2Only(t MsgType) bool {
+	switch t {
+	case MsgSubscribe, MsgPutOpen, MsgPutChunk, MsgPutCommit:
+		return true
+	}
+	return false
+}
 
 // MsgTypes lists every defined message type, in wire-constant order. Servers
 // use it to pre-size lock-free per-type counters.
@@ -111,6 +137,9 @@ func MsgTypes() []MsgType {
 		MsgLoad, MsgLoadReply,
 		MsgFetch, MsgFetchReply,
 		MsgSubscribe, MsgEventsReply,
+		MsgPutOpen, MsgPutOpenReply,
+		MsgPutChunk, MsgPutChunkReply,
+		MsgPutCommit, MsgPutCommitReply,
 		MsgError,
 	}
 }
@@ -360,6 +389,75 @@ type EventsReply struct {
 	Cursor  uint64            `json:"cursor,omitempty"`
 	Origins map[string]uint64 `json:"origins,omitempty"`
 	Gap     bool              `json:"gap,omitempty"`
+}
+
+// PutOpenRequest begins a staged upload into the spool area of a Vsite
+// (protocol v2). Huge job inputs travel ahead of the AJO through this chunked
+// path instead of riding inline inside one giant signed consign envelope
+// (§5.6 "data are transferred in chunks, on user request"): the later
+// ImportTask references the committed upload by its handle
+// (ajo.ImportSource.Staged).
+type PutOpenRequest struct {
+	// Vsite is the execution system whose spool receives the upload — the
+	// Vsite the staged ImportTask will later be consigned to.
+	Vsite core.Vsite `json:"vsite"`
+	// Name labels the upload (conventionally the Uspace destination path).
+	Name string `json:"name,omitempty"`
+	// Size declares the expected total size when known (informational; the
+	// commit seals whatever arrived). Zero means unknown.
+	Size int64 `json:"size,omitempty"`
+	// ChunkSize is the fixed chunk grid the sender will use. The server may
+	// clamp it; the reply carries the effective value.
+	ChunkSize int64 `json:"chunkSize,omitempty"`
+	// Window is how many chunks beyond the contiguous watermark the sender
+	// wants in flight. The server may clamp it.
+	Window int `json:"window,omitempty"`
+}
+
+// PutOpenReply acknowledges a staged-upload open.
+type PutOpenReply struct {
+	// Handle identifies the transfer in every subsequent chunk/commit call
+	// and in the consigning AJO's ImportSource.Staged reference.
+	Handle string `json:"handle"`
+	// ChunkSize and Window are the effective (possibly clamped) values the
+	// sender must respect.
+	ChunkSize int64 `json:"chunkSize"`
+	Window    int   `json:"window"`
+}
+
+// PutChunkRequest delivers chunk Index (0-based, on the ChunkSize grid) of a
+// staged upload. Chunks are idempotent: re-sending an already-received index
+// (a lost reply) is acknowledged without rewriting, and a chunk more than the
+// negotiated window beyond the contiguous watermark is rejected.
+type PutChunkRequest struct {
+	Handle string `json:"handle"`
+	Index  int64  `json:"index"`
+	Data   []byte `json:"data"`
+	// CRC is the crc64 (ECMA) of Data; the server verifies it before writing.
+	CRC uint64 `json:"crc"`
+}
+
+// PutChunkReply acknowledges a chunk. Received is the contiguous watermark —
+// the number of chunks received without holes from index 0 — which is where a
+// sender resumes after losing replies.
+type PutChunkReply struct {
+	Received int64 `json:"received"`
+}
+
+// PutCommitRequest seals a staged upload: every chunk must have arrived and
+// the assembled content must match CRC (crc64 ECMA of the whole file).
+type PutCommitRequest struct {
+	Handle string `json:"handle"`
+	CRC    uint64 `json:"crc"`
+}
+
+// PutCommitReply acknowledges the seal. A committed upload survives crash
+// recovery (the spool is journaled) and is consumed by the ImportTask that
+// references its handle; uploads never consigned are garbage-collected.
+type PutCommitReply struct {
+	Size   int64  `json:"size"`
+	CRC    uint64 `json:"crc"`
+	Chunks int64  `json:"chunks"`
 }
 
 // ErrorReply is the failure payload for any request.

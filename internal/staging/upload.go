@@ -1,0 +1,123 @@
+package staging
+
+import (
+	"context"
+	"fmt"
+	"hash/crc64"
+	"io"
+
+	"unicore/internal/core"
+	"unicore/internal/protocol"
+)
+
+// Putter issues the three protocol-v2 staged-upload calls against one site.
+// client.Session implements it over the signed-envelope client; tests
+// implement it directly against a Spool.
+type Putter interface {
+	// PutOpen begins an upload and returns its transfer handle.
+	PutOpen(ctx context.Context, req protocol.PutOpenRequest) (protocol.PutOpenReply, error)
+	// PutChunk delivers (idempotently) one chunk.
+	PutChunk(ctx context.Context, req protocol.PutChunkRequest) (protocol.PutChunkReply, error)
+	// PutCommit seals the upload after verifying the whole-file CRC.
+	PutCommit(ctx context.Context, req protocol.PutCommitRequest) (protocol.PutCommitReply, error)
+}
+
+// Upload streams r into the spool area of a Vsite and returns the committed
+// transfer handle — the value an ajo.ImportTask references as Source.Staged,
+// so the input travels in CRC-checked chunks ahead of the AJO instead of
+// inline inside the consign envelope.
+//
+// Chunks are read sequentially from r and sent in window-sized parallel
+// batches (the server accepts up to the negotiated window beyond its
+// contiguous watermark, so no chunk in a batch can be out of order). Failed
+// sends are retried — chunk delivery is idempotent, so a lost reply is cured
+// by re-sending the same chunk. The whole-file CRC is folded while reading
+// and sealed into the commit.
+func Upload(ctx context.Context, p Putter, vsite core.Vsite, name string, r io.Reader, opt Options) (string, protocol.PutCommitReply, error) {
+	opt = opt.withDefaults()
+	open, err := p.PutOpen(ctx, protocol.PutOpenRequest{
+		Vsite: vsite, Name: name, ChunkSize: opt.ChunkSize, Window: opt.Window,
+	})
+	if err != nil {
+		return "", protocol.PutCommitReply{}, err
+	}
+	chunkSize, window := open.ChunkSize, open.Window
+	if chunkSize <= 0 || window <= 0 {
+		return open.Handle, protocol.PutCommitReply{},
+			fmt.Errorf("staging: server opened %q with chunk %d / window %d", open.Handle, chunkSize, window)
+	}
+
+	var crc uint64
+	index := int64(0)
+	buf := make([]byte, chunkSize)
+	eof := false
+	for !eof {
+		// Read one window-sized batch of chunks off the sequential reader.
+		type piece struct {
+			index int64
+			data  []byte
+		}
+		var batch []piece
+		for len(batch) < window {
+			n, err := io.ReadFull(r, buf)
+			if n > 0 {
+				data := append([]byte(nil), buf[:n]...)
+				crc = crc64.Update(crc, crcTable, data)
+				batch = append(batch, piece{index: index, data: data})
+				index++
+			}
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				eof = true
+				break
+			}
+			if err != nil {
+				return open.Handle, protocol.PutCommitReply{}, fmt.Errorf("staging: reading upload: %w", err)
+			}
+		}
+		// Send the batch in parallel; every chunk stays within the server's
+		// window because the previous batch is fully acknowledged.
+		errs := make(chan error, len(batch))
+		for _, pc := range batch {
+			go func(pc piece) {
+				errs <- putChunkRetry(ctx, p, protocol.PutChunkRequest{
+					Handle: open.Handle, Index: pc.index, Data: pc.data, CRC: Checksum(pc.data),
+				}, opt)
+			}(pc)
+		}
+		for range batch {
+			if err := <-errs; err != nil {
+				return open.Handle, protocol.PutCommitReply{}, err
+			}
+		}
+	}
+
+	commit, err := putCommitRetry(ctx, p, protocol.PutCommitRequest{Handle: open.Handle, CRC: crc}, opt)
+	if err != nil {
+		return open.Handle, protocol.PutCommitReply{}, err
+	}
+	return open.Handle, commit, nil
+}
+
+// putChunkRetry delivers one chunk on the shared retry policy (re-sends are
+// idempotent).
+func putChunkRetry(ctx context.Context, p Putter, req protocol.PutChunkRequest, opt Options) error {
+	return withRetry(ctx, opt, fmt.Sprintf("chunk %d of %s", req.Index, req.Handle), func() error {
+		_, err := p.PutChunk(ctx, req)
+		return err
+	})
+}
+
+// putCommitRetry seals the upload on the shared retry policy (committing an
+// already-committed upload with the same CRC is acknowledged idempotently).
+func putCommitRetry(ctx context.Context, p Putter, req protocol.PutCommitRequest, opt Options) (protocol.PutCommitReply, error) {
+	var reply protocol.PutCommitReply
+	err := withRetry(ctx, opt, fmt.Sprintf("commit of %s", req.Handle), func() error {
+		var err error
+		reply, err = p.PutCommit(ctx, req)
+		return err
+	})
+	if err != nil {
+		return protocol.PutCommitReply{}, err
+	}
+	return reply, nil
+}

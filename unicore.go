@@ -41,6 +41,7 @@ import (
 	"unicore/internal/pool"
 	"unicore/internal/protocol"
 	"unicore/internal/resources"
+	"unicore/internal/staging"
 	"unicore/internal/testbed"
 )
 
@@ -117,6 +118,26 @@ type (
 // Dial opens a protocol-v2 session for one Usite over a protocol client (for
 // in-process testbeds, Deployment.Session is the shortcut).
 func Dial(c *Client, usite Usite) *Session { return client.NewSession(c, usite) }
+
+// Bulk data staging (package staging): Session.Upload streams a workstation
+// file into a Vsite's spool in CRC-checked chunks and returns the transfer
+// handle a Builder.ImportStaged task references, so huge inputs never ride
+// inline in the signed consign envelope; Session.Download streams a Uspace
+// result to an io.Writer through a windowed parallel fetch engine with
+// incremental checksum verification and chunk-level failover retries.
+type (
+	// TransferOptions tunes the chunked transfer engines (chunk size,
+	// in-flight window, retries) — set Session.Transfer to deviate from the
+	// defaults.
+	TransferOptions = staging.Options
+	// TransferProgress is the resumable state of a streaming download
+	// (Session.Download / Session.ResumeDownload).
+	TransferProgress = staging.Progress
+)
+
+// DefaultTransferChunk is the default ranged-request size of the transfer
+// engines.
+const DefaultTransferChunk = staging.DefaultChunkSize
 
 // NewJob starts building a job destined for target.
 func NewJob(name string, target Target) *Builder { return client.NewJob(name, target) }

@@ -1,0 +1,97 @@
+package unicore_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"unicore"
+	"unicore/internal/ajo"
+)
+
+// stagingPayload returns n deterministic, position-dependent bytes.
+func stagingPayload(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i*17 + i/263)
+	}
+	return out
+}
+
+// TestStagedImportKeepsConsignEnvelopeSmall is the bulk-staging acceptance
+// check: a ≥16 MiB input travels ahead of the AJO through the chunked upload
+// engine, so the consigned job serialises to a few kilobytes — where the
+// seed's inline path blew the payload (base64-inflated) into one giant
+// signed consign envelope. The staged job then runs end to end and the
+// result streams back byte-exact.
+func TestStagedImportKeepsConsignEnvelopeSmall(t *testing.T) {
+	const size = 16 << 20
+	payload := stagingPayload(size)
+
+	// Inline baseline: the payload dominates the serialised AJO.
+	ib := unicore.NewJob("inline", unicore.Target{Usite: "DEMO", Vsite: "CLUSTER"})
+	ib.ImportBytes("stage", payload, "in.dat")
+	inlineJob, err := ib.Build()
+	if err != nil {
+		t.Fatalf("Build(inline): %v", err)
+	}
+	inlineRaw, err := ajo.Marshal(inlineJob)
+	if err != nil {
+		t.Fatalf("Marshal(inline): %v", err)
+	}
+	if len(inlineRaw) < size {
+		t.Fatalf("inline AJO serialises to %d bytes — expected the %d-byte payload inside", len(inlineRaw), size)
+	}
+
+	d, err := unicore.SingleSite("DEMO", "CLUSTER", 8)
+	if err != nil {
+		t.Fatalf("SingleSite: %v", err)
+	}
+	defer d.Close()
+	user, err := d.NewUser("Bulk User", "Demo Org", "bulk")
+	if err != nil {
+		t.Fatalf("NewUser: %v", err)
+	}
+	sess := d.Session(user, "DEMO")
+	ctx := context.Background()
+
+	handle, err := sess.Upload(ctx, "CLUSTER", "in.dat", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	sb := unicore.NewJob("staged", unicore.Target{Usite: "DEMO", Vsite: "CLUSTER"})
+	imp := sb.ImportStaged("stage", handle, "in.dat")
+	run := sb.Script("copy", "cat in.dat > out.dat\n",
+		unicore.ResourceRequest{Processors: 1, RunTime: time.Hour})
+	sb.After(imp, run)
+	stagedJob, err := sb.Build()
+	if err != nil {
+		t.Fatalf("Build(staged): %v", err)
+	}
+	stagedRaw, err := ajo.Marshal(stagedJob)
+	if err != nil {
+		t.Fatalf("Marshal(staged): %v", err)
+	}
+	if len(stagedRaw) > 64<<10 {
+		t.Fatalf("staged AJO serialises to %d bytes — the payload still travels inline", len(stagedRaw))
+	}
+	t.Logf("consign envelope payload: inline %d bytes → staged %d bytes", len(inlineRaw), len(stagedRaw))
+
+	id, err := sess.Submit(ctx, stagedJob)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	d.Run(10_000_000)
+	sum, err := sess.Status(ctx, id)
+	if err != nil || sum.Status != unicore.StatusSuccessful {
+		t.Fatalf("staged job finished %s (%v)", sum.Status, err)
+	}
+	var got bytes.Buffer
+	if _, err := sess.Download(ctx, id, "out.dat", &got); err != nil {
+		t.Fatalf("Download: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Fatalf("downloaded %d bytes differ from the %d-byte staged input", got.Len(), size)
+	}
+}
