@@ -118,7 +118,11 @@ func stageInputs(c *protocol.Client, job *ajo.AbstractJob, stageIns []string) er
 			return err
 		}
 		handle, err := sess.Upload(context.Background(), job.Target.Vsite, to, f)
-		f.Close()
+		if cerr := f.Close(); cerr != nil && err == nil {
+			// A deferred read error (NFS and friends) can surface at close;
+			// a stage-in that silently uploaded short data must not pass.
+			err = cerr
+		}
 		if err != nil {
 			return fmt.Errorf("staging %s: %w", local, err)
 		}

@@ -58,7 +58,9 @@ func run(kill bool) (map[string]string, error) {
 	}
 	defer func() {
 		for _, h := range stores {
-			h.store.Close()
+			if err := h.store.Close(); err != nil {
+				log.Printf("closing journal store: %v", err)
+			}
 		}
 	}()
 

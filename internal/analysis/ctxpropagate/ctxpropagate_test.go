@@ -1,0 +1,12 @@
+package ctxpropagate_test
+
+import (
+	"testing"
+
+	"unicore/internal/analysis/analysistest"
+	"unicore/internal/analysis/ctxpropagate"
+)
+
+func TestCtxPropagate(t *testing.T) {
+	analysistest.Run(t, ctxpropagate.Analyzer, "testdata/src/ctxpropagate")
+}

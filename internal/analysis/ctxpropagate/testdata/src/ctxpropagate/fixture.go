@@ -1,0 +1,46 @@
+// Package fixture exercises the ctxpropagate analyzer: no fresh
+// Background/TODO contexts where a caller ctx is already in scope.
+package fixture
+
+import "context"
+
+func use(ctx context.Context) {}
+
+// BadDetach throws away the caller's cancellation.
+func BadDetach(ctx context.Context, name string) {
+	use(context.Background()) // want "caller's context is in scope"
+	_ = name
+}
+
+// BadTODOInClosure loses the ctx inside a closure — it is still in scope
+// there.
+func BadTODOInClosure(ctx context.Context) func() {
+	return func() {
+		use(context.TODO()) // want "caller's context is in scope"
+	}
+}
+
+// GoodPropagate threads the caller ctx through.
+func GoodPropagate(ctx context.Context) {
+	use(ctx)
+}
+
+// GoodRootWrapper has no caller ctx — the documented Call/Handle wrapper
+// shape.
+func GoodRootWrapper(name string) {
+	use(context.Background())
+	_ = name
+}
+
+// GoodShadowingLiteral declares its own ctx parameter; minting one in the
+// enclosing scope-free function stays allowed.
+func GoodShadowingLiteral() func(context.Context) {
+	use(context.Background())
+	return func(ctx context.Context) { use(ctx) }
+}
+
+// SuppressedDetach is a reviewed detach (fire-and-forget audit write).
+func SuppressedDetach(ctx context.Context) {
+	//lint:allow ctxpropagate fixture: audit write must survive request cancellation
+	use(context.Background())
+}

@@ -1,0 +1,12 @@
+package durableack_test
+
+import (
+	"testing"
+
+	"unicore/internal/analysis/analysistest"
+	"unicore/internal/analysis/durableack"
+)
+
+func TestDurableAck(t *testing.T) {
+	analysistest.Run(t, durableack.Analyzer, "testdata/src/durableack")
+}

@@ -1,0 +1,100 @@
+// Package errsink flags silently discarded errors from the durability
+// surface: Close/Sync/Flush/Append calls that return an error, invoked as a
+// bare statement or deferred, on journal and staging types or *os.File. A
+// swallowed Close on a journal file is a swallowed fsync failure — the
+// store believes a record durable that never reached the disk (PR 2).
+//
+// Only implicit discards are flagged. An explicit `_ = f.Close()` states
+// that the error is intentionally dropped (fine on read-only paths) and is
+// accepted, as is capturing the error into any variable.
+package errsink
+
+import (
+	"go/ast"
+	"go/types"
+
+	"unicore/internal/analysis"
+)
+
+// Analyzer flags discarded errors from durability-relevant Close/Sync/
+// Flush/Append calls.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsink",
+	Doc:  "report discarded errors from Close/Sync/Append/Flush on journal, spool and staging writers",
+	Run:  run,
+}
+
+// watched are the method names whose errors carry durability information.
+var watched = map[string]bool{
+	"Close": true, "Sync": true, "Flush": true, "Append": true,
+}
+
+// watchedPkgs are the packages whose types are on the durability surface.
+var watchedPkgs = map[string]bool{
+	"unicore/internal/journal": true,
+	"unicore/internal/staging": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				report(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				report(pass, n.Call, "")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// report flags call when it is a watched method on a watched type whose
+// error result is being dropped.
+func report(pass *analysis.Pass, call *ast.CallExpr, prefix string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !watched[sel.Sel.Name] {
+		return
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || !returnsError(fn) {
+		return
+	}
+	recv := analysis.Receiver(pass.TypesInfo, call)
+	if recv == nil {
+		return
+	}
+	if !analysis.IsNamed(recv, "os", "File") && !watchedDurabilityType(recv) {
+		return
+	}
+	tn := analysis.Named(recv).Obj()
+	pass.Reportf(call.Pos(),
+		"%serror from (%s.%s).%s discarded; handle it or drop it explicitly with _ =",
+		prefix, tn.Pkg().Name(), tn.Name(), sel.Sel.Name)
+}
+
+// watchedDurabilityType reports whether t is a named type of the journal or
+// staging packages.
+func watchedDurabilityType(t types.Type) bool {
+	n := analysis.Named(t)
+	return n != nil && n.Obj().Pkg() != nil && watchedPkgs[n.Obj().Pkg().Path()]
+}
+
+// returnsError reports whether the function's results include an error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"unicore/internal/analysis/analysistest"
+	"unicore/internal/analysis/errsink"
+)
+
+func TestErrSink(t *testing.T) {
+	analysistest.Run(t, errsink.Analyzer, "testdata/src/errsink")
+}

@@ -1,0 +1,58 @@
+// Package fixture exercises the errsink analyzer: durability errors from
+// Close/Sync must be handled or explicitly discarded.
+package fixture
+
+import (
+	"os"
+
+	"unicore/internal/journal"
+)
+
+// BadClose drops the journal store's close error — a swallowed fsync
+// failure.
+func BadClose(st *journal.Store) {
+	st.Close() // want "error from \\(journal.Store\\).Close discarded"
+}
+
+// BadDeferredClose drops it on the deferred path.
+func BadDeferredClose(name string) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred error from \\(os.File\\).Close discarded"
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+// BadSync drops a sync error.
+func BadSync(st *journal.Store) {
+	st.Sync() // want "error from \\(journal.Store\\).Sync discarded"
+}
+
+// GoodClose handles the error.
+func GoodClose(st *journal.Store) error {
+	if err := st.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// GoodExplicitDiscard states the intent: read-only file, close error
+// carries nothing.
+func GoodExplicitDiscard(name string) ([]byte, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+
+// SuppressedClose is a reviewed discard with its reason on record.
+func SuppressedClose(st *journal.Store) {
+	//lint:allow errsink fixture: store already failed, close error is secondary
+	st.Close()
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, ready for analyzers.
+type Package struct {
+	// Fset is the loader's shared file set.
+	Fset *token.FileSet
+	// Files are the package's non-test syntax trees, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds type-checker facts for Files.
+	Info *types.Info
+	// Dir is the directory the package was loaded from.
+	Dir string
+}
+
+// Loader parses and type-checks package directories. All loads share one
+// file set and one source importer, so a dependency (for example
+// unicore/internal/protocol) is parsed and checked at most once per process
+// no matter how many packages import it.
+type Loader struct {
+	// Fset is the file set shared by every package this loader returns.
+	Fset *token.FileSet
+
+	imp types.Importer
+}
+
+// NewLoader returns a loader backed by the stdlib source importer, which
+// resolves imports from source within the current module — no export data
+// or network access required.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Load parses the non-test Go files of the package in dir and type-checks
+// them under the given import path. Build constraints are honored; test
+// files are excluded (analyzers check shipped code, and the source importer
+// cannot resolve external test packages).
+func (l *Loader) Load(dir, importPath string) (*Package, error) {
+	bp, err := build.Default.ImportDir(dir, build.ImportComment)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: listing %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	return &Package{Fset: l.Fset, Files: files, Pkg: pkg, Info: info, Dir: dir}, nil
+}
+
+// ListedPackage is one entry resolved from a package pattern by the go
+// command.
+type ListedPackage struct {
+	// Dir is the package's source directory.
+	Dir string
+	// ImportPath is the package's import path.
+	ImportPath string
+}
+
+// List expands package patterns (./..., explicit paths) into directories and
+// import paths via `go list`. It is how tools/unilint enumerates the module.
+func List(patterns ...string) ([]ListedPackage, error) {
+	args := append([]string{"list", "-f", "{{.Dir}}\t{{.ImportPath}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []ListedPackage
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		dir, path, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("analysis: unexpected go list output %q", line)
+		}
+		pkgs = append(pkgs, ListedPackage{Dir: dir, ImportPath: path})
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"unicore/internal/analysis/analysistest"
+	"unicore/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata/src/lockorder")
+}

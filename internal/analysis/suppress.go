@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Suppression directives. A finding can be silenced in place with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// either trailing the offending line or on a line of its own immediately
+// above it. The reason is mandatory: a directive without one is itself
+// reported (by the pseudo-analyzer "unilint") and cannot be suppressed, so
+// every silenced finding carries a reviewable justification in the source.
+
+// Directive is one parsed //lint:allow comment.
+type Directive struct {
+	// Analyzer is the checker the directive silences.
+	Analyzer string
+	// Reason is the mandatory justification (everything after the analyzer
+	// name).
+	Reason string
+	// Pos locates the directive comment.
+	Pos token.Position
+	// Malformed is set when the directive is missing its analyzer name or
+	// reason.
+	Malformed bool
+}
+
+const directivePrefix = "//lint:allow"
+
+// Directives extracts every //lint:allow directive from the files.
+func Directives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowed — not ours
+				}
+				fields := strings.Fields(rest)
+				d := Directive{Pos: fset.Position(c.Pos())}
+				if len(fields) < 2 {
+					d.Malformed = true
+					if len(fields) == 1 {
+						d.Analyzer = fields[0]
+					}
+				} else {
+					d.Analyzer = fields[0]
+					d.Reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Filter drops diagnostics covered by a well-formed //lint:allow directive
+// and appends one diagnostic per malformed or unknown-analyzer directive.
+// A directive at line L covers findings of its analyzer at lines L and L+1
+// of the same file, which serves both the trailing-comment and
+// line-above placements. known holds the acceptable analyzer names.
+func Filter(diags []Diagnostic, directives []Directive, known map[string]bool) []Diagnostic {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	covered := make(map[key]bool)
+	var kept []Diagnostic
+	for _, d := range directives {
+		switch {
+		case d.Malformed:
+			kept = append(kept, Diagnostic{
+				Pos:      d.Pos,
+				Analyzer: "unilint",
+				Message:  "malformed //lint:allow directive: want //lint:allow <analyzer> <reason>",
+			})
+		case !known[d.Analyzer]:
+			kept = append(kept, Diagnostic{
+				Pos:      d.Pos,
+				Analyzer: "unilint",
+				Message:  "unknown analyzer " + strconv.Quote(d.Analyzer) + " in //lint:allow directive",
+			})
+		default:
+			covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] = true
+			covered[key{d.Pos.Filename, d.Pos.Line + 1, d.Analyzer}] = true
+		}
+	}
+	for _, d := range diags {
+		if covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

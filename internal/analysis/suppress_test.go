@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+func a() {
+	//lint:allow fake reviewed: reason on record
+	_ = 1
+	_ = 2 //lint:allow fake trailing placement works too
+}
+
+func b() {
+	//lint:allow fake
+	_ = 3
+}
+
+func c() {
+	//lint:allow mystery some reason
+	_ = 4
+}
+`
+
+func diagAt(line int, analyzer string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: "p.go", Line: line},
+		Analyzer: analyzer,
+		Message:  "synthetic finding",
+	}
+}
+
+func TestFilterSuppression(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directives := Directives(fset, []*ast.File{f})
+	known := map[string]bool{"fake": true}
+
+	diags := []Diagnostic{
+		diagAt(5, "fake"),  // covered by the line-above directive (line 4)
+		diagAt(6, "fake"),  // covered by the trailing directive on line 6
+		diagAt(11, "fake"), // directive on line 10 is malformed: finding survives
+		diagAt(5, "other"), // different analyzer: not covered
+	}
+	kept := Filter(diags, directives, known)
+
+	var msgs []string
+	for _, k := range kept {
+		msgs = append(msgs, k.Analyzer+":"+strconv.Itoa(k.Pos.Line)+":"+k.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{
+		"unilint:10:malformed //lint:allow directive",
+		`unilint:15:unknown analyzer "mystery"`,
+		"fake:11:synthetic finding",
+		"other:5:synthetic finding",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in kept diagnostics:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "fake:5:") || strings.Contains(joined, "fake:6:") {
+		t.Errorf("suppressed findings survived:\n%s", joined)
+	}
+	if len(kept) != 4 {
+		t.Errorf("kept %d diagnostics, want 4:\n%s", len(kept), joined)
+	}
+}
+
+func TestDirectivesParsing(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Directives(fset, []*ast.File{f})
+	if len(ds) != 4 {
+		t.Fatalf("parsed %d directives, want 4: %+v", len(ds), ds)
+	}
+	if ds[0].Analyzer != "fake" || ds[0].Reason != "reviewed: reason on record" || ds[0].Malformed {
+		t.Errorf("directive 0 parsed as %+v", ds[0])
+	}
+	if !ds[2].Malformed {
+		t.Errorf("reason-less directive not marked malformed: %+v", ds[2])
+	}
+}

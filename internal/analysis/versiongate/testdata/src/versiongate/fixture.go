@@ -1,0 +1,56 @@
+// Package fixture exercises the versiongate analyzer: v2-only message kinds
+// must stay behind version-negotiating paths.
+package fixture
+
+import (
+	"unicore/internal/core"
+	"unicore/internal/pki"
+	"unicore/internal/protocol"
+)
+
+// BadSeal seals a v2-only kind with the unversioned Seal — a v1 peer would
+// receive an envelope it cannot decode.
+func BadSeal(cred *pki.Credential, payload any) ([]byte, error) {
+	return protocol.Seal(cred, protocol.MsgSubscribe, payload) // want "v2-only message kind MsgSubscribe"
+}
+
+// BadKindTable builds a dispatch table of v2-only kinds at package level,
+// outside any gated function.
+var BadKindTable = []protocol.MsgType{
+	protocol.MsgPutOpen,   // want "v2-only message kind MsgPutOpen"
+	protocol.MsgPutChunk,  // want "v2-only message kind MsgPutChunk"
+	protocol.MsgPutCommit, // want "v2-only message kind MsgPutCommit"
+}
+
+// GoodSealAt is version-aware: it seals at an explicitly negotiated version.
+func GoodSealAt(cred *pki.Credential, ver int, payload any) ([]byte, error) {
+	if ver < 2 {
+		return nil, protocol.ErrV1Peer
+	}
+	return protocol.SealAt(cred, ver, protocol.MsgSubscribe, payload)
+}
+
+// GoodDispatch guards the kind with V2Only, the server-side gate shape.
+func GoodDispatch(ver int, t protocol.MsgType) error {
+	if protocol.V2Only(t) && ver < 2 {
+		return protocol.ErrBadVersion
+	}
+	switch t {
+	case protocol.MsgPutOpen, protocol.MsgPutCommit:
+		return nil
+	}
+	return nil
+}
+
+// GoodClientCall hands the kind to the negotiating client, which fails fast
+// against v1 peers.
+func GoodClientCall(cl *protocol.Client, usite core.Usite) error {
+	var reply protocol.PutChunkReply
+	return cl.Call(usite, protocol.MsgPutChunk, nil, &reply)
+}
+
+// SuppressedSeal is a reviewed exception with its reason on record.
+func SuppressedSeal(cred *pki.Credential, payload any) ([]byte, error) {
+	//lint:allow versiongate fixture: target peer is known v2-capable
+	return protocol.Seal(cred, protocol.MsgPutCommit, payload)
+}

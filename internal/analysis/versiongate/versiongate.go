@@ -1,0 +1,128 @@
+// Package versiongate enforces the protocol version-gating contract (PR 4):
+// v2-only message kinds (MsgSubscribe, MsgPutOpen/Chunk/Commit) may only be
+// used on paths that negotiate or check the peer's protocol version, so a
+// new v2 message can never silently leak to a v1 peer as an undecodable
+// envelope.
+//
+// A use of a v2-only kind is accepted when it is (a) inside package protocol
+// itself, (b) an argument of a protocol.Client Call/CallContext invocation
+// (the client gates internally and fails fast with ErrV1Peer), or (c) inside
+// a function that participates in version dispatch — one that calls
+// protocol.V2Only, protocol.OpenVersioned or protocol.SealAt. Anything else
+// is flagged; deliberate exceptions carry //lint:allow versiongate <reason>.
+package versiongate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"unicore/internal/analysis"
+)
+
+// Analyzer flags v2-only protocol message kinds used outside version-gated
+// paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "versiongate",
+	Doc:  "report v2-only protocol message kinds constructed outside SealAt/OpenVersioned/V2Only-gated paths",
+	Run:  run,
+}
+
+const protocolPath = "unicore/internal/protocol"
+
+// v2Only names the message kinds introduced by protocol version 2; keep in
+// sync with protocol.V2Only.
+var v2Only = map[string]bool{
+	"MsgSubscribe": true,
+	"MsgPutOpen":   true,
+	"MsgPutChunk":  true,
+	"MsgPutCommit": true,
+}
+
+// gatingFuncs are the protocol entry points whose presence marks a function
+// as version-aware.
+var gatingFuncs = map[string]bool{
+	"V2Only":        true,
+	"OpenVersioned": true,
+	"SealAt":        true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == protocolPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	// Spans of argument lists of gated client calls: a v2-only kind inside
+	// one is handed to the version-negotiating client.
+	type span struct{ lo, hi int }
+	var clientArgs []span
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok && analysis.IsMethodCall(pass.TypesInfo, call, protocolPath, "Client", "Call", "CallContext") {
+			clientArgs = append(clientArgs, span{int(call.Lparen), int(call.Rparen)})
+		}
+		return true
+	})
+	inClientCall := func(pos int) bool {
+		for _, s := range clientArgs {
+			if s.lo < pos && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Functions that participate in version dispatch.
+	gated := make(map[*ast.FuncDecl]bool)
+	var decls []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			decls = append(decls, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil &&
+					fn.Pkg() != nil && fn.Pkg().Path() == protocolPath && gatingFuncs[fn.Name()] {
+					gated[fd] = true
+				}
+				return true
+			})
+		}
+	}
+	enclosing := func(pos int) *ast.FuncDecl {
+		for _, fd := range decls {
+			if int(fd.Pos()) <= pos && pos < int(fd.End()) {
+				return fd
+			}
+		}
+		return nil
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+		if !ok || c.Pkg() == nil || c.Pkg().Path() != protocolPath || !v2Only[c.Name()] {
+			return true
+		}
+		pos := int(id.Pos())
+		if inClientCall(pos) {
+			return true
+		}
+		if fd := enclosing(pos); fd != nil && gated[fd] {
+			return true
+		}
+		pass.Reportf(id.Pos(),
+			"v2-only message kind %s used outside a version-gated path (guard with protocol.V2Only/OpenVersioned/SealAt or send via Client.Call)", c.Name())
+		return true
+	})
+}

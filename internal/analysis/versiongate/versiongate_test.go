@@ -1,0 +1,12 @@
+package versiongate_test
+
+import (
+	"testing"
+
+	"unicore/internal/analysis/analysistest"
+	"unicore/internal/analysis/versiongate"
+)
+
+func TestVersionGate(t *testing.T) {
+	analysistest.Run(t, versiongate.Analyzer, "testdata/src/versiongate")
+}

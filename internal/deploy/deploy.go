@@ -7,6 +7,7 @@ package deploy
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
@@ -218,8 +219,9 @@ func BuildDurableSite(cfg *SiteConfig, cred *pki.Credential, ca *pki.Authority, 
 	}
 	n, err := njs.Recover(store, njsCfg, snapshotEvery)
 	if err != nil {
-		store.Close()
-		return nil, nil, nil, nil, err
+		// Surface a failing close alongside the recovery error: a close
+		// failure here is a swallowed flush/fsync problem on the journal.
+		return nil, nil, nil, nil, errors.Join(err, store.Close())
 	}
 	gw, err := gateway.New(gateway.Config{
 		Usite: cfg.Usite,
@@ -229,8 +231,7 @@ func BuildDurableSite(cfg *SiteConfig, cred *pki.Credential, ca *pki.Authority, 
 		NJS:   n,
 	})
 	if err != nil {
-		store.Close()
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, errors.Join(err, store.Close())
 	}
 	return gw, n, users, store, nil
 }

@@ -3,6 +3,7 @@ package deploy
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -427,5 +428,48 @@ func TestBuildReplicatedSite(t *testing.T) {
 	}
 	if owners != 1 {
 		t.Fatalf("job %s owned by %d replicas, want exactly 1", id, owners)
+	}
+}
+
+// TestBuildDurableSiteErrorPathClosesStore drives BuildDurableSite into its
+// post-journal-open failure path (a nil credential fails gateway assembly)
+// and checks two things the error handling owes the caller: the assembly
+// error itself survives (errors.Join must not mask it), and the journal
+// store was really closed — the same state directory must boot cleanly
+// afterwards, proving no replayable state was held hostage by a leaked
+// writer.
+func TestBuildDurableSiteErrorPathClosesStore(t *testing.T) {
+	path := writeTemp(t, "site.json", siteJSON)
+	cfg, err := LoadSiteConfig(path)
+	if err != nil {
+		t.Fatalf("LoadSiteConfig: %v", err)
+	}
+	ca, err := pki.NewAuthority("Deploy-CA")
+	if err != nil {
+		t.Fatalf("NewAuthority: %v", err)
+	}
+	clock := sim.NewVirtualClock()
+	stateDir := t.TempDir()
+
+	_, _, _, _, err = BuildDurableSite(cfg, nil, ca, clock, stateDir, 0)
+	if err == nil {
+		t.Fatal("BuildDurableSite with nil credential succeeded")
+	}
+	if !strings.Contains(err.Error(), "credential") {
+		t.Fatalf("gateway assembly error masked by the close path: %v", err)
+	}
+
+	// The store must have been closed: the directory boots again.
+	cred, err := ca.IssueServer("gateway.fzj")
+	if err != nil {
+		t.Fatalf("IssueServer: %v", err)
+	}
+	_, n, _, store, err := BuildDurableSite(cfg, cred, ca, clock, stateDir, 0)
+	if err != nil {
+		t.Fatalf("BuildDurableSite after failed attempt: %v", err)
+	}
+	n.ResumeRecovered()
+	if err := store.Close(); err != nil {
+		t.Fatalf("closing recovered store: %v", err)
 	}
 }

@@ -145,7 +145,7 @@ func truncateTornTail(path string) error {
 		return fmt.Errorf("journal: %w", err)
 	}
 	valid, err := validPrefix(f)
-	f.Close()
+	_ = f.Close() // read-only scan; the truncation below is path-based
 	if err != nil {
 		return err
 	}
@@ -236,7 +236,7 @@ func replayFile(path string, tolerateTail bool, fn func(Entry) error) error {
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only replay
 	if err := readAll(f, tolerateTail, fn); err != nil {
 		return fmt.Errorf("journal: replaying %s: %w", filepath.Base(path), err)
 	}

@@ -694,6 +694,7 @@ func (n *NJS) completeChild(parentID core.JobID, aid ajo.ActionID, childID core.
 	if o == nil || o.Status.Terminal() {
 		return
 	}
+	//lint:allow lockorder childID is parent's sub-job (parentLink set at admit), so parent→child is ancestor→descendant
 	child.mu.Lock()
 	status := child.root.Status
 	started := child.root.Started

@@ -1,0 +1,118 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"unicore/internal/pki"
+)
+
+// fuzzPKI lazily builds one CA + user credential per test binary; key
+// generation is too slow to repeat per fuzz iteration.
+var fuzzPKI struct {
+	once sync.Once
+	ca   *pki.Authority
+	cred *pki.Credential
+	err  error
+}
+
+func fuzzCreds(t testing.TB) (*pki.Authority, *pki.Credential) {
+	fuzzPKI.once.Do(func() {
+		ca, err := pki.NewAuthority("Fuzz-PCA")
+		if err != nil {
+			fuzzPKI.err = err
+			return
+		}
+		cred, err := ca.IssueUser("Fuzz User", "Fuzz Org")
+		if err != nil {
+			fuzzPKI.err = err
+			return
+		}
+		fuzzPKI.ca, fuzzPKI.cred = ca, cred
+	})
+	if fuzzPKI.err != nil {
+		t.Fatalf("building fuzz credentials: %v", fuzzPKI.err)
+	}
+	return fuzzPKI.ca, fuzzPKI.cred
+}
+
+// FuzzOpenVersioned feeds arbitrary bytes to the envelope opener — the
+// exact input an internet-facing gateway receives. Invariant: no panic, and
+// anything it does accept carries an in-range version and a verified role.
+func FuzzOpenVersioned(f *testing.F) {
+	ca, cred := fuzzCreds(f)
+	sealed, err := SealAt(cred, Version, MsgPoll, PollRequest{Job: "FZJ-1"})
+	if err != nil {
+		f.Fatalf("sealing seed envelope: %v", err)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"version":9,"type":"poll"}`))
+	f.Add(sealed)
+	tampered := bytes.Clone(sealed)
+	tampered[len(tampered)/2] ^= 0x20
+	f.Add(tampered)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ver, mt, raw, dn, role, err := OpenVersioned(ca, data)
+		if err != nil {
+			return
+		}
+		if ver < MinVersion || ver > Version {
+			t.Fatalf("accepted out-of-range version %d", ver)
+		}
+		if mt == "" {
+			t.Fatal("accepted an envelope with an empty message type")
+		}
+		if role != pki.RoleUser && role != pki.RoleServer {
+			t.Fatalf("accepted unknown role %q", role)
+		}
+		if dn == "" {
+			t.Fatal("accepted an envelope with no signer identity")
+		}
+		if !json.Valid(raw) {
+			t.Fatal("accepted a non-JSON payload")
+		}
+	})
+}
+
+// fuzzBlob is a binary-safe round-trip payload (base64 through JSON).
+type fuzzBlob struct {
+	D []byte `json:"d"`
+}
+
+// FuzzSealOpenRoundTrip seals arbitrary payloads at both negotiated
+// versions and requires the opener to return them verbatim with the right
+// version, type, identity and role.
+func FuzzSealOpenRoundTrip(f *testing.F) {
+	f.Add(int64(2), []byte("payload"))
+	f.Add(int64(1), []byte{})
+	f.Add(int64(1), []byte{0x00, 0xff, 0xfe})
+	f.Fuzz(func(t *testing.T, verSeed int64, blob []byte) {
+		ca, cred := fuzzCreds(t)
+		ver := MinVersion + int(((verSeed%2)+2)%2) // 1 or 2
+		sealed, err := SealAt(cred, ver, MsgPoll, fuzzBlob{D: blob})
+		if err != nil {
+			t.Fatalf("SealAt(v%d): %v", ver, err)
+		}
+		gotVer, mt, raw, dn, role, err := OpenVersioned(ca, sealed)
+		if err != nil {
+			t.Fatalf("OpenVersioned rejected its own seal: %v", err)
+		}
+		if gotVer != ver || mt != MsgPoll {
+			t.Fatalf("round trip changed envelope: v%d %q, want v%d %q", gotVer, mt, ver, MsgPoll)
+		}
+		if dn != cred.DN() || role != pki.RoleUser {
+			t.Fatalf("round trip changed identity: %q %q", dn, role)
+		}
+		var out fuzzBlob
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("payload undecodable: %v", err)
+		}
+		if !bytes.Equal(out.D, blob) {
+			t.Fatalf("payload mangled: %q != %q", out.D, blob)
+		}
+	})
+}
