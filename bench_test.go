@@ -35,9 +35,23 @@ import (
 	"unicore/internal/protocol"
 	"unicore/internal/resources"
 	"unicore/internal/sim"
+	"unicore/internal/telemetry"
 	"unicore/internal/testbed"
 	"unicore/internal/vfs"
 )
+
+// siteTelemetry scrapes and merges one Usite's live telemetry snapshots —
+// the same testbed hook the metrics-smoke CI step uses. The figures derived
+// from it (envelopes-verified/sec, consign-ack p99) land in BENCH_PR.json as
+// advisory trend metrics; benchgate does not gate on them.
+func siteTelemetry(b *testing.B, d *testbed.Deployment, usite unicore.Usite) telemetry.Snapshot {
+	b.Helper()
+	snaps, err := d.Metrics(usite)
+	if err != nil {
+		b.Fatalf("telemetry scrape: %v", err)
+	}
+	return telemetry.Merge("bench", snaps...)
+}
 
 // mustDeploy builds a deployment or aborts the benchmark.
 func mustDeploy(b *testing.B, specs ...testbed.SiteSpec) *testbed.Deployment {
@@ -633,6 +647,7 @@ func BenchmarkConcurrentClients(b *testing.B) {
 		}
 	}
 
+	verifiedBefore := siteTelemetry(b, d, "FZJ").Total("pki_verify_total")
 	var next atomic.Int64
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
@@ -661,6 +676,11 @@ func BenchmarkConcurrentClients(b *testing.B) {
 			}
 		}
 	})
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		verified := siteTelemetry(b, d, "FZJ").Total("pki_verify_total") - verifiedBefore
+		b.ReportMetric(verified/secs, "envelopes-verified/sec")
+	}
 }
 
 // --- Session API v2: server-push events vs interval polling ----------------
@@ -756,6 +776,9 @@ func BenchmarkAwaitEvent(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(monitorEnvelopes(d, "FZJ")-before)/float64(b.N), "envelopes/job")
+	if p99 := siteTelemetry(b, d, "FZJ").Quantile("consign_ack_seconds", 0.99); p99 > 0 {
+		b.ReportMetric(p99*1000, "consign-ack-p99-ms")
+	}
 }
 
 // --- Bulk staging: windowed parallel transfers vs the sequential baseline ---

@@ -30,6 +30,7 @@ import (
 	"unicore/internal/pool"
 	"unicore/internal/protocol"
 	"unicore/internal/sim"
+	"unicore/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 		softPath   = flag.String("software", "", "software credential used to sign applets")
 		replicas   = flag.Int("replicas", 1, "NJS replicas per Vsite (replica-pool mode when > 1)")
 		poolPolicy = flag.String("pool-policy", "round-robin", "replica routing: round-robin, least-loaded, or consistent-hash")
+		debugAddr  = flag.String("debug-addr", "", "opt-in: serve net/http/pprof and plaintext /metrics on this address")
 	)
 	flag.Parse()
 
@@ -58,6 +60,7 @@ func main() {
 	}
 
 	var handler http.Handler
+	var debugRegs []*telemetry.Registry
 	if *front {
 		f, err := gateway.NewFront(cred, ca, gateway.TCPDial(*inner))
 		if err != nil {
@@ -105,8 +108,15 @@ func main() {
 				}
 			}
 			router.StartHealthChecks()
+			debugRegs = append(debugRegs, gw.Telemetry())
 			for _, set := range router.Sets() {
+				debugRegs = append(debugRegs, set.Telemetry())
 				log.Printf("vsite %s: %d NJS replicas, %s routing", set.Vsite(), len(set.Names()), policy)
+			}
+			for _, ns := range reps {
+				for _, n := range ns {
+					debugRegs = append(debugRegs, n.Telemetry())
+				}
 			}
 		} else {
 			g, n, _, err := deploy.BuildSite(cfg, cred, ca, sim.RealClock{})
@@ -117,6 +127,7 @@ func main() {
 			if reg != nil {
 				n.SetPeers(protocol.NewClient(gateway.ClientTransport(cred, ca), cred, ca, reg))
 			}
+			debugRegs = append(debugRegs, gw.Telemetry(), n.Telemetry())
 		}
 		if *appletsDir != "" {
 			if err := installApplets(gw, *appletsDir, *softPath); err != nil {
@@ -129,6 +140,21 @@ func main() {
 			vsites = append(vsites, string(v.Name))
 		}
 		log.Printf("combined mode: serving Usite %s with Vsites %v", gw.Usite(), vsites)
+	}
+
+	if *debugAddr != "" {
+		// In front mode no registries exist on this side of the firewall: the
+		// debug server still serves pprof, and /metrics is an empty document.
+		ds, err := telemetry.ServeDebug(*debugAddr, debugRegs...)
+		if err != nil {
+			log.Fatalf("unicore-gateway: debug server: %v", err)
+		}
+		defer func() {
+			if err := ds.Close(); err != nil {
+				log.Printf("unicore-gateway: closing debug server: %v", err)
+			}
+		}()
+		log.Printf("debug server (pprof + /metrics) on http://%s", ds.Addr())
 	}
 
 	l, err := net.Listen("tcp", *listen)

@@ -32,6 +32,7 @@ import (
 	"unicore/internal/njs"
 	"unicore/internal/protocol"
 	"unicore/internal/sim"
+	"unicore/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 		stateDir   = flag.String("state-dir", "", "journal/snapshot directory for durable job state (empty = memory-only)")
 		snapEvery  = flag.Int("snapshot-every", 4096, "journal entries between automatic snapshots (with -state-dir)")
 		spoolTTL   = flag.Duration("spool-ttl", njs.DefaultSpoolTTL, "staged uploads never consigned are garbage-collected after this age")
+		debugAddr  = flag.String("debug-addr", "", "opt-in: serve net/http/pprof and plaintext /metrics on this address")
 	)
 	flag.Parse()
 	if *configPath == "" {
@@ -90,6 +92,18 @@ func main() {
 		// Wiring is complete: resume the recovered workload (re-dispatch
 		// in-flight actions, re-arm remote poll timers).
 		n.ResumeRecovered()
+	}
+	if *debugAddr != "" {
+		ds, err := telemetry.ServeDebug(*debugAddr, gw.Telemetry(), n.Telemetry())
+		if err != nil {
+			log.Fatalf("unicore-njs: debug server: %v", err)
+		}
+		defer func() {
+			if err := ds.Close(); err != nil {
+				log.Printf("unicore-njs: closing debug server: %v", err)
+			}
+		}()
+		log.Printf("debug server (pprof + /metrics) on http://%s", ds.Addr())
 	}
 
 	// Staged-upload garbage collection: abandoned spool entries (uploads

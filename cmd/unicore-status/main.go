@@ -6,6 +6,7 @@
 // Usage:
 //
 //	unicore-status -gateway https://gw.fzj:8443 -usite FZJ -ca ca.pem -cred alice.pem list
+//	unicore-status ... -json list
 //	unicore-status ... status  FZJ-000042
 //	unicore-status ... outcome FZJ-000042
 //	unicore-status ... wait    FZJ-000042
@@ -14,16 +15,22 @@
 //	unicore-status ... abort   FZJ-000042
 //	unicore-status ... hold    FZJ-000042
 //	unicore-status ... resume  FZJ-000042
+//	unicore-status ... metrics
+//	unicore-status ... -per-replica -spans -json metrics
 //
 // wait awaits the terminal event over the v2 stream (falling back to
 // -interval polling against a v1 site); watch streams every lifecycle event
 // as it happens until the job finishes or the user interrupts; fetch streams
 // a Uspace file to -o (or stdout) through the windowed parallel download
-// engine, verifying the whole-file checksum incrementally.
+// engine, verifying the whole-file checksum incrementally; metrics scrapes
+// the site's live telemetry over protocol v2 (MsgMetrics), merged site-wide
+// by default or per replica with -per-replica. -json switches list and
+// metrics to machine-readable output.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -49,6 +56,9 @@ func main() {
 		interval   = flag.Duration("interval", 2*time.Second, "poll interval for wait against a v1 site")
 		maxPolls   = flag.Int("max-polls", 1800, "poll limit for wait against a v1 site")
 		outPath    = flag.String("o", "", "fetch: write the file here instead of stdout")
+		jsonOut    = flag.Bool("json", false, "list, metrics: emit JSON instead of the table")
+		perReplica = flag.Bool("per-replica", false, "metrics: one snapshot per origin instead of the site-wide merge")
+		withSpans  = flag.Bool("spans", false, "metrics: include recent trace spans in the scrape")
 	)
 	flag.Parse()
 	if *gatewayURL == "" || *usiteFlag == "" {
@@ -86,6 +96,10 @@ func main() {
 		if err != nil {
 			log.Fatalf("unicore-status: %v", err)
 		}
+		if *jsonOut {
+			printJSON(jobs)
+			return
+		}
 		if len(jobs) == 0 {
 			fmt.Println("no jobs")
 			return
@@ -93,6 +107,20 @@ func main() {
 		fmt.Printf("%-14s %-10s %-20s %s\n", "JOB", "STATUS", "SUBMITTED", "NAME")
 		for _, j := range jobs {
 			fmt.Printf("%-14s %-10s %-20s %s\n", j.Job, j.Status, j.Submitted.Format(time.RFC3339), j.Name)
+		}
+	case "metrics":
+		snaps, err := sess.Metrics(context.Background(), *perReplica, *withSpans)
+		if err != nil {
+			log.Fatalf("unicore-status: %v", err)
+		}
+		if *jsonOut {
+			printJSON(snaps)
+			return
+		}
+		for _, s := range snaps {
+			if err := s.Flush(os.Stdout); err != nil {
+				log.Fatalf("unicore-status: %v", err)
+			}
 		}
 	case "status":
 		sum, err := jmc.Status(usite, jobArg())
@@ -171,6 +199,15 @@ func main() {
 		fmt.Println("resumed")
 	default:
 		log.Fatalf("unicore-status: unknown command %q", cmd)
+	}
+}
+
+// printJSON emits one indented JSON document on stdout.
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatalf("unicore-status: encoding JSON: %v", err)
 	}
 }
 

@@ -90,9 +90,17 @@ func main() {
 			log.Fatalf("unicore-submit: job does not fit the destination: %v", err)
 		}
 	}
-	id, err := jpa.Submit(job)
+	// Submit through a session so the consign mints a trace ID: the whole
+	// chain (gateway dispatch, pool routing, NJS admission, journal sync)
+	// is then visible via `unicore-status -spans metrics`. v1 sites simply
+	// drop the trace at sealing time.
+	sess := client.NewSession(c, job.Target.Usite)
+	id, err := sess.Submit(context.Background(), job)
 	if err != nil {
 		log.Fatalf("unicore-submit: %v", err)
+	}
+	if trace, ok := sess.Trace(id); ok {
+		log.Printf("trace %s", trace)
 	}
 	fmt.Println(id)
 }

@@ -20,7 +20,7 @@ import (
 // Flush/Append calls.
 var Analyzer = &analysis.Analyzer{
 	Name: "errsink",
-	Doc:  "report discarded errors from Close/Sync/Append/Flush on journal, spool and staging writers",
+	Doc:  "report discarded errors from Close/Sync/Append/Flush on journal, staging and telemetry writers",
 	Run:  run,
 }
 
@@ -30,9 +30,13 @@ var watched = map[string]bool{
 }
 
 // watchedPkgs are the packages whose types are on the durability surface.
+// telemetry is included because a swallowed Snapshot.Flush error is a scrape
+// that silently truncated, and a swallowed DebugServer.Close leaks the debug
+// listener.
 var watchedPkgs = map[string]bool{
-	"unicore/internal/journal": true,
-	"unicore/internal/staging": true,
+	"unicore/internal/journal":   true,
+	"unicore/internal/staging":   true,
+	"unicore/internal/telemetry": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -3,9 +3,11 @@
 package fixture
 
 import (
+	"io"
 	"os"
 
 	"unicore/internal/journal"
+	"unicore/internal/telemetry"
 )
 
 // BadClose drops the journal store's close error — a swallowed fsync
@@ -55,4 +57,19 @@ func GoodExplicitDiscard(name string) ([]byte, error) {
 func SuppressedClose(st *journal.Store) {
 	//lint:allow errsink fixture: store already failed, close error is secondary
 	st.Close()
+}
+
+// BadFlush drops a metrics flush error — the scrape silently truncated.
+func BadFlush(s telemetry.Snapshot, w io.Writer) {
+	s.Flush(w) // want "error from \\(telemetry.Snapshot\\).Flush discarded"
+}
+
+// BadDebugClose leaks the debug listener when Close fails.
+func BadDebugClose(d *telemetry.DebugServer) {
+	defer d.Close() // want "deferred error from \\(telemetry.DebugServer\\).Close discarded"
+}
+
+// GoodFlush propagates the flush error to the scrape caller.
+func GoodFlush(s telemetry.Snapshot, w io.Writer) error {
+	return s.Flush(w)
 }

@@ -1,15 +1,16 @@
 // Package versiongate enforces the protocol version-gating contract (PR 4):
-// v2-only message kinds (MsgSubscribe, MsgPutOpen/Chunk/Commit) may only be
-// used on paths that negotiate or check the peer's protocol version, so a
-// new v2 message can never silently leak to a v1 peer as an undecodable
-// envelope.
+// v2-only message kinds (MsgSubscribe, MsgPutOpen/Chunk/Commit, MsgMetrics)
+// may only be used on paths that negotiate or check the peer's protocol
+// version, so a new v2 message can never silently leak to a v1 peer as an
+// undecodable envelope.
 //
 // A use of a v2-only kind is accepted when it is (a) inside package protocol
 // itself, (b) an argument of a protocol.Client Call/CallContext invocation
 // (the client gates internally and fails fast with ErrV1Peer), or (c) inside
 // a function that participates in version dispatch — one that calls
-// protocol.V2Only, protocol.OpenVersioned or protocol.SealAt. Anything else
-// is flagged; deliberate exceptions carry //lint:allow versiongate <reason>.
+// protocol.V2Only, protocol.OpenVersioned/OpenTraced or
+// protocol.SealAt/SealTracedAt. Anything else is flagged; deliberate
+// exceptions carry //lint:allow versiongate <reason>.
 package versiongate
 
 import (
@@ -36,6 +37,7 @@ var v2Only = map[string]bool{
 	"MsgPutOpen":   true,
 	"MsgPutChunk":  true,
 	"MsgPutCommit": true,
+	"MsgMetrics":   true,
 }
 
 // gatingFuncs are the protocol entry points whose presence marks a function
@@ -43,7 +45,9 @@ var v2Only = map[string]bool{
 var gatingFuncs = map[string]bool{
 	"V2Only":        true,
 	"OpenVersioned": true,
+	"OpenTraced":    true,
 	"SealAt":        true,
+	"SealTracedAt":  true,
 }
 
 func run(pass *analysis.Pass) error {

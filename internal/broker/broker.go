@@ -62,6 +62,7 @@ func (p Policy) String() string {
 type Load struct {
 	Load     float64 // fraction of batch slots in use, [0,1]
 	Pending  int     // jobs waiting in the queues
+	Inflight int     // consigns being admitted right now (live telemetry gauge)
 	Replicas int     // NJS replicas serving this Vsite (0 = unknown, assume 1)
 	Healthy  int     // replicas currently healthy
 }
@@ -142,7 +143,7 @@ func (b *Broker) Refresh(c *protocol.Client, usites ...core.Usite) error {
 		}
 		for vs, vl := range load.Vsites {
 			b.SetLoad(core.Target{Usite: u, Vsite: core.Vsite(vs)}, Load{
-				Load: vl.Load, Pending: vl.Pending,
+				Load: vl.Load, Pending: vl.Pending, Inflight: vl.Inflight,
 				Replicas: vl.Replicas, Healthy: vl.Healthy,
 			})
 		}
@@ -222,7 +223,11 @@ func (b *Broker) score(c *Candidate, page *resources.Page, req resources.Request
 	switch b.policy {
 	case LeastLoaded:
 		// Occupancy plus backlog pressure, normalised by machine size.
-		c.Score = c.Load.Load + float64(c.Load.Pending)/effSlots
+		// Inflight consigns — the live telemetry gauge a scrape carries —
+		// count as queued work that the Pending figure hasn't absorbed yet,
+		// so a Vsite being hammered with admissions ranks below an idle one
+		// even before its queues reflect the burst.
+		c.Score = c.Load.Load + float64(c.Load.Pending+c.Load.Inflight)/effSlots
 	case FastestMachine:
 		// Negative aggregate peak: the biggest machine wins regardless of
 		// load (the user-visible behaviour of "give me the fast one").
@@ -239,7 +244,7 @@ func (b *Broker) score(c *Candidate, page *resources.Page, req resources.Request
 		if procs == 0 {
 			procs = page.Processors.Default
 		}
-		occupancy := c.Load.Load + float64(c.Load.Pending*procs)/effSlots
+		occupancy := c.Load.Load + float64((c.Load.Pending+c.Load.Inflight)*procs)/effSlots
 		wait := time.Duration(occupancy * float64(run))
 		perf := float64(page.PerfMFlops)
 		if perf <= 0 {

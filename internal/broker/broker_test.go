@@ -77,6 +77,43 @@ func TestLeastLoadedPrefersIdleSite(t *testing.T) {
 	}
 }
 
+// TestInflightConsignsCountAsLoad: a Vsite with idle queues but a burst of
+// admissions in flight (the live njs_consign_inflight gauge a telemetry
+// scrape carries into LoadReply) ranks below a genuinely idle one — the
+// broker sees the burst before the batch queues do.
+func TestInflightConsignsCountAsLoad(t *testing.T) {
+	b := inventory(LeastLoaded)
+	// Both SX4-sized sites report empty queues and identical occupancy, but
+	// the SX4 is absorbing an admission burst right now.
+	b.SetLoad(fzjT3E, Load{Load: 0.9, Pending: 40})
+	b.SetLoad(lrzVPP, Load{Load: 0.1})
+	b.SetLoad(dwdSX4, Load{Load: 0.1, Inflight: 30})
+	got, err := b.Choose(resources.Request{Processors: 8, RunTime: time.Hour})
+	if err != nil {
+		t.Fatalf("Choose: %v", err)
+	}
+	if got != lrzVPP {
+		t.Fatalf("choice = %s, want the idle VPP over the consign-loaded SX4", got)
+	}
+	// The loaded-but-healthy SX4 is still a candidate, just ranked lower.
+	cands, err := b.Candidates(resources.Request{Processors: 8, RunTime: time.Hour})
+	if err != nil {
+		t.Fatalf("Candidates: %v", err)
+	}
+	var vppScore, sx4Score float64
+	for _, c := range cands {
+		switch c.Target {
+		case lrzVPP:
+			vppScore = c.Score
+		case dwdSX4:
+			sx4Score = c.Score
+		}
+	}
+	if !(vppScore < sx4Score) {
+		t.Fatalf("idle VPP score %v not below in-flight-loaded SX4 score %v", vppScore, sx4Score)
+	}
+}
+
 func TestFastestMachineIgnoresLoad(t *testing.T) {
 	b := inventory(FastestMachine)
 	b.SetLoad(fzjT3E, Load{Load: 1, Pending: 100})

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"unicore/internal/ajo"
@@ -14,6 +15,7 @@ import (
 	"unicore/internal/events"
 	"unicore/internal/protocol"
 	"unicore/internal/staging"
+	"unicore/internal/telemetry"
 )
 
 // JobEvent is one server-push job lifecycle notification, exactly as the
@@ -51,6 +53,11 @@ type Session struct {
 	// DownloadTo, and FetchFile: chunk size, in-flight window, chunk retries
 	// (zero value = package staging defaults). Set it before first use.
 	Transfer staging.Options
+
+	// traceMu guards traces, the jobID→trace index Submit fills so a
+	// submitted job's distributed trace can be retrieved later (Trace).
+	traceMu sync.Mutex
+	traces  map[core.JobID]string
 }
 
 // NewSession opens a session for one Usite over a protocol client (the same
@@ -73,12 +80,56 @@ func (s *Session) JPA() *JPA { return s.jpa }
 // surface) for workflows the unified surface does not cover.
 func (s *Session) JMC() *JMC { return s.jmc }
 
-// Submit validates and consigns a job at this session's Usite.
+// Submit validates and consigns a job at this session's Usite. Each Submit
+// runs under a distributed trace: unless the caller already put one in ctx
+// (telemetry.WithTrace), a fresh trace ID is minted and carried in the v2
+// envelope header, so every server-side hop of this admission — gateway
+// dispatch, pool routing, NJS admission, journal sync — records a span under
+// it. Trace returns the ID after the job is admitted; a v1 peer ignores the
+// header and the submission proceeds untraced.
 func (s *Session) Submit(ctx context.Context, job *ajo.AbstractJob) (core.JobID, error) {
 	if job.Target.Usite != s.usite {
 		return "", fmt.Errorf("client: job targets %s, session is bound to %s", job.Target.Usite, s.usite)
 	}
-	return s.jpa.submitContext(ctx, job)
+	trace := telemetry.TraceFrom(ctx)
+	if trace == "" {
+		trace = telemetry.NewTraceID()
+		ctx = telemetry.WithTrace(ctx, trace)
+	}
+	id, err := s.jpa.submitContext(ctx, job)
+	if err == nil {
+		s.traceMu.Lock()
+		if s.traces == nil {
+			s.traces = make(map[core.JobID]string)
+		}
+		s.traces[id] = trace
+		s.traceMu.Unlock()
+	}
+	return id, err
+}
+
+// Trace returns the distributed trace ID a Submit through this session ran
+// under, and whether the job was submitted here.
+func (s *Session) Trace(job core.JobID) (string, bool) {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	t, ok := s.traces[job]
+	return t, ok
+}
+
+// Metrics scrapes the live telemetry of the session's Usite (protocol v2):
+// the gateway's own registry plus the server tier's, per origin. With
+// perReplica set the reply keeps one snapshot per replica instead of the
+// site-wide merge; with spans set the per-request trace spans ride along.
+// Against a site that negotiated down to protocol v1 it fails with
+// protocol.ErrV1Peer.
+func (s *Session) Metrics(ctx context.Context, perReplica, spans bool) ([]telemetry.Snapshot, error) {
+	var reply protocol.MetricsReply
+	req := protocol.MetricsRequest{PerReplica: perReplica, Spans: spans}
+	if err := s.c.CallContext(ctx, s.usite, protocol.MsgMetrics, req, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Snapshots, nil
 }
 
 // Status polls the compact summary of one job.

@@ -199,6 +199,8 @@ func BuildSite(cfg *SiteConfig, cred *pki.Credential, ca *pki.Authority, clock s
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	// Telemetry timestamps (trace span starts) follow the deployment clock.
+	gw.Telemetry().SetNow(clock.Now)
 	return gw, n, users, nil
 }
 
@@ -233,6 +235,7 @@ func BuildDurableSite(cfg *SiteConfig, cred *pki.Credential, ca *pki.Authority, 
 	if err != nil {
 		return nil, nil, nil, nil, errors.Join(err, store.Close())
 	}
+	gw.Telemetry().SetNow(clock.Now)
 	return gw, n, users, store, nil
 }
 
@@ -296,6 +299,7 @@ func BuildReplicatedSite(cfg *SiteConfig, cred *pki.Credential, ca *pki.Authorit
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
+	gw.Telemetry().SetNow(clock.Now)
 	return gw, router, replicas, users, nil
 }
 

@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -158,7 +159,7 @@ func TestBuildDurableSiteRecovers(t *testing.T) {
 			Command:  "echo hello durable world",
 		}},
 	}
-	id, err := n.Consign("CN=Alice,O=FZJ,C=DE", "dur-1", job)
+	id, err := n.Consign(context.Background(), "CN=Alice,O=FZJ,C=DE", "dur-1", job)
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -416,7 +417,7 @@ func TestBuildReplicatedSite(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
-	id, err := router.Consign("CN=Alice,O=FZJ,C=DE", "c1", job)
+	id, err := router.Consign(context.Background(), "CN=Alice,O=FZJ,C=DE", "c1", job)
 	if err != nil {
 		t.Fatalf("Consign through router: %v", err)
 	}

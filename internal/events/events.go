@@ -268,6 +268,19 @@ func (l *Log) Notify() <-chan struct{} {
 	return l.notify
 }
 
+// Depth returns the number of currently retained events across all jobs —
+// the live occupancy of the bounded per-job windows (telemetry's
+// event_log_depth gauge).
+func (l *Log) Depth() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, jl := range l.jobs {
+		n += len(jl.events)
+	}
+	return n
+}
+
 // Snapshot returns every retained event ordered by Global — the event-log
 // part of an NJS snapshot, replayed through Restore on recovery.
 func (l *Log) Snapshot() []Event {

@@ -42,6 +42,7 @@ import (
 	"unicore/internal/njs"
 	"unicore/internal/pki"
 	"unicore/internal/protocol"
+	"unicore/internal/telemetry"
 	"unicore/internal/uudb"
 )
 
@@ -154,6 +155,12 @@ type Gateway struct {
 	extraMu    sync.Mutex
 	extraTypes map[protocol.MsgType]int64
 	byFailure  map[string]int64
+
+	// tel mirrors the traffic counters into the scrapeable registry and adds
+	// what Stats never carried: signature-verify latency, long-poll occupancy,
+	// and the "gateway.dispatch" trace spans. Deployments running on a virtual
+	// clock point its clock at the simulation via Telemetry().SetNow.
+	tel *telemetry.Registry
 }
 
 // New assembles a gateway and wires it into the NJS as its login mapper.
@@ -195,6 +202,7 @@ func New(cfg Config) (*Gateway, error) {
 		byType:     make(map[protocol.MsgType]*atomic.Int64),
 		extraTypes: make(map[protocol.MsgType]int64),
 		byFailure:  make(map[string]int64),
+		tel:        telemetry.New("gateway/" + string(cfg.Usite)),
 	}
 	for _, t := range protocol.MsgTypes() {
 		g.byType[t] = new(atomic.Int64)
@@ -236,6 +244,16 @@ func (g *Gateway) SetBackend(s njs.Service) {
 // original, NJS-typed form — kept for the combined deployment and the
 // restart path of the crash testbed).
 func (g *Gateway) SetNJS(n *njs.NJS) { g.SetBackend(n) }
+
+// Telemetry returns the gateway's metrics registry (debug endpoints and
+// virtual-clock deployments wire its clock through SetNow).
+func (g *Gateway) Telemetry() *telemetry.Registry { return g.tel }
+
+// Metrics returns the gateway's snapshot followed by the backend tier's —
+// the full per-origin breakdown behind a MsgMetrics scrape.
+func (g *Gateway) Metrics() []telemetry.Snapshot {
+	return append([]telemetry.Snapshot{g.tel.Snapshot()}, g.svc().Metrics()...)
+}
 
 // Usite returns the site this gateway fronts.
 func (g *Gateway) Usite() core.Usite { return g.usite }
@@ -302,6 +320,7 @@ func (g *Gateway) Stats() Stats {
 
 func (g *Gateway) count(t protocol.MsgType) {
 	g.requests.Add(1)
+	g.tel.Counter("gateway_requests_total", "type", string(t)).Inc()
 	if c, ok := g.byType[t]; ok {
 		c.Add(1)
 		return
@@ -315,6 +334,7 @@ func (g *Gateway) count(t protocol.MsgType) {
 
 func (g *Gateway) countFailure(cause string) {
 	g.rejected.Add(1)
+	g.tel.Counter("gateway_rejected_total", "cause", cause).Inc()
 	g.extraMu.Lock()
 	g.byFailure[cause]++
 	g.extraMu.Unlock()
@@ -374,7 +394,11 @@ func (g *Gateway) Handle(data []byte) []byte {
 // the version the request arrived with, which is what keeps v1 peers working
 // against a v2 server.
 func (g *Gateway) HandleContext(ctx context.Context, data []byte) []byte {
-	ver, t, raw, dn, role, err := protocol.OpenVersioned(g.ca, data)
+	verifyStart := time.Now()
+	o, err := protocol.OpenTraced(g.ca, data)
+	g.tel.Counter("pki_verify_total").Inc()
+	g.tel.Histogram("pki_verify_seconds", telemetry.ScaleSeconds).ObserveSince(verifyStart)
+	ver, t, raw, dn, role := o.Version, o.Type, o.Payload, o.From, o.Role
 	if err != nil {
 		g.countFailure("authentication")
 		// Mirror the failing peer's version when it parsed in range, so a
@@ -382,7 +406,12 @@ func (g *Gateway) HandleContext(ctx context.Context, data []byte) []byte {
 		if ver == 0 {
 			ver = protocol.Version
 		}
-		return g.sealError(ver, "authentication", err)
+		return g.sealError(ver, o.Trace, "authentication", err)
+	}
+	if o.Trace != "" {
+		// Adopt the caller's trace: every span below this point — including
+		// the backend tier's — lands in the same cross-tier trace.
+		ctx = telemetry.WithTrace(ctx, o.Trace)
 	}
 	g.count(t)
 	switch role {
@@ -390,24 +419,26 @@ func (g *Gateway) HandleContext(ctx context.Context, data []byte) []byte {
 		// Users and peer UNICORE servers may talk to a gateway.
 	default:
 		g.countFailure("role")
-		return g.sealError(ver, "role", fmt.Errorf("%w: %q", ErrNotPermitted, role))
+		return g.sealError(ver, o.Trace, "role", fmt.Errorf("%w: %q", ErrNotPermitted, role))
 	}
 	if role == pki.RoleUser && g.siteAuth != nil {
 		if err := g.siteAuth(dn); err != nil {
 			g.countFailure("site-auth")
-			return g.sealError(ver, "site-auth", fmt.Errorf("%w: %v", ErrSiteAuth, err))
+			return g.sealError(ver, o.Trace, "site-auth", fmt.Errorf("%w: %v", ErrSiteAuth, err))
 		}
 	}
 	asServer := role == pki.RoleServer
 
+	sp := g.tel.StartSpan(ctx, "gateway.dispatch").Note(string(t))
 	reply, rt, err := g.dispatch(ctx, ver, t, raw, dn, asServer)
+	sp.End()
 	if err != nil {
 		g.countFailure(string(t))
-		return g.sealError(ver, string(t), err)
+		return g.sealError(ver, o.Trace, string(t), err)
 	}
-	out, err := protocol.SealAt(g.cred, ver, rt, reply)
+	out, err := protocol.SealTracedAt(g.cred, ver, o.Trace, rt, reply)
 	if err != nil {
-		return g.sealError(ver, "internal", err)
+		return g.sealError(ver, o.Trace, "internal", err)
 	}
 	return out
 }
@@ -421,7 +452,7 @@ func (g *Gateway) dispatch(ctx context.Context, ver int, t protocol.MsgType, raw
 	}
 	switch t {
 	case protocol.MsgConsign:
-		return g.handleConsign(raw, dn, asServer)
+		return g.handleConsign(ctx, raw, dn, asServer)
 	case protocol.MsgPoll:
 		var req protocol.PollRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
@@ -534,11 +565,26 @@ func (g *Gateway) dispatch(ctx context.Context, ver int, t protocol.MsgType, raw
 		reply := protocol.LoadReply{Overall: svc.Load(), Vsites: make(map[string]protocol.VsiteLoad, len(loads))}
 		for v, l := range loads {
 			reply.Vsites[string(v)] = protocol.VsiteLoad{
-				Load: l.Load, Pending: l.Pending,
+				Load: l.Load, Pending: l.Pending, Inflight: l.Inflight,
 				Replicas: l.Replicas, Healthy: l.Healthy,
 			}
 		}
 		return reply, protocol.MsgLoadReply, nil
+	case protocol.MsgMetrics:
+		var req protocol.MetricsRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, "", fmt.Errorf("gateway: bad metrics request: %w", err)
+		}
+		snaps := g.Metrics()
+		if !req.PerReplica {
+			snaps = []telemetry.Snapshot{telemetry.Merge("usite/"+string(g.usite), snaps...)}
+		}
+		if !req.Spans {
+			for i := range snaps {
+				snaps[i].Spans = nil
+			}
+		}
+		return protocol.MetricsReply{Snapshots: snaps}, protocol.MsgMetricsReply, nil
 	default:
 		return nil, "", fmt.Errorf("gateway: unsupported request type %q", t)
 	}
@@ -547,7 +593,7 @@ func (g *Gateway) dispatch(ctx context.Context, ver int, t protocol.MsgType, raw
 // handleConsign admits an AJO. A user-signed consignment is owned by the
 // signer; a server-signed consignment (a peer NJS distributing a job group,
 // §5.5) is owned by the user recorded in the AJO.
-func (g *Gateway) handleConsign(raw json.RawMessage, dn core.DN, asServer bool) (any, protocol.MsgType, error) {
+func (g *Gateway) handleConsign(ctx context.Context, raw json.RawMessage, dn core.DN, asServer bool) (any, protocol.MsgType, error) {
 	var req protocol.ConsignRequest
 	if err := json.Unmarshal(raw, &req); err != nil {
 		return nil, "", fmt.Errorf("gateway: bad consign request: %w", err)
@@ -569,7 +615,7 @@ func (g *Gateway) handleConsign(raw json.RawMessage, dn core.DN, asServer bool) 
 	} else if job.UserDN != "" && job.UserDN != dn {
 		return nil, "", fmt.Errorf("gateway: AJO user %s does not match signer %s", job.UserDN, dn)
 	}
-	id, err := g.svc().Consign(owner, req.ConsignID, job)
+	id, err := g.svc().Consign(ctx, owner, req.ConsignID, job)
 	reply := protocol.ConsignReply{Accepted: err == nil, Job: id}
 	if err != nil {
 		reply.Reason = err.Error()
@@ -605,6 +651,9 @@ func (g *Gateway) handleResources(req protocol.ResourcesRequest) (any, protocol.
 // notify channel is taken before each fetch, so an append racing the fetch
 // wakes the next round instead of being lost.
 func (g *Gateway) longPollEvents(ctx context.Context, dn core.DN, asServer bool, req protocol.SubscribeRequest) (protocol.EventsReply, error) {
+	occupancy := g.tel.Gauge("gateway_longpoll_active")
+	occupancy.Inc()
+	defer occupancy.Dec()
 	wait := time.Duration(req.WaitMs) * time.Millisecond
 	if wait > g.maxWait {
 		wait = g.maxWait
@@ -637,10 +686,11 @@ func (g *Gateway) longPollEvents(ctx context.Context, dn core.DN, asServer bool,
 }
 
 // sealError wraps a failure as a signed error reply at the request's
-// protocol version. If even sealing fails the gateway returns an unsigned
-// error document as a last resort.
-func (g *Gateway) sealError(ver int, code string, cause error) []byte {
-	out, err := protocol.SealAt(g.cred, ver, protocol.MsgError, protocol.ErrorReply{
+// protocol version, echoing the request's trace ID so a failed hop still
+// shows up in its trace. If even sealing fails the gateway returns an
+// unsigned error document as a last resort.
+func (g *Gateway) sealError(ver int, trace, code string, cause error) []byte {
+	out, err := protocol.SealTracedAt(g.cred, ver, trace, protocol.MsgError, protocol.ErrorReply{
 		Code:    code,
 		Message: cause.Error(),
 	})

@@ -8,6 +8,7 @@ import (
 	"unicore/internal/codine"
 	"unicore/internal/core"
 	"unicore/internal/incarnation"
+	"unicore/internal/telemetry"
 )
 
 // startActionLocked dispatches one ready action by class.
@@ -73,11 +74,16 @@ func (n *NJS) startImportLocked(uj *unicoreJob, t *ajo.ImportTask) {
 		// Consume the committed staged upload from this Vsite's spool. The
 		// entry stays (marked consumed) until the next sweep, so a crash
 		// recovery that re-dispatches this import finds the bytes again.
+		start := time.Now()
 		var data []byte
 		data, _, err = n.spools[uj.vsite.Name].Consume(uj.owner, t.Source.Staged)
 		if err == nil {
 			size = int64(len(data))
 			err = uj.vsite.Space.WriteJobFile(uj.id, t.To, data)
+		}
+		if err == nil {
+			n.tel.Histogram("staging_import_seconds", telemetry.ScaleSeconds).ObserveSince(start)
+			n.tel.Histogram("staging_import_bytes", telemetry.ScaleBytes).Observe(float64(size))
 		}
 	default:
 		size = int64(len(t.Source.Inline))

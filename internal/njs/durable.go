@@ -61,6 +61,7 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"unicore/internal/ajo"
 	"unicore/internal/codine"
@@ -68,6 +69,7 @@ import (
 	"unicore/internal/events"
 	"unicore/internal/journal"
 	"unicore/internal/protocol"
+	"unicore/internal/telemetry"
 	"unicore/internal/uudb"
 	"unicore/internal/vfs"
 )
@@ -100,13 +102,22 @@ func (n *NJS) Journal() *journal.Store {
 	return nil
 }
 
-// SyncJournal flushes and fsyncs everything journaled so far.
+// SyncJournal flushes and fsyncs everything journaled so far. Sync latency
+// and the group-commit batch size (entries appended since the previous
+// sync) are recorded in the telemetry registry.
 func (n *NJS) SyncJournal() error {
 	r := n.rec.Load()
 	if r == nil {
 		return nil
 	}
-	return r.store.Sync()
+	start := time.Now()
+	err := r.store.Sync()
+	n.tel.Histogram("journal_sync_seconds", telemetry.ScaleSeconds).ObserveSince(start)
+	appended := n.tel.Counter("journal_append_total").Value()
+	if prev := n.journalSynced.Swap(appended); appended >= prev {
+		n.tel.Histogram("journal_sync_batch_entries", telemetry.ScaleCount).Observe(float64(appended - prev))
+	}
+	return err
 }
 
 // Snapshot compacts the journal: the live state is captured as a snapshot
@@ -133,13 +144,16 @@ func (n *NJS) Kill() {
 	}
 }
 
-// record appends one logical entry and drives the snapshot cadence.
+// record appends one logical entry and drives the snapshot cadence. The
+// telemetry update is one atomic add — record runs under job locks and
+// must stay an O(1) enqueue.
 func (n *NJS) record(e journal.Entry) {
 	r := n.rec.Load()
 	if r == nil {
 		return
 	}
 	r.store.Append(e)
+	n.tel.Counter("journal_append_total").Inc()
 	if r.snapshotEvery > 0 && r.store.AppendsSinceCompact() >= r.snapshotEvery &&
 		r.snapshotting.CompareAndSwap(false, true) {
 		// Compaction walks every job under its lock, so it must not run

@@ -1,6 +1,7 @@
 package njs
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -111,7 +112,7 @@ func TestRecoverCompletedJobVerbatim(t *testing.T) {
 	dir := t.TempDir()
 	n, store := newDurableNJS(t, clock, dir, 0)
 
-	id, err := n.Consign(alice, "consign-1", durableStagedJob("done-before-crash"))
+	id, err := n.Consign(context.Background(), alice, "consign-1", durableStagedJob("done-before-crash"))
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -155,7 +156,7 @@ func TestRecoverCompletedJobVerbatim(t *testing.T) {
 	}
 
 	// The idempotent consign index survived: a retry returns the same job.
-	again, err := n2.Consign(alice, "consign-1", durableStagedJob("done-before-crash"))
+	again, err := n2.Consign(context.Background(), alice, "consign-1", durableStagedJob("done-before-crash"))
 	if err != nil || again != id {
 		t.Fatalf("consign retry after recovery: id=%s err=%v, want %s", again, err, id)
 	}
@@ -170,7 +171,7 @@ func TestRecoverMidFlightMatchesUninterruptedRun(t *testing.T) {
 
 		var ids []core.JobID
 		for i := 0; i < 6; i++ {
-			id, err := n.Consign(alice, fmt.Sprintf("c-%d", i), durableStagedJob(fmt.Sprintf("wl-%02d", i)))
+			id, err := n.Consign(context.Background(), alice, fmt.Sprintf("c-%d", i), durableStagedJob(fmt.Sprintf("wl-%02d", i)))
 			if err != nil {
 				t.Fatalf("Consign: %v", err)
 			}
@@ -215,7 +216,7 @@ func TestRecoverWithSnapshotCompaction(t *testing.T) {
 
 	var ids []core.JobID
 	for i := 0; i < 8; i++ {
-		id, err := n.Consign(alice, "", durableStagedJob(fmt.Sprintf("snap-%02d", i)))
+		id, err := n.Consign(context.Background(), alice, "", durableStagedJob(fmt.Sprintf("snap-%02d", i)))
 		if err != nil {
 			t.Fatalf("Consign: %v", err)
 		}
@@ -243,7 +244,7 @@ func TestRecoverHeldJobStaysHeld(t *testing.T) {
 	n, store := newDurableNJS(t, clock, dir, 0)
 
 	// Hold before anything dispatches beyond the first actions.
-	id, err := n.Consign(alice, "", durableStagedJob("held"))
+	id, err := n.Consign(context.Background(), alice, "", durableStagedJob("held"))
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -278,7 +279,7 @@ func TestRecoverAbortedJobStaysAborted(t *testing.T) {
 	dir := t.TempDir()
 	n, store := newDurableNJS(t, clock, dir, 0)
 
-	id, err := n.Consign(alice, "", durableStagedJob("aborted"))
+	id, err := n.Consign(context.Background(), alice, "", durableStagedJob("aborted"))
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -377,7 +378,7 @@ func TestRecoverLocalSubJobTree(t *testing.T) {
 				{Before: "tr", After: "main"},
 			},
 		}
-		id, err := n.Consign(alice, "", parent)
+		id, err := n.Consign(context.Background(), alice, "", parent)
 		if err != nil {
 			t.Fatalf("Consign: %v", err)
 		}
@@ -416,7 +417,7 @@ func TestConsignAckIsDurable(t *testing.T) {
 	dir := t.TempDir()
 	n, store := newDurableNJS(t, clock, dir, 0)
 
-	id, err := n.Consign(alice, "ack-1", durableStagedJob("acked"))
+	id, err := n.Consign(context.Background(), alice, "ack-1", durableStagedJob("acked"))
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -446,7 +447,7 @@ func TestConsignAckIsDurable(t *testing.T) {
 		t.Fatalf("recovered job = %s", o.Status)
 	}
 	// The idempotent consign index recovered with it.
-	again, err := n2.Consign(alice, "ack-1", durableStagedJob("acked"))
+	again, err := n2.Consign(context.Background(), alice, "ack-1", durableStagedJob("acked"))
 	if err != nil || again != id {
 		t.Fatalf("consign retry: id=%s err=%v, want %s", again, err, id)
 	}
@@ -465,7 +466,7 @@ func BenchmarkConsignDurable(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			i := seq.Add(1)
-			if _, err := n.Consign(alice, "", durableStagedJob(fmt.Sprintf("bench-%06d", i))); err != nil {
+			if _, err := n.Consign(context.Background(), alice, "", durableStagedJob(fmt.Sprintf("bench-%06d", i))); err != nil {
 				b.Fatalf("Consign: %v", err)
 			}
 		}
@@ -484,7 +485,7 @@ func BenchmarkJournalRecover(b *testing.B) {
 	n, store := newDurableNJS(b, clock, dir, 0)
 	const jobs = 50
 	for i := 0; i < jobs; i++ {
-		if _, err := n.Consign(alice, "", durableStagedJob(fmt.Sprintf("bench-%03d", i))); err != nil {
+		if _, err := n.Consign(context.Background(), alice, "", durableStagedJob(fmt.Sprintf("bench-%03d", i))); err != nil {
 			b.Fatalf("Consign: %v", err)
 		}
 	}

@@ -41,6 +41,7 @@
 package njs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -59,6 +60,7 @@ import (
 	"unicore/internal/resources"
 	"unicore/internal/sim"
 	"unicore/internal/staging"
+	"unicore/internal/telemetry"
 	"unicore/internal/uspace"
 	"unicore/internal/uudb"
 	"unicore/internal/vfs"
@@ -182,6 +184,14 @@ type NJS struct {
 	// callbacks that fire afterwards must not advance state, reach peers, or
 	// journal.
 	dead atomic.Bool
+
+	// tel is this NJS's telemetry registry (consign latency, journal sync
+	// latency and batch sizes, staging throughput, trace spans). Its clock
+	// is the NJS clock, so spans order on simulation time under a testbed.
+	tel *telemetry.Registry
+	// journalSynced remembers the journal-append total at the last sync so
+	// SyncJournal can report group-commit batch sizes.
+	journalSynced atomic.Uint64
 }
 
 // consignEntry is one idempotent-consignment reservation. done is closed
@@ -266,10 +276,15 @@ func New(cfg Config) (*NJS, error) {
 	if len(cfg.Vsites) == 0 {
 		return nil, errors.New("njs: no vsites configured")
 	}
+	origin := "njs/" + string(cfg.Usite)
+	if cfg.Instance != "" {
+		origin += "/" + cfg.Instance
+	}
 	n := &NJS{
 		usite:        cfg.Usite,
 		instance:     cfg.Instance,
 		clock:        cfg.Clock,
+		tel:          telemetry.New(origin),
 		vsites:       make(map[core.Vsite]*Vsite, len(cfg.Vsites)),
 		spools:       make(map[core.Vsite]*staging.Spool, len(cfg.Vsites)),
 		jobs:         make(map[core.JobID]*unicoreJob),
@@ -277,6 +292,7 @@ func New(cfg Config) (*NJS, error) {
 		consignIndex: make(map[string]*consignEntry),
 		log:          events.NewLog(cfg.Instance, events.DefaultJobCap),
 	}
+	n.tel.SetNow(cfg.Clock.Now)
 	for _, vc := range cfg.Vsites {
 		if vc.Name == "" {
 			return nil, errors.New("njs: vsite without name")
@@ -420,11 +436,22 @@ func (n *NJS) job(id core.JobID) (*unicoreJob, bool) {
 // Consign accepts an AJO for execution — the asynchronous submit of §5.3.
 // It validates the job, maps the user at the destination Vsite, checks the
 // resource requests against the Vsite's resource page, creates the job
-// directory, and begins dispatching. consignID makes retries idempotent.
-func (n *NJS) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error) {
+// directory, and begins dispatching. consignID makes retries idempotent;
+// ctx carries the caller's distributed trace for per-hop spans.
+func (n *NJS) Consign(ctx context.Context, user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error) {
 	if n.dead.Load() {
 		return "", ErrDown
 	}
+	vsiteTag := string(job.Target.Vsite)
+	defer n.tel.StartSpan(ctx, "njs.consign").Note(vsiteTag).End()
+	n.tel.Counter("consign_total", "vsite", vsiteTag).Inc()
+	inflight := n.tel.Gauge("njs_consign_inflight", "vsite", vsiteTag)
+	inflight.Inc()
+	ackStart := time.Now()
+	defer func() {
+		inflight.Dec()
+		n.tel.Histogram("consign_ack_seconds", telemetry.ScaleSeconds).ObserveSince(ackStart)
+	}()
 	if err := job.Validate(); err != nil {
 		return "", err
 	}
@@ -460,7 +487,9 @@ func (n *NJS) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (cor
 			// store's batched flusher group-commits concurrent consigns.
 			// On sync failure the id is returned with the error: the job is
 			// admitted and running, only its durability is unconfirmed.
+			sp := n.tel.StartSpan(ctx, "njs.journal.sync")
 			err = n.SyncJournal()
+			sp.End()
 		}
 		if err == nil && n.dead.Load() {
 			// Killed between admit and ack: the recorder may already have
@@ -481,7 +510,9 @@ func (n *NJS) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (cor
 			id, admitErr := n.admit(user, login, job, vs, nil, consignID)
 			err := admitErr
 			if err == nil {
+				sp := n.tel.StartSpan(ctx, "njs.journal.sync")
 				err = n.SyncJournal() // durable before the ack (see above)
+				sp.End()
 			}
 			if err == nil && n.dead.Load() {
 				err = ErrDown // killed between admit and ack (see above)
@@ -724,6 +755,7 @@ func (n *NJS) completeChild(parentID core.JobID, aid ajo.ActionID, childID core.
 type VsiteLoad struct {
 	Load     float64 // fraction of slots in use, [0,1]
 	Pending  int     // jobs waiting in the queues
+	Inflight int     // consigns currently being admitted (live gauge)
 	Replicas int     // NJS replicas serving this Vsite
 	Healthy  int     // replicas currently healthy
 }
@@ -733,7 +765,13 @@ type VsiteLoad struct {
 func (n *NJS) VsiteLoads() map[core.Vsite]VsiteLoad {
 	out := make(map[core.Vsite]VsiteLoad, len(n.vsites))
 	for name, v := range n.vsites {
-		out[name] = VsiteLoad{Load: v.RMS.Load(), Pending: v.RMS.Backlog(), Replicas: 1, Healthy: 1}
+		out[name] = VsiteLoad{
+			Load:     v.RMS.Load(),
+			Pending:  v.RMS.Backlog(),
+			Inflight: int(n.tel.Gauge("njs_consign_inflight", "vsite", string(name)).Value()),
+			Replicas: 1,
+			Healthy:  1,
+		}
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package njs
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -62,13 +63,13 @@ func TestConsignValidation(t *testing.T) {
 	// Wrong Usite.
 	j := job("wrong", "T3E", []ajo.Action{script("s", "echo hi\n")}, nil)
 	j.Target.Usite = "ZIB"
-	if _, err := n.Consign(alice, "", j); !errors.Is(err, ErrWrongUsite) {
+	if _, err := n.Consign(context.Background(), alice, "", j); !errors.Is(err, ErrWrongUsite) {
 		t.Fatalf("err = %v, want ErrWrongUsite", err)
 	}
 
 	// Unknown Vsite.
 	j2 := job("novsite", "SX4", []ajo.Action{script("s", "echo hi\n")}, nil)
-	if _, err := n.Consign(alice, "", j2); !errors.Is(err, ErrUnknownVsite) {
+	if _, err := n.Consign(context.Background(), alice, "", j2); !errors.Is(err, ErrUnknownVsite) {
 		t.Fatalf("err = %v, want ErrUnknownVsite", err)
 	}
 
@@ -76,7 +77,7 @@ func TestConsignValidation(t *testing.T) {
 	huge := script("s", "echo hi\n")
 	huge.Resources.Processors = 6500
 	j3 := job("huge", "T3E", []ajo.Action{huge}, nil)
-	if _, err := n.Consign(alice, "", j3); err == nil {
+	if _, err := n.Consign(context.Background(), alice, "", j3); err == nil {
 		t.Fatal("oversized request admitted")
 	}
 
@@ -84,7 +85,7 @@ func TestConsignValidation(t *testing.T) {
 	n2, _ := newNJS(t)
 	n2.SetLoginMapper(nil)
 	j4 := job("nomap", "T3E", []ajo.Action{script("s", "echo hi\n")}, nil)
-	if _, err := n2.Consign(alice, "", j4); !errors.Is(err, ErrNoMapper) {
+	if _, err := n2.Consign(context.Background(), alice, "", j4); !errors.Is(err, ErrNoMapper) {
 		t.Fatalf("err = %v, want ErrNoMapper", err)
 	}
 }
@@ -95,7 +96,7 @@ func TestDependencyOrderAndFileGuarantee(t *testing.T) {
 		script("produce", "write data.bin 1024\necho produced\n"),
 		script("consume", "cat data.bin > sink.tmp\necho consumed\n"),
 	}, []ajo.Dependency{{Before: "produce", After: "consume", Files: []string{"data.bin"}}})
-	id, err := n.Consign(alice, "", j)
+	id, err := n.Consign(context.Background(), alice, "", j)
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -124,7 +125,7 @@ func TestFailureCascadesNotDone(t *testing.T) {
 		{Before: "bad", After: "next"},
 		{Before: "next", After: "last"},
 	})
-	id, err := n.Consign(alice, "", j)
+	id, err := n.Consign(context.Background(), alice, "", j)
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -151,7 +152,7 @@ func TestMissingDependencyFileFailsSuccessor(t *testing.T) {
 		script("produce", "echo no file written\n"),
 		script("consume", "cat ghost.bin\n"),
 	}, []ajo.Dependency{{Before: "produce", After: "consume", Files: []string{"ghost.bin"}}})
-	id, _ := n.Consign(alice, "", j)
+	id, _ := n.Consign(context.Background(), alice, "", j)
 	clock.RunUntilIdle(100000)
 	o, _, _ := n.Outcome(alice, false, id)
 	cons, _ := o.Find("consume")
@@ -182,7 +183,7 @@ func TestImportExecuteExport(t *testing.T) {
 		{Before: "imp", After: "work"},
 		{Before: "work", After: "exp"},
 	})
-	id, err := n.Consign(alice, "", j)
+	id, err := n.Consign(context.Background(), alice, "", j)
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -221,7 +222,7 @@ func TestLocalSubJobOnAnotherVsite(t *testing.T) {
 		{Before: sub.ID(), After: "tr"},
 		{Before: "tr", After: "main"},
 	})
-	id, err := n.Consign(alice, "", parent)
+	id, err := n.Consign(context.Background(), alice, "", parent)
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -243,7 +244,7 @@ func TestHoldResumeDispatching(t *testing.T) {
 		script("a", "echo a\n"),
 		script("b", "echo b\n"),
 	}, []ajo.Dependency{{Before: "a", After: "b"}})
-	id, _ := n.Consign(alice, "", j)
+	id, _ := n.Consign(context.Background(), alice, "", j)
 	if err := n.Control(alice, false, id, ajo.OpHold); err != nil {
 		t.Fatalf("Hold: %v", err)
 	}
@@ -271,7 +272,7 @@ func TestAbortMarksActionsAborted(t *testing.T) {
 	j := job("abort", "T3E", []ajo.Action{
 		script("long", "cpu 5h\necho never\n"),
 	}, nil)
-	id, _ := n.Consign(alice, "", j)
+	id, _ := n.Consign(context.Background(), alice, "", j)
 	clock.Advance(time.Second)
 	if err := n.Control(alice, false, id, ajo.OpAbort); err != nil {
 		t.Fatalf("Abort: %v", err)
@@ -294,7 +295,7 @@ func TestAbortMarksActionsAborted(t *testing.T) {
 func TestAuthorization(t *testing.T) {
 	n, clock := newNJS(t)
 	j := job("mine", "T3E", []ajo.Action{script("s", "echo hi\n")}, nil)
-	id, _ := n.Consign(alice, "", j)
+	id, _ := n.Consign(context.Background(), alice, "", j)
 	clock.RunUntilIdle(100000)
 
 	bob := core.MakeDN("Bob", "RUS", "DE")
@@ -316,11 +317,11 @@ func TestAuthorization(t *testing.T) {
 func TestConsignIdempotent(t *testing.T) {
 	n, clock := newNJS(t)
 	j := job("idem", "T3E", []ajo.Action{script("s", "echo hi\n")}, nil)
-	id1, err := n.Consign(alice, "key-1", j)
+	id1, err := n.Consign(context.Background(), alice, "key-1", j)
 	if err != nil {
 		t.Fatalf("Consign 1: %v", err)
 	}
-	id2, err := n.Consign(alice, "key-1", j)
+	id2, err := n.Consign(context.Background(), alice, "key-1", j)
 	if err != nil {
 		t.Fatalf("Consign 2: %v", err)
 	}
@@ -350,10 +351,10 @@ func TestVsiteLoads(t *testing.T) {
 		jj := job(id, "CLUSTER", []ajo.Action{s}, nil)
 		return jj
 	}
-	if _, err := n.Consign(alice, "", mk("fill1")); err != nil {
+	if _, err := n.Consign(context.Background(), alice, "", mk("fill1")); err != nil {
 		t.Fatalf("Consign fill1: %v", err)
 	}
-	if _, err := n.Consign(alice, "", mk("fill2")); err != nil {
+	if _, err := n.Consign(context.Background(), alice, "", mk("fill2")); err != nil {
 		t.Fatalf("Consign fill2: %v", err)
 	}
 	clock.Advance(time.Second)
@@ -374,7 +375,7 @@ func TestListOrdering(t *testing.T) {
 	var ids []core.JobID
 	for _, name := range []string{"first", "second", "third"} {
 		clock.Advance(time.Minute)
-		id, err := n.Consign(alice, "", job(name, "T3E", []ajo.Action{script("s-"+name, "echo x\n")}, nil))
+		id, err := n.Consign(context.Background(), alice, "", job(name, "T3E", []ajo.Action{script("s-"+name, "echo x\n")}, nil))
 		if err != nil {
 			t.Fatalf("Consign %s: %v", name, err)
 		}
@@ -420,7 +421,7 @@ func TestCompileLinkExecuteOnT3E(t *testing.T) {
 		{Before: "cc", After: "ld"},
 		{Before: "ld", After: "run"},
 	})
-	id, err := n.Consign(alice, "", j)
+	id, err := n.Consign(context.Background(), alice, "", j)
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}

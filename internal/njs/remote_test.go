@@ -7,6 +7,7 @@ package njs_test
 // (which itself imports njs).
 
 import (
+	"context"
 	"net/http"
 	"strings"
 	"testing"
@@ -130,7 +131,7 @@ func TestRemoteSubJobChunkedTransfer(t *testing.T) {
 	p := newPair(t)
 	// 600 KiB forces three 256 KiB transfer chunks through the peer gateway.
 	const size = 600 << 10
-	id, err := p.njsA.Consign(p.alice.DN(), "", parentWithRemote("big.dat", size))
+	id, err := p.njsA.Consign(context.Background(), p.alice.DN(), "", parentWithRemote("big.dat", size))
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -162,7 +163,7 @@ func TestRemoteSubJobPeerUnreachable(t *testing.T) {
 	p := newPair(t)
 	// Point B's registry entry at a host nobody serves.
 	p.reg.Add("B", "https://gw.nowhere")
-	id, err := p.njsA.Consign(p.alice.DN(), "", parentWithRemote("x.dat", 16))
+	id, err := p.njsA.Consign(context.Background(), p.alice.DN(), "", parentWithRemote("x.dat", 16))
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -186,7 +187,7 @@ func TestRemoteSubJobPeerRefuses(t *testing.T) {
 	job := parentWithRemote("x.dat", 16)
 	// Address a Vsite B does not have: B's NJS refuses the consignment.
 	job.Actions[0].(*ajo.AbstractJob).Target.Vsite = "SX4"
-	id, err := p.njsA.Consign(p.alice.DN(), "", job)
+	id, err := p.njsA.Consign(context.Background(), p.alice.DN(), "", job)
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -217,7 +218,7 @@ func (f *failAfterConsign) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func TestRemoteSubJobLostContact(t *testing.T) {
 	p := newPair(t)
 	p.net.Register("gw.b", &failAfterConsign{inner: p.gwB})
-	id, err := p.njsA.Consign(p.alice.DN(), "", parentWithRemote("x.dat", 16))
+	id, err := p.njsA.Consign(context.Background(), p.alice.DN(), "", parentWithRemote("x.dat", 16))
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -239,7 +240,7 @@ func TestAbortReachesRemoteSubJob(t *testing.T) {
 	job := parentWithRemote("x.dat", 16)
 	// Make the remote part long so it is still running when we abort.
 	job.Actions[0].(*ajo.AbstractJob).Actions[0].(*ajo.ScriptTask).Script = "cpu 5h\nwrite x.dat 16\n"
-	id, err := p.njsA.Consign(p.alice.DN(), "", job)
+	id, err := p.njsA.Consign(context.Background(), p.alice.DN(), "", job)
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -296,7 +297,7 @@ func TestRemoteDependencyFileInjection(t *testing.T) {
 		},
 		Dependencies: []ajo.Dependency{{Before: "make", After: "remote", Files: []string{"handoff.dat"}}},
 	}
-	id, err := p.njsA.Consign(p.alice.DN(), "", job)
+	id, err := p.njsA.Consign(context.Background(), p.alice.DN(), "", job)
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}

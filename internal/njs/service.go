@@ -1,6 +1,7 @@
 package njs
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,7 @@ import (
 	"unicore/internal/core"
 	"unicore/internal/protocol"
 	"unicore/internal/resources"
+	"unicore/internal/telemetry"
 )
 
 // Service is the NJS service surface as the gateway consumes it: everything
@@ -22,8 +24,9 @@ import (
 type Service interface {
 	// Usite returns the site this service fronts.
 	Usite() core.Usite
-	// Consign admits an AJO (§5.3); consignID makes retries idempotent.
-	Consign(user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error)
+	// Consign admits an AJO (§5.3); consignID makes retries idempotent. ctx
+	// carries the caller's distributed trace for per-hop telemetry spans.
+	Consign(ctx context.Context, user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error)
 	// Poll returns the compact status summary of a job.
 	Poll(caller core.DN, asServer bool, id core.JobID) (protocol.PollReply, error)
 	// Outcome returns a deep copy of a job's outcome tree.
@@ -61,6 +64,10 @@ type Service interface {
 	// channel before fetching so an append racing the fetch is never missed;
 	// wakeups may be spurious (re-fetch and wait again).
 	EventsNotify(req protocol.SubscribeRequest) (<-chan struct{}, func())
+	// Metrics returns live telemetry snapshots, one per origin behind this
+	// service (a single NJS returns one; a pool Router returns the pool's
+	// own plus each replica's). Serves the v2 MsgMetrics scrape.
+	Metrics() []telemetry.Snapshot
 }
 
 // Service is satisfied by the concrete NJS.
@@ -79,6 +86,22 @@ func (n *NJS) Ping() error {
 // Instance returns the replica tag this NJS mints job IDs under ("" for a
 // single-NJS site).
 func (n *NJS) Instance() string { return n.instance }
+
+// Telemetry returns this NJS's metrics registry — the testbed hook through
+// which integration tests and benchmarks assert on internal measurements.
+func (n *NJS) Telemetry() *telemetry.Registry { return n.tel }
+
+// Metrics returns this NJS's telemetry snapshot. Scrape-time gauges —
+// event-log depth and staged-upload spool occupancy — are refreshed before
+// sampling so the snapshot reflects live state, not the last hot-path
+// update.
+func (n *NJS) Metrics() []telemetry.Snapshot {
+	n.tel.Gauge("event_log_depth").Set(int64(n.log.Depth()))
+	for name, spool := range n.spools {
+		n.tel.Gauge("staging_spool_handles", "vsite", string(name)).Set(int64(len(spool.Handles())))
+	}
+	return []telemetry.Snapshot{n.tel.Snapshot()}
+}
 
 // defaultEventBatch bounds one MsgEventsReply when the subscriber did not ask
 // for a smaller batch.

@@ -2,6 +2,7 @@ package njs
 
 import (
 	"bytes"
+	"context"
 	"hash/crc64"
 	"math"
 	"sync"
@@ -23,7 +24,7 @@ func stagedJob(t *testing.T, n *NJS, clock interface{ RunUntilIdle(int) int }, n
 			To:     "out.dat",
 		},
 	}, nil)
-	id, err := n.Consign(alice, "", j)
+	id, err := n.Consign(context.Background(), alice, "", j)
 	if err != nil {
 		t.Fatalf("consign: %v", err)
 	}
@@ -129,7 +130,7 @@ func TestConcurrentAbortAndPoll(t *testing.T) {
 		script("s1", "cpu 30m\n"),
 		script("s2", "cpu 30m\n"),
 	}, nil)
-	id, err := n.Consign(alice, "", j)
+	id, err := n.Consign(context.Background(), alice, "", j)
 	if err != nil {
 		t.Fatalf("consign: %v", err)
 	}

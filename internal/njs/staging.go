@@ -16,6 +16,7 @@ import (
 	"unicore/internal/core"
 	"unicore/internal/protocol"
 	"unicore/internal/staging"
+	"unicore/internal/telemetry"
 )
 
 // SpoolRoot is where each Vsite's staged-upload spool lives on its data
@@ -115,8 +116,11 @@ func (n *NJS) StageChunk(caller core.DN, asServer bool, req protocol.PutChunkReq
 	}
 	received, err := sp.Chunk(caller, req.Handle, req.Index, req.Data, req.CRC)
 	if err != nil {
+		n.tel.Counter("staging_chunk_errors_total").Inc()
 		return protocol.PutChunkReply{}, err
 	}
+	n.tel.Counter("staging_chunks_total").Inc()
+	n.tel.Counter("staging_bytes_total").Add(uint64(len(req.Data)))
 	if err := n.stageAck(); err != nil {
 		return protocol.PutChunkReply{}, err
 	}
@@ -134,10 +138,13 @@ func (n *NJS) StageCommit(caller core.DN, asServer bool, req protocol.PutCommitR
 	if !ok {
 		return protocol.PutCommitReply{}, fmt.Errorf("%w: %q", staging.ErrUnknownHandle, req.Handle)
 	}
+	start := time.Now()
 	info, err := sp.Commit(caller, req.Handle, req.CRC)
 	if err != nil {
 		return protocol.PutCommitReply{}, err
 	}
+	n.tel.Histogram("staging_commit_seconds", telemetry.ScaleSeconds).ObserveSince(start)
+	n.tel.Histogram("staging_upload_bytes", telemetry.ScaleBytes).Observe(float64(info.Size))
 	if err := n.stageAck(); err != nil {
 		return protocol.PutCommitReply{}, err
 	}

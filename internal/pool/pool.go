@@ -26,6 +26,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -39,6 +40,7 @@ import (
 	"unicore/internal/njs"
 	"unicore/internal/protocol"
 	"unicore/internal/sim"
+	"unicore/internal/telemetry"
 )
 
 // Errors reported by replica routing.
@@ -223,6 +225,11 @@ type ReplicaSet struct {
 	timer    sim.Timer
 
 	rr atomic.Int64 // round-robin cursor
+
+	// tel records routing decisions, breaker transitions, and failover
+	// retries, and holds the "pool.consign" trace spans. Its clock is the
+	// set's clock, so spans order on simulation time under a testbed.
+	tel *telemetry.Registry
 }
 
 // New assembles an empty ReplicaSet; add replicas with Add.
@@ -245,7 +252,7 @@ func New(cfg Config) (*ReplicaSet, error) {
 	if cfg.BackoffMax < cfg.BackoffBase {
 		cfg.BackoffMax = DefaultBackoffMax
 	}
-	return &ReplicaSet{
+	s := &ReplicaSet{
 		cfg:      cfg,
 		byName:   make(map[string]*Replica),
 		affinity: make(map[core.JobID]*Replica),
@@ -253,7 +260,23 @@ func New(cfg Config) (*ReplicaSet, error) {
 		inflight: make(map[string]chan struct{}),
 		stage:    make(map[string]stagePin),
 		lastOpen: make(map[core.DN]*Replica),
-	}, nil
+		tel:      telemetry.New("pool/" + string(cfg.Vsite)),
+	}
+	s.tel.SetNow(cfg.Clock.Now)
+	return s, nil
+}
+
+// Telemetry returns the set's metrics registry (testbed hook).
+func (s *ReplicaSet) Telemetry() *telemetry.Registry { return s.tel }
+
+// Metrics returns the pool's own snapshot followed by each replica's —
+// the per-replica breakdown behind a MsgMetrics scrape.
+func (s *ReplicaSet) Metrics() []telemetry.Snapshot {
+	out := []telemetry.Snapshot{s.tel.Snapshot()}
+	for _, rep := range s.snapshotReplicas() {
+		out = append(out, rep.service().Metrics()...)
+	}
+	return out
 }
 
 // Vsite returns the execution system this set serves.
@@ -454,15 +477,21 @@ func (s *ReplicaSet) markFailure(r *Replica) {
 	}
 	r.openUntil = now.Add(d)
 	r.trips++
+	s.tel.Counter("pool_breaker_open_total", "replica", r.name).Inc()
 }
 
 // probe pings a replica once and updates its breaker.
 func (s *ReplicaSet) probe(r *Replica) bool {
+	wasOpen := r.state(s.cfg.Clock.Now()) != stateClosed
 	if err := r.service().Ping(); err != nil {
 		s.markFailure(r)
 		return false
 	}
 	r.markSuccess()
+	if wasOpen {
+		// Half-open → closed: the replica healed and rejoined the set.
+		s.tel.Counter("pool_breaker_close_total", "replica", r.name).Inc()
+	}
 	return true
 }
 
@@ -542,9 +571,9 @@ func failoverable(err error) bool {
 // of racing onto different replicas — the pool-level half of the
 // idempotency contract; the NJS-level half dedupes retries that reach the
 // same replica. If no replica is healthy the error is ErrNoReplica.
-func (s *ReplicaSet) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error) {
+func (s *ReplicaSet) Consign(ctx context.Context, user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error) {
 	if consignID == "" {
-		return s.consignOnce(user, consignID, job)
+		return s.consignOnce(ctx, user, consignID, job)
 	}
 	for {
 		s.mu.Lock()
@@ -557,7 +586,7 @@ func (s *ReplicaSet) Consign(user core.DN, consignID string, job *ajo.AbstractJo
 			done = make(chan struct{})
 			s.inflight[consignID] = done
 			s.mu.Unlock()
-			id, err := s.consignOnce(user, consignID, job)
+			id, err := s.consignOnce(ctx, user, consignID, job)
 			s.mu.Lock()
 			delete(s.inflight, consignID)
 			s.mu.Unlock()
@@ -576,7 +605,7 @@ func (s *ReplicaSet) Consign(user core.DN, consignID string, job *ajo.AbstractJo
 // bytes (the consign-affinity hint): routing it anywhere else would admit a
 // job whose imports cannot be satisfied, so if that replica is down the
 // admission fails with ErrReplicaDown instead of failing over.
-func (s *ReplicaSet) consignOnce(user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error) {
+func (s *ReplicaSet) consignOnce(ctx context.Context, user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error) {
 	hint, err := s.stageHint(job)
 	if err != nil {
 		return "", err
@@ -585,7 +614,10 @@ func (s *ReplicaSet) consignOnce(user core.DN, consignID string, job *ajo.Abstra
 		if !s.usable(hint, s.cfg.Clock.Now()) {
 			return "", fmt.Errorf("%w: replica %s holds this job's staged uploads", ErrReplicaDown, hint.name)
 		}
-		id, err := hint.service().Consign(user, consignID, job)
+		s.tel.Counter("pool_route_total", "replica", hint.name).Inc()
+		sp := s.tel.StartSpan(ctx, "pool.consign").Note(hint.name)
+		id, err := hint.service().Consign(ctx, user, consignID, job)
+		sp.End()
 		if err == nil {
 			hint.markSuccess()
 			s.recordAck(consignID, hint, id)
@@ -603,8 +635,14 @@ func (s *ReplicaSet) consignOnce(user core.DN, consignID string, job *ajo.Abstra
 		if rep == nil {
 			break
 		}
+		if len(tried) > 0 {
+			s.tel.Counter("pool_failover_retries_total").Inc()
+		}
 		tried[rep] = true
-		id, err := rep.service().Consign(user, consignID, job)
+		s.tel.Counter("pool_route_total", "replica", rep.name).Inc()
+		sp := s.tel.StartSpan(ctx, "pool.consign").Note(rep.name)
+		id, err := rep.service().Consign(ctx, user, consignID, job)
+		sp.End()
 		if err == nil {
 			rep.markSuccess()
 			s.recordAck(consignID, rep, id)
@@ -997,6 +1035,7 @@ func (s *ReplicaSet) LoadInfo() njs.VsiteLoad {
 		vl := rep.service().VsiteLoads()[s.cfg.Vsite]
 		info.Load += vl.Load
 		info.Pending += vl.Pending
+		info.Inflight += vl.Inflight
 		info.Healthy++
 	}
 	if info.Healthy > 0 {

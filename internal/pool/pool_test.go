@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"unicore/internal/resources"
 	"unicore/internal/sim"
 	"unicore/internal/staging"
+	"unicore/internal/telemetry"
 )
 
 // fakeService is a minimal in-memory njs.Service for pool routing tests. It
@@ -50,7 +52,7 @@ func newFake(usite core.Usite, vsite core.Vsite, instance string) *fakeService {
 
 func (f *fakeService) Usite() core.Usite { return f.usite }
 
-func (f *fakeService) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error) {
+func (f *fakeService) Consign(ctx context.Context, user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.down && !f.admitUnacked {
@@ -246,6 +248,10 @@ func (f *fakeService) StageCommit(caller core.DN, asServer bool, req protocol.Pu
 	return protocol.PutCommitReply{Chunks: w, CRC: req.CRC}, nil
 }
 
+func (f *fakeService) Metrics() []telemetry.Snapshot {
+	return []telemetry.Snapshot{{Origin: "fake/" + string(f.usite) + "/" + f.instance}}
+}
+
 func (f *fakeService) setDown(down bool) {
 	f.mu.Lock()
 	f.down = down
@@ -292,7 +298,7 @@ func newTestSet(t *testing.T, policy Policy) (*ReplicaSet, *sim.VirtualClock, []
 func TestRoundRobinSpreadsConsigns(t *testing.T) {
 	set, _, fakes := newTestSet(t, RoundRobin)
 	for i := 0; i < 9; i++ {
-		if _, err := set.Consign("CN=u", fmt.Sprintf("c%d", i), testJob("CLUSTER")); err != nil {
+		if _, err := set.Consign(context.Background(), "CN=u", fmt.Sprintf("c%d", i), testJob("CLUSTER")); err != nil {
 			t.Fatalf("Consign: %v", err)
 		}
 	}
@@ -313,7 +319,7 @@ func TestAllReplicasUnhealthyIsCleanErrNoReplica(t *testing.T) {
 		if h := set.Healthy(); len(h) != 0 {
 			t.Fatalf("[%s] healthy after CheckNow on all-down pool: %v", policy, h)
 		}
-		if _, err := set.Consign("CN=u", "c1", testJob("CLUSTER")); !errors.Is(err, ErrNoReplica) {
+		if _, err := set.Consign(context.Background(), "CN=u", "c1", testJob("CLUSTER")); !errors.Is(err, ErrNoReplica) {
 			t.Errorf("[%s] Consign on all-down pool: err = %v, want ErrNoReplica", policy, err)
 		}
 		if _, err := set.Poll("CN=u", false, "FZJ-r0-000001"); !errors.Is(err, ErrNoReplica) {
@@ -334,7 +340,7 @@ func TestConsignFailoverDoesNotDuplicate(t *testing.T) {
 	fakes[1].setDown(true) // plain refusal, nothing admitted
 	set.rr.Store(-1)       // make r0 the first pick
 
-	id, err := set.Consign("CN=u", "retry-1", testJob("CLUSTER"))
+	id, err := set.Consign(context.Background(), "CN=u", "retry-1", testJob("CLUSTER"))
 	if err != nil {
 		t.Fatalf("Consign with failover: %v", err)
 	}
@@ -343,7 +349,7 @@ func TestConsignFailoverDoesNotDuplicate(t *testing.T) {
 	}
 
 	// Retry with the same consign ID: the ack index answers, nobody admits.
-	id2, err := set.Consign("CN=u", "retry-1", testJob("CLUSTER"))
+	id2, err := set.Consign(context.Background(), "CN=u", "retry-1", testJob("CLUSTER"))
 	if err != nil || id2 != id {
 		t.Fatalf("retry: id=%s err=%v, want converged id %s", id2, err, id)
 	}
@@ -368,7 +374,7 @@ func TestConsignFailoverDoesNotDuplicate(t *testing.T) {
 // replica via the name-keyed hash ring.
 func TestConsistentHashAffinitySurvivesReplicaRestart(t *testing.T) {
 	set, clock, fakes := newTestSet(t, ConsistentHash)
-	id, err := set.Consign("CN=u", "stable-key", testJob("CLUSTER"))
+	id, err := set.Consign(context.Background(), "CN=u", "stable-key", testJob("CLUSTER"))
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -420,7 +426,7 @@ func TestConsistentHashAffinitySurvivesReplicaRestart(t *testing.T) {
 			t.Fatalf("Add: %v", err)
 		}
 	}
-	id2, err := set2.Consign("CN=u", "stable-key", testJob("CLUSTER"))
+	id2, err := set2.Consign(context.Background(), "CN=u", "stable-key", testJob("CLUSTER"))
 	if err != nil || id2 != id {
 		t.Fatalf("re-consign after pool restart: id=%s err=%v, want %s", id2, err, id)
 	}
@@ -440,7 +446,7 @@ func TestBreakerBacksOffExponentiallyAndRecovers(t *testing.T) {
 	// Backoff window holds: still excluded before expiry.
 	clock.Advance(5 * time.Second)
 	for i := 0; i < 6; i++ {
-		if _, err := set.Consign("CN=u", fmt.Sprintf("b%d", i), testJob("CLUSTER")); err != nil {
+		if _, err := set.Consign(context.Background(), "CN=u", fmt.Sprintf("b%d", i), testJob("CLUSTER")); err != nil {
 			t.Fatalf("Consign: %v", err)
 		}
 	}
@@ -451,7 +457,7 @@ func TestBreakerBacksOffExponentiallyAndRecovers(t *testing.T) {
 	// Window expires, probe fails, window doubles: after the first re-trip
 	// the replica is open for 20s, so at +15s it must still be excluded.
 	clock.Advance(6 * time.Second) // t=11s: half-open
-	if _, err := set.Consign("CN=u", "probe-1", testJob("CLUSTER")); err != nil {
+	if _, err := set.Consign(context.Background(), "CN=u", "probe-1", testJob("CLUSTER")); err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
 	if n := fakes[0].jobCount(); n != 0 {
@@ -477,7 +483,7 @@ func TestLeastLoadedPrefersIdleReplica(t *testing.T) {
 	fakes[1].load = 0.5
 	fakes[2].load = 0.1
 	for i := 0; i < 3; i++ {
-		if _, err := set.Consign("CN=u", fmt.Sprintf("l%d", i), testJob("CLUSTER")); err != nil {
+		if _, err := set.Consign(context.Background(), "CN=u", fmt.Sprintf("l%d", i), testJob("CLUSTER")); err != nil {
 			t.Fatalf("Consign: %v", err)
 		}
 	}
@@ -510,7 +516,7 @@ func TestRouterRoutesAcrossVsitesAndReportsHealth(t *testing.T) {
 		}
 	}
 	job := &ajo.AbstractJob{Target: core.Target{Usite: "FZJ", Vsite: "B"}}
-	id, err := router.Consign("CN=u", "x1", job)
+	id, err := router.Consign(context.Background(), "CN=u", "x1", job)
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -536,10 +542,10 @@ func TestRouterRoutesAcrossVsitesAndReportsHealth(t *testing.T) {
 	if err := router.Ping(); err != nil {
 		t.Fatalf("Ping with one live Vsite: %v", err)
 	}
-	if _, err := router.Consign("CN=u", "x2", job); err != nil {
+	if _, err := router.Consign(context.Background(), "CN=u", "x2", job); err != nil {
 		t.Fatalf("Consign to live Vsite after drain: %v", err)
 	}
-	if _, err := router.Consign("CN=u", "x3", &ajo.AbstractJob{Target: core.Target{Usite: "FZJ", Vsite: "A"}}); !errors.Is(err, ErrNoReplica) {
+	if _, err := router.Consign(context.Background(), "CN=u", "x3", &ajo.AbstractJob{Target: core.Target{Usite: "FZJ", Vsite: "A"}}); !errors.Is(err, ErrNoReplica) {
 		t.Fatalf("Consign to drained Vsite: err = %v, want ErrNoReplica", err)
 	}
 }
@@ -556,7 +562,7 @@ func TestRejoinAbortsOrphanAdmissions(t *testing.T) {
 	fakes[1].setDown(true)
 	set.rr.Store(-1) // make r0 the first pick
 
-	id, err := set.Consign("CN=u", "orphan-1", testJob("CLUSTER"))
+	id, err := set.Consign(context.Background(), "CN=u", "orphan-1", testJob("CLUSTER"))
 	if err != nil {
 		t.Fatalf("Consign with failover: %v", err)
 	}
@@ -576,7 +582,7 @@ func TestRejoinAbortsOrphanAdmissions(t *testing.T) {
 		t.Fatalf("orphan %s not aborted on rejoin (aborts: %v)", orphanID, recovered.aborts)
 	}
 	// Retries still converge on the acknowledged copy, not the orphan.
-	id2, err := set.Consign("CN=u", "orphan-1", testJob("CLUSTER"))
+	id2, err := set.Consign(context.Background(), "CN=u", "orphan-1", testJob("CLUSTER"))
 	if err != nil || id2 != id {
 		t.Fatalf("retry after rejoin: id=%s err=%v, want %s", id2, err, id)
 	}
@@ -588,7 +594,7 @@ func TestRejoinAbortsOrphanAdmissions(t *testing.T) {
 // consistent hashing.
 func TestPoolRestartAdoptsReplicaAdmissions(t *testing.T) {
 	set, clock, fakes := newTestSet(t, RoundRobin)
-	id, err := set.Consign("CN=u", "adopt-1", testJob("CLUSTER"))
+	id, err := set.Consign(context.Background(), "CN=u", "adopt-1", testJob("CLUSTER"))
 	if err != nil {
 		t.Fatalf("Consign: %v", err)
 	}
@@ -605,7 +611,7 @@ func TestPoolRestartAdoptsReplicaAdmissions(t *testing.T) {
 	// A retry through the rebuilt pool must not round-robin onto a second
 	// replica: the adopted index answers.
 	for i := 0; i < 3; i++ {
-		id2, err := set2.Consign("CN=u", "adopt-1", testJob("CLUSTER"))
+		id2, err := set2.Consign(context.Background(), "CN=u", "adopt-1", testJob("CLUSTER"))
 		if err != nil || id2 != id {
 			t.Fatalf("retry %d after pool restart: id=%s err=%v, want %s", i, id2, err, id)
 		}
@@ -634,7 +640,7 @@ func TestConcurrentSameConsignIDSerializes(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			id, err := set.Consign("CN=u", "same-id", testJob("CLUSTER"))
+			id, err := set.Consign(context.Background(), "CN=u", "same-id", testJob("CLUSTER"))
 			if err != nil {
 				t.Errorf("caller %d: %v", i, err)
 				return
@@ -666,7 +672,7 @@ func TestEmptyConsignIDDoesNotFailOver(t *testing.T) {
 	fakes[0].admitUnacked = true // journals the admission, refuses the ack
 	set.rr.Store(-1)             // make r0 the first pick
 
-	if _, err := set.Consign("CN=u", "", testJob("CLUSTER")); !errors.Is(err, njs.ErrDown) {
+	if _, err := set.Consign(context.Background(), "CN=u", "", testJob("CLUSTER")); !errors.Is(err, njs.ErrDown) {
 		t.Fatalf("ID-less consign on a dying replica: err = %v, want ErrDown surfaced", err)
 	}
 	if n := fakes[1].jobCount() + fakes[2].jobCount(); n != 0 {

@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"unicore/internal/njs"
 	"unicore/internal/protocol"
 	"unicore/internal/resources"
+	"unicore/internal/telemetry"
 )
 
 // Router aggregates the ReplicaSets of one Usite and implements njs.Service,
@@ -110,7 +112,7 @@ func (r *Router) StopHealthChecks() {
 
 // Consign admits an AJO on the target Vsite's replica set (§5.3 admission
 // with pool failover).
-func (r *Router) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error) {
+func (r *Router) Consign(ctx context.Context, user core.DN, consignID string, job *ajo.AbstractJob) (core.JobID, error) {
 	if job.Target.Usite != r.usite {
 		return "", fmt.Errorf("%w: %s (this pool serves %s)", njs.ErrWrongUsite, job.Target, r.usite)
 	}
@@ -118,7 +120,17 @@ func (r *Router) Consign(user core.DN, consignID string, job *ajo.AbstractJob) (
 	if !ok {
 		return "", fmt.Errorf("%w: %q", njs.ErrUnknownVsite, job.Target.Vsite)
 	}
-	return set.Consign(user, consignID, job)
+	return set.Consign(ctx, user, consignID, job)
+}
+
+// Metrics returns every set's pool snapshot and per-replica snapshots — the
+// full per-replica breakdown behind a MsgMetrics scrape of a pooled Usite.
+func (r *Router) Metrics() []telemetry.Snapshot {
+	var out []telemetry.Snapshot
+	for _, set := range r.Sets() {
+		out = append(out, set.Metrics()...)
+	}
+	return out
 }
 
 // scatterErr folds per-set routing failures: a set that reported the job

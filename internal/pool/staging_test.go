@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -92,7 +93,7 @@ func TestStagedConsignPinsToHoldingReplica(t *testing.T) {
 		t.Fatal("no replica holds the opened handle")
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := set.Consign("CN=u", "", stagedJob("CLUSTER", open.Handle)); err != nil {
+		if _, err := set.Consign(context.Background(), "CN=u", "", stagedJob("CLUSTER", open.Handle)); err != nil {
 			t.Fatalf("Consign(%d): %v", i, err)
 		}
 	}
@@ -104,7 +105,7 @@ func TestStagedConsignPinsToHoldingReplica(t *testing.T) {
 	// fail over to a replica that cannot satisfy the import.
 	fakes[holder].setDown(true)
 	set.CheckNow()
-	if _, err := set.Consign("CN=u", "retry", stagedJob("CLUSTER", open.Handle)); !errors.Is(err, ErrReplicaDown) {
+	if _, err := set.Consign(context.Background(), "CN=u", "retry", stagedJob("CLUSTER", open.Handle)); !errors.Is(err, ErrReplicaDown) {
 		t.Fatalf("staged consign with holder down: err = %v, want ErrReplicaDown", err)
 	}
 }
@@ -163,7 +164,7 @@ func TestStagedConsignAcrossReplicasIsRefused(t *testing.T) {
 		Source: ajo.ImportSource{Staged: b.Handle},
 		To:     "other.dat",
 	})
-	if _, err := set.Consign("CN=u", "", job); err == nil || !strings.Contains(err.Error(), "different replicas") {
+	if _, err := set.Consign(context.Background(), "CN=u", "", job); err == nil || !strings.Contains(err.Error(), "different replicas") {
 		t.Fatalf("consign with uploads on two replicas: err = %v, want a loud refusal", err)
 	}
 }
@@ -192,7 +193,7 @@ func TestReconcileRestoresStagePins(t *testing.T) {
 	if !ok {
 		t.Fatal("rebuilt pool did not adopt the spooled handle")
 	}
-	if _, err := rebuilt.Consign("CN=u", "", stagedJob("CLUSTER", open.Handle)); err != nil {
+	if _, err := rebuilt.Consign(context.Background(), "CN=u", "", stagedJob("CLUSTER", open.Handle)); err != nil {
 		t.Fatalf("staged consign on rebuilt pool: %v", err)
 	}
 	// The admission landed on the adopted pin's replica.

@@ -10,6 +10,7 @@ import (
 
 	"unicore/internal/core"
 	"unicore/internal/pki"
+	"unicore/internal/telemetry"
 )
 
 // Registry maps Usites to their gateway base URLs — "the different servers
@@ -135,7 +136,9 @@ func (c *Client) callOnce(ctx context.Context, usite core.Usite, ver int, t MsgT
 	if !ok {
 		return fmt.Errorf("protocol: unknown Usite %q", usite)
 	}
-	body, err := SealAt(c.cred, ver, t, payload)
+	// Propagate the caller's distributed trace in the envelope header; the
+	// field only exists at v2, so SealTracedAt drops it for v1 peers.
+	body, err := SealTracedAt(c.cred, ver, telemetry.TraceFrom(ctx), t, payload)
 	if err != nil {
 		return err
 	}

@@ -24,6 +24,7 @@ import (
 	"unicore/internal/core"
 	"unicore/internal/events"
 	"unicore/internal/pki"
+	"unicore/internal/telemetry"
 )
 
 // parseCert decodes the signer certificate embedded in a signature.
@@ -108,7 +109,13 @@ const (
 	MsgPutCommit MsgType = "put-commit"
 	// MsgPutCommitReply acknowledges the seal with the recorded size and CRC.
 	MsgPutCommitReply MsgType = "put-commit-reply"
-	MsgError          MsgType = "error"
+	// MsgMetrics scrapes a point-in-time telemetry snapshot from a live
+	// server (protocol v2): per-origin metric values plus recent trace spans,
+	// merged across pool replicas by the Router.
+	MsgMetrics MsgType = "metrics"
+	// MsgMetricsReply carries the scraped snapshots, one per origin.
+	MsgMetricsReply MsgType = "metrics-reply"
+	MsgError        MsgType = "error"
 )
 
 // V2Only reports whether a message type exists only in protocol v2 — the
@@ -116,7 +123,7 @@ const (
 // servers refuse them inside a v1-sealed envelope.
 func V2Only(t MsgType) bool {
 	switch t {
-	case MsgSubscribe, MsgPutOpen, MsgPutChunk, MsgPutCommit:
+	case MsgSubscribe, MsgPutOpen, MsgPutChunk, MsgPutCommit, MsgMetrics:
 		return true
 	}
 	return false
@@ -140,6 +147,7 @@ func MsgTypes() []MsgType {
 		MsgPutOpen, MsgPutOpenReply,
 		MsgPutChunk, MsgPutChunkReply,
 		MsgPutCommit, MsgPutCommitReply,
+		MsgMetrics, MsgMetricsReply,
 		MsgError,
 	}
 }
@@ -148,8 +156,13 @@ func MsgTypes() []MsgType {
 // the embedded certificate identifies the sender (user or server) to the
 // receiver, which verifies it against the CA.
 type Envelope struct {
-	Version   int             `json:"version"`
-	Type      MsgType         `json:"type"`
+	Version int     `json:"version"`
+	Type    MsgType `json:"type"`
+	// Trace is the request's distributed trace ID (protocol v2, optional).
+	// It rides the envelope header, outside the signed payload, so relays
+	// can read it without re-verifying; v1 envelopes omit it entirely and
+	// their wire encoding is byte-identical to pre-trace builds.
+	Trace     string          `json:"trace,omitempty"`
 	Payload   json.RawMessage `json:"payload"`
 	Signature pki.Signature   `json:"signature"`
 }
@@ -164,8 +177,19 @@ func Seal(cred *pki.Credential, t MsgType, payload any) ([]byte, error) {
 // hook: clients seal at the version a site last accepted, servers seal
 // replies at the version the request arrived with.
 func SealAt(cred *pki.Credential, version int, t MsgType, payload any) ([]byte, error) {
+	return SealTracedAt(cred, version, "", t, payload)
+}
+
+// SealTracedAt is SealAt plus a distributed trace ID in the envelope
+// header. The trace field is a v2 extension: sealing at v1 drops it so v1
+// envelopes stay byte-identical to pre-trace builds (the versiongate
+// contract for wire-visible v2 additions).
+func SealTracedAt(cred *pki.Credential, version int, trace string, t MsgType, payload any) ([]byte, error) {
 	if version < MinVersion || version > Version {
 		return nil, fmt.Errorf("%w: cannot seal at version %d", ErrBadVersion, version)
+	}
+	if version < 2 {
+		trace = ""
 	}
 	body, err := json.Marshal(payload)
 	if err != nil {
@@ -175,7 +199,7 @@ func SealAt(cred *pki.Credential, version int, t MsgType, payload any) ([]byte, 
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(Envelope{Version: version, Type: t, Payload: body, Signature: sig})
+	return json.Marshal(Envelope{Version: version, Type: t, Trace: trace, Payload: body, Signature: sig})
 }
 
 // Open decodes an envelope, verifies the payload signature against the CA,
@@ -194,22 +218,56 @@ func Open(ca *pki.Authority, data []byte) (MsgType, json.RawMessage, core.DN, pk
 // returned (with the error), so a server can seal its error reply at the
 // version the failing peer speaks.
 func OpenVersioned(ca *pki.Authority, data []byte) (int, MsgType, json.RawMessage, core.DN, pki.Role, error) {
+	o, err := OpenTraced(ca, data)
+	return o.Version, o.Type, o.Payload, o.From, o.Role, err
+}
+
+// Opened is the result of opening an envelope with OpenTraced: the
+// negotiated version, the verified payload and signer identity, and the
+// optional v2 trace ID from the header.
+type Opened struct {
+	// Version is the envelope's protocol version.
+	Version int
+	// Type is the message kind.
+	Type MsgType
+	// Payload is the verified raw payload.
+	Payload json.RawMessage
+	// From is the verified signer DN.
+	From core.DN
+	// Role is the signer's certificate role (user or server).
+	Role pki.Role
+	// Trace is the distributed trace ID, "" when absent or on a v1
+	// envelope (the field is v2-only; a v1 sender cannot set it).
+	Trace string
+}
+
+// OpenTraced is OpenVersioned returning a structured result that also
+// carries the envelope's trace ID. On verification failures past the
+// version check, the parsed in-range version (and trace, if any) is still
+// returned with the error so servers can seal version-matched error
+// replies and attribute the failure to a trace.
+func OpenTraced(ca *pki.Authority, data []byte) (Opened, error) {
 	var env Envelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		return 0, "", nil, "", "", fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+		return Opened{}, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
 	}
 	if env.Version < MinVersion || env.Version > Version {
-		return 0, "", nil, "", "", fmt.Errorf("%w: %d", ErrBadVersion, env.Version)
+		return Opened{}, fmt.Errorf("%w: %d", ErrBadVersion, env.Version)
+	}
+	o := Opened{Version: env.Version}
+	if env.Version >= 2 {
+		o.Trace = env.Trace
 	}
 	dn, err := ca.VerifySignature(env.Payload, env.Signature, "")
 	if err != nil {
-		return env.Version, "", nil, "", "", err
+		return o, err
 	}
 	cert, err := parseCert(env.Signature.CertDER)
 	if err != nil {
-		return env.Version, "", nil, "", "", err
+		return o, err
 	}
-	return env.Version, env.Type, env.Payload, dn, pki.CertRole(cert), nil
+	o.Type, o.Payload, o.From, o.Role = env.Type, env.Payload, dn, pki.CertRole(cert)
+	return o, nil
 }
 
 // --- high-level protocol messages ---
@@ -350,6 +408,7 @@ type LoadRequest struct{}
 type VsiteLoad struct {
 	Load     float64 `json:"load"`               // fraction of batch slots in use, [0,1]
 	Pending  int     `json:"pending"`            // jobs waiting in the queues
+	Inflight int     `json:"inflight,omitempty"` // consigns being admitted right now (live gauge)
 	Replicas int     `json:"replicas,omitempty"` // NJS replicas serving this Vsite
 	Healthy  int     `json:"healthy,omitempty"`  // replicas currently healthy
 }
@@ -458,6 +517,22 @@ type PutCommitReply struct {
 	Size   int64  `json:"size"`
 	CRC    uint64 `json:"crc"`
 	Chunks int64  `json:"chunks"`
+}
+
+// MetricsRequest scrapes a live telemetry snapshot from a Usite
+// (protocol v2). PerReplica asks for the unmerged per-origin breakdown in
+// addition to the aggregate; Spans asks to include recent trace spans.
+type MetricsRequest struct {
+	PerReplica bool `json:"perReplica,omitempty"`
+	Spans      bool `json:"spans,omitempty"`
+}
+
+// MetricsReply carries the scraped snapshots. The first snapshot is the
+// site aggregate (origin "usite/<name>"); when PerReplica was requested the
+// remaining entries are the unmerged per-component snapshots (gateway,
+// pool, and each NJS replica).
+type MetricsReply struct {
+	Snapshots []telemetry.Snapshot `json:"snapshots"`
 }
 
 // ErrorReply is the failure payload for any request.

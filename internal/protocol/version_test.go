@@ -75,3 +75,18 @@ func TestSubscribeRequiresV2(t *testing.T) {
 		t.Fatalf("subscribe to a v1 site: err = %v, want ErrV1Peer", err)
 	}
 }
+
+// TestMetricsScrapeRequiresV2 extends the same guard to the telemetry
+// scrape: a client never addresses MsgMetrics to a peer that negotiated
+// down, so v1 interop is untouched by the observability additions.
+func TestMetricsScrapeRequiresV2(t *testing.T) {
+	ca, cred := versionFixture(t)
+	reg := NewRegistry()
+	reg.Add("OLD", "https://gw.old")
+	c := NewClient(NewInProc(), cred, ca, reg)
+	c.setSiteVersion("OLD", 1)
+	err := c.Call("OLD", MsgMetrics, MetricsRequest{}, nil)
+	if !errors.Is(err, ErrV1Peer) {
+		t.Fatalf("metrics scrape of a v1 site: err = %v, want ErrV1Peer", err)
+	}
+}

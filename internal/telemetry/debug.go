@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer serves net/http/pprof plus a plaintext metrics dump for the
+// registries it was given. It backs the opt-in -debug-addr flag on
+// unicore-gateway and unicore-njs.
+type DebugServer struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts a debug HTTP server on addr (host:port; port 0 picks a
+// free port) exposing /debug/pprof/* and /metrics (plaintext dump of every
+// registry, one origin block per registry). The server runs until Close.
+func ServeDebug(addr string, regs ...*Registry) (*DebugServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, r := range regs {
+			if err := r.Snapshot().Flush(w); err != nil {
+				return
+			}
+		}
+	})
+	ds := &DebugServer{l: l, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}}
+	go func() {
+		// Serve returns ErrServerClosed after Close; nothing to do with it.
+		_ = ds.srv.Serve(l)
+	}()
+	return ds, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (d *DebugServer) Addr() string { return d.l.Addr().String() }
+
+// Close shuts the debug server down and releases the listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -15,6 +15,7 @@ import (
 	"unicore/internal/pool"
 	"unicore/internal/protocol"
 	"unicore/internal/resources"
+	"unicore/internal/telemetry"
 )
 
 // probeRequest is the resource demand of the tiny probe jobs the failover
@@ -209,6 +210,47 @@ func runFailoverWorkload(t *testing.T, kill bool) map[string]string {
 		h := stores[failoverVictim]
 		if err := h.store.Sync(); err != nil {
 			t.Fatalf("Sync: %v", err)
+		}
+		// Kill the NJS but delay the health sweep, so the next traced
+		// consigns discover the death themselves: the pool's failover then
+		// runs under a live distributed trace, and the victim's refused hop
+		// and the survivor's admission land in the same trace.
+		victim.Kill()
+		var failoverTrace string
+		for i := 0; i < 3 && failoverTrace == ""; i++ {
+			id, err := watcher.sess.Submit(context.Background(), probeJob(t, fmt.Sprintf("traced-%02d", i)))
+			if err != nil {
+				t.Fatalf("Submit(traced-%02d) against the un-swept pool: %v", i, err)
+			}
+			tr, _ := watcher.sess.Trace(id)
+			spans, err := d.Trace("POOL", tr)
+			if err != nil {
+				t.Fatalf("Trace: %v", err)
+			}
+			var consigns []telemetry.Span
+			for _, sp := range spans {
+				if sp.Name == "pool.consign" {
+					consigns = append(consigns, sp)
+				}
+			}
+			if len(consigns) < 2 {
+				continue // round robin started on a healthy replica; try again
+			}
+			failoverTrace = tr
+			// The failed-over consign's trace names both replicas…
+			if consigns[0].Note == consigns[1].Note {
+				t.Fatalf("failed-over consign recorded one replica twice: %q", consigns[0].Note)
+			}
+			// …with monotonic hop timestamps under the virtual clock.
+			for j := 1; j < len(spans); j++ {
+				if spans[j].Start.Before(spans[j-1].Start) {
+					t.Fatalf("trace %s hops not monotonic: %s@%v after %s@%v",
+						tr, spans[j].Name, spans[j].Start, spans[j-1].Name, spans[j-1].Start)
+				}
+			}
+		}
+		if failoverTrace == "" {
+			t.Fatal("no traced submit failed over across replicas (round robin never hit the victim first)")
 		}
 		if err := d.KillReplica("POOL", "CLUSTER", failoverVictim); err != nil {
 			t.Fatalf("KillReplica: %v", err)

@@ -26,6 +26,7 @@ import (
 	"unicore/internal/pool"
 	"unicore/internal/protocol"
 	"unicore/internal/sim"
+	"unicore/internal/telemetry"
 	"unicore/internal/uudb"
 )
 
@@ -195,6 +196,9 @@ func (d *Deployment) deploySite(spec SiteSpec) (*Site, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Span timestamps follow the virtual clock, so cross-tier traces order
+	// on simulation time (the NJS and pool registries are wired likewise).
+	gw.Telemetry().SetNow(d.Clock.Now)
 	site.Gateway = gw
 
 	// Serve the signed applets the user tier loads (§4.1).
@@ -462,6 +466,34 @@ func (d *Deployment) Session(cred *pki.Credential, usite core.Usite) *client.Ses
 // hit) and returns the number of fired events.
 func (d *Deployment) Run(maxEvents int) int {
 	return d.Clock.RunUntilIdle(maxEvents)
+}
+
+// Metrics returns one live telemetry snapshot per origin at a site — the
+// gateway's own plus everything behind it (a single NJS, or the pool and
+// every replica) — the in-process form of a MsgMetrics scrape, for
+// integration tests and tools/benchgate.
+func (d *Deployment) Metrics(u core.Usite) ([]telemetry.Snapshot, error) {
+	site, ok := d.Sites[u]
+	if !ok {
+		return nil, fmt.Errorf("testbed: unknown usite %q", u)
+	}
+	return site.Gateway.Metrics(), nil
+}
+
+// Trace collects every span recorded under one trace ID at a site, across
+// all tiers, ordered by start time — the per-request path of one client call
+// (gateway dispatch → pool routing → NJS admission → journal sync).
+func (d *Deployment) Trace(u core.Usite, trace string) ([]telemetry.Span, error) {
+	snaps, err := d.Metrics(u)
+	if err != nil {
+		return nil, err
+	}
+	var spans []telemetry.Span
+	for _, s := range snaps {
+		spans = append(spans, s.Trace(trace)...)
+	}
+	telemetry.SortSpans(spans)
+	return spans, nil
 }
 
 // Accounting collects every Vsite's batch accounting, tagged with target and

@@ -1,0 +1,216 @@
+// Command metricssmoke is the CI metrics-smoke step: it boots a real durable
+// site over mutually authenticated TLS, pushes one job through it with the
+// actual CLI binaries, scrapes the live telemetry with `unicore-status
+// metrics`, and fails when a headline metric is absent or zero:
+//
+//   - pki_verify_total        (every envelope the gateway verified)
+//   - consign_ack_seconds     (admission latency histogram, NJS tier)
+//   - journal_sync_seconds    (durable-ack fsync histogram, journal tier)
+//
+// It also exercises the machine-readable CLI surface: `-json list` must
+// return the submitted job and `-json metrics` must decode as snapshots.
+//
+// Usage (from the repository root):
+//
+//	go run ./tools/metricssmoke
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"unicore/internal/core"
+	"unicore/internal/deploy"
+	"unicore/internal/gateway"
+	"unicore/internal/pki"
+	"unicore/internal/sim"
+	"unicore/internal/telemetry"
+	"unicore/internal/uudb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatalf("metricssmoke: %v", err)
+	}
+	fmt.Println("metricssmoke: all headline metrics present and nonzero")
+}
+
+func run() error {
+	work, err := os.MkdirTemp("", "metricssmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+
+	// Keyring: a CA, the site server, and one mapped user.
+	ca, err := pki.NewAuthority("SMOKE-CA")
+	if err != nil {
+		return err
+	}
+	srv, err := ca.IssueServer("gateway.smoke", "localhost")
+	if err != nil {
+		return err
+	}
+	user, err := ca.IssueUser("Smoke User", "SMOKE")
+	if err != nil {
+		return err
+	}
+	caPEM, err := ca.EncodePEM()
+	if err != nil {
+		return err
+	}
+	userPEM, err := user.EncodePEM()
+	if err != nil {
+		return err
+	}
+	caPath := filepath.Join(work, "ca.pem")
+	credPath := filepath.Join(work, "user.pem")
+	if err := deploy.WriteFile(caPath, caPEM); err != nil {
+		return err
+	}
+	if err := deploy.WriteFile(credPath, userPEM); err != nil {
+		return err
+	}
+
+	// One durable Vsite on the real clock, so journal syncs happen on the
+	// admission path the CLI drives.
+	cfg := &deploy.SiteConfig{
+		Usite:  "SMOKE",
+		Vsites: []deploy.VsiteConfig{{Name: "T3E", Machine: "t3e"}},
+		Users: []deploy.UserMapping{{
+			DN: user.DN(),
+			Logins: map[core.Vsite]uudb.Login{
+				"T3E": {UID: "smoke", Groups: []string{"ci"}},
+			},
+		}},
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	gw, _, _, store, err := deploy.BuildDurableSite(cfg, srv, ca, sim.RealClock{}, filepath.Join(work, "state"), 256)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := store.Close(); err != nil {
+			log.Printf("metricssmoke: closing journal: %v", err)
+		}
+	}()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() {
+		if err := gateway.ServeTLS(l, gw, srv, ca); err != nil {
+			log.Printf("metricssmoke: gateway serve: %v", err)
+		}
+	}()
+	gwURL := fmt.Sprintf("https://localhost:%d", l.Addr().(*net.TCPAddr).Port)
+
+	// The smoke test drives the real binaries, not in-proc clients: the CLI
+	// surface (flags, JSON output, exit codes) is part of what it verifies.
+	bin := map[string]string{}
+	for _, name := range []string{"unicore-submit", "unicore-status"} {
+		out := filepath.Join(work, name)
+		if raw, err := exec.Command("go", "build", "-o", out, "./cmd/"+name).CombinedOutput(); err != nil {
+			return fmt.Errorf("building %s: %v\n%s", name, err, raw)
+		}
+		bin[name] = out
+	}
+	common := []string{"-gateway", gwURL, "-ca", caPath, "-cred", credPath}
+
+	// Submit one script job and wait for its terminal event.
+	jobOut, err := cli(bin["unicore-submit"], append(common, "-target", "SMOKE/T3E", "-script", "echo smoke", "-name", "smoke")...)
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	jobID := strings.TrimSpace(jobOut)
+	if jobID == "" {
+		return fmt.Errorf("submit printed no job ID")
+	}
+	statusArgs := append(common, "-usite", "SMOKE")
+	if _, err := cli(bin["unicore-status"], append(statusArgs, "wait", jobID)...); err != nil {
+		return fmt.Errorf("wait %s: %w", jobID, err)
+	}
+
+	// -json list must be parseable and contain the job.
+	listOut, err := cli(bin["unicore-status"], append(statusArgs, "-json", "list")...)
+	if err != nil {
+		return fmt.Errorf("list -json: %w", err)
+	}
+	var jobs []struct {
+		Job string `json:"Job"`
+	}
+	if err := json.Unmarshal([]byte(listOut), &jobs); err != nil {
+		return fmt.Errorf("list -json is not valid JSON: %w\n%s", err, listOut)
+	}
+	found := false
+	for _, j := range jobs {
+		if j.Job == jobID {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("list -json does not contain submitted job %s:\n%s", jobID, listOut)
+	}
+
+	// The scrape itself: merged site-wide metrics over MsgMetrics.
+	metricsOut, err := cli(bin["unicore-status"], append(statusArgs, "-json", "metrics")...)
+	if err != nil {
+		return fmt.Errorf("metrics -json: %w", err)
+	}
+	var snaps []telemetry.Snapshot
+	if err := json.Unmarshal([]byte(metricsOut), &snaps); err != nil {
+		return fmt.Errorf("metrics -json is not valid JSON: %w\n%s", err, metricsOut)
+	}
+	merged := telemetry.Merge("smoke", snaps...)
+	if v := merged.Total("pki_verify_total"); v <= 0 {
+		return fmt.Errorf("pki_verify_total = %v, want > 0", v)
+	}
+	if n := merged.HistCount("consign_ack_seconds"); n == 0 {
+		return fmt.Errorf("consign_ack_seconds has no observations")
+	}
+	if n := merged.HistCount("journal_sync_seconds"); n == 0 {
+		return fmt.Errorf("journal_sync_seconds has no observations on a durable site")
+	}
+
+	// The plaintext dump must carry the same counter.
+	plainOut, err := cli(bin["unicore-status"], append(statusArgs, "metrics")...)
+	if err != nil {
+		return fmt.Errorf("metrics (plaintext): %w", err)
+	}
+	if !strings.Contains(plainOut, "pki_verify_total") {
+		return fmt.Errorf("plaintext metrics dump missing pki_verify_total:\n%s", plainOut)
+	}
+	return nil
+}
+
+// cli runs one CLI binary with a generous timeout, returning its stdout.
+func cli(path string, args ...string) (string, error) {
+	cmd := exec.Command(path, args...)
+	var out, errBuf strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	done := make(chan error, 1)
+	if err := cmd.Start(); err != nil {
+		return "", err
+	}
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return out.String(), fmt.Errorf("%s %s: %v\nstderr: %s", filepath.Base(path), strings.Join(args, " "), err, errBuf.String())
+		}
+		return out.String(), nil
+	case <-time.After(2 * time.Minute):
+		_ = cmd.Process.Kill()
+		return out.String(), fmt.Errorf("%s timed out after 2m\nstderr: %s", filepath.Base(path), errBuf.String())
+	}
+}
