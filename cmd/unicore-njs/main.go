@@ -9,10 +9,16 @@
 // listener, and exits cleanly. Without it the NJS is memory-only, as in the
 // original prototype.
 //
+// The site shape comes from -config (per-site JSON) or from a shared
+// declarative topology spec: -topology topology.json -usite FZJ derives the
+// same config from the document unicore-ctl applies, and defaults the state
+// directory to the spec's journalDir.
+//
 // Usage:
 //
 //	unicore-njs -config site.json -ca ca.pem -cred njs.pem \
 //	    -listen 127.0.0.1:7000 -state-dir /var/lib/unicore/njs
+//	unicore-njs -topology topology.json -usite FZJ -ca ca.pem -cred njs.pem
 package main
 
 import (
@@ -22,10 +28,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"unicore/internal/core"
 	"unicore/internal/deploy"
 	"unicore/internal/gateway"
 	"unicore/internal/journal"
@@ -38,6 +46,8 @@ import (
 func main() {
 	var (
 		configPath = flag.String("config", "", "site configuration JSON")
+		topoPath   = flag.String("topology", "", "topology spec file (alternative to -config; needs -usite)")
+		usite      = flag.String("usite", "", "which declared usite of the -topology spec to serve")
 		caPath     = flag.String("ca", "ca.pem", "CA file")
 		credPath   = flag.String("cred", "njs.pem", "server credential file")
 		listen     = flag.String("listen", "127.0.0.1:7000", "inner socket listen address")
@@ -48,8 +58,11 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "opt-in: serve net/http/pprof and plaintext /metrics on this address")
 	)
 	flag.Parse()
-	if *configPath == "" {
-		log.Fatal("unicore-njs: need -config")
+	if *configPath == "" && *topoPath == "" {
+		log.Fatal("unicore-njs: need -config or -topology")
+	}
+	if *configPath != "" && *topoPath != "" {
+		log.Fatal("unicore-njs: -config and -topology are mutually exclusive")
 	}
 	ca, err := deploy.LoadAuthority(*caPath)
 	if err != nil {
@@ -59,9 +72,31 @@ func main() {
 	if err != nil {
 		log.Fatalf("unicore-njs: %v", err)
 	}
-	cfg, err := deploy.LoadSiteConfig(*configPath)
-	if err != nil {
-		log.Fatalf("unicore-njs: %v", err)
+	var cfg *deploy.SiteConfig
+	if *topoPath != "" {
+		// Boot from the shared declarative topology: derive this site's
+		// config from the spec, and default the journal root to the spec's
+		// journalDir so every replica of the deployment journals under one
+		// declared tree.
+		if *usite == "" {
+			log.Fatal("unicore-njs: -topology needs -usite")
+		}
+		spec, err := deploy.LoadTopology(*topoPath)
+		if err != nil {
+			log.Fatalf("unicore-njs: %v", err)
+		}
+		cfg, err = spec.SiteConfig(core.Usite(*usite))
+		if err != nil {
+			log.Fatalf("unicore-njs: %v", err)
+		}
+		if *stateDir == "" && spec.JournalDir != "" {
+			*stateDir = filepath.Join(spec.JournalDir, *usite)
+		}
+	} else {
+		cfg, err = deploy.LoadSiteConfig(*configPath)
+		if err != nil {
+			log.Fatalf("unicore-njs: %v", err)
+		}
 	}
 
 	var (

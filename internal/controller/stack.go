@@ -1,0 +1,248 @@
+package controller
+
+// Stack boots a whole serving site from a declarative topology spec: UUDB,
+// replica pools, gateway, and the controller that keeps the pools converged
+// on the spec. It is the programmatic half of `unicore-ctl apply -f` — the
+// daemons and tools hand it a parsed TopologySpec and get back a live
+// deployment whose replicas the controller builds, heals, rolls, and
+// scales, with per-replica journals rooted under the spec's journalDir.
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"unicore/internal/core"
+	"unicore/internal/deploy"
+	"unicore/internal/gateway"
+	"unicore/internal/journal"
+	"unicore/internal/njs"
+	"unicore/internal/pki"
+	"unicore/internal/pool"
+	"unicore/internal/sim"
+	"unicore/internal/telemetry"
+	"unicore/internal/uudb"
+)
+
+// DefaultSnapshotEvery bounds journal growth for spec-managed replicas that
+// do not declare their own snapshot cadence.
+const DefaultSnapshotEvery = 1024
+
+// StackConfig assembles one site's stack from a topology spec.
+type StackConfig struct {
+	// Spec is the parsed, validated topology document.
+	Spec *deploy.TopologySpec
+	// Usite selects which declared site to boot.
+	Usite core.Usite
+	// Cred and CA are the gateway's server credential and trust root.
+	Cred *pki.Credential
+	CA   *pki.Authority
+	// Clock drives everything (sim.RealClock{} in daemons).
+	Clock sim.Scheduler
+	// StateRoot overrides the spec's journalDir; when both are empty the
+	// replicas are memory-only (crashes heal empty — testbeds only).
+	StateRoot string
+	// Interval is the controller's reconcile cadence (default
+	// DefaultInterval).
+	Interval time.Duration
+}
+
+// Stack is one booted site: the gateway fronting a controller-managed
+// replica pool router.
+type Stack struct {
+	Gateway    *gateway.Gateway
+	Router     *pool.Router
+	Controller *Controller
+	Users      *uudb.DB
+
+	usite     core.Usite
+	clock     sim.Scheduler
+	stateRoot string
+
+	mu     sync.Mutex
+	stores map[string]*journal.Store // vsite/tag → open journal store
+}
+
+// NewStack builds the stack and runs the first reconcile pass, so the
+// returned deployment is already serving the declared topology. Call
+// Controller.Start to arm the continuous loop, and Close on shutdown.
+func NewStack(cfg StackConfig) (*Stack, error) {
+	if cfg.Spec == nil {
+		return nil, errors.New("controller: nil topology spec")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	site, ok := cfg.Spec.Site(cfg.Usite)
+	if !ok {
+		return nil, fmt.Errorf("controller: topology declares no usite %q", cfg.Usite)
+	}
+	if cfg.Clock == nil {
+		return nil, errors.New("controller: nil clock")
+	}
+	users, err := deploy.BuildUsers(site.Usite, site.Users, cfg.Clock)
+	if err != nil {
+		return nil, err
+	}
+	router, err := pool.NewRouter(site.Usite)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stack{
+		Router:    router,
+		Users:     users,
+		usite:     site.Usite,
+		clock:     cfg.Clock,
+		stateRoot: cfg.StateRoot,
+		stores:    make(map[string]*journal.Store),
+	}
+	if st.stateRoot == "" {
+		st.stateRoot = cfg.Spec.JournalDir
+	}
+	ctl, err := New(Config{
+		Site:     *site,
+		Router:   router,
+		Clock:    cfg.Clock,
+		Interval: cfg.Interval,
+		Build:    st.build,
+		Recover:  st.recover,
+		Retire:   st.retire,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.Controller = ctl
+	gw, err := gateway.New(gateway.Config{
+		Usite:   site.Usite,
+		Cred:    cfg.Cred,
+		CA:      cfg.CA,
+		Users:   users,
+		Backend: router,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gw.Telemetry().SetNow(cfg.Clock.Now)
+	gw.AddMetricsSource(func() []telemetry.Snapshot {
+		return []telemetry.Snapshot{ctl.Telemetry().Snapshot()}
+	})
+	st.Gateway = gw
+	if _, err := ctl.ReconcileNow(); err != nil {
+		return nil, errors.Join(err, st.Close())
+	}
+	return st, nil
+}
+
+// Apply re-declares the stack's site from a new spec document and
+// reconciles once — the `unicore-ctl apply -f` entry point.
+func (s *Stack) Apply(spec *deploy.TopologySpec) error {
+	site, ok := spec.Site(s.usite)
+	if !ok {
+		return fmt.Errorf("controller: topology declares no usite %q", s.usite)
+	}
+	if err := s.Controller.Apply(*site); err != nil {
+		return err
+	}
+	_, err := s.Controller.ReconcileNow()
+	return err
+}
+
+func (s *Stack) storeKey(v core.Vsite, tag string) string {
+	return string(v) + "/" + tag
+}
+
+// build constructs a replica for the controller: journal-backed under
+// <stateRoot>/<usite>/<vsite>/<tag> when a state root is declared,
+// memory-only otherwise.
+func (s *Stack) build(v deploy.TopologyVsite, tag string) (njs.Service, error) {
+	vc, err := v.NJSConfig()
+	if err != nil {
+		return nil, err
+	}
+	if s.stateRoot == "" {
+		return deploy.BuildReplica(s.usite, vc, s.clock, tag)
+	}
+	dir := filepath.Join(s.stateRoot, string(s.usite), string(v.Name), tag)
+	store, err := journal.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	every := v.SnapshotEvery
+	if every <= 0 {
+		every = DefaultSnapshotEvery
+	}
+	n, err := deploy.BuildDurableReplica(s.usite, vc, s.clock, tag, store, every)
+	if err != nil {
+		return nil, errors.Join(err, store.Close())
+	}
+	s.mu.Lock()
+	s.stores[s.storeKey(v.Name, tag)] = store
+	s.mu.Unlock()
+	return n, nil
+}
+
+// recover is the heal/roll path: release the crashed instance's journal
+// handle, then rebuild from the same directory — the recovered replica
+// replays its journal, and the pool's rejoin reconciliation re-homes its
+// ack entries and stage pins.
+func (s *Stack) recover(v deploy.TopologyVsite, tag string) (njs.Service, error) {
+	s.mu.Lock()
+	store := s.stores[s.storeKey(v.Name, tag)]
+	delete(s.stores, s.storeKey(v.Name, tag))
+	s.mu.Unlock()
+	if store != nil {
+		if err := store.Close(); err != nil {
+			return nil, fmt.Errorf("controller: releasing journal of %s/%s: %w", v.Name, tag, err)
+		}
+	}
+	return s.build(v, tag)
+}
+
+// retire shuts a replaced or scaled-down instance all the way down:
+// snapshot (compacting the journal for the next recovery), kill, close.
+func (s *Stack) retire(v deploy.TopologyVsite, tag string, svc njs.Service) error {
+	var errs []error
+	if n, ok := svc.(*njs.NJS); ok {
+		if n.Ping() == nil {
+			errs = append(errs, n.Snapshot())
+			n.Kill()
+		}
+	}
+	s.mu.Lock()
+	store := s.stores[s.storeKey(v.Name, tag)]
+	delete(s.stores, s.storeKey(v.Name, tag))
+	s.mu.Unlock()
+	if store != nil {
+		errs = append(errs, store.Close())
+	}
+	return errors.Join(errs...)
+}
+
+// Close stops the reconcile loop and shuts every replica down cleanly:
+// snapshot, kill, close journals.
+func (s *Stack) Close() error {
+	s.Controller.Stop()
+	var errs []error
+	for _, set := range s.Router.Sets() {
+		for _, tag := range set.Names() {
+			svc, ok := set.Service(tag)
+			if !ok {
+				continue
+			}
+			if n, ok := svc.(*njs.NJS); ok && n.Ping() == nil {
+				errs = append(errs, n.Snapshot())
+				n.Kill()
+			}
+		}
+	}
+	s.mu.Lock()
+	stores := s.stores
+	s.stores = make(map[string]*journal.Store)
+	s.mu.Unlock()
+	for _, store := range stores {
+		errs = append(errs, store.Close())
+	}
+	return errors.Join(errs...)
+}

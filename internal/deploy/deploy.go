@@ -142,38 +142,49 @@ func Machine(name string, processors int) (machine.Profile, error) {
 	return p, nil
 }
 
-// buildParts assembles a site's UUDB and NJS configuration from its JSON
-// description.
-func buildParts(cfg *SiteConfig, clock sim.Scheduler) (*uudb.DB, njs.Config, error) {
-	users := uudb.New(cfg.Usite, clock)
-	for _, u := range cfg.Users {
+// BuildUsers assembles a site's UUDB from its declared user mappings — the
+// piece of a site description shared by the static builders here and the
+// spec-driven controller boot path.
+func BuildUsers(usite core.Usite, mappings []UserMapping, clock sim.Scheduler) (*uudb.DB, error) {
+	users := uudb.New(usite, clock)
+	for _, u := range mappings {
 		users.AddUser(u.DN, u.Email)
 		for vs, login := range u.Logins {
 			if err := users.AddMapping(u.DN, vs, login); err != nil {
-				return nil, njs.Config{}, fmt.Errorf("deploy: mapping %s at %s: %w", u.DN, vs, err)
+				return nil, fmt.Errorf("deploy: mapping %s at %s: %w", u.DN, vs, err)
 			}
 		}
 	}
+	return users, nil
+}
+
+// NJSConfig resolves a declared topology Vsite into the njs.VsiteConfig a
+// replica builder consumes (machine profile, queue set).
+func (v *TopologyVsite) NJSConfig() (njs.VsiteConfig, error) {
+	vc := VsiteConfig{
+		Name:       v.Name,
+		Machine:    v.Machine,
+		Processors: v.Processors,
+		Backfill:   v.Backfill,
+		Queues:     v.Queues,
+	}
+	return vc.VsiteNJSConfig()
+}
+
+// buildParts assembles a site's UUDB and NJS configuration from its JSON
+// description.
+func buildParts(cfg *SiteConfig, clock sim.Scheduler) (*uudb.DB, njs.Config, error) {
+	users, err := BuildUsers(cfg.Usite, cfg.Users, clock)
+	if err != nil {
+		return nil, njs.Config{}, err
+	}
 	var vcs []njs.VsiteConfig
-	for _, v := range cfg.Vsites {
-		prof, err := Machine(v.Machine, v.Processors)
+	for i := range cfg.Vsites {
+		vc, err := cfg.Vsites[i].VsiteNJSConfig()
 		if err != nil {
 			return nil, njs.Config{}, err
 		}
-		var queues []codine.Queue
-		for _, q := range v.Queues {
-			mt := time.Duration(q.MaxTimeSec) * time.Second
-			if mt == 0 {
-				mt = 24 * time.Hour
-			}
-			queues = append(queues, codine.Queue{Name: q.Name, Slots: q.Slots, MaxTime: mt})
-		}
-		vcs = append(vcs, njs.VsiteConfig{
-			Name:     v.Name,
-			Profile:  prof,
-			Backfill: v.Backfill,
-			Queues:   queues,
-		})
+		vcs = append(vcs, vc)
 	}
 	return users, njs.Config{Usite: cfg.Usite, Clock: clock, Vsites: vcs}, nil
 }
@@ -271,14 +282,9 @@ func BuildReplicatedSite(cfg *SiteConfig, cred *pki.Credential, ca *pki.Authorit
 		}
 		for r := 0; r < count; r++ {
 			tag := pool.ReplicaTag(r)
-			n, err := njs.New(njs.Config{
-				Usite:    cfg.Usite,
-				Clock:    clock,
-				Vsites:   []njs.VsiteConfig{vc},
-				Instance: tag,
-			})
+			n, err := BuildReplica(cfg.Usite, vc, clock, tag)
 			if err != nil {
-				return nil, nil, nil, nil, fmt.Errorf("deploy: vsite %s replica %s: %w", vc.Name, tag, err)
+				return nil, nil, nil, nil, err
 			}
 			if err := set.Add(tag, n); err != nil {
 				return nil, nil, nil, nil, err
@@ -301,6 +307,65 @@ func BuildReplicatedSite(cfg *SiteConfig, cred *pki.Credential, ca *pki.Authorit
 	}
 	gw.Telemetry().SetNow(clock.Now)
 	return gw, router, replicas, users, nil
+}
+
+// BuildReplica builds one memory-only NJS replica serving a single Vsite
+// under the given pool tag — the unit BuildReplicatedSite assembles pools
+// from, exposed so a running Vsite can grow without rebuilding the site
+// (the controller adds the result to the live ReplicaSet with set.Add).
+// The tag becomes the NJS instance so minted job IDs never collide across
+// the pool.
+func BuildReplica(usite core.Usite, vc njs.VsiteConfig, clock sim.Scheduler, tag string) (*njs.NJS, error) {
+	n, err := njs.New(njs.Config{
+		Usite:    usite,
+		Clock:    clock,
+		Vsites:   []njs.VsiteConfig{vc},
+		Instance: tag,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("deploy: vsite %s replica %s: %w", vc.Name, tag, err)
+	}
+	return n, nil
+}
+
+// BuildDurableReplica is BuildReplica with journal-backed state: the
+// replica's prior life is recovered from the store (empty store = fresh
+// replica) and every subsequent transition is journaled. The caller must
+// call ResumeRecovered once wiring is complete, and owns the store.
+func BuildDurableReplica(usite core.Usite, vc njs.VsiteConfig, clock sim.Scheduler, tag string, store *journal.Store, snapshotEvery int) (*njs.NJS, error) {
+	n, err := njs.Recover(store, njs.Config{
+		Usite:    usite,
+		Clock:    clock,
+		Vsites:   []njs.VsiteConfig{vc},
+		Instance: tag,
+	}, snapshotEvery)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: vsite %s replica %s: %w", vc.Name, tag, err)
+	}
+	return n, nil
+}
+
+// VsiteNJSConfig resolves one declared Vsite into the njs.VsiteConfig a
+// replica of it runs — the single-Vsite slice of what buildParts computes.
+func (v *VsiteConfig) VsiteNJSConfig() (njs.VsiteConfig, error) {
+	prof, err := Machine(v.Machine, v.Processors)
+	if err != nil {
+		return njs.VsiteConfig{}, err
+	}
+	var queues []codine.Queue
+	for _, q := range v.Queues {
+		mt := time.Duration(q.MaxTimeSec) * time.Second
+		if mt == 0 {
+			mt = 24 * time.Hour
+		}
+		queues = append(queues, codine.Queue{Name: q.Name, Slots: q.Slots, MaxTime: mt})
+	}
+	return njs.VsiteConfig{
+		Name:     v.Name,
+		Profile:  prof,
+		Backfill: v.Backfill,
+		Queues:   queues,
+	}, nil
 }
 
 // LoadAuthority reads a CA PEM file.

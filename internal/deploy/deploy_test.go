@@ -2,6 +2,7 @@ package deploy
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"unicore/internal/ajo"
 	"unicore/internal/client"
 	"unicore/internal/core"
+	"unicore/internal/journal"
 	"unicore/internal/njs"
 	"unicore/internal/pki"
 	"unicore/internal/pool"
@@ -429,6 +431,137 @@ func TestBuildReplicatedSite(t *testing.T) {
 	}
 	if owners != 1 {
 		t.Fatalf("job %s owned by %d replicas, want exactly 1", id, owners)
+	}
+}
+
+// TestBuildReplicaGrowsLiveVsite covers the extracted single-replica build
+// path: a replica built on its own joins an already-serving ReplicaSet and
+// takes traffic, without rebuilding the site.
+func TestBuildReplicaGrowsLiveVsite(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	vcfg := VsiteConfig{Name: "CLUSTER", Machine: "cluster"}
+	vc, err := vcfg.VsiteNJSConfig()
+	if err != nil {
+		t.Fatalf("VsiteNJSConfig: %v", err)
+	}
+	set, err := pool.New(pool.Config{Vsite: "CLUSTER", Policy: pool.RoundRobin, Clock: clock})
+	if err != nil {
+		t.Fatalf("pool.New: %v", err)
+	}
+	set.SetLoginMapper(func(core.DN, core.Vsite) (uudb.Login, error) {
+		return uudb.Login{UID: "a"}, nil
+	})
+	for r := 0; r < 2; r++ {
+		n, err := BuildReplica("FZJ", vc, clock, pool.ReplicaTag(r))
+		if err != nil {
+			t.Fatalf("BuildReplica(%d): %v", r, err)
+		}
+		if err := set.Add(pool.ReplicaTag(r), n); err != nil {
+			t.Fatalf("Add(%d): %v", r, err)
+		}
+	}
+	// The set is live: consign a job through it first…
+	b := client.NewJob("before-grow", core.Target{Usite: "FZJ", Vsite: "CLUSTER"})
+	b.Script("noop", "echo hi\n", resources.Request{Processors: 1, RunTime: time.Hour})
+	job, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := set.Consign(context.Background(), "CN=A", "grow-0", job); err != nil {
+		t.Fatalf("Consign before grow: %v", err)
+	}
+	// …then grow it by one replica built in isolation.
+	n3, err := BuildReplica("FZJ", vc, clock, pool.ReplicaTag(2))
+	if err != nil {
+		t.Fatalf("BuildReplica(2): %v", err)
+	}
+	if n3.Usite() != "FZJ" || n3.Instance() != "r2" {
+		t.Fatalf("replica identity wrong: usite=%s instance=%s", n3.Usite(), n3.Instance())
+	}
+	if err := set.Add(pool.ReplicaTag(2), n3); err != nil {
+		t.Fatalf("Add(2) on live set: %v", err)
+	}
+	if got := len(set.Names()); got != 3 {
+		t.Fatalf("set has %d replicas after grow, want 3", got)
+	}
+	// The newcomer serves: round robin reaches it within one lap of the set.
+	landed := false
+	for i := 1; i <= 3 && !landed; i++ {
+		b := client.NewJob("after-grow", core.Target{Usite: "FZJ", Vsite: "CLUSTER"})
+		b.Script("noop", "echo hi\n", resources.Request{Processors: 1, RunTime: time.Hour})
+		job, err := b.Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		if _, err := set.Consign(context.Background(), "CN=A", fmt.Sprintf("grow-%d", i), job); err != nil {
+			t.Fatalf("Consign after grow: %v", err)
+		}
+		if jobs, _ := n3.List("CN=A"); len(jobs) > 0 {
+			landed = true
+		}
+	}
+	if !landed {
+		t.Fatal("grown replica never took a consign within a full round-robin lap")
+	}
+}
+
+// TestBuildDurableReplicaRecovers round-trips one replica through a crash:
+// consign against the journaled replica, kill it, rebuild from the same
+// store, and find the job again under the same instance tag.
+func TestBuildDurableReplicaRecovers(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	vcfg := VsiteConfig{Name: "CLUSTER", Machine: "cluster"}
+	vc, err := vcfg.VsiteNJSConfig()
+	if err != nil {
+		t.Fatalf("VsiteNJSConfig: %v", err)
+	}
+	dir := t.TempDir()
+	store, err := journal.Open(dir)
+	if err != nil {
+		t.Fatalf("journal.Open: %v", err)
+	}
+	n, err := BuildDurableReplica("FZJ", vc, clock, "r0", store, 0)
+	if err != nil {
+		t.Fatalf("BuildDurableReplica: %v", err)
+	}
+	n.SetLoginMapper(func(core.DN, core.Vsite) (uudb.Login, error) {
+		return uudb.Login{UID: "a"}, nil
+	})
+	n.ResumeRecovered()
+	b := client.NewJob("durable", core.Target{Usite: "FZJ", Vsite: "CLUSTER"})
+	b.Script("noop", "echo durable\n", resources.Request{Processors: 1, RunTime: time.Hour})
+	job, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	id, err := n.Consign(context.Background(), "CN=A", "dur-r0", job)
+	if err != nil {
+		t.Fatalf("Consign: %v", err)
+	}
+	if err := store.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	n.Kill()
+	if err := store.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	store2, err := journal.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer store2.Close()
+	n2, err := BuildDurableReplica("FZJ", vc, clock, "r0", store2, 0)
+	if err != nil {
+		t.Fatalf("BuildDurableReplica (reboot): %v", err)
+	}
+	n2.ResumeRecovered()
+	if n2.Instance() != "r0" {
+		t.Fatalf("recovered instance = %q, want r0", n2.Instance())
+	}
+	jobs, err := n2.List("CN=A")
+	if err != nil || len(jobs) != 1 || jobs[0].Job != id {
+		t.Fatalf("recovered jobs = %+v, %v (want the consigned job %s)", jobs, err, id)
 	}
 }
 

@@ -1,0 +1,394 @@
+package deploy
+
+// Topology specs are the declarative layer above the per-site JSON configs:
+// one document describes the whole desired deployment — which Usites exist,
+// how many NJS replicas serve each Vsite, which routing policy and spool TTL
+// each pool runs, and where the replica journals live. The controller
+// (internal/controller) diffs a spec against the live deployment and
+// converges it; unicore-ctl parses, validates, diffs, and applies spec
+// files; unicore-njs can derive its site config from the shared spec.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"unicore/internal/core"
+	"unicore/internal/pool"
+)
+
+// TopologyVersion is the spec format this tree reads and writes.
+const TopologyVersion = 1
+
+// TopologySpec is the desired state of a whole deployment.
+type TopologySpec struct {
+	// Version is the spec format version (TopologyVersion).
+	Version int `json:"version"`
+	// JournalDir roots the per-replica write-ahead journals:
+	// <JournalDir>/<usite>/<vsite>/<replica-tag>. Empty disables durability
+	// (memory-only replicas; a crashed replica heals empty).
+	JournalDir string `json:"journalDir,omitempty"`
+	// Sites lists every Usite of the deployment.
+	Sites []TopologySite `json:"sites"`
+}
+
+// TopologySite declares one Usite.
+type TopologySite struct {
+	Usite core.Usite `json:"usite"`
+	// Vsites lists the execution systems of the site.
+	Vsites []TopologyVsite `json:"vsites"`
+	// Users maps certificate DNs to per-Vsite logins (same shape as the
+	// per-site config).
+	Users []UserMapping `json:"users,omitempty"`
+}
+
+// TopologyVsite declares one execution system and its replica pool.
+type TopologyVsite struct {
+	Name core.Vsite `json:"name"`
+	// Machine selects a profile: "t3e", "vpp700", "sp2", "sx4", "cluster".
+	Machine string `json:"machine"`
+	// Processors overrides the profile's default PE count (0 keeps it).
+	Processors int `json:"processors,omitempty"`
+	// Backfill enables EASY backfill in the batch scheduler.
+	Backfill bool `json:"backfill,omitempty"`
+	// Queues optionally declares batch queues (default: one "batch" queue).
+	Queues []QueueConfig `json:"queues,omitempty"`
+	// Replicas is the declared NJS replica count (minimum 1). With an
+	// Autoscale block this is the resting size; the controller moves the
+	// live count inside [Autoscale.Min, Autoscale.Max].
+	Replicas int `json:"replicas,omitempty"`
+	// Policy selects the pool's consign routing: "round-robin",
+	// "least-loaded", or "consistent-hash" (default round-robin).
+	Policy string `json:"policy,omitempty"`
+	// Generation versions the replica fleet. Bumping it makes the
+	// controller roll every replica: drain, retire, recover from the
+	// journal, rejoin — one replica at a time.
+	Generation int `json:"generation,omitempty"`
+	// SpoolTTLSec is the staged-upload garbage-collection horizon in
+	// seconds (0 keeps the server default). The controller sweeps each
+	// replica's spool on every reconcile pass.
+	SpoolTTLSec int `json:"spoolTTLSec,omitempty"`
+	// SnapshotEvery is the journal entries between automatic snapshots
+	// (0 picks the controller default).
+	SnapshotEvery int `json:"snapshotEvery,omitempty"`
+	// Autoscale, when present, lets the controller move the replica count
+	// with load instead of holding it at Replicas.
+	Autoscale *AutoscaleSpec `json:"autoscale,omitempty"`
+}
+
+// AutoscaleSpec bounds and drives elastic replica pools.
+type AutoscaleSpec struct {
+	// Min and Max bound the live replica count.
+	Min int `json:"min"`
+	Max int `json:"max"`
+	// BacklogPerReplica scales the pool up: while the Vsite's backlog
+	// signal (in-flight consigns from the njs_consign_inflight gauge plus
+	// queued batch jobs) exceeds this per healthy replica, each reconcile
+	// adds one replica up to Max.
+	BacklogPerReplica int `json:"backlogPerReplica"`
+	// IdleCycles scales the pool down: after this many consecutive
+	// reconciles with zero backlog, zero occupancy, and no event-log
+	// growth, each further idle reconcile retires one replica down to Min.
+	IdleCycles int `json:"idleCycles"`
+}
+
+// SpoolTTL returns the Vsite's staged-upload GC horizon (0 = server default).
+func (v *TopologyVsite) SpoolTTL() time.Duration {
+	return time.Duration(v.SpoolTTLSec) * time.Second
+}
+
+// ReplicaFloor returns the smallest replica count the spec allows for the
+// Vsite: Autoscale.Min when autoscaling, else the declared count (min 1).
+func (v *TopologyVsite) ReplicaFloor() int {
+	if v.Autoscale != nil {
+		return v.Autoscale.Min
+	}
+	return v.DeclaredReplicas()
+}
+
+// DeclaredReplicas returns the declared resting replica count (minimum 1).
+func (v *TopologyVsite) DeclaredReplicas() int {
+	if v.Replicas < 1 {
+		return 1
+	}
+	return v.Replicas
+}
+
+// ParseTopology decodes and validates a topology spec document. Unknown
+// fields are rejected so a typo ("replcas") cannot silently deploy a
+// different topology than the operator wrote.
+func ParseTopology(data []byte) (*TopologySpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var spec TopologySpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("deploy: parsing topology: %w", err)
+	}
+	// A second document in the stream is a concatenation mistake, not a
+	// bigger topology.
+	if dec.More() {
+		return nil, fmt.Errorf("deploy: parsing topology: trailing data after spec document")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("deploy: topology: %w", err)
+	}
+	return &spec, nil
+}
+
+// LoadTopology reads and validates a topology spec file.
+func LoadTopology(path string) (*TopologySpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: %w", err)
+	}
+	spec, err := ParseTopology(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return spec, nil
+}
+
+// Encode renders the spec as indented JSON. Encode∘ParseTopology is the
+// identity on validated specs (the fuzz target holds the parser to it).
+func (s *TopologySpec) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("deploy: encoding topology: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Validate checks the spec for completeness and consistency.
+func (s *TopologySpec) Validate() error {
+	if s.Version != TopologyVersion {
+		return fmt.Errorf("unsupported spec version %d (want %d)", s.Version, TopologyVersion)
+	}
+	if len(s.Sites) == 0 {
+		return fmt.Errorf("no sites declared")
+	}
+	seenSites := map[core.Usite]bool{}
+	for i := range s.Sites {
+		site := &s.Sites[i]
+		if site.Usite == "" {
+			return fmt.Errorf("site %d has no usite name", i)
+		}
+		if seenSites[site.Usite] {
+			return fmt.Errorf("duplicate usite %q", site.Usite)
+		}
+		seenSites[site.Usite] = true
+		if len(site.Vsites) == 0 {
+			return fmt.Errorf("usite %s has no vsites", site.Usite)
+		}
+		seenV := map[core.Vsite]bool{}
+		for j := range site.Vsites {
+			v := &site.Vsites[j]
+			if v.Name == "" {
+				return fmt.Errorf("usite %s: vsite %d has no name", site.Usite, j)
+			}
+			if seenV[v.Name] {
+				return fmt.Errorf("usite %s: duplicate vsite %q", site.Usite, v.Name)
+			}
+			seenV[v.Name] = true
+			if _, err := Machine(v.Machine, v.Processors); err != nil {
+				return fmt.Errorf("usite %s vsite %s: %w", site.Usite, v.Name, err)
+			}
+			if v.Replicas < 0 {
+				return fmt.Errorf("usite %s vsite %s: negative replica count %d", site.Usite, v.Name, v.Replicas)
+			}
+			if v.Processors < 0 {
+				return fmt.Errorf("usite %s vsite %s: negative processor count %d", site.Usite, v.Name, v.Processors)
+			}
+			if v.Generation < 0 {
+				return fmt.Errorf("usite %s vsite %s: negative generation %d", site.Usite, v.Name, v.Generation)
+			}
+			if v.SpoolTTLSec < 0 {
+				return fmt.Errorf("usite %s vsite %s: negative spool TTL %d", site.Usite, v.Name, v.SpoolTTLSec)
+			}
+			if v.SnapshotEvery < 0 {
+				return fmt.Errorf("usite %s vsite %s: negative snapshot cadence %d", site.Usite, v.Name, v.SnapshotEvery)
+			}
+			if _, err := pool.ParsePolicy(v.Policy); err != nil {
+				return fmt.Errorf("usite %s vsite %s: %w", site.Usite, v.Name, err)
+			}
+			if a := v.Autoscale; a != nil {
+				if a.Min < 1 {
+					return fmt.Errorf("usite %s vsite %s: autoscale min %d (want >= 1)", site.Usite, v.Name, a.Min)
+				}
+				if a.Max < a.Min {
+					return fmt.Errorf("usite %s vsite %s: autoscale max %d below min %d", site.Usite, v.Name, a.Max, a.Min)
+				}
+				if a.BacklogPerReplica < 0 {
+					return fmt.Errorf("usite %s vsite %s: negative autoscale backlog %d", site.Usite, v.Name, a.BacklogPerReplica)
+				}
+				if a.IdleCycles < 0 {
+					return fmt.Errorf("usite %s vsite %s: negative autoscale idle cycles %d", site.Usite, v.Name, a.IdleCycles)
+				}
+				if r := v.DeclaredReplicas(); r < a.Min || r > a.Max {
+					return fmt.Errorf("usite %s vsite %s: declared replicas %d outside autoscale bounds [%d,%d]", site.Usite, v.Name, r, a.Min, a.Max)
+				}
+			}
+		}
+		for _, u := range site.Users {
+			if u.DN == "" {
+				return fmt.Errorf("usite %s: user mapping without DN", site.Usite)
+			}
+			for vs := range u.Logins {
+				if !seenV[vs] {
+					return fmt.Errorf("usite %s: user %s mapped at unknown vsite %q", site.Usite, u.DN, vs)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Site returns the declared site for a Usite.
+func (s *TopologySpec) Site(u core.Usite) (*TopologySite, bool) {
+	for i := range s.Sites {
+		if s.Sites[i].Usite == u {
+			return &s.Sites[i], true
+		}
+	}
+	return nil, false
+}
+
+// Vsite returns the declared Vsite of a site.
+func (site *TopologySite) Vsite(v core.Vsite) (*TopologyVsite, bool) {
+	for i := range site.Vsites {
+		if site.Vsites[i].Name == v {
+			return &site.Vsites[i], true
+		}
+	}
+	return nil, false
+}
+
+// SiteConfig converts one declared site into the per-site JSON config shape
+// the builders consume — the bridge that lets unicore-njs and unicore-gateway
+// boot from a shared topology spec instead of a per-site file.
+func (s *TopologySpec) SiteConfig(u core.Usite) (*SiteConfig, error) {
+	site, ok := s.Site(u)
+	if !ok {
+		return nil, fmt.Errorf("deploy: topology declares no usite %q", u)
+	}
+	cfg := &SiteConfig{Usite: site.Usite, Users: site.Users}
+	for _, v := range site.Vsites {
+		cfg.Vsites = append(cfg.Vsites, VsiteConfig{
+			Name:       v.Name,
+			Machine:    v.Machine,
+			Processors: v.Processors,
+			Backfill:   v.Backfill,
+			Queues:     v.Queues,
+			Replicas:   v.DeclaredReplicas(),
+		})
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// TopologyChange is one step of a topology diff.
+type TopologyChange struct {
+	// Op names the change: "add-site", "remove-site", "add-vsite",
+	// "remove-vsite", "scale", "policy", "roll", "spool-ttl", "autoscale",
+	// "machine".
+	Op    string
+	Usite core.Usite
+	Vsite core.Vsite
+	// Detail is the human-readable delta ("replicas 2 -> 4").
+	Detail string
+}
+
+// String renders the change for logs and unicore-ctl diff output.
+func (c TopologyChange) String() string {
+	target := string(c.Usite)
+	if c.Vsite != "" {
+		target += "/" + string(c.Vsite)
+	}
+	if c.Detail == "" {
+		return fmt.Sprintf("%-12s %s", c.Op, target)
+	}
+	return fmt.Sprintf("%-12s %s: %s", c.Op, target, c.Detail)
+}
+
+// DiffTopology lists the steps that take the current spec to the desired
+// one, in apply order: site/Vsite additions first, in-place changes next,
+// removals last. Identical specs diff to nil.
+func DiffTopology(current, desired *TopologySpec) []TopologyChange {
+	var out []TopologyChange
+	for i := range desired.Sites {
+		want := &desired.Sites[i]
+		have, ok := current.Site(want.Usite)
+		if !ok {
+			out = append(out, TopologyChange{Op: "add-site", Usite: want.Usite,
+				Detail: fmt.Sprintf("%d vsite(s)", len(want.Vsites))})
+			continue
+		}
+		out = append(out, diffSite(have, want)...)
+	}
+	for i := range current.Sites {
+		if _, ok := desired.Site(current.Sites[i].Usite); !ok {
+			out = append(out, TopologyChange{Op: "remove-site", Usite: current.Sites[i].Usite})
+		}
+	}
+	return out
+}
+
+// diffSite lists per-Vsite changes between two declarations of one site.
+func diffSite(have, want *TopologySite) []TopologyChange {
+	var out []TopologyChange
+	for i := range want.Vsites {
+		wv := &want.Vsites[i]
+		hv, ok := have.Vsite(wv.Name)
+		if !ok {
+			out = append(out, TopologyChange{Op: "add-vsite", Usite: want.Usite, Vsite: wv.Name,
+				Detail: fmt.Sprintf("%s x%d", wv.Machine, wv.DeclaredReplicas())})
+			continue
+		}
+		at := func(op, detail string) {
+			out = append(out, TopologyChange{Op: op, Usite: want.Usite, Vsite: wv.Name, Detail: detail})
+		}
+		if hv.Machine != wv.Machine || hv.Processors != wv.Processors || hv.Backfill != wv.Backfill {
+			at("machine", fmt.Sprintf("%s/%d -> %s/%d", hv.Machine, hv.Processors, wv.Machine, wv.Processors))
+		}
+		if hv.DeclaredReplicas() != wv.DeclaredReplicas() {
+			at("scale", fmt.Sprintf("replicas %d -> %d", hv.DeclaredReplicas(), wv.DeclaredReplicas()))
+		}
+		if hv.Policy != wv.Policy {
+			at("policy", fmt.Sprintf("%q -> %q", hv.Policy, wv.Policy))
+		}
+		if hv.Generation != wv.Generation {
+			at("roll", fmt.Sprintf("generation %d -> %d", hv.Generation, wv.Generation))
+		}
+		if hv.SpoolTTLSec != wv.SpoolTTLSec {
+			at("spool-ttl", fmt.Sprintf("%ds -> %ds", hv.SpoolTTLSec, wv.SpoolTTLSec))
+		}
+		if !autoscaleEqual(hv.Autoscale, wv.Autoscale) {
+			at("autoscale", fmt.Sprintf("%s -> %s", autoscaleString(hv.Autoscale), autoscaleString(wv.Autoscale)))
+		}
+	}
+	for i := range have.Vsites {
+		if _, ok := want.Vsite(have.Vsites[i].Name); !ok {
+			out = append(out, TopologyChange{Op: "remove-vsite", Usite: want.Usite, Vsite: have.Vsites[i].Name})
+		}
+	}
+	return out
+}
+
+// autoscaleEqual compares two optional autoscale blocks.
+func autoscaleEqual(a, b *AutoscaleSpec) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return *a == *b
+}
+
+// autoscaleString renders an autoscale block for diff output.
+func autoscaleString(a *AutoscaleSpec) string {
+	if a == nil {
+		return "off"
+	}
+	return fmt.Sprintf("[%d,%d] backlog %d idle %d", a.Min, a.Max, a.BacklogPerReplica, a.IdleCycles)
+}

@@ -161,6 +161,11 @@ type Gateway struct {
 	// and the "gateway.dispatch" trace spans. Deployments running on a virtual
 	// clock point its clock at the simulation via Telemetry().SetNow.
 	tel *telemetry.Registry
+
+	// sourceMu guards extra metric sources (e.g. a topology controller's
+	// registry) appended to MsgMetrics scrapes alongside the backend's.
+	sourceMu sync.Mutex
+	sources  []func() []telemetry.Snapshot
 }
 
 // New assembles a gateway and wires it into the NJS as its login mapper.
@@ -249,10 +254,30 @@ func (g *Gateway) SetNJS(n *njs.NJS) { g.SetBackend(n) }
 // virtual-clock deployments wire its clock through SetNow).
 func (g *Gateway) Telemetry() *telemetry.Registry { return g.tel }
 
-// Metrics returns the gateway's snapshot followed by the backend tier's —
-// the full per-origin breakdown behind a MsgMetrics scrape.
+// AddMetricsSource appends an extra snapshot source to MsgMetrics scrapes —
+// how out-of-band registries (a topology controller's, say) become visible
+// through the same `unicore-status metrics` door as the serving tiers.
+func (g *Gateway) AddMetricsSource(fn func() []telemetry.Snapshot) {
+	if fn == nil {
+		return
+	}
+	g.sourceMu.Lock()
+	g.sources = append(g.sources, fn)
+	g.sourceMu.Unlock()
+}
+
+// Metrics returns the gateway's snapshot followed by the backend tier's and
+// any registered extra sources' — the full per-origin breakdown behind a
+// MsgMetrics scrape.
 func (g *Gateway) Metrics() []telemetry.Snapshot {
-	return append([]telemetry.Snapshot{g.tel.Snapshot()}, g.svc().Metrics()...)
+	out := append([]telemetry.Snapshot{g.tel.Snapshot()}, g.svc().Metrics()...)
+	g.sourceMu.Lock()
+	sources := append([]func() []telemetry.Snapshot(nil), g.sources...)
+	g.sourceMu.Unlock()
+	for _, fn := range sources {
+		out = append(out, fn()...)
+	}
+	return out
 }
 
 // Usite returns the site this gateway fronts.

@@ -149,6 +149,14 @@ type Replica struct {
 	name string
 	svc  atomic.Value // serviceBox
 
+	// draining excludes the replica from new-work routing (consigns, staged
+	//-upload opens) while leaving everything it already owns reachable —
+	// the first phase of drain-before-kill replacement.
+	draining atomic.Bool
+	// calls counts routed admission/staging calls currently executing on
+	// the replica; a drain has settled when it reaches zero.
+	calls atomic.Int64
+
 	// mu guards the breaker state below.
 	mu        sync.Mutex
 	fails     int       // consecutive failures since the last success
@@ -413,14 +421,15 @@ func (s *ReplicaSet) Names() []string {
 	return out
 }
 
-// Healthy lists the replicas whose breakers are currently closed.
+// Healthy lists the replicas currently taking new work: breaker closed and
+// not draining.
 func (s *ReplicaSet) Healthy() []string {
 	now := s.cfg.Clock.Now()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []string
 	for _, r := range s.replicas {
-		if r.state(now) == stateClosed {
+		if r.state(now) == stateClosed && !r.draining.Load() {
 			out = append(out, r.name)
 		}
 	}
@@ -507,6 +516,14 @@ func (s *ReplicaSet) usable(r *Replica, now time.Time) bool {
 	default:
 		return false
 	}
+}
+
+// acceptsNew reports whether NEW work (a fresh consign, a staged-upload
+// open) may be routed to the replica: usable and not draining. Job- and
+// handle-scoped calls bypass this check on purpose — a draining replica
+// keeps serving the jobs and uploads it already owns until it is retired.
+func (s *ReplicaSet) acceptsNew(r *Replica, now time.Time) bool {
+	return !r.draining.Load() && s.usable(r, now)
 }
 
 // CheckNow actively health-checks every replica once: each replica is pinged
@@ -616,7 +633,9 @@ func (s *ReplicaSet) consignOnce(ctx context.Context, user core.DN, consignID st
 		}
 		s.tel.Counter("pool_route_total", "replica", hint.name).Inc()
 		sp := s.tel.StartSpan(ctx, "pool.consign").Note(hint.name)
+		hint.calls.Add(1)
 		id, err := hint.service().Consign(ctx, user, consignID, job)
+		hint.calls.Add(-1)
 		sp.End()
 		if err == nil {
 			hint.markSuccess()
@@ -641,7 +660,9 @@ func (s *ReplicaSet) consignOnce(ctx context.Context, user core.DN, consignID st
 		tried[rep] = true
 		s.tel.Counter("pool_route_total", "replica", rep.name).Inc()
 		sp := s.tel.StartSpan(ctx, "pool.consign").Note(rep.name)
+		rep.calls.Add(1)
 		id, err := rep.service().Consign(ctx, user, consignID, job)
+		rep.calls.Add(-1)
 		sp.End()
 		if err == nil {
 			rep.markSuccess()
@@ -682,7 +703,8 @@ func (s *ReplicaSet) recordAck(consignID string, rep *Replica, id core.JobID) {
 }
 
 // pickConsign chooses the next replica for an admission under the configured
-// policy, excluding already-tried replicas and open breakers.
+// policy, excluding already-tried replicas, open breakers, and draining
+// replicas.
 func (s *ReplicaSet) pickConsign(key string, tried map[*Replica]bool) *Replica {
 	now := s.cfg.Clock.Now()
 	reps := s.snapshotReplicas()
@@ -694,7 +716,7 @@ func (s *ReplicaSet) pickConsign(key string, tried map[*Replica]bool) *Replica {
 		var best *Replica
 		bestLoad := 0.0
 		for _, r := range reps {
-			if tried[r] || !s.usable(r, now) {
+			if tried[r] || !s.acceptsNew(r, now) {
 				continue
 			}
 			l := r.service().Load()
@@ -710,7 +732,7 @@ func (s *ReplicaSet) pickConsign(key string, tried map[*Replica]bool) *Replica {
 		byName := indexByName(reps)
 		name := rg.lookup(key, func(n string) bool {
 			r := byName[n]
-			return r != nil && !tried[r] && s.usable(r, now)
+			return r != nil && !tried[r] && s.acceptsNew(r, now)
 		})
 		if name == "" {
 			return nil
@@ -720,7 +742,7 @@ func (s *ReplicaSet) pickConsign(key string, tried map[*Replica]bool) *Replica {
 		start := int(s.rr.Add(1))
 		for i := 0; i < len(reps); i++ {
 			r := reps[(start+i)%len(reps)]
-			if tried[r] || !s.usable(r, now) {
+			if tried[r] || !s.acceptsNew(r, now) {
 				continue
 			}
 			return r

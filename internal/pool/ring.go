@@ -47,6 +47,19 @@ func (r *ring) add(name string) {
 	r.entries = next
 }
 
+// remove drops a replica's virtual nodes, copy-on-write like add: in-flight
+// lookups keep their snapshot, and the keys that hashed to the removed
+// replica redistribute over the survivors.
+func (r *ring) remove(name string) {
+	next := make([]ringEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		if e.name != name {
+			next = append(next, e)
+		}
+	}
+	r.entries = next
+}
+
 // lookup walks clockwise from key's point and returns the first distinct
 // replica accepted by ok ("" when none qualifies). The walk order for a given
 // key depends only on ring membership, so two lookups of the same key with

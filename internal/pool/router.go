@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"unicore/internal/ajo"
 	"unicore/internal/core"
@@ -23,8 +24,10 @@ import (
 type Router struct {
 	usite core.Usite
 
-	// Sets are registered at assembly time and the slice is append-only;
-	// lookups go through the map.
+	// mu guards set membership and the mapper: sets are usually registered
+	// at assembly time, but a controller may add one to a live router when
+	// the declared topology grows a Vsite.
+	mu    sync.RWMutex
 	sets  map[core.Vsite]*ReplicaSet
 	order []core.Vsite
 
@@ -43,31 +46,39 @@ func NewRouter(usite core.Usite) (*Router, error) {
 	return &Router{usite: usite, sets: make(map[core.Vsite]*ReplicaSet)}, nil
 }
 
-// AddSet registers a Vsite's replica set. Call during assembly, before the
-// router takes traffic.
+// AddSet registers a Vsite's replica set — at assembly time, or on a live
+// router when the declared topology grows a Vsite.
 func (r *Router) AddSet(set *ReplicaSet) error {
 	if set == nil {
 		return errors.New("pool: nil replica set")
 	}
+	r.mu.Lock()
 	if _, dup := r.sets[set.Vsite()]; dup {
+		r.mu.Unlock()
 		return fmt.Errorf("pool: duplicate replica set for vsite %q", set.Vsite())
 	}
 	r.sets[set.Vsite()] = set
 	r.order = append(r.order, set.Vsite())
-	if r.mapper != nil {
-		set.SetLoginMapper(r.mapper)
+	mapper := r.mapper
+	r.mu.Unlock()
+	if mapper != nil {
+		set.SetLoginMapper(mapper)
 	}
 	return nil
 }
 
 // Set returns the replica set serving a Vsite.
 func (r *Router) Set(v core.Vsite) (*ReplicaSet, bool) {
+	r.mu.RLock()
 	s, ok := r.sets[v]
+	r.mu.RUnlock()
 	return s, ok
 }
 
 // Sets lists the replica sets in registration order.
 func (r *Router) Sets() []*ReplicaSet {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]*ReplicaSet, 0, len(r.order))
 	for _, v := range r.order {
 		out = append(out, r.sets[v])
@@ -82,7 +93,9 @@ func (r *Router) Usite() core.Usite { return r.usite }
 // set — the gateway calls this once when it adopts the router as its
 // backend, exactly as it would a single NJS.
 func (r *Router) SetLoginMapper(fn njs.LoginMapper) {
+	r.mu.Lock()
 	r.mapper = fn
+	r.mu.Unlock()
 	for _, set := range r.Sets() {
 		set.SetLoginMapper(fn)
 	}
@@ -368,8 +381,9 @@ func (r *Router) Load() float64 {
 // VsiteLoads reports per-Vsite occupancy with the replica-pool health the
 // broker uses to skip drained sites.
 func (r *Router) VsiteLoads() map[core.Vsite]njs.VsiteLoad {
-	out := make(map[core.Vsite]njs.VsiteLoad, len(r.sets))
-	for _, set := range r.Sets() {
+	sets := r.Sets()
+	out := make(map[core.Vsite]njs.VsiteLoad, len(sets))
+	for _, set := range sets {
 		out[set.Vsite()] = set.LoadInfo()
 	}
 	return out

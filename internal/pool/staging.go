@@ -89,7 +89,9 @@ func (s *ReplicaSet) StageOpen(caller core.DN, asServer bool, req protocol.PutOp
 			break
 		}
 		tried[rep] = true
+		rep.calls.Add(1)
 		reply, err := rep.service().StageOpen(caller, asServer, req)
+		rep.calls.Add(-1)
 		if err == nil {
 			rep.markSuccess()
 			s.pinStage(reply.Handle, rep)
@@ -111,12 +113,14 @@ func (s *ReplicaSet) StageOpen(caller core.DN, asServer bool, req protocol.PutOp
 }
 
 // pickStageOpen prefers the replica of the caller's previous open, then
-// falls back to the consign policy.
+// falls back to the consign policy. A draining replica loses the
+// preference — opens are new work — even though its held uploads stay
+// reachable for chunk and commit calls.
 func (s *ReplicaSet) pickStageOpen(caller core.DN, key string, tried map[*Replica]bool) *Replica {
 	s.mu.RLock()
 	last := s.lastOpen[caller]
 	s.mu.RUnlock()
-	if last != nil && !tried[last] && s.usable(last, s.cfg.Clock.Now()) {
+	if last != nil && !tried[last] && s.acceptsNew(last, s.cfg.Clock.Now()) {
 		return last
 	}
 	return s.pickConsign(key, tried)
@@ -159,7 +163,9 @@ func setStageCall[T any](s *ReplicaSet, handle string, call func(njs.Service) (T
 	}
 	var last error = fmt.Errorf("%w: %q", staging.ErrUnknownHandle, handle)
 	for _, rep := range reps {
+		rep.calls.Add(1)
 		reply, err := call(rep.service())
+		rep.calls.Add(-1)
 		if errors.Is(err, staging.ErrUnknownHandle) {
 			last = err
 			continue

@@ -75,7 +75,8 @@ type Deployment struct {
 	Software *pki.Credential
 	Sites    map[core.Usite]*Site
 
-	order []core.Usite
+	order   []core.Usite
+	managed map[core.Usite]*ManagedSite
 }
 
 // hostOf derives the in-process host name of a site's gateway.
@@ -390,7 +391,7 @@ func (d *Deployment) RestartSite(u core.Usite, store *journal.Store, snapshotEve
 	return nil
 }
 
-// Close tears down split-site sockets.
+// Close tears down split-site sockets and managed-site controllers.
 func (d *Deployment) Close() {
 	for _, s := range d.Sites {
 		if s.Front != nil {
@@ -399,6 +400,9 @@ func (d *Deployment) Close() {
 		if s.inner != nil {
 			s.inner.Close()
 		}
+	}
+	for _, m := range d.managed {
+		m.Close()
 	}
 }
 
@@ -510,6 +514,9 @@ func (d *Deployment) Accounting() []accounting.Record {
 				njss = site.Replicas[vc.Name]
 			}
 			for _, n := range njss {
+				if n == nil { // managed sites leave holes after scale-down
+					continue
+				}
 				vs, ok := n.Vsite(vc.Name)
 				if !ok {
 					continue

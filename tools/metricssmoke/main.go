@@ -1,5 +1,6 @@
 // Command metricssmoke is the CI metrics-smoke step: it boots a real durable
-// site over mutually authenticated TLS, pushes one job through it with the
+// controller-managed site from a topology spec file over mutually
+// authenticated TLS, pushes one job through it with the
 // actual CLI binaries, scrapes the live telemetry with `unicore-status
 // metrics`, and fails when a headline metric is absent or zero:
 //
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"unicore/internal/controller"
 	"unicore/internal/core"
 	"unicore/internal/deploy"
 	"unicore/internal/gateway"
@@ -79,30 +81,56 @@ func run() error {
 		return err
 	}
 
-	// One durable Vsite on the real clock, so journal syncs happen on the
-	// admission path the CLI drives.
-	cfg := &deploy.SiteConfig{
-		Usite:  "SMOKE",
-		Vsites: []deploy.VsiteConfig{{Name: "T3E", Machine: "t3e"}},
-		Users: []deploy.UserMapping{{
-			DN: user.DN(),
-			Logins: map[core.Vsite]uudb.Login{
-				"T3E": {UID: "smoke", Groups: []string{"ci"}},
-			},
+	// The site boots from a declarative topology spec file — the same
+	// document unicore-ctl applies — through the controller stack: one
+	// durable two-replica Vsite on the real clock, so journal syncs happen
+	// on the admission path the CLI drives and controller metrics ride the
+	// gateway scrape.
+	spec := &deploy.TopologySpec{
+		Version:    deploy.TopologyVersion,
+		JournalDir: filepath.Join(work, "state"),
+		Sites: []deploy.TopologySite{{
+			Usite: "SMOKE",
+			Vsites: []deploy.TopologyVsite{{
+				Name: "T3E", Machine: "t3e", Replicas: 2,
+				Policy: "round-robin", SnapshotEvery: 256,
+			}},
+			Users: []deploy.UserMapping{{
+				DN: user.DN(),
+				Logins: map[core.Vsite]uudb.Login{
+					"T3E": {UID: "smoke", Groups: []string{"ci"}},
+				},
+			}},
 		}},
 	}
-	if err := cfg.Validate(); err != nil {
+	specData, err := spec.Encode()
+	if err != nil {
 		return err
 	}
-	gw, _, _, store, err := deploy.BuildDurableSite(cfg, srv, ca, sim.RealClock{}, filepath.Join(work, "state"), 256)
+	specPath := filepath.Join(work, "topology.json")
+	if err := deploy.WriteFile(specPath, specData); err != nil {
+		return err
+	}
+	loaded, err := deploy.LoadTopology(specPath)
+	if err != nil {
+		return err
+	}
+	stack, err := controller.NewStack(controller.StackConfig{
+		Spec:  loaded,
+		Usite: "SMOKE",
+		Cred:  srv,
+		CA:    ca,
+		Clock: sim.RealClock{},
+	})
 	if err != nil {
 		return err
 	}
 	defer func() {
-		if err := store.Close(); err != nil {
-			log.Printf("metricssmoke: closing journal: %v", err)
+		if err := stack.Close(); err != nil {
+			log.Printf("metricssmoke: closing stack: %v", err)
 		}
 	}()
+	gw := stack.Gateway
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -179,6 +207,14 @@ func run() error {
 	}
 	if n := merged.HistCount("journal_sync_seconds"); n == 0 {
 		return fmt.Errorf("journal_sync_seconds has no observations on a durable site")
+	}
+	// The spec-booted site is controller-managed: its reconcile telemetry
+	// must ride the same scrape.
+	if v := merged.Total("controller_reconcile_total"); v <= 0 {
+		return fmt.Errorf("controller_reconcile_total = %v, want > 0", v)
+	}
+	if v := merged.Total("controller_replicas"); v != 2 {
+		return fmt.Errorf("controller_replicas = %v, want the declared 2", v)
 	}
 
 	// The plaintext dump must carry the same counter.
