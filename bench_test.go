@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -862,4 +863,54 @@ func BenchmarkAblation_FirewallSplit(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Federation: cross-gateway forwarding ---------------------------------
+
+// BenchmarkFederatedConsign measures the §6 multi-gateway outlook: every job
+// targets FZJ with `-site auto` semantics but needs more processors than FZJ
+// has, so the federated broker places it behind the DWD peer gateway and the
+// consign is re-sealed and forwarded there. ns/op is the full forwarded
+// consign cost (two signed envelopes plus remote journaling);
+// fed-forward-ack-p99-ms is the advisory forward-ack tail benchgate records
+// for trend inspection.
+func BenchmarkFederatedConsign(b *testing.B) {
+	d := mustDeploy(b,
+		testbed.SiteSpec{Usite: "FZJ", Vsites: []njs.VsiteConfig{{Name: "SMALL", Profile: machine.GenericCluster(2)}}},
+		testbed.SiteSpec{Usite: "DWD", Vsites: []njs.VsiteConfig{{Name: "BIG", Profile: machine.GenericCluster(32)}}},
+	)
+	if err := d.EnableFederation(); err != nil {
+		b.Fatalf("federation: %v", err)
+	}
+	// Two rounds settle transitively-learned advertisements.
+	d.GossipAll()
+	d.GossipAll()
+	user := mustUser(b, d, "fed")
+	jpa := d.JPA(user)
+	var last unicore.JobID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jb := unicore.NewJob(fmt.Sprintf("fed-%06d", i), unicore.Target{Usite: "FZJ"})
+		jb.Script("app", "echo forwarded\n",
+			unicore.ResourceRequest{Processors: 8, RunTime: 30 * time.Minute})
+		job, err := jb.Build()
+		if err != nil {
+			b.Fatalf("build: %v", err)
+		}
+		id, err := jpa.Submit(job)
+		if err != nil {
+			b.Fatalf("submit: %v", err)
+		}
+		if !strings.HasPrefix(string(id), "DWD-") {
+			b.Fatalf("job %s was not forwarded to the DWD peer", id)
+		}
+		last = id
+	}
+	b.StopTimer()
+	d.Run(50_000_000)
+	if o, err := d.JMC(user).Outcome("FZJ", last); err != nil || o.Status != unicore.StatusSuccessful {
+		b.Fatalf("forwarded job did not complete via the origin gateway: %v", err)
+	}
+	snap := d.Federation("FZJ").Registry().Snapshot()
+	b.ReportMetric(snap.Quantile("fed_forward_ack_seconds", 0.99)*1000, "fed-forward-ack-p99-ms")
 }

@@ -133,6 +133,8 @@ func runApply(args []string) error {
 		listen    = fs.String("listen", ":8443", "TLS listen address")
 		stateRoot = fs.String("state-dir", "", "journal root (overrides the spec's journalDir)")
 		interval  = fs.Duration("interval", controller.DefaultInterval, "reconcile cadence")
+		advertise = fs.String("advertise", "", "this gateway's URL in federation advertisements (default: the spec's own peers entry for -usite)")
+		fedEvery  = fs.Duration("fed-interval", 0, "federation gossip cadence (default one minute)")
 	)
 	fs.Parse(args)
 	if *specPath == "" || *usite == "" {
@@ -158,11 +160,17 @@ func runApply(args []string) error {
 		Clock:     sim.RealClock{},
 		StateRoot: *stateRoot,
 		Interval:  *interval,
+
+		AdvertiseURL:   *advertise,
+		GossipInterval: *fedEvery,
 	})
 	if err != nil {
 		return err
 	}
 	stack.Controller.Start()
+	if stack.Federation != nil {
+		log.Printf("unicore-ctl: federated with peers %v", stack.Federation.Peers())
+	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return fmt.Errorf("%w (is another server on %s?)", err, *listen)

@@ -9,10 +9,17 @@
 // health-checked failover routing (-pool-policy selects round-robin,
 // least-loaded, or consistent-hash).
 //
+// Repeatable -peer USITE=https://host:port flags federate the gateway with
+// peer gateways at other administrative sites: it gossips advertisements to
+// them (-fed-interval), places `-site auto` jobs across the grid, and
+// forwards consigns that land behind a peer. -advertise is the URL peers
+// dial back; it is required with -peer.
+//
 // Usage:
 //
 //	unicore-gateway -config site.json -ca ca.pem -cred gateway.pem -listen :8443
 //	unicore-gateway -config site.json -replicas 3 -pool-policy least-loaded -listen :8443
+//	unicore-gateway -config site.json -peer DWD=https://gw.dwd:8443 -advertise https://gw.fzj:8443 -listen :8443
 //	unicore-gateway -front -inner 127.0.0.1:7000 -ca ca.pem -cred front.pem -listen :8443
 package main
 
@@ -24,9 +31,15 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
+	"unicore/internal/broker"
+	"unicore/internal/core"
 	"unicore/internal/deploy"
+	"unicore/internal/federation"
 	"unicore/internal/gateway"
+	"unicore/internal/pki"
 	"unicore/internal/pool"
 	"unicore/internal/protocol"
 	"unicore/internal/sim"
@@ -47,7 +60,18 @@ func main() {
 		replicas   = flag.Int("replicas", 1, "NJS replicas per Vsite (replica-pool mode when > 1)")
 		poolPolicy = flag.String("pool-policy", "round-robin", "replica routing: round-robin, least-loaded, or consistent-hash")
 		debugAddr  = flag.String("debug-addr", "", "opt-in: serve net/http/pprof and plaintext /metrics on this address")
+		advertise  = flag.String("advertise", "", "this gateway's URL in federation advertisements (required with -peer)")
+		fedEvery   = flag.Duration("fed-interval", time.Minute, "federation gossip cadence")
 	)
+	var fedPeers []deploy.TopologyPeer
+	flag.Func("peer", "peer gateway as USITE=https://host:port (repeatable; federates the grid)", func(v string) error {
+		u, url, ok := strings.Cut(v, "=")
+		if !ok || u == "" || url == "" {
+			return fmt.Errorf("want USITE=URL, got %q", v)
+		}
+		fedPeers = append(fedPeers, deploy.TopologyPeer{Usite: core.Usite(u), URL: url})
+		return nil
+	})
 	flag.Parse()
 
 	ca, err := deploy.LoadAuthority(*caPath)
@@ -62,6 +86,9 @@ func main() {
 	var handler http.Handler
 	var debugRegs []*telemetry.Registry
 	if *front {
+		if len(fedPeers) > 0 {
+			log.Fatal("unicore-gateway: -peer federates the combined gateway; the firewall front only relays")
+		}
 		f, err := gateway.NewFront(cred, ca, gateway.TCPDial(*inner))
 		if err != nil {
 			log.Fatalf("unicore-gateway: %v", err)
@@ -129,6 +156,15 @@ func main() {
 			}
 			debugRegs = append(debugRegs, gw.Telemetry(), n.Telemetry())
 		}
+		if len(fedPeers) > 0 {
+			fed, err := federate(gw, cred, ca, fedPeers, *advertise, *fedEvery)
+			if err != nil {
+				log.Fatalf("unicore-gateway: %v", err)
+			}
+			defer fed.Stop()
+			debugRegs = append(debugRegs, fed.Registry())
+			log.Printf("federated with %v, advertising %s every %s", fed.Peers(), *advertise, *fedEvery)
+		}
 		if *appletsDir != "" {
 			if err := installApplets(gw, *appletsDir, *softPath); err != nil {
 				log.Fatalf("unicore-gateway: %v", err)
@@ -165,6 +201,34 @@ func main() {
 	if err := gateway.ServeTLS(l, handler, cred, ca); err != nil {
 		log.Fatalf("unicore-gateway: %v", err)
 	}
+}
+
+// federate peers the gateway with the -peer sites and starts the gossip
+// loop. The federation speaks under the gateway's own server credential over
+// a fresh mutual-TLS transport and registry, so peer routing never collides
+// with the NJS's -peers transfer registry.
+func federate(gw *gateway.Gateway, cred *pki.Credential, ca *pki.Authority, peers []deploy.TopologyPeer, advertise string, interval time.Duration) (*federation.Federation, error) {
+	if advertise == "" {
+		return nil, fmt.Errorf("-peer needs -advertise (the URL peers dial this gateway at)")
+	}
+	fed, err := federation.New(federation.Config{
+		Usite:  gw.Usite(),
+		URL:    advertise,
+		Client: protocol.NewClient(gateway.ClientTransport(cred, ca), cred, ca, protocol.NewRegistry()),
+		Clock:  sim.RealClock{},
+		Policy: broker.LeastLoaded,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range peers {
+		if err := fed.AddPeer(p.Usite, p.URL); err != nil {
+			return nil, err
+		}
+	}
+	gw.SetFederation(fed)
+	fed.Start(interval)
+	return fed, nil
 }
 
 // installApplets signs and installs every file in dir as an applet.

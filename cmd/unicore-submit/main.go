@@ -43,6 +43,7 @@ func main() {
 		name       = flag.String("name", "cli job", "job name for -script mode")
 		procs      = flag.Int("procs", 1, "processors for -script mode")
 		skipCheck  = flag.Bool("skip-validate", false, "skip resource-page validation")
+		site       = flag.String("site", "", `"auto" lets a federated gateway place the job: -target names just the USITE and the grid's broker picks the Vsite, possibly behind a peer gateway`)
 	)
 	var stageIns []string
 	flag.Func("stage-in", "stage TO=LOCALPATH into the job's Uspace via the chunked upload engine (repeatable)", func(v string) error {
@@ -66,9 +67,23 @@ func main() {
 		log.Fatalf("unicore-submit: %v", err)
 	}
 
-	job, err := buildJob(flag.Args(), *target, *script, *name, *procs)
+	if *site != "" && *site != "auto" {
+		log.Fatalf("unicore-submit: -site understands only \"auto\", got %q", *site)
+	}
+	auto := *site == "auto"
+	job, err := buildJob(flag.Args(), *target, *script, *name, *procs, auto)
 	if err != nil {
 		log.Fatalf("unicore-submit: %v", err)
+	}
+	if auto {
+		// An empty Vsite is the auto-placement shape: the gateway's broker
+		// ranks every local and fresh-peer Vsite and may forward the consign.
+		job.Target.Vsite = ""
+		if len(stageIns) > 0 {
+			// Staged uploads land in a concrete Vsite's spool and pin the
+			// placement — incompatible with letting the broker choose.
+			log.Fatal("unicore-submit: -stage-in needs a concrete -target USITE/VSITE, not -site auto")
+		}
 	}
 
 	reg := protocol.NewRegistry()
@@ -82,7 +97,9 @@ func main() {
 		}
 	}
 
-	if !*skipCheck {
+	if !*skipCheck && !auto {
+		// With -site auto the destination Vsite is the broker's choice, so the
+		// fit check happens at the gateway, not here.
 		if _, err := jpa.FetchResources(job.Target.Usite); err != nil {
 			log.Fatalf("unicore-submit: fetching resource pages: %v", err)
 		}
@@ -153,8 +170,10 @@ func stageInputs(c *protocol.Client, job *ajo.AbstractJob, stageIns []string) er
 	return nil
 }
 
-// buildJob assembles the job from a spec file or the -script flags.
-func buildJob(args []string, target, script, name string, procs int) (*ajo.AbstractJob, error) {
+// buildJob assembles the job from a spec file or the -script flags. With
+// -site auto the target is a bare USITE (core.ParseTarget wants USITE/VSITE,
+// so the auto shape is built by hand).
+func buildJob(args []string, target, script, name string, procs int, auto bool) (*ajo.AbstractJob, error) {
 	if len(args) == 1 {
 		spec, err := deploy.LoadJobSpec(args[0])
 		if err != nil {
@@ -165,9 +184,14 @@ func buildJob(args []string, target, script, name string, procs int) (*ajo.Abstr
 	if script == "" || target == "" {
 		return nil, fmt.Errorf("need either a job file argument or -target and -script")
 	}
-	tgt, err := core.ParseTarget(target)
-	if err != nil {
-		return nil, err
+	var tgt core.Target
+	if auto && !strings.Contains(target, "/") {
+		tgt = core.Target{Usite: core.Usite(target)}
+	} else {
+		var err error
+		if tgt, err = core.ParseTarget(target); err != nil {
+			return nil, err
+		}
 	}
 	b := client.NewJob(name, tgt)
 	b.Script("script", script+"\n", resources.Request{Processors: procs})

@@ -1,5 +1,6 @@
 // Package ctxpropagate enforces context threading in the request-path tiers
-// (internal/client, internal/gateway, internal/pool): a function that was
+// (internal/client, internal/gateway, internal/pool,
+// internal/federation): a function that was
 // handed a context.Context must not mint a fresh context.Background() or
 // context.TODO() — doing so detaches the work from the caller's
 // cancellation and deadline, which is how a client abort stops long-polls
@@ -24,6 +25,7 @@ var Analyzer = &analysis.Analyzer{
 	Doc:  "report context.Background/TODO calls in functions that already have a caller context in scope",
 	Scope: []string{
 		"unicore/internal/client",
+		"unicore/internal/federation",
 		"unicore/internal/gateway",
 		"unicore/internal/pool",
 	},

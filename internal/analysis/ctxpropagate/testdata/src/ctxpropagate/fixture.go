@@ -20,6 +20,12 @@ func BadTODOInClosure(ctx context.Context) func() {
 	}
 }
 
+// BadRelayDetach mimics a federation relay that drops the caller's ctx:
+// the origin's client abort would no longer cancel the peer-gateway call.
+func BadRelayDetach(ctx context.Context, forward func(context.Context) error) error {
+	return forward(context.Background()) // want "caller's context is in scope"
+}
+
 // GoodPropagate threads the caller ctx through.
 func GoodPropagate(ctx context.Context) {
 	use(ctx)

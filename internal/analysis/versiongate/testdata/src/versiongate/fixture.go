@@ -22,6 +22,24 @@ var BadKindTable = []protocol.MsgType{
 	protocol.MsgPutCommit, // want "v2-only message kind MsgPutCommit"
 }
 
+// BadFedSeal seals a federation gossip kind without negotiating — a v1 peer
+// gateway would choke on the envelope.
+func BadFedSeal(cred *pki.Credential, payload any) ([]byte, error) {
+	return protocol.Seal(cred, protocol.MsgFedAdvertise, payload) // want "v2-only message kind MsgFedAdvertise"
+}
+
+// BadFedReplyTable references the gossip reply kind at package level.
+var BadFedReplyTable = []protocol.MsgType{
+	protocol.MsgFedAdvertiseReply, // want "v2-only message kind MsgFedAdvertiseReply"
+}
+
+// GoodFedGossip hands the gossip kind to the negotiating client — the
+// federation GossipOnce shape.
+func GoodFedGossip(cl *protocol.Client, peer core.Usite) error {
+	var reply protocol.FedAdvertiseReply
+	return cl.Call(peer, protocol.MsgFedAdvertise, protocol.FedAdvertiseRequest{From: "FZJ"}, &reply)
+}
+
 // GoodSealAt is version-aware: it seals at an explicitly negotiated version.
 func GoodSealAt(cred *pki.Credential, ver int, payload any) ([]byte, error) {
 	if ver < 2 {

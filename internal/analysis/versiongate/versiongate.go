@@ -1,8 +1,8 @@
 // Package versiongate enforces the protocol version-gating contract (PR 4):
-// v2-only message kinds (MsgSubscribe, MsgPutOpen/Chunk/Commit, MsgMetrics)
-// may only be used on paths that negotiate or check the peer's protocol
-// version, so a new v2 message can never silently leak to a v1 peer as an
-// undecodable envelope.
+// v2-only message kinds (MsgSubscribe, MsgPutOpen/Chunk/Commit, MsgMetrics,
+// MsgFedAdvertise/Reply) may only be used on paths that negotiate or check
+// the peer's protocol version, so a new v2 message can never silently leak
+// to a v1 peer as an undecodable envelope.
 //
 // A use of a v2-only kind is accepted when it is (a) inside package protocol
 // itself, (b) an argument of a protocol.Client Call/CallContext invocation
@@ -33,11 +33,13 @@ const protocolPath = "unicore/internal/protocol"
 // v2Only names the message kinds introduced by protocol version 2; keep in
 // sync with protocol.V2Only.
 var v2Only = map[string]bool{
-	"MsgSubscribe": true,
-	"MsgPutOpen":   true,
-	"MsgPutChunk":  true,
-	"MsgPutCommit": true,
-	"MsgMetrics":   true,
+	"MsgSubscribe":         true,
+	"MsgPutOpen":           true,
+	"MsgPutChunk":          true,
+	"MsgPutCommit":         true,
+	"MsgMetrics":           true,
+	"MsgFedAdvertise":      true,
+	"MsgFedAdvertiseReply": true,
 }
 
 // gatingFuncs are the protocol entry points whose presence marks a function

@@ -89,20 +89,35 @@ type Candidate struct {
 	EstRun  time.Duration
 }
 
+// loadEntry is one recorded load report plus the bookkeeping that lets the
+// broker expire it: the refresh epoch that produced it and the local receipt
+// time. Without these, a removed or renamed Vsite's last report competes in
+// Candidates forever.
+type loadEntry struct {
+	l     Load
+	epoch uint64
+	seen  time.Time
+}
+
 // Broker ranks Vsites for abstract resource requests.
 type Broker struct {
-	mu      sync.Mutex
-	catalog *resources.Catalog
-	loads   map[core.Target]Load
-	policy  Policy
+	mu       sync.Mutex
+	catalog  *resources.Catalog
+	loads    map[core.Target]loadEntry
+	policy   Policy
+	epoch    uint64                 // bumps at every Refresh round
+	ttl      time.Duration          // 0 = load reports never expire
+	now      func() time.Time       // nil = wall clock
+	siteCost map[core.Usite]float64 // additive placement cost per Usite
 }
 
 // New creates a broker with the given policy.
 func New(policy Policy) *Broker {
 	return &Broker{
-		catalog: resources.NewCatalog(),
-		loads:   make(map[core.Target]Load),
-		policy:  policy,
+		catalog:  resources.NewCatalog(),
+		loads:    make(map[core.Target]loadEntry),
+		policy:   policy,
+		siteCost: make(map[core.Usite]float64),
 	}
 }
 
@@ -116,39 +131,134 @@ func (b *Broker) AddPage(p *resources.Page) {
 	b.catalog.Add(p)
 }
 
-// SetLoad records a Vsite's live load.
+// RemoveTarget forgets a Vsite entirely: its resource page and any load
+// report. Used when a refresh or a federation advertisement shows the Vsite
+// is gone.
+func (b *Broker) RemoveTarget(t core.Target) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.catalog.Remove(t)
+	delete(b.loads, t)
+}
+
+// SetLoad records a Vsite's live load, stamped with the current epoch and
+// receipt time.
 func (b *Broker) SetLoad(t core.Target, l Load) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.loads[t] = l
+	b.loads[t] = loadEntry{l: l, epoch: b.epoch, seen: b.clock()}
+}
+
+// SetStale arms load-report expiry: a target whose newest load report is
+// older than ttl stops competing in Candidates until a fresh report arrives.
+// now overrides the clock (tests, sim time); nil means wall clock. A zero
+// ttl disables expiry — the default, preserving the behaviour of brokers
+// that load their figures once.
+func (b *Broker) SetStale(ttl time.Duration, now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ttl = ttl
+	b.now = now
+}
+
+// SetSiteCost biases placement away from a Usite by adding cost to every
+// score its Vsites earn, in policy-native units: one unit is a whole
+// machine of occupancy under LeastLoaded, one reference processor of peak
+// under FastestMachine, and one hour of turnaround under BestTurnaround.
+// The federation layer uses this to charge for hop distance and accounting
+// usage; a zero cost removes the bias.
+func (b *Broker) SetSiteCost(u core.Usite, cost float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cost == 0 {
+		delete(b.siteCost, u)
+		return
+	}
+	b.siteCost[u] = cost
+}
+
+func (b *Broker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+// stale reports whether a load entry has outlived the broker's ttl.
+// Callers hold b.mu.
+func (b *Broker) stale(e loadEntry) bool {
+	return b.ttl > 0 && b.clock().Sub(e.seen) > b.ttl
 }
 
 // Refresh pulls resource pages and load figures from each Usite's gateway.
+// Unreachable Usites don't abort the round: every reachable site is
+// refreshed and the per-site failures come back joined. A site that
+// refreshes cleanly has its stale state evicted — Vsites it no longer
+// reports stop competing in Candidates.
 func (b *Broker) Refresh(c *protocol.Client, usites ...core.Usite) error {
+	b.mu.Lock()
+	b.epoch++
+	b.mu.Unlock()
+	var errs []error
 	for _, u := range usites {
-		var pages protocol.ResourcesReply
-		if err := c.Call(u, protocol.MsgResources, protocol.ResourcesRequest{}, &pages); err != nil {
-			return fmt.Errorf("broker: resources from %s: %w", u, err)
+		fresh, err := b.refreshSite(c, u)
+		if err != nil {
+			errs = append(errs, err)
+			continue
 		}
-		for _, der := range pages.PagesDER {
-			p, err := resources.UnmarshalASN1(der)
-			if err != nil {
-				return fmt.Errorf("broker: page from %s: %w", u, err)
-			}
-			b.AddPage(p)
+		b.evictStaleSite(u, fresh)
+	}
+	return errors.Join(errs...)
+}
+
+// refreshSite pulls one Usite's pages and loads, returning the set of
+// targets the gateway still reports.
+func (b *Broker) refreshSite(c *protocol.Client, u core.Usite) (map[core.Target]bool, error) {
+	var pages protocol.ResourcesReply
+	if err := c.Call(u, protocol.MsgResources, protocol.ResourcesRequest{}, &pages); err != nil {
+		return nil, fmt.Errorf("broker: resources from %s: %w", u, err)
+	}
+	fresh := make(map[core.Target]bool)
+	for _, der := range pages.PagesDER {
+		p, err := resources.UnmarshalASN1(der)
+		if err != nil {
+			return nil, fmt.Errorf("broker: page from %s: %w", u, err)
 		}
-		var load protocol.LoadReply
-		if err := c.Call(u, protocol.MsgLoad, protocol.LoadRequest{}, &load); err != nil {
-			return fmt.Errorf("broker: load from %s: %w", u, err)
-		}
-		for vs, vl := range load.Vsites {
-			b.SetLoad(core.Target{Usite: u, Vsite: core.Vsite(vs)}, Load{
-				Load: vl.Load, Pending: vl.Pending, Inflight: vl.Inflight,
-				Replicas: vl.Replicas, Healthy: vl.Healthy,
-			})
+		b.AddPage(p)
+		fresh[p.Target] = true
+	}
+	var load protocol.LoadReply
+	if err := c.Call(u, protocol.MsgLoad, protocol.LoadRequest{}, &load); err != nil {
+		return nil, fmt.Errorf("broker: load from %s: %w", u, err)
+	}
+	for vs, vl := range load.Vsites {
+		t := core.Target{Usite: u, Vsite: core.Vsite(vs)}
+		fresh[t] = true
+		b.SetLoad(t, Load{
+			Load: vl.Load, Pending: vl.Pending, Inflight: vl.Inflight,
+			Replicas: vl.Replicas, Healthy: vl.Healthy,
+		})
+	}
+	return fresh, nil
+}
+
+// evictStaleSite drops every record at Usite u that this refresh round did
+// not renew: the gateway answered authoritatively, so anything it no longer
+// reports — a removed or renamed Vsite — is gone, page and load both.
+func (b *Broker) evictStaleSite(u core.Usite, fresh map[core.Target]bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, t := range b.catalog.Targets() {
+		if t.Usite == u && !fresh[t] {
+			b.catalog.Remove(t)
+			delete(b.loads, t)
 		}
 	}
-	return nil
+	for t := range b.loads {
+		if t.Usite == u && !fresh[t] {
+			delete(b.loads, t)
+		}
+	}
 }
 
 // Candidates ranks every known Vsite that satisfies the request, best
@@ -172,14 +282,22 @@ func (b *Broker) Candidates(req resources.Request, software ...resources.Softwar
 		if !ok {
 			continue
 		}
-		if b.loads[t].Drained() {
+		e, reported := b.loads[t]
+		if reported && b.stale(e) {
+			// The load report outlived the staleness window: whoever fed
+			// this broker stopped renewing the Vsite, so for all we know it
+			// was removed or its site is unreachable. It stops competing
+			// until a fresh report arrives.
+			continue
+		}
+		if e.l.Drained() {
 			// Every NJS replica behind the Vsite is failing its health
 			// check: the capability is nominally there, but nothing can take
 			// responsibility for a job right now. Selecting it would trade
 			// the §6 "best system" promise for a consign error.
 			continue
 		}
-		c := Candidate{Target: t, Load: b.loads[t]}
+		c := Candidate{Target: t, Load: e.l}
 		b.score(&c, page, req)
 		out = append(out, c)
 	}
@@ -254,6 +372,22 @@ func (b *Broker) score(c *Candidate, page *resources.Page, req resources.Request
 		c.EstWait = wait
 		c.EstRun = est
 		c.Score = (wait + est).Seconds()
+	}
+	if cost := b.siteCost[c.Target.Usite]; cost != 0 {
+		c.Score += cost * b.costUnit(page)
+	}
+}
+
+// costUnit converts one abstract unit of site cost into the running
+// policy's score scale (see SetSiteCost).
+func (b *Broker) costUnit(page *resources.Page) float64 {
+	switch b.policy {
+	case FastestMachine:
+		return referenceMFlops
+	case BestTurnaround:
+		return time.Hour.Seconds()
+	default: // LeastLoaded
+		return 1
 	}
 }
 

@@ -252,6 +252,87 @@ func TestDrainedSiteIsNeverSelected(t *testing.T) {
 	}
 }
 
+// TestStaleLoadReportExpires is the regression test for the load-eviction
+// bug: SetLoad entries used to live forever, so a Vsite whose site stopped
+// reporting (removed, renamed, unreachable) kept competing in Candidates on
+// its last figures. With a staleness window armed, an expired report takes
+// the Vsite out of contention until a fresh one arrives.
+func TestStaleLoadReportExpires(t *testing.T) {
+	now := time.Unix(933638400, 0) // the virtual epoch, 1999-08-03
+	b := inventory(LeastLoaded)
+	b.SetStale(time.Minute, func() time.Time { return now })
+	b.SetLoad(fzjT3E, Load{Load: 0.9})
+	b.SetLoad(lrzVPP, Load{Load: 0.1})
+	b.SetLoad(dwdSX4, Load{Load: 0.5})
+	cands, err := b.Candidates(resources.Request{Processors: 8, RunTime: time.Hour})
+	if err != nil {
+		t.Fatalf("Candidates: %v", err)
+	}
+	if len(cands) != 3 {
+		t.Fatalf("fresh reports: %d candidates, want 3", len(cands))
+	}
+	// Every report outlives the window: nothing is placeable.
+	now = now.Add(2 * time.Minute)
+	if _, err := b.Candidates(resources.Request{Processors: 8, RunTime: time.Hour}); !errors.Is(err, ErrNoCandidate) {
+		t.Fatalf("err = %v, want ErrNoCandidate once every load report expired", err)
+	}
+	// One renewed report brings exactly that Vsite back.
+	b.SetLoad(lrzVPP, Load{Load: 0.1})
+	cands, err = b.Candidates(resources.Request{Processors: 8, RunTime: time.Hour})
+	if err != nil {
+		t.Fatalf("Candidates after renewal: %v", err)
+	}
+	if len(cands) != 1 || cands[0].Target != lrzVPP {
+		t.Fatalf("candidates after renewal = %v, want only %s", cands, lrzVPP)
+	}
+}
+
+// TestRemovedVsiteEvictedAfterRefresh drives the eviction pass a clean
+// per-site refresh runs: a Vsite the gateway no longer reports loses both
+// its resource page and its load record, instead of competing forever.
+func TestRemovedVsiteEvictedAfterRefresh(t *testing.T) {
+	b := inventory(LeastLoaded)
+	b.SetLoad(lrzVPP, Load{Load: 0.0}) // the would-be winner
+	b.evictStaleSite("LRZ", nil)       // LRZ answered and reports nothing
+	cands, err := b.Candidates(resources.Request{Processors: 8, RunTime: time.Hour})
+	if err != nil {
+		t.Fatalf("Candidates: %v", err)
+	}
+	for _, c := range cands {
+		if c.Target == lrzVPP {
+			t.Fatalf("removed Vsite %s still competing", lrzVPP)
+		}
+	}
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %v, want the two surviving sites", cands)
+	}
+}
+
+// TestSiteCostBiasesPlacement: an idle Vsite at a cost-laden Usite loses to
+// a busier free one — the federation layer's hop/charge weighting lever.
+func TestSiteCostBiasesPlacement(t *testing.T) {
+	b := inventory(LeastLoaded)
+	b.SetLoad(fzjT3E, Load{Load: 0.9, Pending: 40})
+	b.SetLoad(lrzVPP, Load{Load: 0.1})
+	b.SetLoad(dwdSX4, Load{Load: 0.5})
+	b.SetSiteCost("LRZ", 2) // two machines' worth of occupancy penalty
+	got, err := b.Choose(resources.Request{Processors: 8, RunTime: time.Hour})
+	if err != nil {
+		t.Fatalf("Choose: %v", err)
+	}
+	if got == lrzVPP {
+		t.Fatal("cost-laden site still chosen")
+	}
+	if got != dwdSX4 {
+		t.Fatalf("choice = %s, want the cheaper SX4", got)
+	}
+	// Clearing the cost restores the idle site's win.
+	b.SetSiteCost("LRZ", 0)
+	if got, _ := b.Choose(resources.Request{Processors: 8, RunTime: time.Hour}); got != lrzVPP {
+		t.Fatalf("choice after clearing cost = %s, want %s", got, lrzVPP)
+	}
+}
+
 func TestPartiallyDrainedPoolWeighsBacklogHarder(t *testing.T) {
 	score := func(healthy int) float64 {
 		b := inventory(LeastLoaded)

@@ -1,0 +1,59 @@
+package broker_test
+
+// End-to-end coverage for Refresh's partial-failure contract: one
+// unreachable Usite must not starve the reachable rest of their refresh.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"unicore/internal/broker"
+	"unicore/internal/core"
+	"unicore/internal/machine"
+	"unicore/internal/njs"
+	"unicore/internal/resources"
+	"unicore/internal/testbed"
+)
+
+func TestRefreshContinuesPastUnreachableSite(t *testing.T) {
+	d, err := testbed.New(
+		testbed.SiteSpec{Usite: "FZJ", Vsites: []njs.VsiteConfig{{Name: "T3E", Profile: machine.CrayT3E(512)}}},
+		testbed.SiteSpec{Usite: "DWD", Vsites: []njs.VsiteConfig{{Name: "SX4", Profile: machine.NECSX4(16)}}},
+	)
+	if err != nil {
+		t.Fatalf("testbed: %v", err)
+	}
+	defer d.Close()
+	user, err := d.NewUser("Broker User", "Org", "bu")
+	if err != nil {
+		t.Fatalf("NewUser: %v", err)
+	}
+	// A third Usite is registered but nothing serves its host: every call to
+	// it fails at the transport.
+	d.Registry.Add("GHOST", "https://gw.ghost.unicore")
+
+	b := broker.New(broker.LeastLoaded)
+	err = b.Refresh(d.UserClient(user), "FZJ", "GHOST", "DWD")
+	if err == nil {
+		t.Fatal("Refresh returned nil error with an unreachable Usite in the round")
+	}
+	if !strings.Contains(err.Error(), "GHOST") {
+		t.Fatalf("joined error does not name the unreachable site: %v", err)
+	}
+	// Both reachable sites were refreshed despite the mid-round failure.
+	cands, err := b.Candidates(resources.Request{Processors: 8, RunTime: time.Hour})
+	if err != nil {
+		t.Fatalf("Candidates after partial refresh: %v", err)
+	}
+	want := map[core.Target]bool{
+		{Usite: "FZJ", Vsite: "T3E"}: true,
+		{Usite: "DWD", Vsite: "SX4"}: true,
+	}
+	for _, c := range cands {
+		delete(want, c.Target)
+	}
+	if len(want) != 0 {
+		t.Fatalf("reachable sites missing after partial refresh: %v", want)
+	}
+}

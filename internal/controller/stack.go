@@ -10,17 +10,22 @@ package controller
 import (
 	"errors"
 	"fmt"
+	"net/http"
 	"path/filepath"
 	"sync"
 	"time"
 
+	"unicore/internal/accounting"
+	"unicore/internal/broker"
 	"unicore/internal/core"
 	"unicore/internal/deploy"
+	"unicore/internal/federation"
 	"unicore/internal/gateway"
 	"unicore/internal/journal"
 	"unicore/internal/njs"
 	"unicore/internal/pki"
 	"unicore/internal/pool"
+	"unicore/internal/protocol"
 	"unicore/internal/sim"
 	"unicore/internal/telemetry"
 	"unicore/internal/uudb"
@@ -47,6 +52,16 @@ type StackConfig struct {
 	// Interval is the controller's reconcile cadence (default
 	// DefaultInterval).
 	Interval time.Duration
+	// AdvertiseURL is this gateway's base URL in federation
+	// self-advertisements — what peer gateways dial to forward work here.
+	// Required when the spec's peers block names sites other than this one.
+	AdvertiseURL string
+	// FedTransport carries federation gossip and forwarded consigns to peer
+	// gateways (default: a mutual-TLS transport over Cred and CA). Testbeds
+	// inject their in-process network here.
+	FedTransport http.RoundTripper
+	// GossipInterval is the federation gossip cadence (default one minute).
+	GossipInterval time.Duration
 }
 
 // Stack is one booted site: the gateway fronting a controller-managed
@@ -56,6 +71,9 @@ type Stack struct {
 	Router     *pool.Router
 	Controller *Controller
 	Users      *uudb.DB
+	// Federation is the gateway's grid membership, nil when the spec
+	// declares no peers beyond this site itself.
+	Federation *federation.Federation
 
 	usite     core.Usite
 	clock     sim.Scheduler
@@ -129,10 +147,104 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		return []telemetry.Snapshot{ctl.Telemetry().Snapshot()}
 	})
 	st.Gateway = gw
+	if err := st.federate(cfg); err != nil {
+		return nil, err
+	}
 	if _, err := ctl.ReconcileNow(); err != nil {
 		return nil, errors.Join(err, st.Close())
 	}
+	if st.Federation != nil {
+		st.Federation.Start(cfg.GossipInterval)
+	}
 	return st, nil
+}
+
+// federate attaches the federation half when the spec's peers block names
+// sites other than this one. The peer entry for this site itself (the shared
+// one-spec-per-grid idiom) is skipped.
+func (s *Stack) federate(cfg StackConfig) error {
+	var peers []deploy.TopologyPeer
+	for _, p := range cfg.Spec.Peers {
+		if p.Usite != s.usite {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) == 0 {
+		return nil
+	}
+	url := cfg.AdvertiseURL
+	if url == "" {
+		// The shared-spec idiom again: the site's own peer entry carries the
+		// URL the rest of the grid dials it at.
+		if self, ok := cfg.Spec.Peer(s.usite); ok {
+			url = self.URL
+		}
+	}
+	if url == "" {
+		return fmt.Errorf("controller: topology declares peers but no advertise URL for %s", s.usite)
+	}
+	rt := cfg.FedTransport
+	if rt == nil {
+		rt = gateway.ClientTransport(cfg.Cred, cfg.CA)
+	}
+	fed, err := federation.New(federation.Config{
+		Usite:  s.usite,
+		URL:    url,
+		Client: protocol.NewClient(rt, cfg.Cred, cfg.CA, protocol.NewRegistry()),
+		Clock:  cfg.Clock,
+		Policy: broker.LeastLoaded,
+		Usage:  s.usage,
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range peers {
+		if err := fed.AddPeer(p.Usite, p.URL); err != nil {
+			return err
+		}
+	}
+	s.Gateway.SetFederation(fed)
+	s.Federation = fed
+	return nil
+}
+
+// usage aggregates the live batch accounting of every replica into the
+// charge-back summary the federation advertises.
+func (s *Stack) usage() accounting.Summary {
+	desired := s.Controller.Desired()
+	var recs []accounting.Record
+	for _, set := range s.Router.Sets() {
+		v, ok := desired.Vsite(set.Vsite())
+		if !ok {
+			continue
+		}
+		vc, err := v.NJSConfig()
+		if err != nil {
+			continue
+		}
+		for _, tag := range set.Names() {
+			svc, ok := set.Service(tag)
+			if !ok {
+				continue
+			}
+			n, ok := svc.(*njs.NJS)
+			if !ok {
+				continue
+			}
+			vs, ok := n.Vsite(set.Vsite())
+			if !ok {
+				continue
+			}
+			for _, rec := range vs.RMS.Accounting() {
+				recs = append(recs, accounting.Record{
+					Target:      core.Target{Usite: s.usite, Vsite: set.Vsite()},
+					MFlopsPerPE: vc.Profile.MFlopsPerPE,
+					Record:      rec,
+				})
+			}
+		}
+	}
+	return accounting.Summarise(recs)
 }
 
 // Apply re-declares the stack's site from a new spec document and
@@ -223,6 +335,9 @@ func (s *Stack) retire(v deploy.TopologyVsite, tag string, svc njs.Service) erro
 // Close stops the reconcile loop and shuts every replica down cleanly:
 // snapshot, kill, close journals.
 func (s *Stack) Close() error {
+	if s.Federation != nil {
+		s.Federation.Stop()
+	}
 	s.Controller.Stop()
 	var errs []error
 	for _, set := range s.Router.Sets() {

@@ -32,6 +32,18 @@ type TopologySpec struct {
 	JournalDir string `json:"journalDir,omitempty"`
 	// Sites lists every Usite of the deployment.
 	Sites []TopologySite `json:"sites"`
+	// Peers lists the federation peer gateways every site of this
+	// deployment gossips with. A peer that is also declared under Sites is
+	// skipped at boot for its own stack (a gateway never peers with
+	// itself), so one shared spec can describe a whole federation.
+	Peers []TopologyPeer `json:"peers,omitempty"`
+}
+
+// TopologyPeer declares one federation peer gateway.
+type TopologyPeer struct {
+	Usite core.Usite `json:"usite"`
+	// URL is the peer gateway's base URL ("https://gw.fzj.unicore").
+	URL string `json:"url"`
 }
 
 // TopologySite declares one Usite.
@@ -241,7 +253,30 @@ func (s *TopologySpec) Validate() error {
 			}
 		}
 	}
+	seenPeers := map[core.Usite]bool{}
+	for i, p := range s.Peers {
+		if p.Usite == "" {
+			return fmt.Errorf("peer %d has no usite name", i)
+		}
+		if p.URL == "" {
+			return fmt.Errorf("peer %s has no url", p.Usite)
+		}
+		if seenPeers[p.Usite] {
+			return fmt.Errorf("duplicate peer %q", p.Usite)
+		}
+		seenPeers[p.Usite] = true
+	}
 	return nil
+}
+
+// Peer returns the declared peer entry for a Usite.
+func (s *TopologySpec) Peer(u core.Usite) (*TopologyPeer, bool) {
+	for i := range s.Peers {
+		if s.Peers[i].Usite == u {
+			return &s.Peers[i], true
+		}
+	}
+	return nil, false
 }
 
 // Site returns the declared site for a Usite.
@@ -293,7 +328,7 @@ func (s *TopologySpec) SiteConfig(u core.Usite) (*SiteConfig, error) {
 type TopologyChange struct {
 	// Op names the change: "add-site", "remove-site", "add-vsite",
 	// "remove-vsite", "scale", "policy", "roll", "spool-ttl", "autoscale",
-	// "machine".
+	// "machine", "add-peer", "remove-peer", "peer-url".
 	Op    string
 	Usite core.Usite
 	Vsite core.Vsite
@@ -328,9 +363,25 @@ func DiffTopology(current, desired *TopologySpec) []TopologyChange {
 		}
 		out = append(out, diffSite(have, want)...)
 	}
+	for i := range desired.Peers {
+		want := &desired.Peers[i]
+		have, ok := current.Peer(want.Usite)
+		switch {
+		case !ok:
+			out = append(out, TopologyChange{Op: "add-peer", Usite: want.Usite, Detail: want.URL})
+		case have.URL != want.URL:
+			out = append(out, TopologyChange{Op: "peer-url", Usite: want.Usite,
+				Detail: fmt.Sprintf("%s -> %s", have.URL, want.URL)})
+		}
+	}
 	for i := range current.Sites {
 		if _, ok := desired.Site(current.Sites[i].Usite); !ok {
 			out = append(out, TopologyChange{Op: "remove-site", Usite: current.Sites[i].Usite})
+		}
+	}
+	for i := range current.Peers {
+		if _, ok := desired.Peer(current.Peers[i].Usite); !ok {
+			out = append(out, TopologyChange{Op: "remove-peer", Usite: current.Peers[i].Usite})
 		}
 	}
 	return out

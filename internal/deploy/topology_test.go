@@ -42,6 +42,11 @@ const sampleTopology = `{
       "usite": "ZIB",
       "vsites": [{"name": "SP2", "machine": "sp2", "replicas": 2}]
     }
+  ],
+  "peers": [
+    {"usite": "FZJ", "url": "https://gw.fzj.unicore"},
+    {"usite": "ZIB", "url": "https://gw.zib.unicore"},
+    {"usite": "RUS", "url": "https://gw.rus.unicore"}
   ]
 }`
 
@@ -100,6 +105,8 @@ func TestTopologyValidate(t *testing.T) {
 		{"autoscale-max", `"max": 6`, "autoscale max"},
 		{"declared-outside", `"replicas": 3`, "outside autoscale bounds"},
 		{"unknown-user-vsite", `"T3E": {"uid": "alice"}`, "unknown vsite"},
+		{"peer-no-url", `{"usite": "RUS", "url": "https://gw.rus.unicore"}`, "has no url"},
+		{"dup-peer", `{"usite": "RUS", "url": "https://gw.rus.unicore"}`, "duplicate peer"},
 	}
 	repl := map[string]string{
 		"version":            `"version": 9`,
@@ -110,6 +117,8 @@ func TestTopologyValidate(t *testing.T) {
 		"autoscale-max":      `"max": 1`,
 		"declared-outside":   `"replicas": 9`,
 		"unknown-user-vsite": `"GONE": {"uid": "alice"}`,
+		"peer-no-url":        `{"usite": "RUS", "url": ""}`,
+		"dup-peer":           `{"usite": "FZJ", "url": "https://gw.rus.unicore"}`,
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -177,6 +186,8 @@ func TestDiffTopology(t *testing.T) {
 	v.Autoscale = nil
 	site.Vsites = append(site.Vsites, TopologyVsite{Name: "SX4", Machine: "sx4"})
 	want.Sites = want.Sites[:1] // drop ZIB
+	want.Peers[2].URL = "https://gw2.rus.unicore"
+	want.Peers = append(want.Peers, TopologyPeer{Usite: "LRZ", URL: "https://gw.lrz.unicore"})
 
 	ops := map[string]int{}
 	for _, c := range DiffTopology(cur, want) {
@@ -185,20 +196,26 @@ func TestDiffTopology(t *testing.T) {
 			t.Fatalf("change %+v renders empty", c)
 		}
 	}
-	for _, op := range []string{"scale", "roll", "policy", "spool-ttl", "autoscale", "add-vsite", "remove-site"} {
+	for _, op := range []string{"scale", "roll", "policy", "spool-ttl", "autoscale", "add-vsite", "remove-site", "add-peer", "peer-url"} {
 		if ops[op] != 1 {
 			t.Fatalf("diff ops = %v, want one %q", ops, op)
 		}
 	}
 
-	// Removing a vsite shows up from the other direction.
-	var sawRemove bool
+	// Removing a vsite or peer shows up from the other direction.
+	var sawRemove, sawRemovePeer bool
 	for _, c := range DiffTopology(want, cur) {
 		if c.Op == "remove-vsite" && c.Vsite == core.Vsite("SX4") {
 			sawRemove = true
 		}
+		if c.Op == "remove-peer" && c.Usite == core.Usite("LRZ") {
+			sawRemovePeer = true
+		}
 	}
 	if !sawRemove {
 		t.Fatal("reverse diff lacks remove-vsite SX4")
+	}
+	if !sawRemovePeer {
+		t.Fatal("reverse diff lacks remove-peer LRZ")
 	}
 }

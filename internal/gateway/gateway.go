@@ -39,6 +39,7 @@ import (
 
 	"unicore/internal/ajo"
 	"unicore/internal/core"
+	"unicore/internal/federation"
 	"unicore/internal/njs"
 	"unicore/internal/pki"
 	"unicore/internal/protocol"
@@ -139,6 +140,12 @@ type Gateway struct {
 	// in flight (the gateway and the NJS restart independently in the §5.2
 	// split deployment). The box keeps the stored concrete type uniform.
 	backend atomic.Pointer[backendBox]
+
+	// fed is the optional federation membership (SetFederation): gossip
+	// with peer gateways, broker placement over their advertisements, and
+	// cross-gateway forwarding of consigns. Nil on unfederated gateways —
+	// every federation hook on the request path is a single atomic load.
+	fed atomic.Pointer[federation.Federation]
 
 	// appletMu guards only the applet store; serving an applet never
 	// contends with traffic accounting or other requests.
@@ -483,12 +490,26 @@ func (g *Gateway) dispatch(ctx context.Context, ver int, t protocol.MsgType, raw
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad poll request: %w", err)
 		}
+		if f, peer, relay, err := g.fedRoute(dn, asServer, req.Job); err != nil {
+			return nil, "", err
+		} else if relay {
+			var reply protocol.PollReply
+			err := f.Relay(ctx, peer, protocol.MsgPoll, req, &reply)
+			return reply, protocol.MsgPollReply, err
+		}
 		reply, err := g.svc().Poll(dn, asServer, req.Job)
 		return reply, protocol.MsgPollReply, err
 	case protocol.MsgOutcome:
 		var req protocol.OutcomeRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad outcome request: %w", err)
+		}
+		if f, peer, relay, err := g.fedRoute(dn, asServer, req.Job); err != nil {
+			return nil, "", err
+		} else if relay {
+			var reply protocol.OutcomeReply
+			err := f.Relay(ctx, peer, protocol.MsgOutcome, req, &reply)
+			return reply, protocol.MsgOutcomeReply, err
 		}
 		o, found, err := g.svc().Outcome(dn, asServer, req.Job)
 		if err != nil {
@@ -511,6 +532,13 @@ func (g *Gateway) dispatch(ctx context.Context, ver int, t protocol.MsgType, raw
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad control request: %w", err)
 		}
+		if f, peer, relay, err := g.fedRoute(dn, asServer, req.Job); err != nil {
+			return nil, "", err
+		} else if relay {
+			var reply protocol.ControlReply
+			err := f.Relay(ctx, peer, protocol.MsgControl, req, &reply)
+			return reply, protocol.MsgControlReply, err
+		}
 		err := g.svc().Control(dn, asServer, req.Job, req.Op)
 		reply := protocol.ControlReply{OK: err == nil}
 		if err != nil {
@@ -530,6 +558,13 @@ func (g *Gateway) dispatch(ctx context.Context, ver int, t protocol.MsgType, raw
 		var req protocol.TransferRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad transfer request: %w", err)
+		}
+		if f, peer, relay, err := g.fedRoute(dn, asServer, req.Job); err != nil {
+			return nil, "", err
+		} else if relay {
+			var reply protocol.TransferReply
+			err := f.Relay(ctx, peer, protocol.MsgTransfer, req, &reply)
+			return reply, protocol.MsgTransferReply, err
 		}
 		reply, err := g.svc().FetchFile(req.Job, req.File, req.Offset, req.Limit)
 		return reply, protocol.MsgTransferReply, err
@@ -552,12 +587,29 @@ func (g *Gateway) dispatch(ctx context.Context, ver int, t protocol.MsgType, raw
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad fetch request: %w", err)
 		}
+		if f, peer, relay, err := g.fedRoute(dn, asServer, req.Job); err != nil {
+			return nil, "", err
+		} else if relay {
+			var reply protocol.TransferReply
+			err := f.Relay(ctx, peer, protocol.MsgFetch, req, &reply)
+			return reply, protocol.MsgFetchReply, err
+		}
 		reply, err := g.svc().FetchFileOwned(dn, asServer, req.Job, req.File, req.Offset, req.Limit)
 		return reply, protocol.MsgFetchReply, err
 	case protocol.MsgSubscribe:
 		var req protocol.SubscribeRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad subscribe request: %w", err)
+		}
+		// Job-scoped streams of a remotely-placed job relay to the peer
+		// (its gateway holds the long-poll); a user's all-jobs stream
+		// (empty Job) stays local — it is scoped to this Usite's log.
+		if f, peer, relay, err := g.fedRoute(dn, asServer, req.Job); err != nil {
+			return nil, "", err
+		} else if relay {
+			var reply protocol.EventsReply
+			err := f.Relay(ctx, peer, protocol.MsgSubscribe, req, &reply)
+			return reply, protocol.MsgEventsReply, err
 		}
 		reply, err := g.longPollEvents(ctx, dn, asServer, req)
 		return reply, protocol.MsgEventsReply, err
@@ -566,35 +618,44 @@ func (g *Gateway) dispatch(ctx context.Context, ver int, t protocol.MsgType, raw
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad put-open request: %w", err)
 		}
-		reply, err := g.svc().StageOpen(dn, asServer, req)
+		if reply, rt, handled, err := g.fedStageOpen(ctx, dn, asServer, req); handled || err != nil {
+			return reply, rt, err
+		}
+		reply, err := g.svc().StageOpen(stageOwner(dn, asServer, req.Owner), asServer, req)
 		return reply, protocol.MsgPutOpenReply, err
 	case protocol.MsgPutChunk:
 		var req protocol.PutChunkRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad put-chunk request: %w", err)
 		}
-		reply, err := g.svc().StageChunk(dn, asServer, req)
+		fwd := req
+		fwd.Owner = dn
+		var relayReply protocol.PutChunkReply
+		if relay, err := g.fedStageRelay(ctx, dn, asServer, req.Handle, protocol.MsgPutChunk, fwd, &relayReply); relay {
+			return relayReply, protocol.MsgPutChunkReply, err
+		}
+		reply, err := g.svc().StageChunk(stageOwner(dn, asServer, req.Owner), asServer, req)
 		return reply, protocol.MsgPutChunkReply, err
 	case protocol.MsgPutCommit:
 		var req protocol.PutCommitRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad put-commit request: %w", err)
 		}
-		reply, err := g.svc().StageCommit(dn, asServer, req)
+		fwd := req
+		fwd.Owner = dn
+		var relayReply protocol.PutCommitReply
+		if relay, err := g.fedStageRelay(ctx, dn, asServer, req.Handle, protocol.MsgPutCommit, fwd, &relayReply); relay {
+			return relayReply, protocol.MsgPutCommitReply, err
+		}
+		reply, err := g.svc().StageCommit(stageOwner(dn, asServer, req.Owner), asServer, req)
 		return reply, protocol.MsgPutCommitReply, err
 	case protocol.MsgLoad:
 		// One backend load for the whole reply: a concurrent SetBackend swap
 		// must not yield a report mixing two backends' figures.
 		svc := g.svc()
-		loads := svc.VsiteLoads()
-		reply := protocol.LoadReply{Overall: svc.Load(), Vsites: make(map[string]protocol.VsiteLoad, len(loads))}
-		for v, l := range loads {
-			reply.Vsites[string(v)] = protocol.VsiteLoad{
-				Load: l.Load, Pending: l.Pending, Inflight: l.Inflight,
-				Replicas: l.Replicas, Healthy: l.Healthy,
-			}
-		}
-		return reply, protocol.MsgLoadReply, nil
+		return protocol.LoadReply{Overall: svc.Load(), Vsites: g.vsiteLoadsOf(svc)}, protocol.MsgLoadReply, nil
+	case protocol.MsgFedAdvertise:
+		return g.handleFedAdvertise(raw, asServer)
 	case protocol.MsgMetrics:
 		var req protocol.MetricsRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
@@ -639,6 +700,12 @@ func (g *Gateway) handleConsign(ctx context.Context, raw json.RawMessage, dn cor
 		owner = job.UserDN
 	} else if job.UserDN != "" && job.UserDN != dn {
 		return nil, "", fmt.Errorf("gateway: AJO user %s does not match signer %s", job.UserDN, dn)
+	}
+	if f := g.fed.Load(); f != nil {
+		reply, rt, handled, err := g.fedConsign(ctx, f, req.ConsignID, job, owner, asServer)
+		if handled || err != nil {
+			return reply, rt, err
+		}
 	}
 	id, err := g.svc().Consign(ctx, owner, req.ConsignID, job)
 	reply := protocol.ConsignReply{Accepted: err == nil, Job: id}

@@ -115,7 +115,15 @@ const (
 	MsgMetrics MsgType = "metrics"
 	// MsgMetricsReply carries the scraped snapshots, one per origin.
 	MsgMetricsReply MsgType = "metrics-reply"
-	MsgError        MsgType = "error"
+	// MsgFedAdvertise exchanges federation advertisements between peered
+	// gateways (protocol v2): the sender pushes every fresh advertisement it
+	// holds — its own plus relayed peers' — and the receiver answers with its
+	// view, so one gossip round trip converges both peer tables.
+	MsgFedAdvertise MsgType = "fed-advertise"
+	// MsgFedAdvertiseReply answers a gossip exchange with the receiver's
+	// advertisement set.
+	MsgFedAdvertiseReply MsgType = "fed-advertise-reply"
+	MsgError             MsgType = "error"
 )
 
 // V2Only reports whether a message type exists only in protocol v2 — the
@@ -123,7 +131,8 @@ const (
 // servers refuse them inside a v1-sealed envelope.
 func V2Only(t MsgType) bool {
 	switch t {
-	case MsgSubscribe, MsgPutOpen, MsgPutChunk, MsgPutCommit, MsgMetrics:
+	case MsgSubscribe, MsgPutOpen, MsgPutChunk, MsgPutCommit, MsgMetrics,
+		MsgFedAdvertise, MsgFedAdvertiseReply:
 		return true
 	}
 	return false
@@ -148,6 +157,7 @@ func MsgTypes() []MsgType {
 		MsgPutChunk, MsgPutChunkReply,
 		MsgPutCommit, MsgPutCommitReply,
 		MsgMetrics, MsgMetricsReply,
+		MsgFedAdvertise, MsgFedAdvertiseReply,
 		MsgError,
 	}
 }
@@ -471,6 +481,12 @@ type PutOpenRequest struct {
 	// Window is how many chunks beyond the contiguous watermark the sender
 	// wants in flight. The server may clamp it.
 	Window int `json:"window,omitempty"`
+	// Owner, honoured only on server-role calls, names the user the upload
+	// is opened for: a federated gateway relaying a user's staged upload to
+	// the peer fronting the Vsite keeps the user's spool ownership intact —
+	// the staging mirror of the consign UserDN rule. Ignored (the signer
+	// owns the upload) for user-role callers.
+	Owner core.DN `json:"owner,omitempty"`
 }
 
 // PutOpenReply acknowledges a staged-upload open.
@@ -494,6 +510,9 @@ type PutChunkRequest struct {
 	Data   []byte `json:"data"`
 	// CRC is the crc64 (ECMA) of Data; the server verifies it before writing.
 	CRC uint64 `json:"crc"`
+	// Owner carries the upload's user on server-role relays (see
+	// PutOpenRequest.Owner).
+	Owner core.DN `json:"owner,omitempty"`
 }
 
 // PutChunkReply acknowledges a chunk. Received is the contiguous watermark —
@@ -508,6 +527,9 @@ type PutChunkReply struct {
 type PutCommitRequest struct {
 	Handle string `json:"handle"`
 	CRC    uint64 `json:"crc"`
+	// Owner carries the upload's user on server-role relays (see
+	// PutOpenRequest.Owner).
+	Owner core.DN `json:"owner,omitempty"`
 }
 
 // PutCommitReply acknowledges the seal. A committed upload survives crash
@@ -533,6 +555,42 @@ type MetricsRequest struct {
 // pool, and each NJS replica).
 type MetricsReply struct {
 	Snapshots []telemetry.Snapshot `json:"snapshots"`
+}
+
+// FedAd is one gateway's federation advertisement: the resource pages and
+// live load it fronts, plus a charge-back summary, stamped with a
+// monotonically increasing epoch so receivers can prefer newer views. Ads
+// are relayed between peers with Hops incremented at every relay; receivers
+// keep the lowest-hop freshest copy per origin and judge staleness by their
+// own receipt clock, never the sender's Stamp (clocks are not assumed
+// synchronized across administrative domains).
+type FedAd struct {
+	Origin core.Usite `json:"origin"`
+	URL    string     `json:"url"`   // gateway base URL for direct forwarding
+	Epoch  uint64     `json:"epoch"` // origin-local, bumps every self-advertisement
+	Stamp  time.Time  `json:"stamp"` // origin clock at advertisement time (informational)
+	Hops   int        `json:"hops"`  // relay distance from the origin (0 = self)
+	// PagesDER carries the origin's resource catalog, one ASN.1 DER page per
+	// Vsite (resources.Page.MarshalASN1) — the same encoding the paper's
+	// Network Supervisor exports.
+	PagesDER [][]byte             `json:"pagesDER,omitempty"`
+	Loads    map[string]VsiteLoad `json:"loads,omitempty"`
+	// Jobs and Charge summarize the origin's accounting ledger, the
+	// charge-back weight for federated placement.
+	Jobs   int     `json:"jobs,omitempty"`
+	Charge float64 `json:"charge,omitempty"`
+}
+
+// FedAdvertiseRequest is a gossip push: the sender's full fresh view, its
+// own ad first. The receiver ingests and answers with its view.
+type FedAdvertiseRequest struct {
+	From core.Usite `json:"from"`
+	Ads  []FedAd    `json:"ads"`
+}
+
+// FedAdvertiseReply carries the receiver's advertisement set back.
+type FedAdvertiseReply struct {
+	Ads []FedAd `json:"ads"`
 }
 
 // ErrorReply is the failure payload for any request.

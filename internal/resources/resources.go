@@ -287,6 +287,9 @@ func NewCatalog(pages ...*Page) *Catalog {
 // Add inserts or replaces a page.
 func (c *Catalog) Add(p *Page) { c.pages[p.Target] = p }
 
+// Remove drops the page for target, if present.
+func (c *Catalog) Remove(t core.Target) { delete(c.pages, t) }
+
 // Get returns the page for target.
 func (c *Catalog) Get(target core.Target) (*Page, bool) {
 	p, ok := c.pages[target]

@@ -1,0 +1,182 @@
+package testbed
+
+// Federation harness: EnableFederation peers deployed sites' gateways into a
+// full mesh, GossipAll drives deterministic gossip rounds under the virtual
+// clock, and the gate wrapper simulates gateway-process failures — including
+// the cruellest one, a gateway that processes a forwarded consign but loses
+// the reply (BlackholeGateway), which is how the durable-ack contract gets
+// exercised across sites.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"unicore/internal/accounting"
+	"unicore/internal/broker"
+	"unicore/internal/core"
+	"unicore/internal/federation"
+	"unicore/internal/protocol"
+)
+
+// Gateway failure modes of the gate wrapper.
+const (
+	gateAlive = iota
+	// gateDead refuses every request before the gateway sees it — a crashed
+	// gateway process. Clients observe a transport failure and retry.
+	gateDead
+	// gateBlackhole hands the request to the gateway (state changes happen)
+	// but discards the response — the reply lost in transit.
+	gateBlackhole
+)
+
+// gate wraps a site's registered handler with a switchable failure mode.
+type gate struct {
+	inner http.Handler
+	mode  chan int // 1-buffered: current mode
+}
+
+func newGate(inner http.Handler) *gate {
+	g := &gate{inner: inner, mode: make(chan int, 1)}
+	g.mode <- gateAlive
+	return g
+}
+
+func (g *gate) setMode(m int) {
+	<-g.mode
+	g.mode <- m
+}
+
+func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	m := <-g.mode
+	g.mode <- m
+	switch m {
+	case gateDead:
+		http.Error(w, "testbed: gateway down", http.StatusBadGateway)
+	case gateBlackhole:
+		g.inner.ServeHTTP(httptest.NewRecorder(), r)
+		http.Error(w, "testbed: reply lost", http.StatusBadGateway)
+	default:
+		g.inner.ServeHTTP(w, r)
+	}
+}
+
+// EnableFederation peers the named sites' gateways (every site when none are
+// named) into a full mesh. Each gateway gets a federation membership speaking
+// under the site's server credential, and its registered host is wrapped so
+// KillGateway / RestartGateway / BlackholeGateway can simulate gateway
+// failures. No gossip timer is armed — drive rounds with GossipAll so tests
+// stay deterministic under the virtual clock.
+func (d *Deployment) EnableFederation(usites ...core.Usite) error {
+	if len(usites) == 0 {
+		usites = d.order
+	}
+	if d.feds == nil {
+		d.feds = make(map[core.Usite]*federation.Federation)
+		d.gates = make(map[core.Usite]*gate)
+	}
+	for _, u := range usites {
+		site, ok := d.Sites[u]
+		if !ok {
+			return fmt.Errorf("testbed: unknown usite %q", u)
+		}
+		if site.Front != nil {
+			return fmt.Errorf("testbed: federation on split site %s is not supported", u)
+		}
+		if _, dup := d.feds[u]; dup {
+			continue
+		}
+		u := u
+		fed, err := federation.New(federation.Config{
+			Usite:  u,
+			URL:    "https://" + hostOf(u),
+			Client: protocol.NewClient(d.Net, site.cred, d.CA, d.Registry),
+			Clock:  d.Clock,
+			Policy: broker.LeastLoaded,
+			Usage: func() accounting.Summary {
+				return accounting.Summarise(d.SiteAccounting(u))
+			},
+		})
+		if err != nil {
+			return err
+		}
+		site.Gateway.SetFederation(fed)
+		d.feds[u] = fed
+		g := newGate(site.Gateway)
+		d.gates[u] = g
+		d.Net.Register(hostOf(u), g)
+	}
+	// Full mesh: every federated site is a direct peer of every other.
+	for a, fa := range d.feds {
+		for b := range d.feds {
+			if a == b {
+				continue
+			}
+			if err := fa.AddPeer(b, "https://"+hostOf(b)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Federation returns a site's federation membership (nil before
+// EnableFederation).
+func (d *Deployment) Federation(u core.Usite) *federation.Federation {
+	return d.feds[u]
+}
+
+// GossipAll runs one gossip round at every federated site, in declaration
+// order. Unreachable peers are not fatal — they merely go stale, exactly as
+// in production. Two rounds make transitively-learned ads settle.
+func (d *Deployment) GossipAll() {
+	for _, u := range d.order {
+		if fed := d.feds[u]; fed != nil {
+			_ = fed.GossipOnce(context.Background())
+		}
+	}
+}
+
+// gateOf resolves a federated site's failure-mode wrapper.
+func (d *Deployment) gateOf(u core.Usite) (*gate, error) {
+	g, ok := d.gates[u]
+	if !ok {
+		return nil, fmt.Errorf("testbed: %s has no federated gateway", u)
+	}
+	return g, nil
+}
+
+// KillGateway simulates a crashed gateway process at a federated site: every
+// request to its host fails at the transport until RestartGateway. The NJS
+// behind it keeps running — kill it separately to crash the whole site.
+func (d *Deployment) KillGateway(u core.Usite) error {
+	g, err := d.gateOf(u)
+	if err != nil {
+		return err
+	}
+	g.setMode(gateDead)
+	return nil
+}
+
+// RestartGateway brings a killed (or blackholed) gateway back.
+func (d *Deployment) RestartGateway(u core.Usite) error {
+	g, err := d.gateOf(u)
+	if err != nil {
+		return err
+	}
+	g.setMode(gateAlive)
+	return nil
+}
+
+// BlackholeGateway makes a federated site's gateway process every request but
+// lose every reply — the worst-timed partition for a forwarded consign: the
+// remote NJS journals the admission, the origin never sees the ack.
+func (d *Deployment) BlackholeGateway(u core.Usite) error {
+	g, err := d.gateOf(u)
+	if err != nil {
+		return err
+	}
+	g.setMode(gateBlackhole)
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"unicore/internal/client"
 	"unicore/internal/codine"
 	"unicore/internal/core"
+	"unicore/internal/federation"
 	"unicore/internal/gateway"
 	"unicore/internal/journal"
 	"unicore/internal/machine"
@@ -77,6 +78,8 @@ type Deployment struct {
 
 	order   []core.Usite
 	managed map[core.Usite]*ManagedSite
+	feds    map[core.Usite]*federation.Federation
+	gates   map[core.Usite]*gate
 }
 
 // hostOf derives the in-process host name of a site's gateway.
@@ -505,29 +508,40 @@ func (d *Deployment) Trace(u core.Usite, trace string) ([]telemetry.Span, error)
 func (d *Deployment) Accounting() []accounting.Record {
 	var out []accounting.Record
 	for _, u := range d.order {
-		site := d.Sites[u]
-		for _, vc := range site.Spec.Vsites {
-			// A replicated site runs one RMS per replica; each contributes
-			// its share of the Vsite's accounting.
-			njss := []*njs.NJS{site.NJS}
-			if site.NJS == nil {
-				njss = site.Replicas[vc.Name]
+		out = append(out, d.SiteAccounting(u)...)
+	}
+	return out
+}
+
+// SiteAccounting collects one Usite's batch accounting (the per-site slice of
+// Accounting — the charge-back summary a federated gateway advertises).
+func (d *Deployment) SiteAccounting(u core.Usite) []accounting.Record {
+	site, ok := d.Sites[u]
+	if !ok {
+		return nil
+	}
+	var out []accounting.Record
+	for _, vc := range site.Spec.Vsites {
+		// A replicated site runs one RMS per replica; each contributes
+		// its share of the Vsite's accounting.
+		njss := []*njs.NJS{site.NJS}
+		if site.NJS == nil {
+			njss = site.Replicas[vc.Name]
+		}
+		for _, n := range njss {
+			if n == nil { // managed sites leave holes after scale-down
+				continue
 			}
-			for _, n := range njss {
-				if n == nil { // managed sites leave holes after scale-down
-					continue
-				}
-				vs, ok := n.Vsite(vc.Name)
-				if !ok {
-					continue
-				}
-				for _, rec := range vs.RMS.Accounting() {
-					out = append(out, accounting.Record{
-						Target:      core.Target{Usite: u, Vsite: vc.Name},
-						MFlopsPerPE: vc.Profile.MFlopsPerPE,
-						Record:      rec,
-					})
-				}
+			vs, ok := n.Vsite(vc.Name)
+			if !ok {
+				continue
+			}
+			for _, rec := range vs.RMS.Accounting() {
+				out = append(out, accounting.Record{
+					Target:      core.Target{Usite: u, Vsite: vc.Name},
+					MFlopsPerPE: vc.Profile.MFlopsPerPE,
+					Record:      rec,
+				})
 			}
 		}
 	}
