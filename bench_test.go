@@ -782,6 +782,79 @@ func BenchmarkAwaitEvent(b *testing.B) {
 	}
 }
 
+// --- Wire-protocol v3 hot path: sustained request rates --------------------
+
+// BenchmarkConsignRate measures the sustained consign admission rate through
+// one session: build, seal, and durably journal one small AJO per iteration
+// over the persistent v3 stream. consigns/sec is the gated control-plane
+// throughput figure; it covers the whole client-side cost (AJO encode,
+// commit-digest signing, framed round trip) plus gateway verify + journal.
+func BenchmarkConsignRate(b *testing.B) {
+	d := mustDeploy(b, singleSiteSpec("FZJ"))
+	user := mustUser(b, d, "crate")
+	sess := d.Session(user, "FZJ")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jb := unicore.NewJob(fmt.Sprintf("rate-%06d", i), unicore.Target{Usite: "FZJ", Vsite: "T3E"})
+		jb.Script("app", "echo ok\n", unicore.ResourceRequest{Processors: 1, RunTime: time.Minute})
+		job, err := jb.Build()
+		if err != nil {
+			b.Fatalf("build: %v", err)
+		}
+		if _, err := sess.Submit(context.Background(), job); err != nil {
+			b.Fatalf("submit: %v", err)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "consigns/sec")
+	}
+}
+
+// BenchmarkEventRate measures event-backlog delivery through the session
+// subscribe path: a finished multi-step job leaves a backlog of lifecycle
+// events, and each iteration re-reads it from cursor zero. At v3 the batch
+// rides one framed call; events/sec is the gated monitoring-plane
+// throughput figure.
+func BenchmarkEventRate(b *testing.B) {
+	d := mustDeploy(b, singleSiteSpec("FZJ"))
+	user := mustUser(b, d, "evrate")
+	sess := d.Session(user, "FZJ")
+	jb := unicore.NewJob("events", unicore.Target{Usite: "FZJ", Vsite: "T3E"})
+	for i := 0; i < 8; i++ {
+		jb.Script(fmt.Sprintf("step-%d", i), "cpu 1m\necho step\n",
+			unicore.ResourceRequest{Processors: 1, RunTime: time.Hour})
+	}
+	job, err := jb.Build()
+	if err != nil {
+		b.Fatalf("build: %v", err)
+	}
+	id, err := sess.Submit(context.Background(), job)
+	if err != nil {
+		b.Fatalf("submit: %v", err)
+	}
+	d.Run(50_000_000)
+	backlog, err := sess.Events(context.Background(), protocol.SubscribeRequest{Job: id, Max: 1024})
+	if err != nil || len(backlog.Events) == 0 {
+		b.Fatalf("event backlog: %d events, err %v", len(backlog.Events), err)
+	}
+	perFetch := len(backlog.Events)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reply, err := sess.Events(context.Background(), protocol.SubscribeRequest{Job: id, Max: 1024})
+		if err != nil {
+			b.Fatalf("events: %v", err)
+		}
+		if len(reply.Events) != perFetch {
+			b.Fatalf("backlog drifted: %d events, want %d", len(reply.Events), perFetch)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(perFetch)*float64(b.N)/secs, "events/sec")
+	}
+}
+
 // --- Bulk staging: windowed parallel transfers vs the sequential baseline ---
 
 // fetchEnvelopes counts the signed ranged-read envelopes (MsgFetch) a
@@ -792,13 +865,15 @@ func fetchEnvelopes(d *testbed.Deployment, usite unicore.Usite) int64 {
 
 // BenchmarkTransferThroughput measures the §5.6 bulk download path for a
 // 16 MiB Uspace result through the full authenticated gateway → NJS stack.
-// path=sequential reproduces the seed implementation: one signed envelope
-// per sequential 256 KiB chunk, exactly one in flight. path=parallel is the
-// staging engine's default: 1 MiB chunks with an 8-deep readahead window,
-// streamed to the writer with incremental CRC verification. The parallel
-// path must win on both MB/s (fewer, amortised sign/verify round trips, in
-// flight concurrently) and envelopes/MB (4× fewer signed envelopes per
-// megabyte) — the benchgate CI step enforces exactly that invariant.
+// path=sequential reproduces the pre-v3 implementation — a v2-pinned client
+// issuing one signed envelope per sequential 256 KiB chunk, exactly one in
+// flight. path=parallel is the redesigned hot path: the staging engine's
+// default 1 MiB × 8 readahead window riding the persistent v3 stream, where
+// chunk data travels as length-prefixed binary frames instead of signed
+// envelopes. The parallel path must win on both MB/s (no per-chunk
+// base64+sign/verify round trip) and envelopes/MB (streamed fetches verify
+// one session hello, not one envelope per chunk) — the benchgate CI step
+// enforces exactly that invariant.
 func BenchmarkTransferThroughput(b *testing.B) {
 	const fileSize = 16 << 20
 	d := mustDeploy(b, singleSiteSpec("FZJ"))
@@ -817,15 +892,23 @@ func BenchmarkTransferThroughput(b *testing.B) {
 	d.Run(10_000_000)
 
 	modes := []struct {
-		name string
-		opt  unicore.TransferOptions
+		name       string
+		opt        unicore.TransferOptions
+		maxVersion int // 0 = newest; 2 pins the pre-v3 envelope path
 	}{
-		{"path=sequential", unicore.TransferOptions{ChunkSize: 256 << 10, Window: 1}},
-		{"path=parallel", unicore.TransferOptions{}}, // engine defaults: 1 MiB × 8
+		{"path=sequential", unicore.TransferOptions{ChunkSize: 256 << 10, Window: 1}, 2},
+		{"path=parallel", unicore.TransferOptions{}, 0}, // engine defaults: 1 MiB × 8, v3 stream
 	}
 	for _, m := range modes {
 		b.Run(fmt.Sprintf("%s/size=%d", m.name, fileSize), func(b *testing.B) {
-			sess := d.Session(user, "FZJ")
+			opts := []unicore.DialOption{unicore.WithClient(d.UserClient(user)), unicore.WithSite("FZJ")}
+			if m.maxVersion != 0 {
+				opts = append(opts, unicore.WithVersion(m.maxVersion))
+			}
+			sess, err := unicore.Dial("", opts...)
+			if err != nil {
+				b.Fatalf("dial: %v", err)
+			}
 			sess.Transfer = m.opt
 			before := fetchEnvelopes(d, "FZJ")
 			b.SetBytes(fileSize)

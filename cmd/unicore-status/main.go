@@ -1,6 +1,6 @@
 // Command unicore-status is the CLI job monitor controller (JMC, §4.1,
 // §5.7): it lists jobs, shows the coloured status display, saves task
-// output, controls jobs, and — over protocol v2 — follows the server-push
+// output, controls jobs, and — over protocol v2+ — follows the server-push
 // event stream of a job instead of polling it.
 //
 // Usage:
@@ -18,9 +18,10 @@
 //	unicore-status ... metrics
 //	unicore-status ... -per-replica -spans -json metrics
 //
-// wait awaits the terminal event over the v2 stream (falling back to
+// wait awaits the terminal event over the event stream (falling back to
 // -interval polling against a v1 site); watch streams every lifecycle event
-// as it happens until the job finishes or the user interrupts; fetch streams
+// as it happens until the job finishes or the user interrupts — against a v3
+// site the events arrive pushed over the persistent stream; fetch streams
 // a Uspace file to -o (or stdout) through the windowed parallel download
 // engine, verifying the whole-file checksum incrementally; metrics scrapes
 // the site's live telemetry over protocol v2 (MsgMetrics), merged site-wide
@@ -39,11 +40,10 @@ import (
 	"os/signal"
 	"time"
 
+	"unicore"
 	"unicore/internal/ajo"
-	"unicore/internal/client"
 	"unicore/internal/core"
 	"unicore/internal/deploy"
-	"unicore/internal/gateway"
 	"unicore/internal/protocol"
 )
 
@@ -78,10 +78,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("unicore-status: %v", err)
 	}
-	reg := protocol.NewRegistry()
-	reg.Add(usite, *gatewayURL)
-	sess := client.NewSession(protocol.NewClient(gateway.ClientTransport(cred, ca), cred, ca, reg), usite)
-	jmc := sess.JMC()
+	sess, err := unicore.Dial(*gatewayURL, unicore.WithIdentity(cred, ca), unicore.WithSite(usite))
+	if err != nil {
+		log.Fatalf("unicore-status: %v", err)
+	}
 
 	cmd := args[0]
 	jobArg := func() core.JobID {
@@ -92,7 +92,7 @@ func main() {
 	}
 	switch cmd {
 	case "list":
-		jobs, err := jmc.List(usite)
+		jobs, err := sess.List(context.Background())
 		if err != nil {
 			log.Fatalf("unicore-status: %v", err)
 		}
@@ -123,7 +123,7 @@ func main() {
 			}
 		}
 	case "status":
-		sum, err := jmc.Status(usite, jobArg())
+		sum, err := sess.Status(context.Background(), jobArg())
 		if err != nil {
 			log.Fatalf("unicore-status: %v", err)
 		}
@@ -133,8 +133,9 @@ func main() {
 		defer stop()
 		sum, err := sess.Await(ctx, jobArg())
 		if errors.Is(err, protocol.ErrV1Peer) {
-			// The site only speaks v1: fall back to interval polling.
-			sum, err = jmc.Wait(usite, jobArg(), *interval, time.Sleep, *maxPolls)
+			// The site only speaks v1: fall back to interval polling through
+			// the JMC compatibility wrapper.
+			sum, err = sess.JMC().Wait(usite, jobArg(), *interval, time.Sleep, *maxPolls)
 		}
 		if err != nil {
 			log.Fatalf("unicore-status: %v", err)
@@ -177,23 +178,23 @@ func main() {
 			log.Fatalf("unicore-status: %v", err)
 		}
 	case "outcome":
-		o, err := jmc.Outcome(usite, jobArg())
+		o, err := sess.Outcome(context.Background(), jobArg())
 		if err != nil {
 			log.Fatalf("unicore-status: %v", err)
 		}
-		fmt.Print(client.Display(o))
+		fmt.Print(unicore.Display(o))
 	case "abort":
-		if err := jmc.Abort(usite, jobArg()); err != nil {
+		if err := sess.Abort(context.Background(), jobArg()); err != nil {
 			log.Fatalf("unicore-status: %v", err)
 		}
 		fmt.Println("aborted")
 	case "hold":
-		if err := jmc.Hold(usite, jobArg()); err != nil {
+		if err := sess.Hold(context.Background(), jobArg()); err != nil {
 			log.Fatalf("unicore-status: %v", err)
 		}
 		fmt.Println("held")
 	case "resume":
-		if err := jmc.Resume(usite, jobArg()); err != nil {
+		if err := sess.Resume(context.Background(), jobArg()); err != nil {
 			log.Fatalf("unicore-status: %v", err)
 		}
 		fmt.Println("resumed")
@@ -216,7 +217,7 @@ func printSummary(sum ajo.Summary) {
 		sum.Job, sum.Status, sum.Done, sum.Total, sum.Failed)
 }
 
-func printEvent(ev client.JobEvent) {
+func printEvent(ev unicore.JobEvent) {
 	line := fmt.Sprintf("%s  #%-3d %-12s", ev.Time.Format(time.RFC3339), ev.Seq, ev.Type)
 	if ev.Action != "" {
 		line += " " + string(ev.Action)

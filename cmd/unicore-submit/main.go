@@ -24,12 +24,11 @@ import (
 	"os"
 	"strings"
 
+	"unicore"
 	"unicore/internal/ajo"
 	"unicore/internal/client"
 	"unicore/internal/core"
 	"unicore/internal/deploy"
-	"unicore/internal/gateway"
-	"unicore/internal/protocol"
 	"unicore/internal/resources"
 )
 
@@ -86,13 +85,15 @@ func main() {
 		}
 	}
 
-	reg := protocol.NewRegistry()
-	reg.Add(job.Target.Usite, *gatewayURL)
-	c := protocol.NewClient(gateway.ClientTransport(cred, ca), cred, ca, reg)
-	jpa := client.NewJPA(c)
+	sess, err := unicore.Dial(*gatewayURL,
+		unicore.WithIdentity(cred, ca), unicore.WithSite(job.Target.Usite))
+	if err != nil {
+		log.Fatalf("unicore-submit: %v", err)
+	}
+	jpa := sess.JPA()
 
 	if len(stageIns) > 0 {
-		if err := stageInputs(c, job, stageIns); err != nil {
+		if err := stageInputs(sess, job, stageIns); err != nil {
 			log.Fatalf("unicore-submit: %v", err)
 		}
 	}
@@ -107,11 +108,10 @@ func main() {
 			log.Fatalf("unicore-submit: job does not fit the destination: %v", err)
 		}
 	}
-	// Submit through a session so the consign mints a trace ID: the whole
-	// chain (gateway dispatch, pool routing, NJS admission, journal sync)
-	// is then visible via `unicore-status -spans metrics`. v1 sites simply
-	// drop the trace at sealing time.
-	sess := client.NewSession(c, job.Target.Usite)
+	// Submitting through the session mints a trace ID: the whole chain
+	// (gateway dispatch, pool routing, NJS admission, journal sync) is then
+	// visible via `unicore-status -spans metrics`. v1 sites simply drop the
+	// trace at sealing time.
 	id, err := sess.Submit(context.Background(), job)
 	if err != nil {
 		log.Fatalf("unicore-submit: %v", err)
@@ -126,13 +126,12 @@ func main() {
 // spool and prepends an ImportTask referencing the committed handle, wired
 // before every original root action so no task runs until its staged inputs
 // are in the Uspace.
-func stageInputs(c *protocol.Client, job *ajo.AbstractJob, stageIns []string) error {
+func stageInputs(sess *unicore.Session, job *ajo.AbstractJob, stageIns []string) error {
 	g, err := job.Graph()
 	if err != nil {
 		return err
 	}
 	roots := g.Roots()
-	sess := client.NewSession(c, job.Target.Usite)
 	for i, si := range stageIns {
 		to, local, _ := strings.Cut(si, "=")
 		if to == "" || local == "" {

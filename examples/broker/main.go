@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -25,7 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	jpa, jmc := d.JPA(user), d.JMC(user)
+	ctx := context.Background()
 	c := d.UserClient(user)
 
 	demand := unicore.ResourceRequest{Processors: 16, RunTime: 2 * time.Hour}
@@ -41,8 +42,14 @@ func main() {
 	}
 	fmt.Println("idle deployment: broker places the job on", first)
 
-	// Saturate the chosen machine with background load.
+	// Saturate the chosen machine with background load. Sessions are bound
+	// to one Usite, so each broker-chosen destination gets its own — all
+	// sharing the one protocol client (and its persistent v3 streams).
 	fmt.Printf("saturating %s with background jobs...\n", first)
+	bgSess, err := unicore.Dial("", unicore.WithClient(c), unicore.WithSite(first.Usite))
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i := 0; i < 12; i++ {
 		bg := unicore.NewJob(fmt.Sprintf("background-%02d", i), first)
 		bg.Script("burn", "cpu 4h\necho burned\n",
@@ -51,7 +58,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := jpa.Submit(bgJob); err != nil {
+		if _, err := bgSess.Submit(ctx, bgJob); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -78,12 +85,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	id, err := jpa.Submit(built)
+	sess, err := unicore.Dial("", unicore.WithClient(c), unicore.WithSite(second.Usite))
+	if err != nil {
+		log.Fatal(err)
+	}
+	id, err := sess.Submit(ctx, built)
 	if err != nil {
 		log.Fatal(err)
 	}
 	d.Run(10_000_000)
-	sum, err := jmc.Status(second.Usite, id)
+	sum, err := sess.Status(ctx, id)
 	if err != nil {
 		log.Fatal(err)
 	}

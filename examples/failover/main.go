@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -72,10 +73,11 @@ func run(kill bool) (map[string]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	jpa, jmc := d.JPA(user), d.JMC(user)
+	ctx := context.Background()
+	sess := d.Session(user, usite)
 	ids := make(map[string]unicore.JobID, len(jobs))
 	for _, j := range jobs {
-		id, err := jpa.Submit(j)
+		id, err := sess.Submit(ctx, j)
 		if err != nil {
 			return nil, err
 		}
@@ -103,7 +105,7 @@ func run(kill bool) (map[string]string, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := jpa.Submit(probe); err != nil {
+		if _, err := sess.Submit(ctx, probe); err != nil {
 			return nil, err
 		}
 		fmt.Printf("  consign during outage: accepted by a surviving replica\n")
@@ -130,7 +132,7 @@ func run(kill bool) (map[string]string, error) {
 
 	out := make(map[string]string, len(ids))
 	for name, id := range ids {
-		o, err := jmc.Outcome(usite, id)
+		o, err := sess.Outcome(ctx, id)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -60,8 +61,9 @@ func main() {
 	}
 	fmt.Printf("job tree: %d actions across 3 sites\n", job.CountActions())
 
-	jpa, jmc := d.JPA(user), d.JMC(user)
-	id, err := jpa.Submit(job)
+	ctx := context.Background()
+	sess := d.Session(user, "FZJ")
+	id, err := sess.Submit(ctx, job)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,14 +71,14 @@ func main() {
 
 	d.Run(10_000_000)
 
-	outcome, err := jmc.Outcome("FZJ", id)
+	outcome, err := sess.Outcome(ctx, id)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()
 	fmt.Print(unicore.Display(outcome))
 
-	sum, _ := jmc.Status("FZJ", id)
+	sum, _ := sess.Status(ctx, id)
 	if sum.Status != unicore.StatusSuccessful {
 		log.Fatalf("multisite job finished %s", sum.Status)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -79,8 +80,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	jpa, jmc := d.JPA(user), d.JMC(user)
-	id, err := jpa.Submit(job)
+	ctx := context.Background()
+	sess := d.Session(user, "DWD")
+	id, err := sess.Submit(ctx, job)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,14 +90,14 @@ func main() {
 
 	d.Run(10_000_000)
 
-	outcome, err := jmc.Outcome("DWD", id)
+	outcome, err := sess.Outcome(ctx, id)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()
 	fmt.Print(unicore.Display(outcome))
 
-	sum, _ := jmc.Status("DWD", id)
+	sum, _ := sess.Status(ctx, id)
 	if sum.Status != unicore.StatusSuccessful {
 		log.Fatalf("pipeline finished %s", sum.Status)
 	}

@@ -4,6 +4,8 @@
 package fixture
 
 import (
+	"context"
+
 	"sync"
 
 	"unicore/internal/protocol"
@@ -101,7 +103,7 @@ func GoodNestedLookup(r *reg, p *job, aid string) {
 func BadPeerCall(cl *protocol.Client, j *job) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	_ = cl.Call("site", protocol.MsgPoll, nil, nil) // want "peer call through protocol.Client while job lock"
+	_ = cl.Call(context.Background(), "site", protocol.MsgPoll, nil, nil) // want "peer call through protocol.Client while job lock"
 }
 
 // GoodPeerCallBranch unlocks on the early-exit path before calling the peer;
@@ -111,10 +113,10 @@ func GoodPeerCallBranch(cl *protocol.Client, j *job) {
 	j.mu.Lock()
 	if j.done {
 		j.mu.Unlock()
-		_ = cl.Call("site", protocol.MsgPoll, nil, nil) // released first: fine
+		_ = cl.Call(context.Background(), "site", protocol.MsgPoll, nil, nil) // released first: fine
 		return
 	}
-	_ = cl.Call("site", protocol.MsgPoll, nil, nil) // want "peer call through protocol.Client while job lock"
+	_ = cl.Call(context.Background(), "site", protocol.MsgPoll, nil, nil) // want "peer call through protocol.Client while job lock"
 	j.mu.Unlock()
 }
 
@@ -124,6 +126,6 @@ func GoodLiteral(cl *protocol.Client, j *job, after func(func())) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	after(func() {
-		_ = cl.Call("site", protocol.MsgPoll, nil, nil) // fresh goroutine: fine
+		_ = cl.Call(context.Background(), "site", protocol.MsgPoll, nil, nil) // fresh goroutine: fine
 	})
 }

@@ -3,6 +3,8 @@
 package fixture
 
 import (
+	"context"
+
 	"unicore/internal/core"
 	"unicore/internal/pki"
 	"unicore/internal/protocol"
@@ -37,7 +39,7 @@ var BadFedReplyTable = []protocol.MsgType{
 // federation GossipOnce shape.
 func GoodFedGossip(cl *protocol.Client, peer core.Usite) error {
 	var reply protocol.FedAdvertiseReply
-	return cl.Call(peer, protocol.MsgFedAdvertise, protocol.FedAdvertiseRequest{From: "FZJ"}, &reply)
+	return cl.Call(context.Background(), peer, protocol.MsgFedAdvertise, protocol.FedAdvertiseRequest{From: "FZJ"}, &reply)
 }
 
 // GoodSealAt is version-aware: it seals at an explicitly negotiated version.
@@ -64,7 +66,7 @@ func GoodDispatch(ver int, t protocol.MsgType) error {
 // against v1 peers.
 func GoodClientCall(cl *protocol.Client, usite core.Usite) error {
 	var reply protocol.PutChunkReply
-	return cl.Call(usite, protocol.MsgPutChunk, nil, &reply)
+	return cl.Call(context.Background(), usite, protocol.MsgPutChunk, nil, &reply)
 }
 
 // SuppressedSeal is a reviewed exception with its reason on record.

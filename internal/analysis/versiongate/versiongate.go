@@ -5,7 +5,7 @@
 // to a v1 peer as an undecodable envelope.
 //
 // A use of a v2-only kind is accepted when it is (a) inside package protocol
-// itself, (b) an argument of a protocol.Client Call/CallContext invocation
+// itself, (b) an argument of a protocol.Client Call invocation
 // (the client gates internally and fails fast with ErrV1Peer), or (c) inside
 // a function that participates in version dispatch — one that calls
 // protocol.V2Only, protocol.OpenVersioned/OpenTraced or
@@ -40,12 +40,18 @@ var v2Only = map[string]bool{
 	"MsgMetrics":           true,
 	"MsgFedAdvertise":      true,
 	"MsgFedAdvertiseReply": true,
+	// v3 additions (the stream handshake pair); protocol.V2Only covers them
+	// through its V3Only fall-through.
+	"MsgHello":      true,
+	"MsgHelloReply": true,
 }
 
 // gatingFuncs are the protocol entry points whose presence marks a function
 // as version-aware.
 var gatingFuncs = map[string]bool{
 	"V2Only":        true,
+	"V3Only":        true,
+	"MinVersionFor": true,
 	"OpenVersioned": true,
 	"OpenTraced":    true,
 	"SealAt":        true,
@@ -69,7 +75,7 @@ func checkFile(pass *analysis.Pass, f *ast.File) {
 	var clientArgs []span
 	ast.Inspect(f, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
-		if ok && analysis.IsMethodCall(pass.TypesInfo, call, protocolPath, "Client", "Call", "CallContext") {
+		if ok && analysis.IsMethodCall(pass.TypesInfo, call, protocolPath, "Client", "Call") {
 			clientArgs = append(clientArgs, span{int(call.Lparen), int(call.Rparen)})
 		}
 		return true

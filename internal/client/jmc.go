@@ -1,7 +1,6 @@
 package client
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -15,10 +14,16 @@ import (
 	"unicore/internal/staging"
 )
 
-// JMC is the job monitor controller: it "shows the job status of the user's
-// UNICORE jobs ... the icons are colored to reflect the job status in a
-// seamless way" and lets the user list/save task output and control jobs
-// (§5.7).
+// JMC is the job monitor controller of the original user tier: it "shows the
+// job status of the user's UNICORE jobs ... the icons are colored to reflect
+// the job status in a seamless way" and lets the user list/save task output
+// and control jobs (§5.7).
+//
+// Deprecated: JMC survives as the Wait compatibility wrapper. Everything else
+// lives on Session — the context-aware surface with server-push event streams
+// — and the remaining JMC methods are thin delegates kept so existing callers
+// compile. New code should open a Session (unicore.Dial or
+// Deployment.Session) and use it directly.
 type JMC struct {
 	c *protocol.Client
 
@@ -28,84 +33,62 @@ type JMC struct {
 }
 
 // NewJMC wraps a protocol client.
+//
+// Deprecated: use NewSession (or unicore.Dial), which carries the same
+// monitoring and control surface with context support.
 func NewJMC(c *protocol.Client) *JMC {
 	return &JMC{c: c}
 }
 
 // List returns the caller's jobs at a Usite, newest first.
+//
+// Deprecated: use Session.List.
 func (m *JMC) List(usite core.Usite) ([]protocol.JobInfo, error) {
-	return m.listContext(context.Background(), usite)
-}
-
-func (m *JMC) listContext(ctx context.Context, usite core.Usite) ([]protocol.JobInfo, error) {
-	var reply protocol.ListReply
-	if err := m.c.CallContext(ctx, usite, protocol.MsgList, protocol.ListRequest{}, &reply); err != nil {
-		return nil, err
-	}
-	return reply.Jobs, nil
+	return listJobs(context.Background(), m.c, usite)
 }
 
 // Status polls the compact summary of one job.
+//
+// Deprecated: use Session.Status.
 func (m *JMC) Status(usite core.Usite, job core.JobID) (ajo.Summary, error) {
-	return m.statusContext(context.Background(), usite, job)
-}
-
-func (m *JMC) statusContext(ctx context.Context, usite core.Usite, job core.JobID) (ajo.Summary, error) {
-	var reply protocol.PollReply
-	if err := m.c.CallContext(ctx, usite, protocol.MsgPoll, protocol.PollRequest{Job: job}, &reply); err != nil {
-		return ajo.Summary{}, err
-	}
-	if !reply.Found {
-		return ajo.Summary{}, fmt.Errorf("client: no job %s at %s", job, usite)
-	}
-	return reply.Summary, nil
+	return pollStatus(context.Background(), m.c, usite, job)
 }
 
 // Outcome retrieves the full outcome tree of one job.
+//
+// Deprecated: use Session.Outcome.
 func (m *JMC) Outcome(usite core.Usite, job core.JobID) (*ajo.Outcome, error) {
-	return m.outcomeContext(context.Background(), usite, job)
-}
-
-func (m *JMC) outcomeContext(ctx context.Context, usite core.Usite, job core.JobID) (*ajo.Outcome, error) {
-	var reply protocol.OutcomeReply
-	if err := m.c.CallContext(ctx, usite, protocol.MsgOutcome, protocol.OutcomeRequest{Job: job}, &reply); err != nil {
-		return nil, err
-	}
-	if !reply.Found {
-		return nil, fmt.Errorf("client: no job %s at %s", job, usite)
-	}
-	return ajo.UnmarshalOutcome(reply.Outcome)
-}
-
-// control sends one job-control operation.
-func (m *JMC) control(usite core.Usite, job core.JobID, op ajo.ControlOp) error {
-	return m.controlContext(context.Background(), usite, job, op)
-}
-
-func (m *JMC) controlContext(ctx context.Context, usite core.Usite, job core.JobID, op ajo.ControlOp) error {
-	var reply protocol.ControlReply
-	if err := m.c.CallContext(ctx, usite, protocol.MsgControl, protocol.ControlRequest{Job: job, Op: op}, &reply); err != nil {
-		return err
-	}
-	if !reply.OK {
-		return fmt.Errorf("client: %s %s: %s", op, job, reply.Reason)
-	}
-	return nil
+	return fetchOutcome(context.Background(), m.c, usite, job)
 }
 
 // Abort cancels a job and everything in flight for it.
+//
+// Deprecated: use Session.Abort.
 func (m *JMC) Abort(usite core.Usite, job core.JobID) error {
-	return m.control(usite, job, ajo.OpAbort)
+	return controlJob(context.Background(), m.c, usite, job, ajo.OpAbort)
 }
 
 // Hold pauses dispatching of a job's not-yet-started actions.
+//
+// Deprecated: use Session.Hold.
 func (m *JMC) Hold(usite core.Usite, job core.JobID) error {
-	return m.control(usite, job, ajo.OpHold)
+	return controlJob(context.Background(), m.c, usite, job, ajo.OpHold)
 }
 
 // Resume releases a held job.
+//
+// Deprecated: use Session.Resume.
 func (m *JMC) Resume(usite core.Usite, job core.JobID) error {
-	return m.control(usite, job, ajo.OpResume)
+	return controlJob(context.Background(), m.c, usite, job, ajo.OpResume)
+}
+
+// FetchFile downloads a file from the job's Uspace back to the user's
+// workstation — the §5.6 on-request result transfer.
+//
+// Deprecated: use Session.FetchFile (whole file in memory) or
+// Session.Download (streaming).
+func (m *JMC) FetchFile(usite core.Usite, job core.JobID, file string) ([]byte, error) {
+	return fetchWholeFile(context.Background(), m.c, usite, job, file, m.Transfer)
 }
 
 // ErrWaitTimeout reports that Wait gave up before the job became terminal.
@@ -146,13 +129,13 @@ func (m *JMC) Wait(usite core.Usite, job core.JobID, interval time.Duration, sle
 				}
 				for _, ev := range reply.Events {
 					if ev.Terminal {
-						return m.statusContext(ctx, usite, job)
+						return pollStatus(ctx, m.c, usite, job)
 					}
 				}
 			}
 		}
 		if legacy {
-			s, err := m.statusContext(ctx, usite, job)
+			s, err := pollStatus(ctx, m.c, usite, job)
 			if err != nil {
 				return last, err
 			}
@@ -166,7 +149,7 @@ func (m *JMC) Wait(usite core.Usite, job core.JobID, interval time.Duration, sle
 	// Timed out. Fetch the freshest summary for the caller — and if this
 	// final poll fails in transit, surface that error instead of masking it
 	// behind ErrWaitTimeout.
-	s, err := m.statusContext(ctx, usite, job)
+	s, err := pollStatus(ctx, m.c, usite, job)
 	if err != nil {
 		return last, err
 	}
@@ -174,67 +157,6 @@ func (m *JMC) Wait(usite core.Usite, job core.JobID, interval time.Duration, sle
 		return s, nil // the job finished during the last sleep
 	}
 	return s, fmt.Errorf("%w: %s after %d polls", ErrWaitTimeout, job, maxPolls)
-}
-
-// fetchEvents performs one non-waiting (unless req.WaitMs asks) subscription
-// fetch — the shared engine under Wait, Session.Await, and Session.Watch.
-func fetchEvents(ctx context.Context, c *protocol.Client, usite core.Usite, req protocol.SubscribeRequest) (protocol.EventsReply, error) {
-	var reply protocol.EventsReply
-	if err := c.CallContext(ctx, usite, protocol.MsgSubscribe, req, &reply); err != nil {
-		return protocol.EventsReply{}, err
-	}
-	return reply, nil
-}
-
-// fetchSource builds the staging engine's chunk source over the owner fetch
-// endpoint (MsgFetch): one ranged, idempotent read per call, each reply
-// carrying the file's size and whole-file CRC.
-func fetchSource(c *protocol.Client, usite core.Usite, job core.JobID, file string) staging.Source {
-	return func(ctx context.Context, offset, limit int64) (staging.Chunk, error) {
-		var reply protocol.TransferReply
-		err := c.CallContext(ctx, usite, protocol.MsgFetch, protocol.FetchRequest{
-			Job: job, File: file, Offset: offset, Limit: limit,
-		}, &reply)
-		if err != nil {
-			return staging.Chunk{}, err
-		}
-		if !reply.Found {
-			return staging.Chunk{}, fmt.Errorf("%w: job %s at %s has no file %q", staging.ErrNotFound, job, usite, file)
-		}
-		return staging.Chunk{Data: reply.Data, Size: reply.Size, CRC: reply.CRC}, nil
-	}
-}
-
-// fetchOptions applies the v1 fallback to a transfer configuration: against
-// a site that negotiated down to protocol v1 the windowed engine degrades to
-// the sequential one-chunk-in-flight loop of the original implementation
-// (the ranged MsgFetch itself exists since v1).
-func fetchOptions(c *protocol.Client, usite core.Usite, opt staging.Options) staging.Options {
-	if c.SiteVersion(usite) < 2 {
-		opt.Window = 1
-	}
-	return opt
-}
-
-// FetchFile downloads a file from the job's Uspace back to the user's
-// workstation — the §5.6 on-request result transfer ("the current
-// implementation sends data back to the workstation only on user request
-// while the user is working with the JMC"). It runs on the windowed parallel
-// streaming engine (package staging): chunks are fetched with readahead,
-// verified incrementally against the whole-file checksum, and a file that
-// mutates mid-transfer surfaces as an error. Session.Download streams the
-// same engine to an io.Writer without materialising the file in memory.
-func (m *JMC) FetchFile(usite core.Usite, job core.JobID, file string) ([]byte, error) {
-	return m.fetchFileContext(context.Background(), usite, job, file)
-}
-
-func (m *JMC) fetchFileContext(ctx context.Context, usite core.Usite, job core.JobID, file string) ([]byte, error) {
-	var buf bytes.Buffer
-	opt := fetchOptions(m.c, usite, m.Transfer)
-	if _, err := staging.Download(ctx, fetchSource(m.c, usite, job, file), &buf, opt); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
 }
 
 // TaskOutput extracts a task's standard output and error from an outcome

@@ -126,7 +126,7 @@ func (s *Session) Trace(job core.JobID) (string, bool) {
 func (s *Session) Metrics(ctx context.Context, perReplica, spans bool) ([]telemetry.Snapshot, error) {
 	var reply protocol.MetricsReply
 	req := protocol.MetricsRequest{PerReplica: perReplica, Spans: spans}
-	if err := s.c.CallContext(ctx, s.usite, protocol.MsgMetrics, req, &reply); err != nil {
+	if err := s.c.Call(ctx, s.usite, protocol.MsgMetrics, req, &reply); err != nil {
 		return nil, err
 	}
 	return reply.Snapshots, nil
@@ -134,32 +134,32 @@ func (s *Session) Metrics(ctx context.Context, perReplica, spans bool) ([]teleme
 
 // Status polls the compact summary of one job.
 func (s *Session) Status(ctx context.Context, job core.JobID) (ajo.Summary, error) {
-	return s.jmc.statusContext(ctx, s.usite, job)
+	return pollStatus(ctx, s.c, s.usite, job)
 }
 
 // Outcome retrieves the full outcome tree of one job.
 func (s *Session) Outcome(ctx context.Context, job core.JobID) (*ajo.Outcome, error) {
-	return s.jmc.outcomeContext(ctx, s.usite, job)
+	return fetchOutcome(ctx, s.c, s.usite, job)
 }
 
 // List returns the caller's jobs at the session's Usite, newest first.
 func (s *Session) List(ctx context.Context) ([]protocol.JobInfo, error) {
-	return s.jmc.listContext(ctx, s.usite)
+	return listJobs(ctx, s.c, s.usite)
 }
 
 // Abort cancels a job and everything in flight for it.
 func (s *Session) Abort(ctx context.Context, job core.JobID) error {
-	return s.jmc.controlContext(ctx, s.usite, job, ajo.OpAbort)
+	return controlJob(ctx, s.c, s.usite, job, ajo.OpAbort)
 }
 
 // Hold pauses dispatching of a job's not-yet-started actions.
 func (s *Session) Hold(ctx context.Context, job core.JobID) error {
-	return s.jmc.controlContext(ctx, s.usite, job, ajo.OpHold)
+	return controlJob(ctx, s.c, s.usite, job, ajo.OpHold)
 }
 
 // Resume releases a held job.
 func (s *Session) Resume(ctx context.Context, job core.JobID) error {
-	return s.jmc.controlContext(ctx, s.usite, job, ajo.OpResume)
+	return controlJob(ctx, s.c, s.usite, job, ajo.OpResume)
 }
 
 // FetchFile downloads a whole file from the job's Uspace into memory. For
@@ -210,21 +210,21 @@ func (s *Session) DownloadTo(ctx context.Context, job core.JobID, file, localPat
 // of the staging.Putter surface; most callers want Upload).
 func (s *Session) PutOpen(ctx context.Context, req protocol.PutOpenRequest) (protocol.PutOpenReply, error) {
 	var reply protocol.PutOpenReply
-	err := s.c.CallContext(ctx, s.usite, protocol.MsgPutOpen, req, &reply)
+	err := s.c.Call(ctx, s.usite, protocol.MsgPutOpen, req, &reply)
 	return reply, err
 }
 
 // PutChunk delivers one chunk of a staged upload (idempotent re-send safe).
 func (s *Session) PutChunk(ctx context.Context, req protocol.PutChunkRequest) (protocol.PutChunkReply, error) {
 	var reply protocol.PutChunkReply
-	err := s.c.CallContext(ctx, s.usite, protocol.MsgPutChunk, req, &reply)
+	err := s.c.Call(ctx, s.usite, protocol.MsgPutChunk, req, &reply)
 	return reply, err
 }
 
 // PutCommit seals a staged upload after the server verified its CRC.
 func (s *Session) PutCommit(ctx context.Context, req protocol.PutCommitRequest) (protocol.PutCommitReply, error) {
 	var reply protocol.PutCommitReply
-	err := s.c.CallContext(ctx, s.usite, protocol.MsgPutCommit, req, &reply)
+	err := s.c.Call(ctx, s.usite, protocol.MsgPutCommit, req, &reply)
 	return reply, err
 }
 
@@ -303,6 +303,13 @@ var ErrWatchGap = errors.New("client: events evicted before the watch cursor; st
 // authorization failure, or an already-evicted stream head (ErrWatchGap)
 // surfaces as an error instead of a silently closed channel.
 //
+// Against a protocol-v3 site the watch rides the persistent stream: one
+// subscription frame, then server-pushed event batches with no per-batch
+// round trip. A site without a stream path (older protocol, a front end that
+// cannot upgrade) or a stream that dies mid-watch falls back to the
+// long-polled subscribe loop at the same cursor — the handover loses and
+// duplicates nothing.
+//
 // The channel is closed after the job's terminal event has been delivered.
 // A closure whose last delivered event is not terminal means the stream
 // ended early: ctx was cancelled, or the subscription failed after its
@@ -339,6 +346,9 @@ func (s *Session) Watch(ctx context.Context, job core.JobID) (<-chan JobEvent, e
 			return false
 		}
 		if deliver(first) {
+			return
+		}
+		if s.watchPush(ctx, job, cursor, deliver) {
 			return
 		}
 		fails := 0
@@ -381,6 +391,39 @@ func (s *Session) Watch(ctx context.Context, job core.JobID) (<-chan JobEvent, e
 	return out, nil
 }
 
+// watchPush runs the push half of Watch: one stream subscription starting at
+// cursor, batches delivered as the server emits them. It returns true when
+// the watch is finished (terminal event delivered, ctx cancelled, or the
+// stream reported a gap) and false when the caller should fall back to the
+// long-poll loop — no stream path at this site, or the persistent connection
+// died mid-watch. deliver advances the shared cursor, so the fallback resumes
+// exactly where the push left off.
+func (s *Session) watchPush(ctx context.Context, job core.JobID, cursor uint64, deliver func(protocol.EventsReply) bool) (done bool) {
+	ch, stop, err := s.c.SubscribeStream(ctx, s.usite, protocol.SubscribeRequest{
+		Job: job, Cursor: cursor, WaitMs: s.longPollMs(),
+	})
+	if err != nil {
+		return false // no v3 stream here: long-poll instead
+	}
+	defer stop()
+	for {
+		select {
+		case reply, ok := <-ch:
+			if !ok {
+				return false // stream died: resume by long-polling the cursor
+			}
+			if reply.Gap {
+				return true // fell behind the bounded log: truncation
+			}
+			if deliver(reply) {
+				return true
+			}
+		case <-ctx.Done():
+			return true
+		}
+	}
+}
+
 // defaultWatchBuffer decouples Watch delivery from slow consumers for small
 // bursts (a coalesced batch) without unbounded buffering.
 const defaultWatchBuffer = 16
@@ -392,3 +435,102 @@ const (
 	watchMaxFailures  = 5
 	watchRetryBackoff = 200 * time.Millisecond
 )
+
+// The monitoring and control cores, shared by Session (the primary surface)
+// and the deprecated JMC wrappers.
+
+// listJobs fetches the caller's jobs at a Usite, newest first.
+func listJobs(ctx context.Context, c *protocol.Client, usite core.Usite) ([]protocol.JobInfo, error) {
+	var reply protocol.ListReply
+	if err := c.Call(ctx, usite, protocol.MsgList, protocol.ListRequest{}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Jobs, nil
+}
+
+// pollStatus fetches the compact summary of one job.
+func pollStatus(ctx context.Context, c *protocol.Client, usite core.Usite, job core.JobID) (ajo.Summary, error) {
+	var reply protocol.PollReply
+	if err := c.Call(ctx, usite, protocol.MsgPoll, protocol.PollRequest{Job: job}, &reply); err != nil {
+		return ajo.Summary{}, err
+	}
+	if !reply.Found {
+		return ajo.Summary{}, fmt.Errorf("client: no job %s at %s", job, usite)
+	}
+	return reply.Summary, nil
+}
+
+// fetchOutcome retrieves and decodes the full outcome tree of one job.
+func fetchOutcome(ctx context.Context, c *protocol.Client, usite core.Usite, job core.JobID) (*ajo.Outcome, error) {
+	var reply protocol.OutcomeReply
+	if err := c.Call(ctx, usite, protocol.MsgOutcome, protocol.OutcomeRequest{Job: job}, &reply); err != nil {
+		return nil, err
+	}
+	if !reply.Found {
+		return nil, fmt.Errorf("client: no job %s at %s", job, usite)
+	}
+	return ajo.UnmarshalOutcome(reply.Outcome)
+}
+
+// controlJob sends one job-control operation (abort/hold/resume).
+func controlJob(ctx context.Context, c *protocol.Client, usite core.Usite, job core.JobID, op ajo.ControlOp) error {
+	var reply protocol.ControlReply
+	if err := c.Call(ctx, usite, protocol.MsgControl, protocol.ControlRequest{Job: job, Op: op}, &reply); err != nil {
+		return err
+	}
+	if !reply.OK {
+		return fmt.Errorf("client: %s %s: %s", op, job, reply.Reason)
+	}
+	return nil
+}
+
+// fetchWholeFile materialises one Uspace file in memory through the windowed
+// transfer engine.
+func fetchWholeFile(ctx context.Context, c *protocol.Client, usite core.Usite, job core.JobID, file string, opt staging.Options) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := staging.Download(ctx, fetchSource(c, usite, job, file), &buf, fetchOptions(c, usite, opt)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// fetchEvents performs one non-waiting (unless req.WaitMs asks) subscription
+// fetch — the shared engine under JMC.Wait, Session.Await, and the Watch
+// long-poll fallback.
+func fetchEvents(ctx context.Context, c *protocol.Client, usite core.Usite, req protocol.SubscribeRequest) (protocol.EventsReply, error) {
+	var reply protocol.EventsReply
+	if err := c.Call(ctx, usite, protocol.MsgSubscribe, req, &reply); err != nil {
+		return protocol.EventsReply{}, err
+	}
+	return reply, nil
+}
+
+// fetchSource builds the staging engine's chunk source over the owner fetch
+// endpoint (MsgFetch): one ranged, idempotent read per call, each reply
+// carrying the file's size and whole-file CRC.
+func fetchSource(c *protocol.Client, usite core.Usite, job core.JobID, file string) staging.Source {
+	return func(ctx context.Context, offset, limit int64) (staging.Chunk, error) {
+		var reply protocol.TransferReply
+		err := c.Call(ctx, usite, protocol.MsgFetch, protocol.FetchRequest{
+			Job: job, File: file, Offset: offset, Limit: limit,
+		}, &reply)
+		if err != nil {
+			return staging.Chunk{}, err
+		}
+		if !reply.Found {
+			return staging.Chunk{}, fmt.Errorf("%w: job %s at %s has no file %q", staging.ErrNotFound, job, usite, file)
+		}
+		return staging.Chunk{Data: reply.Data, Size: reply.Size, CRC: reply.CRC}, nil
+	}
+}
+
+// fetchOptions applies the v1 fallback to a transfer configuration: against
+// a site that negotiated down to protocol v1 the windowed engine degrades to
+// the sequential one-chunk-in-flight loop of the original implementation
+// (the ranged MsgFetch itself exists since v1).
+func fetchOptions(c *protocol.Client, usite core.Usite, opt staging.Options) staging.Options {
+	if c.SiteVersion(usite) < 2 {
+		opt.Window = 1
+	}
+	return opt
+}

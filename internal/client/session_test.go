@@ -234,7 +234,7 @@ func TestWaitSurfacesTransportError(t *testing.T) {
 	// first two monitor rounds through, then kill the transport: the final
 	// round errors and that error must surface.
 	ft := &failAfter{base: r.net, left: 2}
-	c := protocol.NewClient(ft, r.user, r.ca, r.reg)
+	c := protocol.NewClient(protocol.OverHTTP(ft), r.user, r.ca, r.reg)
 	c.Retries = 0
 	jmc := NewJMC(c)
 	_, err = jmc.Wait("LRZ", jid, time.Millisecond, func(time.Duration) {}, 3)

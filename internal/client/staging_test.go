@@ -175,7 +175,7 @@ func TestFetchFileSurfacesMidTransferMutation(t *testing.T) {
 			t.Errorf("mutating out.dat: %v", err)
 		}
 	}
-	jmc := NewJMC(protocol.NewClient(mt, r.user, r.ca, r.reg))
+	jmc := NewJMC(protocol.NewClient(protocol.OverHTTP(mt), r.user, r.ca, r.reg))
 	jmc.Transfer = staging.Options{ChunkSize: 64 << 10, Window: 2, Retries: -1}
 	_, err := jmc.FetchFile("LRZ", id, "out.dat")
 	if !errors.Is(err, staging.ErrMutated) && !errors.Is(err, staging.ErrChecksum) {

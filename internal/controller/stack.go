@@ -10,7 +10,6 @@ package controller
 import (
 	"errors"
 	"fmt"
-	"net/http"
 	"path/filepath"
 	"sync"
 	"time"
@@ -59,7 +58,7 @@ type StackConfig struct {
 	// FedTransport carries federation gossip and forwarded consigns to peer
 	// gateways (default: a mutual-TLS transport over Cred and CA). Testbeds
 	// inject their in-process network here.
-	FedTransport http.RoundTripper
+	FedTransport protocol.Transport
 	// GossipInterval is the federation gossip cadence (default one minute).
 	GossipInterval time.Duration
 }

@@ -338,7 +338,7 @@ func (f *Federation) GossipOnce(ctx context.Context) error {
 	for _, u := range peers {
 		ads := f.KnownAds()
 		var reply protocol.FedAdvertiseReply
-		err := f.cfg.Client.CallContext(ctx, u, protocol.MsgFedAdvertise,
+		err := f.cfg.Client.Call(ctx, u, protocol.MsgFedAdvertise,
 			protocol.FedAdvertiseRequest{From: f.cfg.Usite, Ads: ads}, &reply)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("federation: gossip to %s: %w", u, err))
@@ -542,7 +542,7 @@ func (f *Federation) Forward(ctx context.Context, owner core.DN, consignID strin
 	}
 	var reply protocol.ConsignReply
 	start := time.Now()
-	err = f.cfg.Client.CallContext(ctx, t.Usite, protocol.MsgConsign, protocol.ConsignRequest{
+	err = f.cfg.Client.Call(ctx, t.Usite, protocol.MsgConsign, protocol.ConsignRequest{
 		ConsignID: NamespaceConsignID(f.cfg.Usite, consignID),
 		AJO:       raw,
 	}, &reply)
@@ -574,7 +574,7 @@ func (f *Federation) Placement(id core.JobID) (Placement, bool) {
 // Relay performs one job-scoped protocol call against a peer gateway on
 // behalf of an already-authorized caller.
 func (f *Federation) Relay(ctx context.Context, peer core.Usite, t protocol.MsgType, payload, replyOut any) error {
-	return f.cfg.Client.CallContext(ctx, peer, t, payload, replyOut)
+	return f.cfg.Client.Call(ctx, peer, t, payload, replyOut)
 }
 
 // PinStage records that a staged-upload handle lives at a peer.

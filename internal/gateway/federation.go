@@ -210,7 +210,7 @@ func (g *Gateway) fedStageOpen(ctx context.Context, dn core.DN, asServer bool, r
 	}
 	req.Owner = dn
 	var reply protocol.PutOpenReply
-	//lint:allow versiongate Relay delegates to Client.CallContext, which gates and fails fast on v1 peers
+	//lint:allow versiongate Relay delegates to Client.Call, which gates and fails fast on v1 peers
 	if err := f.Relay(ctx, peer, protocol.MsgPutOpen, req, &reply); err != nil {
 		return nil, "", true, fmt.Errorf("gateway: relaying staged upload to %s: %w", peer, err)
 	}

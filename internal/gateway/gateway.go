@@ -124,6 +124,11 @@ type Config struct {
 	// MaxEventWait caps the server-side long-poll of one MsgSubscribe
 	// request (default DefaultMaxEventWait).
 	MaxEventWait time.Duration
+	// MaxVersion caps the protocol version this gateway accepts (0 = the
+	// build's protocol.Version). A capped gateway rejects newer envelopes
+	// and refuses v3 streams exactly like a build that predates them —
+	// the knob behind the negotiation matrix tests.
+	MaxVersion int
 }
 
 // Gateway is one Usite's UNICORE server front end.
@@ -134,6 +139,7 @@ type Gateway struct {
 	users    *uudb.DB
 	siteAuth SiteAuth
 	maxWait  time.Duration
+	maxVer   int
 
 	// backend holds the server tier behind an atomic pointer so a recovered
 	// NJS (or a rebuilt replica router) can be swapped in while requests are
@@ -203,6 +209,10 @@ func New(cfg Config) (*Gateway, error) {
 	if maxWait <= 0 {
 		maxWait = DefaultMaxEventWait
 	}
+	maxVer := cfg.MaxVersion
+	if maxVer <= 0 || maxVer > protocol.Version {
+		maxVer = protocol.Version
+	}
 	g := &Gateway{
 		usite:      cfg.Usite,
 		cred:       cfg.Cred,
@@ -210,6 +220,7 @@ func New(cfg Config) (*Gateway, error) {
 		users:      cfg.Users,
 		siteAuth:   cfg.SiteAuth,
 		maxWait:    maxWait,
+		maxVer:     maxVer,
 		applets:    make(map[string]Applet),
 		byType:     make(map[protocol.MsgType]*atomic.Int64),
 		extraTypes: make(map[protocol.MsgType]int64),
@@ -377,6 +388,8 @@ func (g *Gateway) countFailure(cause string) {
 // provides the UNICORE Web page", §4.2).
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
+	case r.URL.Path == protocol.StreamEndpoint:
+		g.serveStreamUpgrade(w, r)
 	case r.Method == http.MethodPost && r.URL.Path == protocol.Endpoint:
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxRequest+1))
 		if err != nil {
@@ -440,6 +453,14 @@ func (g *Gateway) HandleContext(ctx context.Context, data []byte) []byte {
 		}
 		return g.sealError(ver, o.Trace, "authentication", err)
 	}
+	if ver > g.maxVer {
+		// A version-capped gateway rejects newer envelopes the same way an
+		// old build does (there, OpenTraced itself fails the version range
+		// check): the client reads the rejection and downgrades.
+		g.countFailure("authentication")
+		return g.sealError(g.maxVer, o.Trace, "authentication",
+			fmt.Errorf("%w: %d", protocol.ErrBadVersion, ver))
+	}
 	if o.Trace != "" {
 		// Adopt the caller's trace: every span below this point — including
 		// the backend tier's — lands in the same cross-tier trace.
@@ -490,14 +511,7 @@ func (g *Gateway) dispatch(ctx context.Context, ver int, t protocol.MsgType, raw
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad poll request: %w", err)
 		}
-		if f, peer, relay, err := g.fedRoute(dn, asServer, req.Job); err != nil {
-			return nil, "", err
-		} else if relay {
-			var reply protocol.PollReply
-			err := f.Relay(ctx, peer, protocol.MsgPoll, req, &reply)
-			return reply, protocol.MsgPollReply, err
-		}
-		reply, err := g.svc().Poll(dn, asServer, req.Job)
+		reply, err := g.pollTyped(ctx, req, dn, asServer)
 		return reply, protocol.MsgPollReply, err
 	case protocol.MsgOutcome:
 		var req protocol.OutcomeRequest
@@ -552,21 +566,11 @@ func (g *Gateway) dispatch(ctx context.Context, ver int, t protocol.MsgType, raw
 		}
 		return g.handleResources(req)
 	case protocol.MsgTransfer:
-		if !asServer {
-			return nil, "", fmt.Errorf("%w: Uspace transfers are NJS-to-NJS traffic", ErrNotPermitted)
-		}
 		var req protocol.TransferRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad transfer request: %w", err)
 		}
-		if f, peer, relay, err := g.fedRoute(dn, asServer, req.Job); err != nil {
-			return nil, "", err
-		} else if relay {
-			var reply protocol.TransferReply
-			err := f.Relay(ctx, peer, protocol.MsgTransfer, req, &reply)
-			return reply, protocol.MsgTransferReply, err
-		}
-		reply, err := g.svc().FetchFile(req.Job, req.File, req.Offset, req.Limit)
+		reply, err := g.transferTyped(ctx, req, dn, asServer)
 		return reply, protocol.MsgTransferReply, err
 	case protocol.MsgApplet:
 		var req protocol.AppletRequest
@@ -587,31 +591,14 @@ func (g *Gateway) dispatch(ctx context.Context, ver int, t protocol.MsgType, raw
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad fetch request: %w", err)
 		}
-		if f, peer, relay, err := g.fedRoute(dn, asServer, req.Job); err != nil {
-			return nil, "", err
-		} else if relay {
-			var reply protocol.TransferReply
-			err := f.Relay(ctx, peer, protocol.MsgFetch, req, &reply)
-			return reply, protocol.MsgFetchReply, err
-		}
-		reply, err := g.svc().FetchFileOwned(dn, asServer, req.Job, req.File, req.Offset, req.Limit)
+		reply, err := g.fetchTyped(ctx, req, dn, asServer)
 		return reply, protocol.MsgFetchReply, err
 	case protocol.MsgSubscribe:
 		var req protocol.SubscribeRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad subscribe request: %w", err)
 		}
-		// Job-scoped streams of a remotely-placed job relay to the peer
-		// (its gateway holds the long-poll); a user's all-jobs stream
-		// (empty Job) stays local — it is scoped to this Usite's log.
-		if f, peer, relay, err := g.fedRoute(dn, asServer, req.Job); err != nil {
-			return nil, "", err
-		} else if relay {
-			var reply protocol.EventsReply
-			err := f.Relay(ctx, peer, protocol.MsgSubscribe, req, &reply)
-			return reply, protocol.MsgEventsReply, err
-		}
-		reply, err := g.longPollEvents(ctx, dn, asServer, req)
+		reply, err := g.subscribeTyped(ctx, req, dn, asServer)
 		return reply, protocol.MsgEventsReply, err
 	case protocol.MsgPutOpen:
 		var req protocol.PutOpenRequest
@@ -628,13 +615,7 @@ func (g *Gateway) dispatch(ctx context.Context, ver int, t protocol.MsgType, raw
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, "", fmt.Errorf("gateway: bad put-chunk request: %w", err)
 		}
-		fwd := req
-		fwd.Owner = dn
-		var relayReply protocol.PutChunkReply
-		if relay, err := g.fedStageRelay(ctx, dn, asServer, req.Handle, protocol.MsgPutChunk, fwd, &relayReply); relay {
-			return relayReply, protocol.MsgPutChunkReply, err
-		}
-		reply, err := g.svc().StageChunk(stageOwner(dn, asServer, req.Owner), asServer, req)
+		reply, err := g.putChunkTyped(ctx, req, dn, asServer)
 		return reply, protocol.MsgPutChunkReply, err
 	case protocol.MsgPutCommit:
 		var req protocol.PutCommitRequest
@@ -676,35 +657,46 @@ func (g *Gateway) dispatch(ctx context.Context, ver int, t protocol.MsgType, raw
 	}
 }
 
-// handleConsign admits an AJO. A user-signed consignment is owned by the
-// signer; a server-signed consignment (a peer NJS distributing a job group,
-// §5.5) is owned by the user recorded in the AJO.
+// handleConsign admits an AJO from its JSON envelope form.
 func (g *Gateway) handleConsign(ctx context.Context, raw json.RawMessage, dn core.DN, asServer bool) (any, protocol.MsgType, error) {
 	var req protocol.ConsignRequest
 	if err := json.Unmarshal(raw, &req); err != nil {
 		return nil, "", fmt.Errorf("gateway: bad consign request: %w", err)
 	}
+	reply, err := g.consignTyped(ctx, req, dn, asServer)
+	return reply, protocol.MsgConsignReply, err
+}
+
+// consignTyped admits an AJO — the shared core of the envelope and v3 frame
+// paths. A user-signed consignment is owned by the signer; a server-signed
+// consignment (a peer NJS distributing a job group, §5.5) is owned by the
+// user recorded in the AJO.
+func (g *Gateway) consignTyped(ctx context.Context, req protocol.ConsignRequest, dn core.DN, asServer bool) (protocol.ConsignReply, error) {
 	action, err := ajo.Unmarshal(req.AJO)
 	if err != nil {
-		return nil, "", fmt.Errorf("gateway: decoding AJO: %w", err)
+		return protocol.ConsignReply{}, fmt.Errorf("gateway: decoding AJO: %w", err)
 	}
 	job, ok := action.(*ajo.AbstractJob)
 	if !ok {
-		return nil, "", fmt.Errorf("gateway: consigned action is %s, want a job", action.Kind())
+		return protocol.ConsignReply{}, fmt.Errorf("gateway: consigned action is %s, want a job", action.Kind())
 	}
 	owner := dn
 	if asServer {
 		if job.UserDN == "" {
-			return nil, "", errors.New("gateway: server consignment without a user DN")
+			return protocol.ConsignReply{}, errors.New("gateway: server consignment without a user DN")
 		}
 		owner = job.UserDN
 	} else if job.UserDN != "" && job.UserDN != dn {
-		return nil, "", fmt.Errorf("gateway: AJO user %s does not match signer %s", job.UserDN, dn)
+		return protocol.ConsignReply{}, fmt.Errorf("gateway: AJO user %s does not match signer %s", job.UserDN, dn)
 	}
 	if f := g.fed.Load(); f != nil {
-		reply, rt, handled, err := g.fedConsign(ctx, f, req.ConsignID, job, owner, asServer)
-		if handled || err != nil {
-			return reply, rt, err
+		reply, _, handled, err := g.fedConsign(ctx, f, req.ConsignID, job, owner, asServer)
+		if err != nil {
+			return protocol.ConsignReply{}, err
+		}
+		if handled {
+			cr, _ := reply.(protocol.ConsignReply)
+			return cr, nil
 		}
 	}
 	id, err := g.svc().Consign(ctx, owner, req.ConsignID, job)
@@ -712,9 +704,75 @@ func (g *Gateway) handleConsign(ctx context.Context, raw json.RawMessage, dn cor
 	if err != nil {
 		reply.Reason = err.Error()
 		reply.Accepted = false
-		return reply, protocol.MsgConsignReply, nil
 	}
-	return reply, protocol.MsgConsignReply, nil
+	return reply, nil
+}
+
+// pollTyped serves one job-status poll, relaying federated placements.
+func (g *Gateway) pollTyped(ctx context.Context, req protocol.PollRequest, dn core.DN, asServer bool) (protocol.PollReply, error) {
+	if f, peer, relay, err := g.fedRoute(dn, asServer, req.Job); err != nil {
+		return protocol.PollReply{}, err
+	} else if relay {
+		var reply protocol.PollReply
+		err := f.Relay(ctx, peer, protocol.MsgPoll, req, &reply)
+		return reply, err
+	}
+	return g.svc().Poll(dn, asServer, req.Job)
+}
+
+// transferTyped serves one NJS-to-NJS Uspace read.
+func (g *Gateway) transferTyped(ctx context.Context, req protocol.TransferRequest, dn core.DN, asServer bool) (protocol.TransferReply, error) {
+	if !asServer {
+		return protocol.TransferReply{}, fmt.Errorf("%w: Uspace transfers are NJS-to-NJS traffic", ErrNotPermitted)
+	}
+	if f, peer, relay, err := g.fedRoute(dn, asServer, req.Job); err != nil {
+		return protocol.TransferReply{}, err
+	} else if relay {
+		var reply protocol.TransferReply
+		err := f.Relay(ctx, peer, protocol.MsgTransfer, req, &reply)
+		return reply, err
+	}
+	return g.svc().FetchFile(req.Job, req.File, req.Offset, req.Limit)
+}
+
+// fetchTyped serves one owner-authorised file fetch.
+func (g *Gateway) fetchTyped(ctx context.Context, req protocol.FetchRequest, dn core.DN, asServer bool) (protocol.TransferReply, error) {
+	if f, peer, relay, err := g.fedRoute(dn, asServer, req.Job); err != nil {
+		return protocol.TransferReply{}, err
+	} else if relay {
+		var reply protocol.TransferReply
+		err := f.Relay(ctx, peer, protocol.MsgFetch, req, &reply)
+		return reply, err
+	}
+	return g.svc().FetchFileOwned(dn, asServer, req.Job, req.File, req.Offset, req.Limit)
+}
+
+// putChunkTyped serves one staged-upload chunk, relaying peer-pinned handles.
+func (g *Gateway) putChunkTyped(ctx context.Context, req protocol.PutChunkRequest, dn core.DN, asServer bool) (protocol.PutChunkReply, error) {
+	fwd := req
+	fwd.Owner = dn
+	var relayReply protocol.PutChunkReply
+	//lint:allow versiongate the relay delegates to Client.Call, which gates and fails fast on v1 peers
+	if relay, err := g.fedStageRelay(ctx, dn, asServer, req.Handle, protocol.MsgPutChunk, fwd, &relayReply); relay {
+		return relayReply, err
+	}
+	return g.svc().StageChunk(stageOwner(dn, asServer, req.Owner), asServer, req)
+}
+
+// subscribeTyped serves one event-batch subscription round. Job-scoped
+// streams of a remotely-placed job relay to the peer (its gateway holds the
+// long-poll); a user's all-jobs stream (empty Job) stays local — it is
+// scoped to this Usite's log.
+func (g *Gateway) subscribeTyped(ctx context.Context, req protocol.SubscribeRequest, dn core.DN, asServer bool) (protocol.EventsReply, error) {
+	if f, peer, relay, err := g.fedRoute(dn, asServer, req.Job); err != nil {
+		return protocol.EventsReply{}, err
+	} else if relay {
+		var reply protocol.EventsReply
+		//lint:allow versiongate the relay delegates to Client.Call, which gates and fails fast on v1 peers
+		err := f.Relay(ctx, peer, protocol.MsgSubscribe, req, &reply)
+		return reply, err
+	}
+	return g.longPollEvents(ctx, dn, asServer, req)
 }
 
 // handleResources serves the ASN.1 resource pages of §5.4.

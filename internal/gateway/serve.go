@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"unicore/internal/pki"
+	"unicore/internal/protocol"
 )
 
 // ServeTLS serves a gateway (or split Front) handler on a mutually
@@ -25,9 +26,10 @@ func ServeTLS(l net.Listener, handler http.Handler, cred *pki.Credential, ca *pk
 	return err
 }
 
-// ClientTransport builds an http.RoundTripper that presents the client
+// ClientTransport builds the protocol transport that presents the client
 // credential and validates gateway certificates against the CA — the user
-// side of the mutual TLS handshake.
-func ClientTransport(cred *pki.Credential, ca *pki.Authority) *http.Transport {
-	return &http.Transport{TLSClientConfig: pki.ClientTLS(cred, ca)}
+// side of the mutual TLS handshake. Envelope POSTs and v3 stream upgrades
+// share the same TLS configuration.
+func ClientTransport(cred *pki.Credential, ca *pki.Authority) *protocol.HTTPTransport {
+	return protocol.NewHTTPTransport(&http.Transport{TLSClientConfig: pki.ClientTLS(cred, ca)})
 }

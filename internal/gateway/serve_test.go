@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"crypto/tls"
 	"io"
 	"net"
@@ -34,13 +35,13 @@ func TestMutualTLSEndToEnd(t *testing.T) {
 	reg := protocol.NewRegistry()
 	reg.Add("FZJ", url)
 	rt := ClientTransport(s.alice, s.ca)
-	rt.TLSClientConfig.ServerName = "gw.fzj"
+	rt.HTTP.TLSClientConfig.ServerName = "gw.fzj"
 	c := protocol.NewClient(rt, s.alice, s.ca, reg)
 
 	job := scriptJob("over-tls", "echo tls works\n")
 	raw, _ := ajo.Marshal(job)
 	var reply protocol.ConsignReply
-	if err := c.Call("FZJ", protocol.MsgConsign, protocol.ConsignRequest{AJO: raw}, &reply); err != nil {
+	if err := c.Call(context.Background(), "FZJ", protocol.MsgConsign, protocol.ConsignRequest{AJO: raw}, &reply); err != nil {
 		t.Fatalf("consign over TLS: %v", err)
 	}
 	if !reply.Accepted {
@@ -48,7 +49,7 @@ func TestMutualTLSEndToEnd(t *testing.T) {
 	}
 	s.clock.RunUntilIdle(100000)
 	var poll protocol.PollReply
-	if err := c.Call("FZJ", protocol.MsgPoll, protocol.PollRequest{Job: reply.Job}, &poll); err != nil {
+	if err := c.Call(context.Background(), "FZJ", protocol.MsgPoll, protocol.PollRequest{Job: reply.Job}, &poll); err != nil {
 		t.Fatalf("poll over TLS: %v", err)
 	}
 	if poll.Summary.Status != ajo.StatusSuccessful {
@@ -151,7 +152,7 @@ func TestVerifyRoles(t *testing.T) {
 		t.Fatalf("IssueSoftware: %v", err)
 	}
 	c := s.client(soft)
-	err = c.Call("FZJ", protocol.MsgList, protocol.ListRequest{}, &protocol.ListReply{})
+	err = c.Call(context.Background(), "FZJ", protocol.MsgList, protocol.ListRequest{}, &protocol.ListReply{})
 	if err == nil {
 		t.Fatal("software-role caller was served")
 	}

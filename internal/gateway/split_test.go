@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -48,7 +49,7 @@ func TestSplitEndToEnd(t *testing.T) {
 	s.clock.RunUntilIdle(100000)
 
 	var poll protocol.PollReply
-	if err := c.Call("FZJ", protocol.MsgPoll, protocol.PollRequest{Job: id}, &poll); err != nil {
+	if err := c.Call(context.Background(), "FZJ", protocol.MsgPoll, protocol.PollRequest{Job: id}, &poll); err != nil {
 		t.Fatalf("poll: %v", err)
 	}
 	if poll.Summary.Status != ajo.StatusSuccessful {
@@ -78,7 +79,7 @@ func TestSplitSurvivesInnerReconnect(t *testing.T) {
 	defer cleanup()
 
 	c := s.client(s.alice)
-	if err := c.Call("FZJ", protocol.MsgList, protocol.ListRequest{}, &protocol.ListReply{}); err != nil {
+	if err := c.Call(context.Background(), "FZJ", protocol.MsgList, protocol.ListRequest{}, &protocol.ListReply{}); err != nil {
 		t.Fatalf("first call: %v", err)
 	}
 	// Drop the pooled connection behind the front's back; the next call must
@@ -86,7 +87,7 @@ func TestSplitSurvivesInnerReconnect(t *testing.T) {
 	front.mu.Lock()
 	front.conn.Close()
 	front.mu.Unlock()
-	if err := c.Call("FZJ", protocol.MsgList, protocol.ListRequest{}, &protocol.ListReply{}); err != nil {
+	if err := c.Call(context.Background(), "FZJ", protocol.MsgList, protocol.ListRequest{}, &protocol.ListReply{}); err != nil {
 		t.Fatalf("call after reconnect: %v", err)
 	}
 }
@@ -103,7 +104,7 @@ func TestSplitInnerDown(t *testing.T) {
 	}
 	s.net.Register("gw.fzj", front)
 	c := s.client(s.alice)
-	err = c.Call("FZJ", protocol.MsgList, protocol.ListRequest{}, &protocol.ListReply{})
+	err = c.Call(context.Background(), "FZJ", protocol.MsgList, protocol.ListRequest{}, &protocol.ListReply{})
 	if err == nil {
 		t.Fatal("call succeeded with the inner server down")
 	}

@@ -1,0 +1,168 @@
+// Protocol v3 stream serving: the gateway's half of the persistent
+// multiplexed frame transport. The HTTP upgrade at /unicore/v3 hands the raw
+// connection to protocol.ServeStreamConn; the typed frame handlers below are
+// the same consignTyped/pollTyped/... cores the signed-envelope dispatch
+// uses, so authorisation, federation relaying, and error texts are identical
+// on both paths. Stream traffic is observable through dedicated telemetry
+// counters (gateway_stream_*) and deliberately never counts into
+// Stats().ByType — that map remains a census of signed envelopes.
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+
+	"unicore/internal/core"
+	"unicore/internal/pki"
+	"unicore/internal/protocol"
+)
+
+// serveStreamUpgrade upgrades one GET /unicore/v3 request to a raw v3 frame
+// stream (Upgrade: unicore-v3) and serves it until the peer goes away.
+func (g *Gateway) serveStreamUpgrade(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Upgrade") != protocol.StreamUpgradeProto {
+		http.Error(w, "expected Upgrade: "+protocol.StreamUpgradeProto, http.StatusUpgradeRequired)
+		return
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		// A front end that cannot yield the raw connection (recorders, some
+		// proxies) has no stream path; clients fall back to envelopes.
+		http.Error(w, "stream upgrade unsupported", http.StatusNotImplemented)
+		return
+	}
+	conn, buf, err := hj.Hijack()
+	if err != nil {
+		http.Error(w, "hijack failed", http.StatusInternalServerError)
+		return
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\nUpgrade: " + protocol.StreamUpgradeProto + "\r\nConnection: Upgrade\r\n\r\n"
+	if _, err := buf.WriteString(resp); err != nil || buf.Flush() != nil {
+		conn.Close()
+		return
+	}
+	// The stream outlives the upgrade request: detach from its cancellation
+	// but keep its trace/log values.
+	g.ServeStream(context.WithoutCancel(r.Context()), conn)
+}
+
+// ServeStream serves one accepted v3 stream connection — the entry point
+// shared by the HTTP upgrade above and in-process transports (testbeds hand
+// over one end of a net.Pipe).
+func (g *Gateway) ServeStream(ctx context.Context, conn net.Conn) {
+	active := g.tel.Gauge("gateway_stream_conns")
+	active.Inc()
+	defer active.Dec()
+	protocol.ServeStreamConn(ctx, conn, g, protocol.StreamServerOpts{
+		Cred:       g.cred,
+		CA:         g.ca,
+		Usite:      g.usite,
+		MaxVersion: g.maxVer,
+		OnFrame: func(kind byte) {
+			g.tel.Counter("gateway_stream_frames_total", "kind", frameKindName(kind)).Inc()
+		},
+	})
+}
+
+// StreamHello authorises one verified Hello envelope: the same role policy
+// and site-specific authentication the envelope path applies per request,
+// performed once and bound to the connection.
+func (g *Gateway) StreamHello(o protocol.Opened) error {
+	verifies := g.tel.Counter("pki_verify_total")
+	verifies.Inc()
+	switch o.Role {
+	case pki.RoleUser, pki.RoleServer:
+	default:
+		g.countFailure("role")
+		return fmt.Errorf("%w: %q", ErrNotPermitted, o.Role)
+	}
+	if o.Role == pki.RoleUser && g.siteAuth != nil {
+		if err := g.siteAuth(o.From); err != nil {
+			g.countFailure("site-auth")
+			return fmt.Errorf("%w: %v", ErrSiteAuth, err)
+		}
+	}
+	g.tel.Counter("gateway_stream_hellos_total", "role", string(o.Role)).Inc()
+	return nil
+}
+
+// StreamConsign serves one consignment arriving as a frame.
+func (g *Gateway) StreamConsign(ctx context.Context, dn core.DN, asServer bool, req protocol.ConsignRequest) (protocol.ConsignReply, error) {
+	sp := g.tel.StartSpan(ctx, "gateway.dispatch").Note(string(protocol.MsgConsign))
+	defer sp.End()
+	return g.consignTyped(ctx, req, dn, asServer)
+}
+
+// StreamPoll serves one status poll arriving as a frame.
+func (g *Gateway) StreamPoll(ctx context.Context, dn core.DN, asServer bool, req protocol.PollRequest) (protocol.PollReply, error) {
+	sp := g.tel.StartSpan(ctx, "gateway.dispatch").Note(string(protocol.MsgPoll))
+	defer sp.End()
+	return g.pollTyped(ctx, req, dn, asServer)
+}
+
+// StreamPutChunk serves one staged-upload chunk arriving as a raw frame —
+// the zero-copy upload path: no base64, no per-chunk signature; integrity is
+// the per-chunk CRC now and the signed whole-transfer digest at commit.
+func (g *Gateway) StreamPutChunk(ctx context.Context, dn core.DN, asServer bool, req protocol.PutChunkRequest) (protocol.PutChunkReply, error) {
+	//lint:allow versiongate v3 stream handlers only run after a v3 handshake; no older peer can reach them
+	sp := g.tel.StartSpan(ctx, "gateway.dispatch").Note(string(protocol.MsgPutChunk))
+	defer sp.End()
+	return g.putChunkTyped(ctx, req, dn, asServer)
+}
+
+// StreamFetch serves one owner-authorised file read arriving as a frame.
+func (g *Gateway) StreamFetch(ctx context.Context, dn core.DN, asServer bool, req protocol.FetchRequest) (protocol.TransferReply, error) {
+	sp := g.tel.StartSpan(ctx, "gateway.dispatch").Note(string(protocol.MsgFetch))
+	defer sp.End()
+	return g.fetchTyped(ctx, req, dn, asServer)
+}
+
+// StreamTransfer serves one NJS-to-NJS Uspace read arriving as a frame.
+func (g *Gateway) StreamTransfer(ctx context.Context, dn core.DN, asServer bool, req protocol.TransferRequest) (protocol.TransferReply, error) {
+	sp := g.tel.StartSpan(ctx, "gateway.dispatch").Note(string(protocol.MsgTransfer))
+	defer sp.End()
+	return g.transferTyped(ctx, req, dn, asServer)
+}
+
+// StreamEvents serves one event-batch round of a stream subscription: the
+// same federation routing and long-poll core as an envelope MsgSubscribe.
+func (g *Gateway) StreamEvents(ctx context.Context, dn core.DN, asServer bool, req protocol.SubscribeRequest) (protocol.EventsReply, error) {
+	//lint:allow versiongate v3 stream handlers only run after a v3 handshake; no older peer can reach them
+	sp := g.tel.StartSpan(ctx, "gateway.dispatch").Note(string(protocol.MsgSubscribe))
+	defer sp.End()
+	return g.subscribeTyped(ctx, req, dn, asServer)
+}
+
+// frameKindName labels frame kinds for metrics.
+func frameKindName(kind byte) string {
+	switch kind {
+	case protocol.FrameHello:
+		return "hello"
+	case protocol.FrameHelloOK:
+		return "hello-ok"
+	case protocol.FrameCall:
+		return "call"
+	case protocol.FrameReply:
+		return "reply"
+	case protocol.FramePut:
+		return "put"
+	case protocol.FramePutAck:
+		return "put-ack"
+	case protocol.FrameFetch:
+		return "fetch"
+	case protocol.FrameData:
+		return "data"
+	case protocol.FrameSub:
+		return "sub"
+	case protocol.FrameEvents:
+		return "events"
+	case protocol.FrameSubStop:
+		return "sub-stop"
+	case protocol.FrameError:
+		return "error"
+	default:
+		return fmt.Sprintf("0x%02x", kind)
+	}
+}

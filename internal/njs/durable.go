@@ -54,6 +54,7 @@ package njs
 // parent re-admits them deterministically.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path"
@@ -620,7 +621,7 @@ func (n *NJS) ResumeRecovered() {
 	// outside all locks (mirrors abortJob).
 	if peers := n.peerClient(); peers != nil {
 		for _, ref := range remotes {
-			_ = peers.Call(ref.usite, protocol.MsgControl,
+			_ = peers.Call(context.Background(), ref.usite, protocol.MsgControl,
 				protocol.ControlRequest{Job: ref.job, Op: ajo.OpAbort}, nil)
 		}
 	}

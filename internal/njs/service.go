@@ -312,7 +312,7 @@ func (n *NJS) abortJob(uj *unicoreJob) error {
 	uj.mu.Unlock()
 	if peers := n.peerClient(); peers != nil {
 		for _, ref := range remotes {
-			_ = peers.Call(ref.usite, protocol.MsgControl,
+			_ = peers.Call(context.Background(), ref.usite, protocol.MsgControl,
 				protocol.ControlRequest{Job: ref.job, Op: ajo.OpAbort}, nil)
 		}
 	}

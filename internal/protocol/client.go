@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"net/http"
 	"sync"
 
 	"unicore/internal/core"
@@ -52,13 +51,28 @@ func (r *Registry) Sites() []core.Usite {
 	return out
 }
 
-// Client is the signed-envelope RPC client used by the user tier (JPA/JMC)
-// and by NJS→peer-gateway communication. It negotiates the protocol version
-// per site: requests are sealed at the newest version the site is known to
-// accept (v2 until proven otherwise), and a version rejection downgrades the
-// site to v1 and retries the call transparently.
+// CallOpts tunes one Call. The zero value is right for almost every call.
+type CallOpts struct {
+	// MinVersion overrides the version floor derived from the message kind
+	// (MinVersionFor): a caller sending a kind whose semantics changed at a
+	// later version can refuse downgraded peers explicitly.
+	MinVersion int
+	// NoStream pins this call to the signed-envelope POST path even when a
+	// v3 stream to the site is available.
+	NoStream bool
+}
+
+// Client is the signed-envelope RPC client used by the user tier (JPA/JMC/
+// Session) and by NJS→peer-gateway communication. It negotiates the protocol
+// version per site: requests are sealed at the newest version the site is
+// known to accept, and a version rejection downgrades the site one version
+// and retries the call transparently (v3→v2→v1). Against a v3 peer the hot
+// message kinds (consign, poll, fetch/transfer, staged chunks, event
+// subscriptions) ride a persistent multiplexed frame stream; everything
+// else — and every call to an older peer — travels as one signed envelope
+// per POST, byte-identical to previous releases.
 type Client struct {
-	rt       http.RoundTripper
+	tr       Transport
 	cred     *pki.Credential
 	ca       *pki.Authority
 	registry *Registry
@@ -67,16 +81,37 @@ type Client struct {
 	// idempotent via ConsignID, everything else is read-only or
 	// idempotent).
 	Retries int
+	// MaxVersion caps the protocol version this client negotiates (0 = the
+	// build's Version). Pinning to 2 reproduces a pre-v3 client exactly.
+	MaxVersion int
+	// DisableStreams keeps every call on the envelope POST path even
+	// against v3 peers — for callers whose traffic must stay per-request
+	// (fault-injection shims, conservative relays).
+	DisableStreams bool
 
 	// vmu guards the negotiated per-site protocol versions.
 	vmu  sync.Mutex
 	vers map[core.Usite]int
+
+	// smu guards the per-site persistent streams.
+	smu     sync.Mutex
+	streams map[core.Usite]*siteStream
 }
 
-// NewClient builds a client. rt is typically an *InProc for tests or an
-// http.Transport with pki.ClientTLS config for real deployments.
-func NewClient(rt http.RoundTripper, cred *pki.Credential, ca *pki.Authority, reg *Registry) *Client {
-	return &Client{rt: rt, cred: cred, ca: ca, registry: reg, Retries: 2, vers: make(map[core.Usite]int)}
+// siteStream is the per-site stream slot: at most one live connection, and a
+// sticky "no stream path to this site" verdict.
+type siteStream struct {
+	mu       sync.Mutex
+	conn     *streamConn
+	noStream bool
+}
+
+// NewClient builds a client. tr is typically an *InProc for tests or an
+// HTTPTransport with pki.ClientTLS config for real deployments; wrap a bare
+// http.RoundTripper with OverHTTP.
+func NewClient(tr Transport, cred *pki.Credential, ca *pki.Authority, reg *Registry) *Client {
+	return &Client{tr: tr, cred: cred, ca: ca, registry: reg, Retries: 2,
+		vers: make(map[core.Usite]int), streams: make(map[core.Usite]*siteStream)}
 }
 
 // DN returns the client identity.
@@ -85,15 +120,25 @@ func (c *Client) DN() core.DN { return c.cred.DN() }
 // Registry returns the client's site registry.
 func (c *Client) Registry() *Registry { return c.registry }
 
-// SiteVersion returns the protocol version this client currently seals
-// requests to a site at (Version until a rejection negotiated it down).
-func (c *Client) SiteVersion(usite core.Usite) int {
-	c.vmu.Lock()
-	defer c.vmu.Unlock()
-	if v, ok := c.vers[usite]; ok {
-		return v
+// maxVersion is the ceiling this client negotiates from.
+func (c *Client) maxVersion() int {
+	if c.MaxVersion > 0 && c.MaxVersion < Version {
+		return c.MaxVersion
 	}
 	return Version
+}
+
+// SiteVersion returns the protocol version this client currently seals
+// requests to a site at (the negotiation ceiling until a rejection
+// negotiated it down).
+func (c *Client) SiteVersion(usite core.Usite) int {
+	v := c.maxVersion()
+	c.vmu.Lock()
+	defer c.vmu.Unlock()
+	if cached, ok := c.vers[usite]; ok && cached < v {
+		return cached
+	}
+	return v
 }
 
 // setSiteVersion records a negotiated site version.
@@ -103,41 +148,77 @@ func (c *Client) setSiteVersion(usite core.Usite, v int) {
 	c.vmu.Unlock()
 }
 
-// Call sends one request to a Usite's gateway and decodes the reply payload
-// into replyOut (a pointer). Server errors arrive as *ErrorReply errors.
-func (c *Client) Call(usite core.Usite, t MsgType, payload any, replyOut any) error {
-	return c.CallContext(context.Background(), usite, t, payload, replyOut)
+// Close tears down every persistent stream. The client remains usable; new
+// calls redial as needed.
+func (c *Client) Close() {
+	c.smu.Lock()
+	streams := make([]*siteStream, 0, len(c.streams))
+	for _, ss := range c.streams {
+		streams = append(streams, ss)
+	}
+	c.smu.Unlock()
+	for _, ss := range streams {
+		ss.mu.Lock()
+		if ss.conn != nil {
+			ss.conn.close()
+			ss.conn = nil
+		}
+		ss.mu.Unlock()
+	}
 }
 
-// CallContext is Call under a context: cancellation aborts the in-flight
-// round trip (the request is built with the context, so a server long-poll —
+// Call sends one request to a Usite's gateway and decodes the reply payload
+// into replyOut (a pointer). Server errors arrive as *ErrorReply errors.
+// Cancellation aborts the in-flight round trip (a server long-poll —
 // MsgSubscribe — unblocks as soon as the caller cancels) and stops the retry
-// loop. It also runs the passive version negotiation: a version-rejection
-// error reply downgrades the site to v1 and retries the call once.
-func (c *Client) CallContext(ctx context.Context, usite core.Usite, t MsgType, payload any, replyOut any) error {
+// loop. Call also runs the passive version negotiation: a version-rejection
+// error reply downgrades the site one protocol version and retries the call
+// transparently, and a version floor (V2Only kinds against a v1 peer) fails
+// fast with ErrV1Peer.
+func (c *Client) Call(ctx context.Context, usite core.Usite, t MsgType, payload any, replyOut any, opts ...CallOpts) error {
+	var opt CallOpts
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	floor := opt.MinVersion
+	if floor == 0 {
+		floor = MinVersionFor(t)
+	}
 	for {
 		ver := c.SiteVersion(usite)
-		if V2Only(t) && ver < 2 {
+		if floor > ver {
 			return fmt.Errorf("%w: %s", ErrV1Peer, usite)
 		}
-		err := c.callOnce(ctx, usite, ver, t, payload, replyOut)
+		var err error
+		handled := false
+		if ver >= 3 && !c.DisableStreams && !opt.NoStream {
+			err, handled = c.streamCall(ctx, usite, t, payload, replyOut)
+		}
+		if !handled {
+			err = c.callOnce(ctx, usite, ver, t, payload, replyOut)
+		}
 		var er *ErrorReply
 		if errors.As(err, &er) && ver > MinVersion && IsVersionRejection(er) {
-			c.setSiteVersion(usite, MinVersion)
-			continue // re-seal at v1; MinVersion stops a second downgrade
+			// Downgrade one version and retry: v3→v2 keeps the session API,
+			// v2→v1 is the legacy polling floor.
+			c.setSiteVersion(usite, ver-1)
+			if ver-1 < 3 {
+				c.dropSiteStream(usite, nil)
+			}
+			continue
 		}
 		return err
 	}
 }
 
-// callOnce performs one sealed round trip at an explicit version.
+// callOnce performs one sealed envelope round trip at an explicit version.
 func (c *Client) callOnce(ctx context.Context, usite core.Usite, ver int, t MsgType, payload any, replyOut any) error {
 	base, ok := c.registry.Lookup(usite)
 	if !ok {
 		return fmt.Errorf("protocol: unknown Usite %q", usite)
 	}
 	// Propagate the caller's distributed trace in the envelope header; the
-	// field only exists at v2, so SealTracedAt drops it for v1 peers.
+	// field only exists at v2+, so SealTracedAt drops it for v1 peers.
 	body, err := SealTracedAt(c.cred, ver, telemetry.TraceFrom(ctx), t, payload)
 	if err != nil {
 		return err
@@ -148,7 +229,7 @@ func (c *Client) callOnce(ctx context.Context, usite core.Usite, ver int, t MsgT
 		if err = ctx.Err(); err != nil {
 			return fmt.Errorf("protocol: %s to %s: %w", t, usite, err)
 		}
-		respBody, err = post(ctx, c.rt, base, body)
+		respBody, err = c.tr.Post(ctx, base, body)
 		if err == nil {
 			break
 		}
@@ -177,4 +258,316 @@ func (c *Client) callOnce(ctx context.Context, usite core.Usite, ver int, t MsgT
 		return fmt.Errorf("protocol: decoding %s reply: %w", rt, err)
 	}
 	return nil
+}
+
+// stream returns the live persistent stream to a site, dialing one if
+// needed. ErrNoStream is sticky: once the transport or the peer refuses the
+// stream path, the site stays on envelopes until the client is rebuilt.
+func (c *Client) stream(ctx context.Context, usite core.Usite) (*streamConn, error) {
+	c.smu.Lock()
+	ss := c.streams[usite]
+	if ss == nil {
+		ss = &siteStream{}
+		c.streams[usite] = ss
+	}
+	c.smu.Unlock()
+
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.noStream {
+		return nil, ErrNoStream
+	}
+	if ss.conn != nil && ss.conn.alive() {
+		return ss.conn, nil
+	}
+	ss.conn = nil
+	base, ok := c.registry.Lookup(usite)
+	if !ok {
+		return nil, fmt.Errorf("protocol: unknown Usite %q", usite)
+	}
+	sc, err := openStream(ctx, c.tr, base, c.cred, c.ca, usite)
+	if err != nil {
+		if errors.Is(err, ErrNoStream) {
+			ss.noStream = true
+		}
+		return nil, err
+	}
+	ss.conn = sc
+	return sc, nil
+}
+
+// dropSiteStream closes the site's stream (all of them when sc is nil; only
+// a specific dead one otherwise, so a racing redial is not torn down).
+func (c *Client) dropSiteStream(usite core.Usite, sc *streamConn) {
+	c.smu.Lock()
+	ss := c.streams[usite]
+	c.smu.Unlock()
+	if ss == nil {
+		return
+	}
+	ss.mu.Lock()
+	if ss.conn != nil && (sc == nil || ss.conn == sc) {
+		ss.conn.close()
+		ss.conn = nil
+	}
+	ss.mu.Unlock()
+	if sc != nil {
+		sc.close()
+	}
+}
+
+// streamCall routes one hot-path call over the site's persistent stream.
+// handled=false means "this call did not happen over the stream — use the
+// envelope path": unknown kinds, no stream path, a request the server
+// cannot serve over frames, or a connection that died even after one
+// reconnect (the envelope path has its own retry loop, and every streamable
+// request is idempotent, so the replay is safe).
+func (c *Client) streamCall(ctx context.Context, usite core.Usite, t MsgType, payload any, replyOut any) (error, bool) {
+	kind, body, ok := encodeStreamRequest(t, payload, telemetry.TraceFrom(ctx))
+	if !ok {
+		return nil, false
+	}
+	defer putFrameBuf(body)
+
+	f, err := c.streamRoundTrip(ctx, usite, kind, *body)
+	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("protocol: %s to %s: %w", t, usite, ctx.Err()), true
+		}
+		return nil, false
+	}
+	if f.Kind == FrameError {
+		code, msg := parseStreamError(f.Payload)
+		switch code {
+		case StreamErrUnsupported:
+			return nil, false
+		case StreamErrBadFrame:
+			c.dropSiteStream(usite, nil)
+			return nil, false
+		default:
+			// Mirror the envelope path's error shape: the gateway would have
+			// sealed this as an ErrorReply coded with the request type.
+			return &ErrorReply{Code: string(t), Message: msg}, true
+		}
+	}
+	if err := decodeStreamReply(t, f, replyOut); err != nil {
+		// An undecodable reply poisons the connection, not the call.
+		c.dropSiteStream(usite, nil)
+		return nil, false
+	}
+	return nil, true
+}
+
+// streamRoundTrip performs one frame round trip, transparently reconnecting
+// and replaying once when the persistent connection died under the call.
+func (c *Client) streamRoundTrip(ctx context.Context, usite core.Usite, kind byte, body []byte) (Frame, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		sc, err := c.stream(ctx, usite)
+		if err != nil {
+			return Frame{}, err
+		}
+		f, err := sc.roundTrip(ctx, kind, body)
+		if err == nil {
+			return f, nil
+		}
+		if ctx.Err() != nil {
+			return Frame{}, err
+		}
+		// The stream died mid-call: drop it and replay on a fresh one.
+		c.dropSiteStream(usite, sc)
+		lastErr = err
+	}
+	return Frame{}, lastErr
+}
+
+// encodeStreamRequest maps a hot message kind to its frame encoding. The
+// returned buffer is pooled; the caller releases it with putFrameBuf.
+func encodeStreamRequest(t MsgType, payload any, trace string) (byte, *[]byte, bool) {
+	bp := getFrameBuf(0)
+	b := (*bp)[:0]
+	var kind byte
+	switch t {
+	case MsgConsign:
+		req, ok := asPtr[ConsignRequest](payload)
+		if !ok {
+			putFrameBuf(bp)
+			return 0, nil, false
+		}
+		kind = FrameCall
+		b = encCallHeader(b, binConsign, trace)
+		b = encConsignRequest(b, req)
+	case MsgPoll:
+		req, ok := asPtr[PollRequest](payload)
+		if !ok {
+			putFrameBuf(bp)
+			return 0, nil, false
+		}
+		kind = FrameCall
+		b = encCallHeader(b, binPoll, trace)
+		b = encPollRequest(b, req)
+	case MsgFetch:
+		req, ok := asPtr[FetchRequest](payload)
+		if !ok {
+			putFrameBuf(bp)
+			return 0, nil, false
+		}
+		kind = FrameFetch
+		b = encFetch(b, &binFetch{Job: req.Job, File: req.File, Offset: req.Offset, Limit: req.Limit})
+	case MsgTransfer:
+		req, ok := asPtr[TransferRequest](payload)
+		if !ok {
+			putFrameBuf(bp)
+			return 0, nil, false
+		}
+		kind = FrameFetch
+		b = encFetch(b, &binFetch{Job: req.Job, File: req.File, Offset: req.Offset, Limit: req.Limit, Transfer: true})
+	case MsgPutChunk:
+		req, ok := asPtr[PutChunkRequest](payload)
+		if !ok {
+			putFrameBuf(bp)
+			return 0, nil, false
+		}
+		kind = FramePut
+		b = encPutChunk(b, req)
+	case MsgSubscribe:
+		req, ok := asPtr[SubscribeRequest](payload)
+		if !ok {
+			putFrameBuf(bp)
+			return 0, nil, false
+		}
+		kind = FrameSub
+		b = encSub(b, &binSub{SubscribeRequest: *req, Once: true})
+	default:
+		putFrameBuf(bp)
+		return 0, nil, false
+	}
+	*bp = b
+	return kind, bp, true
+}
+
+// decodeStreamReply decodes the reply frame for a hot message kind into
+// replyOut (which may be nil: reply discarded, errors still surfaced).
+func decodeStreamReply(t MsgType, f Frame, replyOut any) error {
+	switch t {
+	case MsgConsign:
+		if f.Kind != FrameReply {
+			return fmt.Errorf("protocol: consign answered with frame kind %#x", f.Kind)
+		}
+		rep, err := decConsignReply(f.Payload)
+		if err != nil {
+			return err
+		}
+		return assignReply(replyOut, rep)
+	case MsgPoll:
+		if f.Kind != FrameReply {
+			return fmt.Errorf("protocol: poll answered with frame kind %#x", f.Kind)
+		}
+		rep, err := decPollReply(f.Payload)
+		if err != nil {
+			return err
+		}
+		return assignReply(replyOut, rep)
+	case MsgFetch, MsgTransfer:
+		if f.Kind != FrameData {
+			return fmt.Errorf("protocol: fetch answered with frame kind %#x", f.Kind)
+		}
+		rep, err := decData(f.Payload)
+		if err != nil {
+			return err
+		}
+		return assignReply(replyOut, rep)
+	case MsgPutChunk:
+		if f.Kind != FramePutAck {
+			return fmt.Errorf("protocol: put-chunk answered with frame kind %#x", f.Kind)
+		}
+		rep, err := decPutAck(f.Payload)
+		if err != nil {
+			return err
+		}
+		return assignReply(replyOut, rep)
+	case MsgSubscribe:
+		if f.Kind != FrameEvents {
+			return fmt.Errorf("protocol: subscribe answered with frame kind %#x", f.Kind)
+		}
+		rep, err := decEvents(f.Payload)
+		if err != nil {
+			return err
+		}
+		return assignReply(replyOut, rep.EventsReply)
+	}
+	return fmt.Errorf("protocol: no stream decoding for %s", t)
+}
+
+// asPtr accepts the payload as either T or *T — call sites use both forms.
+func asPtr[T any](payload any) (*T, bool) {
+	switch v := payload.(type) {
+	case *T:
+		return v, true
+	case T:
+		return &v, true
+	}
+	return nil, false
+}
+
+// assignReply stores a typed reply into the caller's out pointer.
+func assignReply[T any](replyOut any, v T) error {
+	if replyOut == nil {
+		return nil
+	}
+	p, ok := replyOut.(*T)
+	if !ok {
+		return fmt.Errorf("protocol: reply out parameter is %T, want *%T", replyOut, v)
+	}
+	*p = v
+	return nil
+}
+
+// SubscribeStream opens a push subscription over the site's persistent v3
+// stream: the server delivers event batches as they happen, with no
+// long-poll round trip per batch. The channel closes when the subscription
+// ends (terminal job event, connection loss, consumer overflow); a close
+// without a terminal event means "resume by cursor" — re-subscribe or fall
+// back to polling; nothing is lost either way. Returns ErrNoStream when the
+// site has no stream path (older peer or POST-only transport).
+func (c *Client) SubscribeStream(ctx context.Context, usite core.Usite, req SubscribeRequest) (<-chan EventsReply, func(), error) {
+	if c.DisableStreams || c.SiteVersion(usite) < 3 {
+		return nil, nil, ErrNoStream
+	}
+	sc, err := c.stream(ctx, usite)
+	if err != nil {
+		return nil, nil, err
+	}
+	id, ch, err := sc.subscribe(binSub{SubscribeRequest: req})
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrNoStream, err)
+	}
+	out := make(chan EventsReply, 16)
+	done := make(chan struct{})
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			sc.unsubscribe(id)
+			close(done)
+		})
+	}
+	go func() {
+		defer close(out)
+		for {
+			select {
+			case b, ok := <-ch:
+				if !ok {
+					return
+				}
+				select {
+				case out <- b.EventsReply:
+				case <-done:
+					return
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return out, stop, nil
 }

@@ -38,8 +38,14 @@ func parseCert(der []byte) (*x509.Certificate, error) {
 
 // Version is the newest wire protocol version this build speaks. Protocol v2
 // adds the session API: MsgSubscribe/MsgEventsReply server-push job event
-// streams with cursor-resumable batches.
-const Version = 2
+// streams with cursor-resumable batches. Protocol v3 adds the persistent
+// multiplexed frame stream (see frame.go): hot message kinds ride a
+// long-lived authenticated connection in a compact binary codec, staged
+// chunks travel as raw frames integrity-checked by the whole-transfer CRC
+// that MsgPutCommit signs, and event batches are pushed server-side. The
+// envelope POST path remains fully supported at v3 — streams are purely a
+// hot-path overlay, so every v1/v2 exchange is byte-identical to before.
+const Version = 3
 
 // MinVersion is the oldest wire protocol version still accepted. v1 peers
 // (request/reply polling only) keep working against v2 servers: their
@@ -123,19 +129,45 @@ const (
 	// MsgFedAdvertiseReply answers a gossip exchange with the receiver's
 	// advertisement set.
 	MsgFedAdvertiseReply MsgType = "fed-advertise-reply"
-	MsgError             MsgType = "error"
+	// MsgHello authenticates a protocol v3 stream: the first frame of every
+	// persistent connection carries a signed Hello envelope binding the
+	// caller's DN and role to the connection, so the hot frames that follow
+	// need no per-message signature.
+	MsgHello MsgType = "hello"
+	// MsgHelloReply accepts a v3 stream; it is server-signed and the client
+	// verifies it before sending any frame.
+	MsgHelloReply MsgType = "hello-reply"
+	MsgError      MsgType = "error"
 )
 
-// V2Only reports whether a message type exists only in protocol v2 — the
-// client refuses to address these to a peer that negotiated down to v1, and
-// servers refuse them inside a v1-sealed envelope.
+// V2Only reports whether a message type exists only in protocol v2 and
+// later — the client refuses to address these to a peer that negotiated down
+// to v1, and servers refuse them inside a v1-sealed envelope.
 func V2Only(t MsgType) bool {
 	switch t {
 	case MsgSubscribe, MsgPutOpen, MsgPutChunk, MsgPutCommit, MsgMetrics,
 		MsgFedAdvertise, MsgFedAdvertiseReply:
 		return true
 	}
-	return false
+	return V3Only(t)
+}
+
+// V3Only reports whether a message type exists only in protocol v3 — the
+// stream handshake pair, which never appears below v3.
+func V3Only(t MsgType) bool {
+	return t == MsgHello || t == MsgHelloReply
+}
+
+// MinVersionFor returns the lowest protocol version a message kind exists
+// at — the floor the client checks before addressing a downgraded peer.
+func MinVersionFor(t MsgType) int {
+	switch {
+	case V3Only(t):
+		return 3
+	case V2Only(t):
+		return 2
+	}
+	return MinVersion
 }
 
 // MsgTypes lists every defined message type, in wire-constant order. Servers
@@ -158,6 +190,7 @@ func MsgTypes() []MsgType {
 		MsgPutCommit, MsgPutCommitReply,
 		MsgMetrics, MsgMetricsReply,
 		MsgFedAdvertise, MsgFedAdvertiseReply,
+		MsgHello, MsgHelloReply,
 		MsgError,
 	}
 }
@@ -591,6 +624,23 @@ type FedAdvertiseRequest struct {
 // FedAdvertiseReply carries the receiver's advertisement set back.
 type FedAdvertiseReply struct {
 	Ads []FedAd `json:"ads"`
+}
+
+// HelloRequest opens a protocol v3 stream (MsgHello): it rides inside a
+// signed envelope as the first frame of every persistent connection. Usite
+// names the site the stream is addressed to, so a Hello captured for one
+// gateway cannot be replayed against another; Nonce makes every handshake
+// envelope distinct.
+type HelloRequest struct {
+	Usite core.Usite `json:"usite"`
+	Nonce string     `json:"nonce"`
+}
+
+// HelloReply accepts a v3 stream (MsgHelloReply, server-signed). Nonce
+// echoes the request's nonce, binding the acceptance to this handshake.
+type HelloReply struct {
+	Usite core.Usite `json:"usite"`
+	Nonce string     `json:"nonce"`
 }
 
 // ErrorReply is the failure payload for any request.

@@ -1,0 +1,200 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Protocol v3 replaces the one-POST-per-envelope hot path with a persistent
+// multiplexed byte stream per (client, site) pair. The stream carries frames:
+//
+//	u32 BE  length   — covers kind + id + payload, at most MaxFramePayload+9
+//	u8      kind     — frame discriminator (Frame* constants)
+//	u64 BE  id       — correlation ID; replies carry the request's id
+//	[]byte  payload  — kind-specific body
+//
+// The first exchange on every stream is a signed Hello envelope (sealed at
+// v3) answered by a server-signed HelloOK: the connection is authenticated
+// once and the caller's DN and role are bound to it, so the hot frames that
+// follow ride without per-message signatures. Staged-upload integrity is
+// preserved end to end by the running whole-transfer CRC that MsgPutCommit
+// signs inside a regular envelope, and downloads are verified once against
+// the whole-file CRC at completion.
+const (
+	// FrameHello opens a stream: payload is a signed v3 MsgHello envelope.
+	FrameHello byte = 0x01
+	// FrameHelloOK accepts a stream: payload is a signed MsgHelloReply
+	// envelope; the client verifies it against the CA and the server role.
+	FrameHelloOK byte = 0x02
+	// FrameCall carries a binary-coded request (codec discriminator is the
+	// first payload byte); FrameReply answers it under the same id.
+	FrameCall  byte = 0x03
+	FrameReply byte = 0x04
+	// FramePut carries one raw staged-upload chunk; FramePutAck answers with
+	// the contiguous watermark.
+	FramePut    byte = 0x05
+	FramePutAck byte = 0x06
+	// FrameFetch requests a byte range of a job file; FrameData answers with
+	// the raw bytes plus the whole-file size and CRC.
+	FrameFetch byte = 0x07
+	FrameData  byte = 0x08
+	// FrameSub opens an event subscription; the server answers with one or
+	// more FrameEvents batches under the same id. A one-shot subscription
+	// (the Client.Call MsgSubscribe path) ends after a single batch; a push
+	// subscription (Session.Watch) streams batches until the job terminates
+	// or the client sends FrameSubStop.
+	FrameSub     byte = 0x09
+	FrameEvents  byte = 0x0A
+	FrameSubStop byte = 0x0B
+	// FrameError reports a per-request failure under the request's id:
+	// payload is u8 code + error message. StreamErrUnsupported tells the
+	// client to retry that request over the signed-envelope POST path.
+	FrameError byte = 0x7F
+)
+
+// Stream error codes carried by FrameError payloads.
+const (
+	// StreamErrGeneric is a server-side request failure; the message mirrors
+	// what the envelope path would have returned as an ErrorReply.
+	StreamErrGeneric byte = 0
+	// StreamErrUnsupported marks a request the server cannot serve over the
+	// stream (old build, unknown frame kind or call code): the client falls
+	// back to the envelope path for it.
+	StreamErrUnsupported byte = 1
+	// StreamErrBadFrame reports an undecodable frame; the connection is
+	// poisoned and both ends drop it.
+	StreamErrBadFrame byte = 2
+)
+
+// MaxFramePayload bounds a single frame payload — same ceiling as the
+// gateway's HTTP request limit, and comfortably above staging.MaxChunkSize.
+const MaxFramePayload = 64 << 20
+
+// frameHeaderLen is the fixed prefix: u32 length + u8 kind + u64 id.
+const frameHeaderLen = 4 + 1 + 8
+
+// Frame is one decoded stream frame.
+type Frame struct {
+	Kind    byte
+	ID      uint64
+	Payload []byte
+}
+
+// Frame decode errors.
+var (
+	ErrFrameTooLarge = errors.New("protocol: frame exceeds MaxFramePayload")
+	ErrFrameShort    = errors.New("protocol: truncated frame")
+)
+
+// framePool recycles encode-side scratch buffers: the write path assembles
+// header+payload into one buffer so a frame costs a single conn write and no
+// steady-state allocation. Buffers above a sanity cap are dropped rather
+// than pooled to keep the pool from pinning worst-case frames forever.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); return &b }}
+
+const framePoolMax = 4 << 20
+
+func getFrameBuf(n int) *[]byte {
+	bp := framePool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, n)
+	}
+	return bp
+}
+
+func putFrameBuf(bp *[]byte) {
+	if cap(*bp) <= framePoolMax {
+		*bp = (*bp)[:0]
+		framePool.Put(bp)
+	}
+}
+
+// AppendFrame appends the encoded frame to b and returns the result.
+func AppendFrame(b []byte, kind byte, id uint64, payload []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(1+8+len(payload)))
+	b = append(b, kind)
+	b = binary.BigEndian.AppendUint64(b, id)
+	return append(b, payload...)
+}
+
+// writeFrame encodes and writes one frame as a single w.Write call, using a
+// pooled scratch buffer. It must be called under the stream's write lock.
+func writeFrame(w io.Writer, kind byte, id uint64, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return ErrFrameTooLarge
+	}
+	bp := getFrameBuf(frameHeaderLen + len(payload))
+	*bp = AppendFrame((*bp)[:0], kind, id, payload)
+	_, err := w.Write(*bp)
+	putFrameBuf(bp)
+	return err
+}
+
+// readFrame reads one frame. The payload is freshly allocated: ownership
+// passes to the caller (reply payloads outlive the read loop).
+func readFrame(r io.Reader) (Frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 9 {
+		return Frame{}, ErrFrameShort
+	}
+	if n > MaxFramePayload+9 {
+		return Frame{}, ErrFrameTooLarge
+	}
+	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+		return Frame{}, fmt.Errorf("protocol: reading frame header: %w", err)
+	}
+	f := Frame{Kind: hdr[4], ID: binary.BigEndian.Uint64(hdr[5:])}
+	if n > 9 {
+		f.Payload = make([]byte, n-9)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, fmt.Errorf("protocol: reading frame payload: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the frame and
+// the number of bytes consumed. It is the pure-function twin of readFrame,
+// exposed for the fuzz harness.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) < 4 {
+		return Frame{}, 0, ErrFrameShort
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n < 9 {
+		return Frame{}, 0, ErrFrameShort
+	}
+	if n > MaxFramePayload+9 {
+		return Frame{}, 0, ErrFrameTooLarge
+	}
+	if uint32(len(b)-4) < n {
+		return Frame{}, 0, ErrFrameShort
+	}
+	f := Frame{Kind: b[4], ID: binary.BigEndian.Uint64(b[5:13])}
+	if n > 9 {
+		f.Payload = append([]byte(nil), b[13:4+n]...)
+	}
+	return f, int(4 + n), nil
+}
+
+// streamError encodes a FrameError payload.
+func streamError(code byte, msg string) []byte {
+	p := make([]byte, 0, 1+len(msg))
+	p = append(p, code)
+	return append(p, msg...)
+}
+
+// parseStreamError decodes a FrameError payload.
+func parseStreamError(p []byte) (code byte, msg string) {
+	if len(p) == 0 {
+		return StreamErrGeneric, "unknown stream error"
+	}
+	return p[0], string(p[1:])
+}

@@ -1,0 +1,317 @@
+package protocol
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"unicore/internal/core"
+	"unicore/internal/pki"
+	"unicore/internal/telemetry"
+)
+
+// DefaultStreamWindow bounds how many requests one v3 stream keeps in
+// flight: pipelining hides latency, the bound keeps a slow server from
+// absorbing unbounded client memory.
+const DefaultStreamWindow = 32
+
+// handshakeTimeout bounds the Hello/HelloOK exchange on a fresh stream.
+const handshakeTimeout = 10 * time.Second
+
+// ErrStreamClosed reports a request that died with its connection; the
+// client reconnects and replays (every v3 frame request is idempotent).
+var ErrStreamClosed = errors.New("protocol: v3 stream closed")
+
+// streamConn is the client half of one persistent multiplexed v3 stream:
+// correlation-ID routing, a bounded in-flight window, and push-subscription
+// channels. All writes are whole frames under wmu; one reader goroutine
+// dispatches every inbound frame.
+type streamConn struct {
+	conn   net.Conn
+	window chan struct{}
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan Frame
+	subs    map[uint64]chan binEvents
+	closed  bool
+	err     error
+	done    chan struct{}
+}
+
+// openStream dials baseURL's v3 stream and authenticates it: a signed Hello
+// envelope out, a verified server-signed HelloOK back. ErrNoStream (from the
+// transport, or from a peer that answers the Hello with an unsupported
+// error) means "this pair has no stream path" — the caller pins the site to
+// the envelope path.
+func openStream(ctx context.Context, tr Transport, baseURL string, cred *pki.Credential, ca *pki.Authority, usite core.Usite) (*streamConn, error) {
+	conn, err := tr.OpenStream(ctx, baseURL)
+	if err != nil {
+		return nil, err
+	}
+	var nb [16]byte
+	if _, err := rand.Read(nb[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	nonce := hex.EncodeToString(nb[:])
+	hello, err := SealTracedAt(cred, 3, telemetry.TraceFrom(ctx), MsgHello, HelloRequest{Usite: usite, Nonce: nonce})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	deadline := time.Now().Add(handshakeTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	conn.SetDeadline(deadline)
+	if err := writeFrame(conn, FrameHello, 0, hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("protocol: v3 hello to %s: %w", usite, err)
+	}
+	f, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("protocol: v3 hello to %s: %w", usite, err)
+	}
+	switch f.Kind {
+	case FrameHelloOK:
+	case FrameError:
+		code, msg := parseStreamError(f.Payload)
+		conn.Close()
+		if code == StreamErrUnsupported {
+			return nil, fmt.Errorf("%w: %s", ErrNoStream, msg)
+		}
+		return nil, fmt.Errorf("protocol: v3 hello to %s refused: %s", usite, msg)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("protocol: v3 hello to %s answered with frame kind %#x", usite, f.Kind)
+	}
+	o, err := OpenTraced(ca, f.Payload)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("protocol: verifying v3 hello reply from %s: %w", usite, err)
+	}
+	if o.Type != MsgHelloReply || o.Role != pki.RoleServer {
+		conn.Close()
+		return nil, fmt.Errorf("protocol: v3 hello reply from %s is %s/%s, want %s from a server", usite, o.Type, o.Role, MsgHelloReply)
+	}
+	var hr HelloReply
+	if err := json.Unmarshal(o.Payload, &hr); err != nil || hr.Nonce != nonce {
+		conn.Close()
+		return nil, fmt.Errorf("protocol: v3 hello reply from %s does not echo the handshake nonce", usite)
+	}
+	conn.SetDeadline(time.Time{})
+	s := &streamConn{
+		conn:    conn,
+		window:  make(chan struct{}, DefaultStreamWindow),
+		pending: make(map[uint64]chan Frame),
+		subs:    make(map[uint64]chan binEvents),
+		done:    make(chan struct{}),
+	}
+	go s.readLoop()
+	return s, nil
+}
+
+// alive reports whether the stream can still carry requests.
+func (s *streamConn) alive() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
+}
+
+// close tears the stream down, failing everything in flight.
+func (s *streamConn) close() { s.fail(ErrStreamClosed) }
+
+func (s *streamConn) fail(err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.err = err
+	for id, ch := range s.subs {
+		delete(s.subs, id)
+		close(ch)
+	}
+	close(s.done)
+	s.mu.Unlock()
+	s.conn.Close()
+}
+
+func (s *streamConn) failErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return ErrStreamClosed
+}
+
+// register allocates a correlation ID with a 1-buffered reply channel.
+func (s *streamConn) register() (uint64, chan Frame, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, nil, s.err
+	}
+	s.nextID++
+	id := s.nextID
+	ch := make(chan Frame, 1)
+	s.pending[id] = ch
+	return id, ch, nil
+}
+
+func (s *streamConn) unregister(id uint64) {
+	s.mu.Lock()
+	delete(s.pending, id)
+	s.mu.Unlock()
+}
+
+// write sends one frame under the write lock.
+func (s *streamConn) write(kind byte, id uint64, payload []byte) error {
+	s.wmu.Lock()
+	err := writeFrame(s.conn, kind, id, payload)
+	s.wmu.Unlock()
+	if err != nil {
+		s.fail(fmt.Errorf("protocol: v3 stream write: %w", err))
+	}
+	return err
+}
+
+// roundTrip sends one request frame and waits for its correlated reply,
+// holding one slot of the in-flight window for the duration. A FrameSub
+// round trip that is abandoned (context cancelled) tells the server to
+// release the long-poll with a FrameSubStop.
+func (s *streamConn) roundTrip(ctx context.Context, kind byte, payload []byte) (Frame, error) {
+	select {
+	case s.window <- struct{}{}:
+	case <-ctx.Done():
+		return Frame{}, ctx.Err()
+	case <-s.done:
+		return Frame{}, s.failErr()
+	}
+	defer func() { <-s.window }()
+
+	id, ch, err := s.register()
+	if err != nil {
+		return Frame{}, err
+	}
+	if err := s.write(kind, id, payload); err != nil {
+		s.unregister(id)
+		return Frame{}, err
+	}
+	select {
+	case f := <-ch:
+		return f, nil
+	case <-ctx.Done():
+		s.unregister(id)
+		if kind == FrameSub {
+			// Best effort: free the server-side long-poll immediately.
+			s.write(FrameSubStop, id, nil)
+		}
+		return Frame{}, ctx.Err()
+	case <-s.done:
+		return Frame{}, s.failErr()
+	}
+}
+
+// subscribe opens a push subscription: the server streams FrameEvents
+// batches under the returned ID until the job terminates, unsubscribe is
+// called, or the stream dies. The channel closes on any of those; a closed
+// channel without a terminal event means "resubscribe or fall back".
+func (s *streamConn) subscribe(b binSub) (uint64, <-chan binEvents, error) {
+	s.mu.Lock()
+	if s.closed {
+		err := s.err
+		s.mu.Unlock()
+		return 0, nil, err
+	}
+	s.nextID++
+	id := s.nextID
+	ch := make(chan binEvents, 64)
+	s.subs[id] = ch
+	s.mu.Unlock()
+
+	bp := getFrameBuf(0)
+	*bp = encSub((*bp)[:0], &b)
+	err := s.write(FrameSub, id, *bp)
+	putFrameBuf(bp)
+	if err != nil {
+		return 0, nil, err
+	}
+	return id, ch, nil
+}
+
+// unsubscribe cancels a push subscription.
+func (s *streamConn) unsubscribe(id uint64) {
+	s.mu.Lock()
+	ch, ok := s.subs[id]
+	if ok {
+		delete(s.subs, id)
+		close(ch)
+	}
+	closed := s.closed
+	s.mu.Unlock()
+	if ok && !closed {
+		s.write(FrameSubStop, id, nil)
+	}
+}
+
+// readLoop is the single reader: every inbound frame routes by correlation
+// ID to a pending waiter or a subscription channel. A subscription consumer
+// that falls behind its buffer is cut off (channel closed) rather than
+// allowed to head-of-line block the whole stream — the subscriber falls back
+// to cursor-resumable polling, which is lossless by construction.
+func (s *streamConn) readLoop() {
+	for {
+		f, err := readFrame(s.conn)
+		if err != nil {
+			s.fail(fmt.Errorf("protocol: v3 stream read: %w", err))
+			return
+		}
+		s.mu.Lock()
+		if ch, ok := s.subs[f.ID]; ok {
+			if f.Kind == FrameEvents {
+				if ev, derr := decEvents(f.Payload); derr == nil {
+					select {
+					case ch <- ev:
+						if ev.End {
+							delete(s.subs, f.ID)
+							close(ch)
+						}
+					default: // overflow: cut the subscriber off
+						delete(s.subs, f.ID)
+						close(ch)
+					}
+				} else {
+					delete(s.subs, f.ID)
+					close(ch)
+				}
+			} else { // FrameError or teardown: end the subscription
+				delete(s.subs, f.ID)
+				close(ch)
+			}
+			s.mu.Unlock()
+			continue
+		}
+		ch, ok := s.pending[f.ID]
+		if ok {
+			delete(s.pending, f.ID)
+		}
+		s.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+		// Unmatched frames (reply raced a cancellation) are dropped.
+	}
+}

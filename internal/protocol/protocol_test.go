@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -166,7 +167,7 @@ func TestClientCall(t *testing.T) {
 	r.net.Register("gw.fzj", r.echoHandler(t))
 	c := NewClient(r.net, r.user, r.ca, r.reg)
 	var reply PollReply
-	if err := c.Call("FZJ", MsgPoll, PollRequest{Job: "J"}, &reply); err != nil {
+	if err := c.Call(context.Background(), "FZJ", MsgPoll, PollRequest{Job: "J"}, &reply); err != nil {
 		t.Fatal(err)
 	}
 	if !reply.Found {
@@ -178,7 +179,7 @@ func TestClientCallErrorReply(t *testing.T) {
 	r := newRig(t)
 	r.net.Register("gw.fzj", r.echoHandler(t))
 	c := NewClient(r.net, r.user, r.ca, r.reg)
-	err := c.Call("FZJ", MsgList, ListRequest{}, nil)
+	err := c.Call(context.Background(), "FZJ", MsgList, ListRequest{}, nil)
 	var er *ErrorReply
 	if !errors.As(err, &er) || er.Code != "unsupported" {
 		t.Fatalf("err = %v", err)
@@ -194,7 +195,7 @@ func TestClientRejectsUserSignedReply(t *testing.T) {
 	}))
 	c := NewClient(r.net, r.user, r.ca, r.reg)
 	var reply PollReply
-	err := c.Call("FZJ", MsgPoll, PollRequest{Job: "J"}, &reply)
+	err := c.Call(context.Background(), "FZJ", MsgPoll, PollRequest{Job: "J"}, &reply)
 	if err == nil || !strings.Contains(err.Error(), "want server") {
 		t.Fatalf("err = %v", err)
 	}
@@ -203,7 +204,7 @@ func TestClientRejectsUserSignedReply(t *testing.T) {
 func TestClientUnknownUsite(t *testing.T) {
 	r := newRig(t)
 	c := NewClient(r.net, r.user, r.ca, r.reg)
-	if err := c.Call("ZIB", MsgPoll, PollRequest{}, nil); err == nil {
+	if err := c.Call(context.Background(), "ZIB", MsgPoll, PollRequest{}, nil); err == nil {
 		t.Fatal("unknown usite accepted")
 	}
 }
@@ -217,7 +218,7 @@ func TestClientRetriesOverFlakyLink(t *testing.T) {
 	ok := 0
 	for i := 0; i < 20; i++ {
 		var reply PollReply
-		if err := c.Call("FZJ", MsgPoll, PollRequest{Job: "J"}, &reply); err == nil {
+		if err := c.Call(context.Background(), "FZJ", MsgPoll, PollRequest{Job: "J"}, &reply); err == nil {
 			ok++
 		}
 	}
@@ -237,7 +238,7 @@ func TestFlakyZeroDropPassesThrough(t *testing.T) {
 	c := NewClient(flaky, r.user, r.ca, r.reg)
 	c.Retries = 0
 	var reply PollReply
-	if err := c.Call("FZJ", MsgPoll, PollRequest{Job: "J"}, &reply); err != nil {
+	if err := c.Call(context.Background(), "FZJ", MsgPoll, PollRequest{Job: "J"}, &reply); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,387 @@
+package protocol
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"unicore/internal/core"
+	"unicore/internal/pki"
+	"unicore/internal/telemetry"
+)
+
+// Server-side half of the v3 frame protocol. ServeStreamConn owns the
+// framing, the Hello authentication handshake, correlation-ID bookkeeping,
+// and the push-subscription loops; the typed request handling stays with the
+// StreamBackend (the gateway), which shares its implementation with the
+// signed-envelope dispatch path. Compare streamConn/openStream in mux.go for
+// the client half.
+
+// defaultStreamConcurrency bounds how many request frames one stream serves
+// at once — the server-side mirror of the client's in-flight window.
+const defaultStreamConcurrency = 64
+
+// maxStreamSubs bounds concurrently-open push subscriptions per stream; each
+// holds a goroutine in the backend's long-poll.
+const maxStreamSubs = 256
+
+// defaultPushWaitMs is the per-round long-poll the server applies to a push
+// subscription whose request did not name a wait: without it an idle
+// subscription would spin on empty fetches.
+const defaultPushWaitMs = 30_000
+
+// StreamBackend is the typed server behind a v3 stream — implemented by the
+// gateway, shared with its envelope dispatch. Identity (dn, asServer) is the
+// stream's: it was verified once at Hello and binds every frame after.
+type StreamBackend interface {
+	// StreamHello authorises a verified Hello envelope before the handshake
+	// completes (role policy, site-specific auth). An error refuses the
+	// stream.
+	StreamHello(o Opened) error
+	StreamConsign(ctx context.Context, dn core.DN, asServer bool, req ConsignRequest) (ConsignReply, error)
+	StreamPoll(ctx context.Context, dn core.DN, asServer bool, req PollRequest) (PollReply, error)
+	StreamPutChunk(ctx context.Context, dn core.DN, asServer bool, req PutChunkRequest) (PutChunkReply, error)
+	StreamFetch(ctx context.Context, dn core.DN, asServer bool, req FetchRequest) (TransferReply, error)
+	StreamTransfer(ctx context.Context, dn core.DN, asServer bool, req TransferRequest) (TransferReply, error)
+	// StreamEvents serves one cursor-resumable event batch (one long-poll
+	// round). ServeStreamConn drives it once per one-shot subscription and in
+	// a loop for push subscriptions.
+	StreamEvents(ctx context.Context, dn core.DN, asServer bool, req SubscribeRequest) (EventsReply, error)
+}
+
+// StreamServerOpts configures ServeStreamConn.
+type StreamServerOpts struct {
+	// Cred signs the HelloOK reply (server role).
+	Cred *pki.Credential
+	// CA verifies the client's Hello envelope.
+	CA *pki.Authority
+	// Usite is the site this stream serves; a Hello addressed elsewhere is
+	// refused (the stream equivalent of posting to the wrong gateway).
+	Usite core.Usite
+	// MaxVersion below 3 refuses every stream with an unsupported error —
+	// how a version-capped gateway presents exactly like a pre-v3 build.
+	MaxVersion int
+	// OnFrame, when set, observes every inbound post-handshake frame kind —
+	// the telemetry hook. Stream frames are deliberately not envelope
+	// requests and never count into gateway Stats().ByType.
+	OnFrame func(kind byte)
+	// Concurrency overrides the per-stream request window (default
+	// defaultStreamConcurrency).
+	Concurrency int
+}
+
+// streamSession is one accepted v3 stream: single reader, mutex-serialised
+// writer, bounded concurrent dispatch, per-subscription cancel registry.
+type streamSession struct {
+	conn     net.Conn
+	be       StreamBackend
+	ctx      context.Context
+	dn       core.DN
+	asServer bool
+
+	wmu sync.Mutex // serialises frame writes
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	subMu sync.Mutex
+	subs  map[uint64]context.CancelFunc
+}
+
+// ServeStreamConn authenticates and serves one v3 stream until the
+// connection dies or ctx is cancelled. It blocks; callers run it from the
+// upgrade handler's goroutine (or a testbed pipe's).
+func ServeStreamConn(ctx context.Context, conn net.Conn, be StreamBackend, opts StreamServerOpts) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	f, err := readFrame(conn)
+	if err != nil || f.Kind != FrameHello {
+		return
+	}
+	if opts.MaxVersion > 0 && opts.MaxVersion < 3 {
+		writeFrame(conn, FrameError, f.ID, streamError(StreamErrUnsupported,
+			fmt.Sprintf("%v: 3", ErrBadVersion)))
+		return
+	}
+	o, err := OpenTraced(opts.CA, f.Payload)
+	if err != nil {
+		writeFrame(conn, FrameError, f.ID, streamError(StreamErrGeneric, err.Error()))
+		return
+	}
+	var hr HelloRequest
+	if o.Type != MsgHello || json.Unmarshal(o.Payload, &hr) != nil {
+		writeFrame(conn, FrameError, f.ID, streamError(StreamErrGeneric, "malformed hello"))
+		return
+	}
+	if hr.Usite != "" && opts.Usite != "" && hr.Usite != opts.Usite {
+		writeFrame(conn, FrameError, f.ID, streamError(StreamErrGeneric,
+			fmt.Sprintf("stream hello addressed to %s, this is %s", hr.Usite, opts.Usite)))
+		return
+	}
+	if err := be.StreamHello(o); err != nil {
+		writeFrame(conn, FrameError, f.ID, streamError(StreamErrGeneric, err.Error()))
+		return
+	}
+	helloOK, err := SealTracedAt(opts.Cred, 3, o.Trace, MsgHelloReply, HelloReply{Usite: opts.Usite, Nonce: hr.Nonce})
+	if err != nil {
+		return
+	}
+	if writeFrame(conn, FrameHelloOK, f.ID, helloOK) != nil {
+		return
+	}
+	conn.SetDeadline(time.Time{})
+
+	conc := opts.Concurrency
+	if conc <= 0 {
+		conc = defaultStreamConcurrency
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Parent cancellation (server shutdown) must unblock the read loop.
+	go func() {
+		<-sctx.Done()
+		conn.Close()
+	}()
+	s := &streamSession{
+		conn:     conn,
+		be:       be,
+		ctx:      sctx,
+		dn:       o.From,
+		asServer: o.Role == pki.RoleServer,
+		sem:      make(chan struct{}, conc),
+		subs:     make(map[uint64]context.CancelFunc),
+	}
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			break
+		}
+		if opts.OnFrame != nil {
+			opts.OnFrame(f.Kind)
+		}
+		switch f.Kind {
+		case FrameCall, FramePut, FrameFetch:
+			select {
+			case s.sem <- struct{}{}:
+				s.wg.Add(1)
+				go func(f Frame) {
+					defer s.wg.Done()
+					defer func() { <-s.sem }()
+					s.handle(f)
+				}(f)
+			case <-sctx.Done():
+			}
+		case FrameSub:
+			s.startSub(f)
+		case FrameSubStop:
+			s.stopSub(f.ID)
+		default:
+			s.writeErr(f.ID, StreamErrUnsupported, fmt.Sprintf("unsupported frame kind %#x", f.Kind))
+		}
+		if sctx.Err() != nil {
+			break
+		}
+	}
+	cancel()
+	s.wg.Wait()
+}
+
+// write sends one frame under the write lock; a failed write kills the
+// connection, which unwinds the read loop and every subscription.
+func (s *streamSession) write(kind byte, id uint64, payload []byte) error {
+	s.wmu.Lock()
+	err := writeFrame(s.conn, kind, id, payload)
+	s.wmu.Unlock()
+	if err != nil {
+		s.conn.Close()
+	}
+	return err
+}
+
+func (s *streamSession) writeErr(id uint64, code byte, msg string) {
+	s.write(FrameError, id, streamError(code, msg))
+}
+
+// reply encodes a typed reply through enc into a pooled buffer and sends it.
+func (s *streamSession) reply(id uint64, kind byte, enc func([]byte) []byte) {
+	bp := getFrameBuf(0)
+	*bp = enc((*bp)[:0])
+	s.write(kind, id, *bp)
+	putFrameBuf(bp)
+}
+
+// handle serves one request/response frame. Backend errors travel as generic
+// stream errors — the client surfaces them as *ErrorReply exactly like a
+// sealed error envelope would.
+func (s *streamSession) handle(f Frame) {
+	switch f.Kind {
+	case FrameCall:
+		code, trace, body, err := splitCall(f.Payload)
+		if err != nil {
+			s.writeErr(f.ID, StreamErrBadFrame, err.Error())
+			return
+		}
+		ctx := s.ctx
+		if trace != "" {
+			ctx = telemetry.WithTrace(ctx, trace)
+		}
+		switch code {
+		case binConsign:
+			req, err := decConsignRequest(body)
+			if err != nil {
+				s.writeErr(f.ID, StreamErrBadFrame, err.Error())
+				return
+			}
+			rep, err := s.be.StreamConsign(ctx, s.dn, s.asServer, req)
+			if err != nil {
+				s.writeErr(f.ID, StreamErrGeneric, err.Error())
+				return
+			}
+			s.reply(f.ID, FrameReply, func(b []byte) []byte { return encConsignReply(b, &rep) })
+		case binPoll:
+			req, err := decPollRequest(body)
+			if err != nil {
+				s.writeErr(f.ID, StreamErrBadFrame, err.Error())
+				return
+			}
+			rep, err := s.be.StreamPoll(ctx, s.dn, s.asServer, req)
+			if err != nil {
+				s.writeErr(f.ID, StreamErrGeneric, err.Error())
+				return
+			}
+			s.reply(f.ID, FrameReply, func(b []byte) []byte { return encPollReply(b, &rep) })
+		default:
+			s.writeErr(f.ID, StreamErrUnsupported, fmt.Sprintf("unsupported call code %d", code))
+		}
+	case FramePut:
+		req, err := decPutChunk(f.Payload)
+		if err != nil {
+			s.writeErr(f.ID, StreamErrBadFrame, err.Error())
+			return
+		}
+		// The decoded chunk data aliases this frame's read buffer, which is
+		// freshly allocated per frame (never pooled) — safe to retain in the
+		// spool.
+		rep, err := s.be.StreamPutChunk(s.ctx, s.dn, s.asServer, req)
+		if err != nil {
+			s.writeErr(f.ID, StreamErrGeneric, err.Error())
+			return
+		}
+		s.reply(f.ID, FramePutAck, func(b []byte) []byte { return encPutAck(b, &rep) })
+	case FrameFetch:
+		bf, err := decFetch(f.Payload)
+		if err != nil {
+			s.writeErr(f.ID, StreamErrBadFrame, err.Error())
+			return
+		}
+		var rep TransferReply
+		if bf.Transfer {
+			rep, err = s.be.StreamTransfer(s.ctx, s.dn, s.asServer,
+				TransferRequest{Job: bf.Job, File: bf.File, Offset: bf.Offset, Limit: bf.Limit})
+		} else {
+			rep, err = s.be.StreamFetch(s.ctx, s.dn, s.asServer,
+				FetchRequest{Job: bf.Job, File: bf.File, Offset: bf.Offset, Limit: bf.Limit})
+		}
+		if err != nil {
+			s.writeErr(f.ID, StreamErrGeneric, err.Error())
+			return
+		}
+		s.reply(f.ID, FrameData, func(b []byte) []byte { return encData(b, &rep) })
+	}
+}
+
+// startSub opens a subscription under the frame's correlation ID: one batch
+// for a one-shot (the MsgSubscribe compatibility path), a server-driven push
+// loop otherwise.
+func (s *streamSession) startSub(f Frame) {
+	sub, err := decSub(f.Payload)
+	if err != nil {
+		s.writeErr(f.ID, StreamErrBadFrame, err.Error())
+		return
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	s.subMu.Lock()
+	if _, dup := s.subs[f.ID]; dup || len(s.subs) >= maxStreamSubs {
+		s.subMu.Unlock()
+		cancel()
+		s.writeErr(f.ID, StreamErrBadFrame, "subscription id in use or too many subscriptions")
+		return
+	}
+	s.subs[f.ID] = cancel
+	s.subMu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			s.subMu.Lock()
+			delete(s.subs, f.ID)
+			s.subMu.Unlock()
+			cancel()
+		}()
+		s.runSub(ctx, f.ID, sub)
+	}()
+}
+
+func (s *streamSession) stopSub(id uint64) {
+	s.subMu.Lock()
+	cancel, ok := s.subs[id]
+	s.subMu.Unlock()
+	if ok {
+		cancel()
+	}
+}
+
+// runSub drives one subscription. Each round is one backend long-poll; a
+// push subscription advances its own cursors between rounds, skips empty
+// batches, and ends (End=true) once it has delivered the terminal event of a
+// job-scoped stream.
+func (s *streamSession) runSub(ctx context.Context, id uint64, sub binSub) {
+	req := sub.SubscribeRequest
+	if !sub.Once && req.WaitMs <= 0 {
+		req.WaitMs = defaultPushWaitMs
+	}
+	for {
+		reply, err := s.be.StreamEvents(ctx, s.dn, s.asServer, req)
+		if ctx.Err() != nil {
+			return // cancelled: FrameSubStop, stream teardown, or shutdown
+		}
+		if err != nil {
+			s.writeErr(id, StreamErrGeneric, err.Error())
+			return
+		}
+		end := false
+		if req.Job != "" {
+			for i := range reply.Events {
+				if reply.Events[i].Terminal && reply.Events[i].Job == req.Job {
+					end = true
+				}
+			}
+		}
+		if sub.Once {
+			s.writeEvents(id, binEvents{EventsReply: reply, End: end})
+			return
+		}
+		if len(reply.Events) > 0 || reply.Gap {
+			if !s.writeEvents(id, binEvents{EventsReply: reply, End: end}) {
+				return
+			}
+		}
+		if end {
+			return
+		}
+		req.Cursor = reply.Cursor
+		if req.Job == "" {
+			req.Origins = reply.Origins
+		}
+	}
+}
+
+func (s *streamSession) writeEvents(id uint64, e binEvents) bool {
+	bp := getFrameBuf(0)
+	*bp = encEvents((*bp)[:0], &e)
+	err := s.write(FrameEvents, id, *bp)
+	putFrameBuf(bp)
+	return err == nil
+}

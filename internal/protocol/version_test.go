@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"testing"
@@ -70,7 +71,7 @@ func TestSubscribeRequiresV2(t *testing.T) {
 	reg.Add("OLD", "https://gw.old")
 	c := NewClient(NewInProc(), cred, ca, reg)
 	c.setSiteVersion("OLD", 1)
-	err := c.Call("OLD", MsgSubscribe, SubscribeRequest{}, nil)
+	err := c.Call(context.Background(), "OLD", MsgSubscribe, SubscribeRequest{}, nil)
 	if !errors.Is(err, ErrV1Peer) {
 		t.Fatalf("subscribe to a v1 site: err = %v, want ErrV1Peer", err)
 	}
@@ -85,7 +86,7 @@ func TestMetricsScrapeRequiresV2(t *testing.T) {
 	reg.Add("OLD", "https://gw.old")
 	c := NewClient(NewInProc(), cred, ca, reg)
 	c.setSiteVersion("OLD", 1)
-	err := c.Call("OLD", MsgMetrics, MetricsRequest{}, nil)
+	err := c.Call(context.Background(), "OLD", MsgMetrics, MetricsRequest{}, nil)
 	if !errors.Is(err, ErrV1Peer) {
 		t.Fatalf("metrics scrape of a v1 site: err = %v, want ErrV1Peer", err)
 	}

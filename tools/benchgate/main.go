@@ -10,12 +10,16 @@
 //     CPU is available (on a single core a concurrency win cannot manifest,
 //     so only a no-worse-than check applies there).
 //
-// Gated metrics are the machine-independent protocol-efficiency figures —
-// envelopes/job (BenchmarkAwaitEvent) and envelopes/MB
-// (BenchmarkTransferThroughput): they are deterministic per run, so a >25%
-// change is a real protocol regression, never runner noise. Wall-clock
-// figures (ns/op, MB/s, B/op) are recorded in the artifact for trend
-// inspection but are not gated across machines.
+// Gated metrics come in two kinds. The machine-independent
+// protocol-efficiency figures — envelopes/job (BenchmarkAwaitEvent) and
+// envelopes/MB (BenchmarkTransferThroughput) — are deterministic per run, so
+// a >25% increase is a real protocol regression, never runner noise. The v3
+// hot-path rate figures — consigns/sec (BenchmarkConsignRate) and events/sec
+// (BenchmarkEventRate) — are wall-clock and therefore runner-dependent, so
+// they gate only against a generous floor: falling below half the baseline
+// rate fails the run. Other wall-clock figures (ns/op, MB/s, B/op) are
+// recorded in the artifact for trend inspection but are not gated across
+// machines.
 //
 // Usage:
 //
@@ -40,14 +44,26 @@ import (
 // benchRegex selects the core benchmarks the gate runs.
 // BenchmarkFederatedConsign's fed-forward-ack-p99-ms is wall-clock and thus
 // advisory: recorded in the artifact for trend inspection, never gated.
-const benchRegex = "BenchmarkConcurrentClients$|BenchmarkAwaitEvent$|BenchmarkJournalAppend$|BenchmarkTransferThroughput|BenchmarkFederatedConsign$"
+const benchRegex = "BenchmarkConcurrentClients$|BenchmarkAwaitEvent$|BenchmarkJournalAppend$|BenchmarkTransferThroughput|BenchmarkFederatedConsign$|BenchmarkConsignRate$|BenchmarkEventRate$"
 
-// gatedUnits lists the metric units compared against the baseline. All are
-// lower-is-better protocol-efficiency counters.
-var gatedUnits = map[string]bool{
+// gatedLower lists the lower-is-better protocol-efficiency counters: a rise
+// past threshold over baseline fails the gate.
+var gatedLower = map[string]bool{
 	"envelopes/job": true,
 	"envelopes/MB":  true,
 }
+
+// gatedRate lists the higher-is-better throughput figures of the v3 hot
+// path. They are wall-clock, so the gate is a coarse floor — rateFloor of
+// the recorded baseline — that catches a collapsed fast path without
+// tripping on runner variance.
+var gatedRate = map[string]bool{
+	"consigns/sec": true,
+	"events/sec":   true,
+}
+
+// rateFloor is the fraction of the baseline a gated rate may drop to.
+const rateFloor = 0.50
 
 // Report is the artifact schema (BENCH_PR.json / BENCH_BASELINE.json).
 type Report struct {
@@ -194,17 +210,19 @@ func compare(baseline, current Report, threshold float64) []string {
 			continue // new benchmark: recorded, gated once the baseline knows it
 		}
 		for unit, cur := range current.Metrics[name] {
-			if !gatedUnits[unit] {
-				continue
-			}
 			b, ok := base[unit]
 			if !ok || b <= 0 {
 				continue
 			}
-			if cur > b*(1+threshold) {
+			switch {
+			case gatedLower[unit] && cur > b*(1+threshold):
 				failures = append(failures, fmt.Sprintf(
 					"%s %s regressed: %.3f → %.3f (>%.0f%% over baseline)",
 					name, unit, b, cur, threshold*100))
+			case gatedRate[unit] && cur < b*rateFloor:
+				failures = append(failures, fmt.Sprintf(
+					"%s %s collapsed: %.1f → %.1f (below %.0f%% of baseline)",
+					name, unit, b, cur, rateFloor*100))
 			}
 		}
 	}

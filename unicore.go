@@ -31,11 +31,16 @@
 package unicore
 
 import (
+	"errors"
+	"fmt"
+	"net/url"
+
 	"unicore/internal/ajo"
 	"unicore/internal/asi"
 	"unicore/internal/broker"
 	"unicore/internal/client"
 	"unicore/internal/core"
+	"unicore/internal/gateway"
 	"unicore/internal/journal"
 	"unicore/internal/pki"
 	"unicore/internal/pool"
@@ -102,9 +107,16 @@ type (
 	JMC = client.JMC
 	// Credential couples an X.509 certificate with its key.
 	Credential = pki.Credential
+	// Authority is the certification authority whose certificates the mutual
+	// TLS handshake trusts (the paper's §4.2 "UNICORE CA").
+	Authority = pki.Authority
 	// Client is the signed-envelope protocol client underneath JPA and JMC;
 	// the broker refreshes its load information through one.
 	Client = protocol.Client
+	// Transport carries envelopes (and, against a v3 peer, the persistent
+	// frame stream) to a gateway: protocol.NewHTTPTransport for real
+	// deployments, a Deployment's in-process network for testbeds.
+	Transport = protocol.Transport
 	// Session is the protocol-v2 client handle: context-aware
 	// submit/monitor/control for one user at one Usite, with server-push job
 	// event streams (Session.Watch / Session.Await) replacing interval
@@ -115,9 +127,130 @@ type (
 	JobEvent = client.JobEvent
 )
 
-// Dial opens a protocol-v2 session for one Usite over a protocol client (for
-// in-process testbeds, Deployment.Session is the shortcut).
-func Dial(c *Client, usite Usite) *Session { return client.NewSession(c, usite) }
+// DialOption configures one Dial.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	usite     Usite
+	cred      *Credential
+	ca        *Authority
+	tr        Transport
+	client    *Client
+	version   int
+	retries   int
+	noStreams bool
+}
+
+// WithIdentity sets the caller's credential and the certification authority
+// gateway certificates are validated against — the two halves of the mutual
+// TLS handshake and the envelope signatures. Required unless WithClient
+// supplies a fully built client.
+func WithIdentity(cred *Credential, ca *Authority) DialOption {
+	return func(c *dialConfig) { c.cred, c.ca = cred, ca }
+}
+
+// WithSite names the Usite behind the dialled URL explicitly. Without it the
+// URL's hostname is the site name — right for real deployments where gateways
+// are addressed by their site's DNS name.
+func WithSite(usite Usite) DialOption {
+	return func(c *dialConfig) { c.usite = usite }
+}
+
+// WithTransport substitutes the transport under the client — an in-process
+// testbed network, a fault-injection wrapper (protocol.Flaky), or a
+// custom-configured protocol.HTTPTransport. The default is the mutual-TLS
+// HTTP transport built from the WithIdentity credential; it serves both the
+// signed-envelope POSTs and the v3 stream upgrade.
+func WithTransport(tr Transport) DialOption {
+	return func(c *dialConfig) { c.tr = tr }
+}
+
+// WithVersion caps the protocol version the session negotiates (1, 2, or 3).
+// Pinning below 3 keeps every call on the signed-envelope POST path exactly
+// as a pre-v3 client would send it.
+func WithVersion(max int) DialOption {
+	return func(c *dialConfig) { c.version = max }
+}
+
+// WithRetries sets the number of additional attempts after a transport
+// failure (default 2; the asynchronous protocol makes retries safe).
+func WithRetries(n int) DialOption {
+	return func(c *dialConfig) { c.retries = n }
+}
+
+// WithClient reuses an existing protocol client — its identity, negotiated
+// site versions, live streams, and registry — instead of building a fresh
+// one. The dialled URL is added to its registry.
+func WithClient(c *Client) DialOption {
+	return func(cfg *dialConfig) { cfg.client = c }
+}
+
+// WithoutStreams keeps every call on the per-request envelope path even
+// against v3 peers — for callers whose traffic must remain one signed POST
+// per message (conservative relays, traffic recorders).
+func WithoutStreams() DialOption {
+	return func(c *dialConfig) { c.noStreams = true }
+}
+
+// Dial opens a Session to the gateway at gatewayURL: the single entry point
+// of the user tier. The zero-option call needs an identity —
+//
+//	sess, err := unicore.Dial("https://fzj.example:4433",
+//		unicore.WithIdentity(cred, ca))
+//
+// — and defaults everything else: the Usite is the URL's hostname (WithSite
+// overrides), the transport is the mutual-TLS HTTP transport (WithTransport
+// overrides), and the protocol version, retry count, and stream use follow
+// the client defaults (WithVersion, WithRetries, WithoutStreams override).
+// For in-process testbeds, Deployment.Session remains the shortcut.
+func Dial(gatewayURL string, opts ...DialOption) (*Session, error) {
+	cfg := dialConfig{retries: -1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	usite := cfg.usite
+	if usite == "" {
+		u, err := url.Parse(gatewayURL)
+		if err != nil {
+			return nil, fmt.Errorf("unicore: dial %q: %w", gatewayURL, err)
+		}
+		if u.Hostname() == "" {
+			return nil, fmt.Errorf("unicore: dial %q: no hostname to name the Usite after (use WithSite)", gatewayURL)
+		}
+		usite = Usite(u.Hostname())
+	}
+	c := cfg.client
+	if c == nil {
+		if cfg.cred == nil || cfg.ca == nil {
+			return nil, errors.New("unicore: Dial needs WithIdentity (or a prebuilt client via WithClient)")
+		}
+		tr := cfg.tr
+		if tr == nil {
+			tr = gateway.ClientTransport(cfg.cred, cfg.ca)
+		}
+		c = protocol.NewClient(tr, cfg.cred, cfg.ca, protocol.NewRegistry())
+	}
+	if gatewayURL != "" {
+		c.Registry().Add(usite, gatewayURL)
+	}
+	if cfg.version > 0 {
+		c.MaxVersion = cfg.version
+	}
+	if cfg.retries >= 0 {
+		c.Retries = cfg.retries
+	}
+	if cfg.noStreams {
+		c.DisableStreams = true
+	}
+	return client.NewSession(c, usite), nil
+}
+
+// DialClient opens a session for one Usite over an existing protocol client.
+//
+// Deprecated: use Dial with WithClient and WithSite —
+// Dial("", WithClient(c), WithSite(usite)) — or Deployment.Session for
+// in-process testbeds.
+func DialClient(c *Client, usite Usite) *Session { return client.NewSession(c, usite) }
 
 // Bulk data staging (package staging): Session.Upload streams a workstation
 // file into a Vsite's spool in CRC-checked chunks and returns the transfer

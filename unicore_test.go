@@ -73,7 +73,12 @@ func TestSessionQuickstart(t *testing.T) {
 		t.Fatalf("Build: %v", err)
 	}
 	ctx := context.Background()
-	sess := unicore.Dial(d.UserClient(user), "DEMO") // == d.Session(user, "DEMO")
+	// == d.Session(user, "DEMO"); a real deployment would Dial the gateway
+	// URL with WithIdentity instead of reusing the testbed client.
+	sess, err := unicore.Dial("", unicore.WithClient(d.UserClient(user)), unicore.WithSite("DEMO"))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
 	id, err := sess.Submit(ctx, job)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
